@@ -1,0 +1,106 @@
+// Command hadoopsim runs a simulated Hadoop cluster from a dummy-
+// scheduler configuration file (§III-B's "static configuration files")
+// and prints the resulting schedule and per-job metrics.
+//
+// Usage:
+//
+//	hadoopsim -config experiment.conf [-nodes N] [-slots S] [-seed X]
+//
+// Example configuration (the paper's two-job experiment at r=50%):
+//
+//	primitive susp
+//	input /input/tl 512M
+//	input /input/th 512M
+//	job tl /input/tl priority=0 rate=6.5e6
+//	job th /input/th priority=10 rate=6.5e6
+//	submit tl
+//	on progress tl 0.5 submit th
+//	on progress tl 0.5 preempt tl
+//	on complete th restore tl
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"hadooppreempt/internal/config"
+	"hadooppreempt/internal/mapreduce"
+)
+
+func main() {
+	path := flag.String("config", "", "experiment configuration file (required)")
+	nodes := flag.Int("nodes", 1, "worker node count")
+	slots := flag.Int("slots", 1, "map slots per node")
+	seed := flag.Uint64("seed", 1, "random seed")
+	deadline := flag.Duration("deadline", 2*time.Hour, "virtual-time budget")
+	width := flag.Int("width", 72, "gantt chart width")
+	flag.Parse()
+
+	if err := run(*path, *nodes, *slots, *seed, *deadline, *width); err != nil {
+		fmt.Fprintln(os.Stderr, "hadoopsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(path string, nodes, slots int, seed uint64, deadline time.Duration, width int) error {
+	if path == "" {
+		return fmt.Errorf("missing -config (see -h for the file format)")
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	exp, err := config.Parse(f)
+	if err != nil {
+		return err
+	}
+	ccfg := mapreduce.DefaultClusterConfig()
+	ccfg.Nodes = nodes
+	ccfg.Node.MapSlots = slots
+	ccfg.Seed = seed
+	cluster, err := mapreduce.NewCluster(ccfg)
+	if err != nil {
+		return err
+	}
+	runner, err := config.NewRunner(exp, cluster)
+	if err != nil {
+		return err
+	}
+	if err := runner.Run(deadline); err != nil {
+		return err
+	}
+
+	fmt.Printf("primitive: %v\n\n", exp.Primitive)
+	fmt.Println("schedule ('#' running, '=' suspended, 'c' cleanup, '.' waiting):")
+	fmt.Print(runner.Trace().Gantt(width))
+	fmt.Println()
+
+	names := make([]string, 0, len(runner.Jobs()))
+	for name := range runner.Jobs() {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fmt.Printf("%-12s %-10s %10s %12s %8s %10s %12s\n",
+		"job", "state", "sojourn", "wasted-cpu", "susp", "attempts", "swap-out")
+	for _, name := range names {
+		job := runner.Jobs()[name]
+		var susp, attempts int
+		var wasted time.Duration
+		var swapOut int64
+		for _, t := range job.Tasks() {
+			susp += t.Suspensions()
+			attempts += t.Attempts()
+			wasted += t.WastedWork()
+			swapOut += t.SwapOutBytes()
+		}
+		fmt.Printf("%-12s %-10s %9.1fs %11.1fs %8d %10d %11dM\n",
+			name, job.State(),
+			(job.CompletedAt() - job.SubmittedAt()).Seconds(),
+			wasted.Seconds(), susp, attempts, swapOut>>20)
+	}
+	return nil
+}

@@ -1,0 +1,115 @@
+//go:build unix
+
+// Command taskctl demonstrates the paper's preemption primitive on REAL
+// operating-system processes: it spawns a low-priority CPU-bound worker,
+// preempts it with an actual SIGTSTP when a high-priority worker arrives,
+// and resumes it with SIGCONT afterwards — the exact signal pair the
+// modified TaskTracker uses (§III-B).
+//
+// Usage:
+//
+//	taskctl [-primitive susp|kill|wait] [-steps N] [-units U] [-mem BYTES]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"hadooppreempt/internal/realexec"
+)
+
+func main() {
+	if realexec.IsWorkerInvocation() {
+		realexec.WorkerMain()
+	}
+	primitive := flag.String("primitive", "susp", "preemption primitive: susp, kill or wait")
+	steps := flag.Int("steps", 40, "progress steps per worker")
+	units := flag.Int64("units", 20_000_000, "busy-loop iterations per step")
+	mem := flag.Int64("mem", 0, "bytes of state each worker dirties at startup")
+	flag.Parse()
+
+	if err := run(*primitive, *steps, *units, *mem); err != nil {
+		fmt.Fprintln(os.Stderr, "taskctl:", err)
+		os.Exit(1)
+	}
+}
+
+func run(primitive string, steps int, units, mem int64) error {
+	start := time.Now()
+	stamp := func() string { return time.Since(start).Round(10 * time.Millisecond).String() }
+
+	fmt.Printf("[%s] starting low-priority worker tl\n", stamp())
+	tl, err := realexec.SpawnSelf(realexec.Spec{
+		Name: "tl", Steps: steps, UnitsPerStep: units, MemBytes: mem,
+	})
+	if err != nil {
+		return err
+	}
+	defer tl.Kill()
+
+	// Let tl reach ~50% progress, like the paper's r parameter.
+	for tl.Progress() < 0.5 && tl.State() == realexec.StateRunning {
+		time.Sleep(20 * time.Millisecond)
+	}
+	fmt.Printf("[%s] tl at %.0f%% — high-priority worker th arrives\n", stamp(), tl.Progress()*100)
+
+	switch primitive {
+	case "susp":
+		if err := tl.Suspend(); err != nil {
+			return err
+		}
+		fmt.Printf("[%s] sent SIGTSTP to tl (pid %d): state=%v\n", stamp(), tl.PID(), tl.State())
+	case "kill":
+		if err := tl.Kill(); err != nil {
+			return err
+		}
+		fmt.Printf("[%s] sent SIGKILL to tl (pid %d): all its work is lost\n", stamp(), tl.PID())
+	case "wait":
+		fmt.Printf("[%s] waiting for tl to finish before starting th\n", stamp())
+		if !tl.Wait(10 * time.Minute) {
+			return fmt.Errorf("tl did not finish")
+		}
+	default:
+		return fmt.Errorf("unknown primitive %q", primitive)
+	}
+
+	th, err := realexec.SpawnSelf(realexec.Spec{
+		Name: "th", Steps: steps, UnitsPerStep: units, MemBytes: mem,
+	})
+	if err != nil {
+		return err
+	}
+	defer th.Kill()
+	fmt.Printf("[%s] th started (pid %d)\n", stamp(), th.PID())
+	if !th.Wait(10 * time.Minute) {
+		return fmt.Errorf("th did not finish")
+	}
+	fmt.Printf("[%s] th done\n", stamp())
+
+	switch primitive {
+	case "susp":
+		if err := tl.Resume(); err != nil {
+			return err
+		}
+		fmt.Printf("[%s] sent SIGCONT to tl: resuming from %.0f%%\n", stamp(), tl.Progress()*100)
+	case "kill":
+		fmt.Printf("[%s] restarting tl from scratch\n", stamp())
+		tl, err = realexec.SpawnSelf(realexec.Spec{
+			Name: "tl-retry", Steps: steps, UnitsPerStep: units, MemBytes: mem,
+		})
+		if err != nil {
+			return err
+		}
+		defer tl.Kill()
+	case "wait":
+		fmt.Printf("[%s] tl already finished\n", stamp())
+		return nil
+	}
+	if !tl.Wait(10 * time.Minute) {
+		return fmt.Errorf("tl did not finish")
+	}
+	fmt.Printf("[%s] tl done (state=%v)\n", stamp(), tl.State())
+	return nil
+}

@@ -1,0 +1,83 @@
+// Priority: the paper's motivating scenario on the public API — a
+// best-effort job holds the cluster's only slot when a production job
+// arrives. The example runs the scenario once per preemption primitive
+// (wait, kill, suspend) and prints the trade-off the paper's Figure 2
+// quantifies: suspend gives the production job kill-like latency at
+// wait-like total cost.
+//
+//	go run ./examples/priority
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	hp "hadooppreempt"
+)
+
+func main() {
+	fmt.Println("best-effort job tl (512 MB) is at 50% when production job th (512 MB) arrives")
+	fmt.Println()
+	fmt.Printf("%-8s %16s %14s %12s %10s\n", "primitive", "th sojourn", "makespan", "tl wasted", "tl susp")
+	for _, prim := range []hp.Primitive{hp.Wait, hp.Kill, hp.Suspend} {
+		sojourn, makespan, stats := runScenario(prim)
+		fmt.Printf("%-8v %15.1fs %13.1fs %11.1fs %10d\n",
+			prim, sojourn.Seconds(), makespan.Seconds(),
+			stats.WastedWork.Seconds(), stats.Suspensions)
+	}
+	fmt.Println()
+	fmt.Println("wait   = low makespan, terrible production latency")
+	fmt.Println("kill   = low latency, but all of tl's work is redone")
+	fmt.Println("susp   = both: the OS keeps tl's state in memory for free")
+}
+
+func runScenario(prim hp.Primitive) (sojourn, makespan time.Duration, tlStats hp.JobStats) {
+	cluster, err := hp.New(hp.Options{Primitive: prim})
+	if err != nil {
+		log.Fatal(err)
+	}
+	must(cluster.CreateInput("/data/besteffort", 512<<20))
+	must(cluster.CreateInput("/data/production", 512<<20))
+
+	_, err = cluster.Submit(hp.JobConfig{
+		Name: "tl", InputPath: "/data/besteffort", Priority: 0, MapParseRate: 6.5e6,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// When tl reaches 50%, the production job arrives and tl is evicted
+	// with the chosen primitive (a no-op for wait).
+	must(cluster.OnJobProgress("tl", 0.5, func() {
+		if _, err := cluster.Submit(hp.JobConfig{
+			Name: "th", InputPath: "/data/production", Priority: 10, MapParseRate: 6.5e6,
+		}); err != nil {
+			log.Fatal(err)
+		}
+		must(cluster.PreemptJob("tl"))
+	}))
+	must(cluster.OnJobComplete("th", func() {
+		must(cluster.RestoreJob("tl"))
+	}))
+
+	if !cluster.RunUntilJobsDone(2 * time.Hour) {
+		log.Fatal("scenario did not finish")
+	}
+	thStats, err := cluster.Stats("th")
+	must(err)
+	tlStats, err = cluster.Stats("tl")
+	must(err)
+	tlJob, _ := cluster.Job("tl")
+	thJob, _ := cluster.Job("th")
+	end := tlJob.CompletedAt()
+	if thJob.CompletedAt() > end {
+		end = thJob.CompletedAt()
+	}
+	return thStats.Sojourn, end - tlJob.SubmittedAt(), tlStats
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,52 @@
+// Quickstart: build a single-node simulated Hadoop cluster, run one
+// map-only job, and print its outcome.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	hp "hadooppreempt"
+)
+
+func main() {
+	// The zero Options value is the paper's evaluation node: 4 GB RAM,
+	// one map slot, 3 s heartbeats, suspend primitive.
+	cluster, err := hp.New(hp.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A 512 MB single-block input, like the paper's synthetic jobs.
+	if err := cluster.CreateInput("/data/logs", 512<<20); err != nil {
+		log.Fatal(err)
+	}
+
+	// Synthetic mapper parsing at ~6.5 MB/s (≈80 s of CPU for the block).
+	job, err := cluster.Submit(hp.JobConfig{
+		Name:         "wordcount",
+		InputPath:    "/data/logs",
+		MapParseRate: 6.5e6,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if !cluster.RunUntilJobsDone(time.Hour) {
+		log.Fatalf("job did not finish: %v", job.State())
+	}
+
+	stats, err := cluster.Stats("wordcount")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("job %s: %s\n", stats.Name, stats.State)
+	fmt.Printf("  sojourn time: %v\n", stats.Sojourn.Round(100*time.Millisecond))
+	fmt.Printf("  attempts:     %d\n", stats.Attempts)
+	fmt.Println()
+	fmt.Println("schedule:")
+	fmt.Print(cluster.Gantt(64))
+}

@@ -1,0 +1,68 @@
+//go:build unix
+
+// Realexec: the paper's primitive on REAL processes. The example spawns a
+// CPU-bound worker, stops it with an actual SIGTSTP at ~50% progress,
+// runs a high-priority worker, then resumes the first with SIGCONT —
+// demonstrating that the suspended process keeps its state and loses no
+// work, exactly what the modified TaskTracker does in §III-B.
+//
+//	go run ./examples/realexec
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"hadooppreempt/internal/realexec"
+)
+
+func main() {
+	// Child invocations of this same binary run the synthetic worker.
+	if realexec.IsWorkerInvocation() {
+		realexec.WorkerMain()
+	}
+	start := time.Now()
+	at := func() string { return time.Since(start).Round(10 * time.Millisecond).String() }
+
+	tl, err := realexec.SpawnSelf(realexec.Spec{
+		Name: "tl", Steps: 40, UnitsPerStep: 10_000_000, MemBytes: 64 << 20,
+	})
+	if err != nil {
+		log.Fatalf("spawn tl: %v", err)
+	}
+	defer tl.Kill()
+	fmt.Printf("[%s] low-priority worker tl started (pid %d), 64 MB of dirty state\n", at(), tl.PID())
+
+	for tl.Progress() < 0.5 && tl.State() == realexec.StateRunning {
+		time.Sleep(20 * time.Millisecond)
+	}
+	fmt.Printf("[%s] tl reached %.0f%% — high-priority work arrives\n", at(), tl.Progress()*100)
+
+	if err := tl.Suspend(); err != nil {
+		log.Fatalf("suspend: %v", err)
+	}
+	fmt.Printf("[%s] SIGTSTP sent: tl is %v; its memory stays managed by the OS\n", at(), tl.State())
+
+	th, err := realexec.SpawnSelf(realexec.Spec{
+		Name: "th", Steps: 20, UnitsPerStep: 10_000_000,
+	})
+	if err != nil {
+		log.Fatalf("spawn th: %v", err)
+	}
+	defer th.Kill()
+	fmt.Printf("[%s] high-priority worker th started (pid %d)\n", at(), th.PID())
+	if !th.Wait(10 * time.Minute) {
+		log.Fatal("th did not finish")
+	}
+	fmt.Printf("[%s] th done; tl still at %.0f%% — nothing was lost\n", at(), tl.Progress()*100)
+
+	if err := tl.Resume(); err != nil {
+		log.Fatalf("resume: %v", err)
+	}
+	fmt.Printf("[%s] SIGCONT sent: tl resumes where it stopped\n", at())
+	if !tl.Wait(10 * time.Minute) {
+		log.Fatal("tl did not finish")
+	}
+	fmt.Printf("[%s] tl done (%v)\n", at(), tl.State())
+}

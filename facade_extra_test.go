@@ -1,0 +1,90 @@
+package hadooppreempt_test
+
+import (
+	"testing"
+	"time"
+
+	hp "hadooppreempt"
+)
+
+func TestFacadeKillJob(t *testing.T) {
+	cluster, err := hp.New(hp.Options{MapSlotsPerNode: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cluster.CreateInput("/in", 512<<20)
+	if _, err := cluster.Submit(hp.JobConfig{
+		Name: "doomed", InputPath: "/in", MapParseRate: 8e6,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	cluster.RunFor(10 * time.Second)
+	if err := cluster.KillJob("doomed"); err != nil {
+		t.Fatal(err)
+	}
+	st, err := cluster.Stats("doomed")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != "FAILED" {
+		t.Fatalf("state = %s, want FAILED", st.State)
+	}
+	if err := cluster.KillJob("ghost"); err == nil {
+		t.Fatal("unknown job should fail")
+	}
+}
+
+func TestFacadeNodeStats(t *testing.T) {
+	cluster, err := hp.New(hp.Options{Nodes: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodes := cluster.Nodes()
+	if len(nodes) != 2 {
+		t.Fatalf("nodes = %d, want 2", len(nodes))
+	}
+	for _, n := range nodes {
+		if n.FreeBytes <= 0 {
+			t.Fatalf("node %s reports no free memory", n.Name)
+		}
+		if n.Thrashing {
+			t.Fatalf("idle node %s reports thrashing", n.Name)
+		}
+	}
+}
+
+func TestFacadeNodeStatsUnderPressure(t *testing.T) {
+	// The worst-case two-job scenario must be visible in node stats:
+	// swap in use while tl is parked under pressure.
+	cluster, err := hp.New(hp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cluster.CreateInput("/lo", 512<<20)
+	cluster.CreateInput("/hi", 512<<20)
+	cluster.Submit(hp.JobConfig{
+		Name: "lo", InputPath: "/lo", MapParseRate: 6.5e6, ExtraMemoryBytes: 2 << 30,
+	})
+	cluster.OnJobProgress("lo", 0.5, func() {
+		cluster.Submit(hp.JobConfig{
+			Name: "hi", InputPath: "/hi", Priority: 10, MapParseRate: 6.5e6,
+			ExtraMemoryBytes: 2 << 30,
+		})
+		cluster.PreemptJob("lo")
+	})
+	cluster.OnJobComplete("hi", func() { cluster.RestoreJob("lo") })
+	// Run until hi is mid-flight; swap should be occupied.
+	cluster.RunFor(2 * time.Minute)
+	sawSwap := false
+	for _, n := range cluster.Nodes() {
+		if n.SwapUsedBytes > 0 {
+			sawSwap = true
+		}
+	}
+	if !sawSwap {
+		t.Fatal("worst-case preemption should occupy swap")
+	}
+	if !cluster.RunUntilJobsDone(2 * time.Hour) {
+		t.Fatal("jobs did not finish")
+	}
+}

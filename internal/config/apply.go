@@ -1,0 +1,176 @@
+package config
+
+import (
+	"fmt"
+	"time"
+
+	"hadooppreempt/internal/core"
+	"hadooppreempt/internal/disk"
+	"hadooppreempt/internal/mapreduce"
+	"hadooppreempt/internal/scheduler"
+	"hadooppreempt/internal/trace"
+)
+
+// Runner executes a parsed experiment on a cluster.
+type Runner struct {
+	exp       *Experiment
+	cluster   *mapreduce.Cluster
+	dummy     *scheduler.Dummy
+	preemptor *core.Preemptor
+	jobs      map[string]*mapreduce.Job
+	rec       *trace.Recorder
+}
+
+// NewRunner wires the experiment onto the cluster: inputs are created,
+// the dummy scheduler installed, the primitive prepared, and rules
+// translated into triggers.
+func NewRunner(exp *Experiment, cluster *mapreduce.Cluster) (*Runner, error) {
+	jt := cluster.JobTracker()
+	dummy := scheduler.NewDummy(jt)
+	jt.SetScheduler(dummy)
+	deviceFor := func(tracker string) *disk.Device {
+		for _, n := range cluster.Nodes() {
+			if n.Tracker.Name() == tracker {
+				return n.Device
+			}
+		}
+		return nil
+	}
+	preemptor, err := core.NewPreemptor(cluster.Engine(), jt, exp.Primitive, deviceFor, core.CheckpointConfig{})
+	if err != nil {
+		return nil, err
+	}
+	for _, in := range exp.Inputs {
+		if err := cluster.CreateInput(in.Path, in.Size); err != nil {
+			return nil, err
+		}
+	}
+	r := &Runner{
+		exp:       exp,
+		cluster:   cluster,
+		dummy:     dummy,
+		preemptor: preemptor,
+		jobs:      make(map[string]*mapreduce.Job),
+		rec:       &trace.Recorder{},
+	}
+	jt.AddListener(&ganttListener{rec: r.rec})
+	for _, rule := range exp.Rules {
+		rule := rule
+		trig := scheduler.Trigger{
+			Job: rule.EventJob,
+			Do:  func() { r.applyAction(rule) },
+		}
+		switch rule.Event {
+		case "progress":
+			trig.Event = scheduler.OnProgress
+			trig.Threshold = rule.Threshold
+		case "complete":
+			trig.Event = scheduler.OnComplete
+		case "submit":
+			trig.Event = scheduler.OnSubmit
+		default:
+			return nil, fmt.Errorf("config: unknown event %q", rule.Event)
+		}
+		dummy.AddTrigger(trig)
+	}
+	return r, nil
+}
+
+// Run submits the initial jobs and drives the cluster until all submitted
+// jobs finish or the deadline passes.
+func (r *Runner) Run(deadline time.Duration) error {
+	for _, name := range r.exp.Submits {
+		if err := r.submit(name); err != nil {
+			return err
+		}
+	}
+	if !r.cluster.RunUntilJobsDone(deadline) {
+		return fmt.Errorf("config: experiment did not finish before %v", deadline)
+	}
+	r.rec.CloseAll(r.cluster.Engine().Now())
+	return nil
+}
+
+// Jobs returns the submitted jobs by configured name.
+func (r *Runner) Jobs() map[string]*mapreduce.Job { return r.jobs }
+
+// Trace returns the recorded schedule.
+func (r *Runner) Trace() *trace.Recorder { return r.rec }
+
+func (r *Runner) submit(name string) error {
+	conf, ok := r.exp.Jobs[name]
+	if !ok {
+		return fmt.Errorf("config: submit of undefined job %q", name)
+	}
+	job, err := r.cluster.JobTracker().Submit(conf)
+	if err != nil {
+		return err
+	}
+	r.jobs[name] = job
+	return nil
+}
+
+// applyAction executes a rule body.
+func (r *Runner) applyAction(rule Rule) {
+	switch rule.Action {
+	case ActionSubmit:
+		if err := r.submit(rule.ActionJob); err != nil {
+			panic(fmt.Sprintf("config: %v", err))
+		}
+	case ActionPreempt:
+		task, ok := r.firstMapTask(rule.ActionJob)
+		if !ok {
+			return
+		}
+		if _, err := r.preemptor.Preempt(task); err != nil {
+			panic(fmt.Sprintf("config: preempt %s: %v", rule.ActionJob, err))
+		}
+	case ActionRestore:
+		task, ok := r.firstMapTask(rule.ActionJob)
+		if !ok {
+			return
+		}
+		if err := r.preemptor.Restore(task); err != nil {
+			panic(fmt.Sprintf("config: restore %s: %v", rule.ActionJob, err))
+		}
+	}
+}
+
+func (r *Runner) firstMapTask(job string) (mapreduce.TaskID, bool) {
+	j, ok := r.jobs[job]
+	if !ok {
+		return mapreduce.TaskID{}, false
+	}
+	maps := j.MapTasks()
+	if len(maps) == 0 {
+		return mapreduce.TaskID{}, false
+	}
+	return maps[0].ID(), true
+}
+
+// ganttListener mirrors the experiments trace listener for config-driven
+// runs.
+type ganttListener struct {
+	mapreduce.NopListener
+	rec *trace.Recorder
+}
+
+func (l *ganttListener) TaskStateChanged(t *mapreduce.Task, from, to mapreduce.TaskState, at time.Duration) {
+	row := t.Job().Conf().Name
+	switch to {
+	case mapreduce.TaskRunning:
+		l.rec.Begin(row, trace.SpanRunning, at)
+	case mapreduce.TaskSuspended:
+		l.rec.Begin(row, trace.SpanSuspended, at)
+	case mapreduce.TaskSucceeded, mapreduce.TaskFailed:
+		l.rec.End(row, at)
+	case mapreduce.TaskPending:
+		if from.Live() || from == mapreduce.TaskKilled {
+			l.rec.Begin(row, trace.SpanWaiting, at)
+		}
+	}
+}
+
+func (l *ganttListener) CleanupSpan(task mapreduce.TaskID, tracker string, start, end time.Duration) {
+	l.rec.Add(trace.Span{Row: "cleanup", Kind: trace.SpanCleanup, Start: start, End: end})
+}

@@ -1,0 +1,166 @@
+package config
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"hadooppreempt/internal/core"
+	"hadooppreempt/internal/mapreduce"
+)
+
+const sampleConfig = `
+# The paper's two-job experiment at r = 50%.
+primitive susp
+input /input/tl 512M
+input /input/th 512M
+job tl /input/tl priority=0 rate=6.5e6
+job th /input/th priority=10 rate=6.5e6 mem=0
+submit tl
+on progress tl 0.5 submit th
+on progress tl 0.5 preempt tl
+on complete th restore tl
+`
+
+func TestParseSample(t *testing.T) {
+	exp, err := Parse(strings.NewReader(sampleConfig))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exp.Primitive != core.Suspend {
+		t.Fatalf("primitive = %v, want susp", exp.Primitive)
+	}
+	if len(exp.Inputs) != 2 || exp.Inputs[0].Size != 512<<20 {
+		t.Fatalf("inputs = %+v", exp.Inputs)
+	}
+	if len(exp.Jobs) != 2 {
+		t.Fatalf("jobs = %d, want 2", len(exp.Jobs))
+	}
+	if exp.Jobs["th"].Priority != 10 {
+		t.Fatalf("th priority = %d", exp.Jobs["th"].Priority)
+	}
+	if len(exp.Submits) != 1 || exp.Submits[0] != "tl" {
+		t.Fatalf("submits = %v", exp.Submits)
+	}
+	if len(exp.Rules) != 3 {
+		t.Fatalf("rules = %d, want 3", len(exp.Rules))
+	}
+	if exp.Rules[0].Threshold != 0.5 || exp.Rules[0].Action != ActionSubmit {
+		t.Fatalf("rule 0 = %+v", exp.Rules[0])
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := map[string]string{
+		"unknown directive": "frobnicate x",
+		"bad primitive":     "primitive banana\njob a /x\nsubmit a",
+		"bad size":          "input /x 12Q\njob a /x\nsubmit a",
+		"dup job":           "job a /x\njob a /y\nsubmit a",
+		"undefined submit":  "submit ghost",
+		"bad threshold":     "job a /x\nsubmit a\non progress a 1.5 preempt a",
+		"undefined target":  "job a /x\nsubmit a\non progress a 0.5 preempt ghost",
+		"no submit":         "job a /x",
+		"bad option":        "job a /x bogus=1\nsubmit a",
+		"bad rate":          "job a /x rate=-2\nsubmit a",
+	}
+	for name, text := range cases {
+		t.Run(name, func(t *testing.T) {
+			if _, err := Parse(strings.NewReader(text)); err == nil {
+				t.Fatalf("config should be rejected:\n%s", text)
+			}
+		})
+	}
+}
+
+func TestParseBytes(t *testing.T) {
+	cases := map[string]int64{
+		"512M": 512 << 20,
+		"2G":   2 << 30,
+		"2.5G": 2560 << 20,
+		"16k":  16 << 10,
+		"1024": 1024,
+		"0":    0,
+	}
+	for in, want := range cases {
+		got, err := ParseBytes(in)
+		if err != nil || got != want {
+			t.Errorf("ParseBytes(%q) = %d, %v; want %d", in, got, err, want)
+		}
+	}
+	for _, bad := range []string{"", "x", "-5", "12Q4"} {
+		if _, err := ParseBytes(bad); err == nil {
+			t.Errorf("ParseBytes(%q) should fail", bad)
+		}
+	}
+}
+
+func TestFormatBytesRoundTrip(t *testing.T) {
+	for _, v := range []int64{0, 1024, 512 << 20, 2 << 30, 12345} {
+		got, err := ParseBytes(FormatBytes(v))
+		if err != nil || got != v {
+			t.Errorf("round trip %d -> %q -> %d, %v", v, FormatBytes(v), got, err)
+		}
+	}
+}
+
+func TestRunnerExecutesExperiment(t *testing.T) {
+	exp, err := Parse(strings.NewReader(sampleConfig))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cluster, err := mapreduce.NewCluster(mapreduce.DefaultClusterConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	runner, err := NewRunner(exp, cluster)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := runner.Run(2 * time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	jobs := runner.Jobs()
+	if len(jobs) != 2 {
+		t.Fatalf("jobs = %d, want 2", len(jobs))
+	}
+	tl, th := jobs["tl"], jobs["th"]
+	if tl.State() != mapreduce.JobSucceeded || th.State() != mapreduce.JobSucceeded {
+		t.Fatalf("states: tl=%v th=%v", tl.State(), th.State())
+	}
+	// tl was suspended for th: th finishes first.
+	if th.CompletedAt() >= tl.CompletedAt() {
+		t.Fatalf("th (%v) should finish before resumed tl (%v)",
+			th.CompletedAt(), tl.CompletedAt())
+	}
+	// Trace should show tl suspended.
+	gantt := runner.Trace().Gantt(60)
+	if !strings.Contains(gantt, "=") {
+		t.Fatalf("gantt missing suspension:\n%s", gantt)
+	}
+	if tlTask := tl.MapTasks()[0]; tlTask.Suspensions() != 1 {
+		t.Fatalf("tl suspensions = %d, want 1", tlTask.Suspensions())
+	}
+}
+
+func TestRunnerKillPrimitive(t *testing.T) {
+	text := strings.Replace(sampleConfig, "primitive susp", "primitive kill", 1)
+	exp, err := Parse(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cluster, err := mapreduce.NewCluster(mapreduce.DefaultClusterConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	runner, err := NewRunner(exp, cluster)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := runner.Run(2 * time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	tl := runner.Jobs()["tl"]
+	if tl.MapTasks()[0].Attempts() != 2 {
+		t.Fatalf("tl attempts = %d, want 2 under kill", tl.MapTasks()[0].Attempts())
+	}
+}

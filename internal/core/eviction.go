@@ -1,0 +1,154 @@
+package core
+
+import (
+	"fmt"
+	"time"
+)
+
+// Candidate describes a preemptable task for eviction policies.
+type Candidate struct {
+	// ID is the task (stringified mapreduce.TaskID); policies treat it as
+	// opaque.
+	ID string
+	// Progress is the completed fraction in [0,1].
+	Progress float64
+	// ResidentBytes is the task's resident memory.
+	ResidentBytes int64
+	// StartedAt is when the current attempt launched.
+	StartedAt time.Duration
+}
+
+// EvictionPolicy picks which task to preempt when a high-priority task
+// needs a slot. §V-A discusses the space: Natjam suspends tasks closest to
+// completion to even out job progress; minimizing paging overhead instead
+// favours the smallest memory footprint.
+type EvictionPolicy interface {
+	// Name identifies the policy in reports.
+	Name() string
+	// SelectVictim returns the task to preempt. ok is false when the
+	// candidate set is empty.
+	SelectVictim(candidates []Candidate) (victim Candidate, ok bool)
+}
+
+// policyFunc adapts a selection function.
+type policyFunc struct {
+	name string
+	pick func([]Candidate) Candidate
+}
+
+// Name implements EvictionPolicy.
+func (p policyFunc) Name() string { return p.name }
+
+// SelectVictim implements EvictionPolicy.
+func (p policyFunc) SelectVictim(cs []Candidate) (Candidate, bool) {
+	if len(cs) == 0 {
+		return Candidate{}, false
+	}
+	return p.pick(cs), true
+}
+
+// argBest returns the candidate maximizing better(a, b) == a preferred,
+// breaking ties by ID for determinism.
+func argBest(cs []Candidate, better func(a, b Candidate) bool) Candidate {
+	best := cs[0]
+	for _, c := range cs[1:] {
+		if better(c, best) || (!better(best, c) && c.ID < best.ID) {
+			best = c
+		}
+	}
+	return best
+}
+
+// MostProgress prefers the task closest to completion (Natjam's SRT-style
+// policy: keeps all of a job's tasks at similar completion levels, good
+// for sojourn times).
+func MostProgress() EvictionPolicy {
+	return policyFunc{name: "most-progress", pick: func(cs []Candidate) Candidate {
+		return argBest(cs, func(a, b Candidate) bool { return a.Progress > b.Progress })
+	}}
+}
+
+// LeastProgress prefers the freshest task (least work wasted if the
+// primitive is kill).
+func LeastProgress() EvictionPolicy {
+	return policyFunc{name: "least-progress", pick: func(cs []Candidate) Candidate {
+		return argBest(cs, func(a, b Candidate) bool { return a.Progress < b.Progress })
+	}}
+}
+
+// SmallestMemory prefers the task with the smallest resident set,
+// minimizing paging overhead for the suspend primitive — the strategy
+// §V-A derives from the paper's Figure 4.
+func SmallestMemory() EvictionPolicy {
+	return policyFunc{name: "smallest-memory", pick: func(cs []Candidate) Candidate {
+		return argBest(cs, func(a, b Candidate) bool { return a.ResidentBytes < b.ResidentBytes })
+	}}
+}
+
+// LargestMemory prefers the task with the largest resident set (frees the
+// most memory for the incoming task; worst case for suspend overhead).
+func LargestMemory() EvictionPolicy {
+	return policyFunc{name: "largest-memory", pick: func(cs []Candidate) Candidate {
+		return argBest(cs, func(a, b Candidate) bool { return a.ResidentBytes > b.ResidentBytes })
+	}}
+}
+
+// Oldest prefers the longest-running task.
+func Oldest() EvictionPolicy {
+	return policyFunc{name: "oldest", pick: func(cs []Candidate) Candidate {
+		return argBest(cs, func(a, b Candidate) bool { return a.StartedAt < b.StartedAt })
+	}}
+}
+
+// Youngest prefers the most recently started task.
+func Youngest() EvictionPolicy {
+	return policyFunc{name: "youngest", pick: func(cs []Candidate) Candidate {
+		return argBest(cs, func(a, b Candidate) bool { return a.StartedAt > b.StartedAt })
+	}}
+}
+
+// PolicyByName resolves a policy label.
+func PolicyByName(name string) (EvictionPolicy, error) {
+	switch name {
+	case "most-progress":
+		return MostProgress(), nil
+	case "least-progress":
+		return LeastProgress(), nil
+	case "smallest-memory":
+		return SmallestMemory(), nil
+	case "largest-memory":
+		return LargestMemory(), nil
+	case "oldest":
+		return Oldest(), nil
+	case "youngest":
+		return Youngest(), nil
+	default:
+		return nil, fmt.Errorf("core: unknown eviction policy %q", name)
+	}
+}
+
+// Advisor chooses a primitive per victim following §V-A: freshly started
+// tasks are cheaper to kill (little work lost), tasks close to completion
+// are cheaper to wait for, and everything in between is suspended.
+type Advisor struct {
+	// KillBelow kills victims with progress < KillBelow.
+	KillBelow float64
+	// WaitAbove waits for victims with progress > WaitAbove.
+	WaitAbove float64
+}
+
+// DefaultAdvisor returns thresholds matching the paper's qualitative
+// guidance.
+func DefaultAdvisor() Advisor { return Advisor{KillBelow: 0.05, WaitAbove: 0.95} }
+
+// Choose picks the primitive for a victim at the given progress.
+func (a Advisor) Choose(progress float64) Primitive {
+	switch {
+	case progress < a.KillBelow:
+		return Kill
+	case progress > a.WaitAbove:
+		return Wait
+	default:
+		return Suspend
+	}
+}

@@ -1,0 +1,166 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func candidates() []Candidate {
+	return []Candidate{
+		{ID: "a", Progress: 0.9, ResidentBytes: 100 << 20, StartedAt: 10 * time.Second},
+		{ID: "b", Progress: 0.2, ResidentBytes: 2 << 30, StartedAt: 5 * time.Second},
+		{ID: "c", Progress: 0.5, ResidentBytes: 500 << 20, StartedAt: 20 * time.Second},
+	}
+}
+
+func TestPolicySelections(t *testing.T) {
+	cases := []struct {
+		policy EvictionPolicy
+		want   string
+	}{
+		{MostProgress(), "a"},
+		{LeastProgress(), "b"},
+		{SmallestMemory(), "a"},
+		{LargestMemory(), "b"},
+		{Oldest(), "b"},
+		{Youngest(), "c"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.policy.Name(), func(t *testing.T) {
+			v, ok := tc.policy.SelectVictim(candidates())
+			if !ok {
+				t.Fatal("no victim selected")
+			}
+			if v.ID != tc.want {
+				t.Fatalf("victim = %s, want %s", v.ID, tc.want)
+			}
+		})
+	}
+}
+
+func TestPolicyEmptyCandidates(t *testing.T) {
+	for _, p := range []EvictionPolicy{MostProgress(), LeastProgress(), SmallestMemory(), LargestMemory(), Oldest(), Youngest()} {
+		if _, ok := p.SelectVictim(nil); ok {
+			t.Fatalf("%s selected a victim from empty set", p.Name())
+		}
+	}
+}
+
+func TestPolicyTiesBrokenByID(t *testing.T) {
+	cs := []Candidate{
+		{ID: "z", Progress: 0.5},
+		{ID: "a", Progress: 0.5},
+		{ID: "m", Progress: 0.5},
+	}
+	v, ok := MostProgress().SelectVictim(cs)
+	if !ok || v.ID != "a" {
+		t.Fatalf("tie not broken by smallest ID: got %q", v.ID)
+	}
+}
+
+func TestPolicyByName(t *testing.T) {
+	for _, name := range []string{"most-progress", "least-progress", "smallest-memory", "largest-memory", "oldest", "youngest"} {
+		p, err := PolicyByName(name)
+		if err != nil {
+			t.Fatalf("PolicyByName(%q): %v", name, err)
+		}
+		if p.Name() != name {
+			t.Fatalf("policy name %q != %q", p.Name(), name)
+		}
+	}
+	if _, err := PolicyByName("nope"); err == nil {
+		t.Fatal("unknown policy should error")
+	}
+}
+
+func TestAdvisorThresholds(t *testing.T) {
+	a := DefaultAdvisor()
+	if got := a.Choose(0.01); got != Kill {
+		t.Fatalf("fresh task -> %v, want kill", got)
+	}
+	if got := a.Choose(0.5); got != Suspend {
+		t.Fatalf("mid task -> %v, want suspend", got)
+	}
+	if got := a.Choose(0.99); got != Wait {
+		t.Fatalf("nearly-done task -> %v, want wait", got)
+	}
+}
+
+func TestAdvisorBoundaries(t *testing.T) {
+	a := Advisor{KillBelow: 0.1, WaitAbove: 0.9}
+	if a.Choose(0.1) != Suspend {
+		t.Fatal("exactly KillBelow should suspend")
+	}
+	if a.Choose(0.9) != Suspend {
+		t.Fatal("exactly WaitAbove should suspend")
+	}
+}
+
+func TestPrimitiveStrings(t *testing.T) {
+	for p, want := range map[Primitive]string{
+		Wait: "wait", Kill: "kill", Suspend: "susp", Checkpoint: "checkpoint",
+	} {
+		if p.String() != want {
+			t.Errorf("%d.String() = %q, want %q", p, p.String(), want)
+		}
+	}
+}
+
+func TestParsePrimitive(t *testing.T) {
+	for s, want := range map[string]Primitive{
+		"wait": Wait, "kill": Kill, "susp": Suspend, "suspend": Suspend,
+		"checkpoint": Checkpoint, "natjam": Checkpoint,
+	} {
+		got, err := ParsePrimitive(s)
+		if err != nil || got != want {
+			t.Errorf("ParsePrimitive(%q) = %v, %v", s, got, err)
+		}
+	}
+	if _, err := ParsePrimitive("bogus"); err == nil {
+		t.Fatal("bogus primitive should fail")
+	}
+}
+
+func TestPrimitivesList(t *testing.T) {
+	ps := Primitives()
+	if len(ps) != 3 || ps[0] != Wait || ps[1] != Kill || ps[2] != Suspend {
+		t.Fatalf("Primitives() = %v", ps)
+	}
+}
+
+// Property: every policy returns one of the candidates, regardless of
+// input.
+func TestPropertyPolicyReturnsMember(t *testing.T) {
+	policies := []EvictionPolicy{MostProgress(), LeastProgress(), SmallestMemory(), LargestMemory(), Oldest(), Youngest()}
+	f := func(raw []struct {
+		P uint8
+		M uint32
+		S uint16
+	}) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		cs := make([]Candidate, len(raw))
+		ids := make(map[string]bool)
+		for i, r := range raw {
+			cs[i] = Candidate{
+				ID:            string(rune('a' + i%26)),
+				Progress:      float64(r.P) / 255,
+				ResidentBytes: int64(r.M),
+				StartedAt:     time.Duration(r.S) * time.Second,
+			}
+			ids[cs[i].ID] = true
+		}
+		for _, p := range policies {
+			v, ok := p.SelectVictim(cs)
+			if !ok || !ids[v.ID] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,184 @@
+// Package disk models a rotational disk device for the simulated cluster.
+//
+// The model captures the two properties the paper's analysis depends on:
+// sequential transfers run at full bandwidth while scattered transfers pay a
+// positioning (seek) penalty, and the device serialises requests, so
+// concurrent I/O streams (e.g. HDFS block reads and swap page-out traffic)
+// contend for the same head.
+package disk
+
+import (
+	"fmt"
+	"time"
+
+	"hadooppreempt/internal/sim"
+)
+
+// Kind distinguishes read requests from write requests.
+type Kind int
+
+const (
+	// Read transfers data from the device.
+	Read Kind = iota + 1
+	// Write transfers data to the device.
+	Write
+)
+
+// String returns "read" or "write".
+func (k Kind) String() string {
+	switch k {
+	case Read:
+		return "read"
+	case Write:
+		return "write"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Config describes a disk device.
+type Config struct {
+	// SeekTime is the average positioning cost paid by a non-sequential
+	// request.
+	SeekTime time.Duration
+	// ReadBandwidth is the sequential read throughput in bytes/second.
+	ReadBandwidth float64
+	// WriteBandwidth is the sequential write throughput in bytes/second.
+	WriteBandwidth float64
+}
+
+// DefaultConfig returns parameters typical of the 7200rpm SATA drives in
+// 2014-era Hadoop nodes: 8ms average seek, 130MB/s sequential read,
+// 120MB/s sequential write.
+func DefaultConfig() Config {
+	return Config{
+		SeekTime:       8 * time.Millisecond,
+		ReadBandwidth:  130e6,
+		WriteBandwidth: 120e6,
+	}
+}
+
+// Stats aggregates device activity counters.
+type Stats struct {
+	// BytesRead and BytesWritten count payload bytes transferred.
+	BytesRead    int64
+	BytesWritten int64
+	// Reads and Writes count requests.
+	Reads  int64
+	Writes int64
+	// Seeks counts positioning operations (non-sequential requests).
+	Seeks int64
+	// BusyTime accumulates total time the device spent servicing requests.
+	BusyTime time.Duration
+}
+
+// Device is a simulated disk. It serialises requests: a request issued
+// while the device is busy is queued behind the in-flight work, and its
+// completion time reflects the wait.
+type Device struct {
+	eng  *sim.Engine
+	cfg  Config
+	name string
+
+	// busyUntil is the virtual time at which all accepted work completes.
+	busyUntil time.Duration
+	// lastStream tags the stream of the most recent request, so that
+	// back-to-back requests from the same stream skip the seek penalty.
+	lastStream StreamID
+
+	stats Stats
+}
+
+// StreamID identifies a logically sequential I/O stream (one HDFS block
+// read, the swap write stream, ...). Consecutive requests with the same
+// non-zero stream ID are treated as sequential and skip the seek penalty.
+type StreamID uint64
+
+// NoStream marks a request as standalone: it always pays a seek.
+const NoStream StreamID = 0
+
+// New returns a device attached to the engine. The name is used in error
+// and trace messages.
+func New(eng *sim.Engine, name string, cfg Config) *Device {
+	if cfg.ReadBandwidth <= 0 || cfg.WriteBandwidth <= 0 {
+		panic("disk: bandwidth must be positive")
+	}
+	if cfg.SeekTime < 0 {
+		panic("disk: negative seek time")
+	}
+	return &Device{eng: eng, cfg: cfg, name: name}
+}
+
+// Name returns the device name.
+func (d *Device) Name() string { return d.name }
+
+// Config returns the device parameters.
+func (d *Device) Config() Config { return d.cfg }
+
+// Stats returns a snapshot of the activity counters.
+func (d *Device) Stats() Stats { return d.stats }
+
+// BusyUntil reports the virtual time at which currently accepted work
+// completes.
+func (d *Device) BusyUntil() time.Duration { return d.busyUntil }
+
+// transferTime converts a byte count to pure transfer duration.
+func (d *Device) transferTime(kind Kind, bytes int64) time.Duration {
+	bw := d.cfg.ReadBandwidth
+	if kind == Write {
+		bw = d.cfg.WriteBandwidth
+	}
+	sec := float64(bytes) / bw
+	return time.Duration(sec * float64(time.Second))
+}
+
+// Submit queues a transfer of bytes and returns the virtual time at which
+// it completes. A request whose stream matches the immediately preceding
+// request is sequential and pays no seek. Zero-byte requests complete at
+// the device's current availability time without a seek.
+func (d *Device) Submit(kind Kind, bytes int64, stream StreamID) time.Duration {
+	if bytes < 0 {
+		panic(fmt.Sprintf("disk %s: negative transfer size %d", d.name, bytes))
+	}
+	start := d.busyUntil
+	if now := d.eng.Now(); start < now {
+		start = now
+	}
+	if bytes == 0 {
+		return start
+	}
+	var seek time.Duration
+	if stream == NoStream || stream != d.lastStream {
+		seek = d.cfg.SeekTime
+		d.stats.Seeks++
+	}
+	d.lastStream = stream
+	dur := seek + d.transferTime(kind, bytes)
+	d.busyUntil = start + dur
+	d.stats.BusyTime += dur
+	switch kind {
+	case Read:
+		d.stats.Reads++
+		d.stats.BytesRead += bytes
+	case Write:
+		d.stats.Writes++
+		d.stats.BytesWritten += bytes
+	default:
+		panic(fmt.Sprintf("disk %s: unknown kind %d", d.name, int(kind)))
+	}
+	return d.busyUntil
+}
+
+// Transfer queues a request and invokes done when it completes.
+func (d *Device) Transfer(kind Kind, bytes int64, stream StreamID, done func()) {
+	at := d.Submit(kind, bytes, stream)
+	if done != nil {
+		d.eng.At(at, done)
+	}
+}
+
+// Estimate returns the duration a transfer of bytes would take on an idle
+// device, including one seek, without queueing anything.
+func (d *Device) Estimate(kind Kind, bytes int64) time.Duration {
+	return d.cfg.SeekTime + d.transferTime(kind, bytes)
+}

@@ -1,0 +1,199 @@
+package disk
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"hadooppreempt/internal/sim"
+)
+
+func testDevice() (*sim.Engine, *Device) {
+	eng := sim.New()
+	cfg := Config{
+		SeekTime:       10 * time.Millisecond,
+		ReadBandwidth:  100e6, // 100 MB/s
+		WriteBandwidth: 50e6,  // 50 MB/s
+	}
+	return eng, New(eng, "sda", cfg)
+}
+
+func TestSubmitReadDuration(t *testing.T) {
+	_, d := testDevice()
+	// 100 MB at 100 MB/s = 1 s + 10 ms seek.
+	at := d.Submit(Read, 100e6, NoStream)
+	want := time.Second + 10*time.Millisecond
+	if at != want {
+		t.Fatalf("completion = %v, want %v", at, want)
+	}
+}
+
+func TestSubmitWriteUsesWriteBandwidth(t *testing.T) {
+	_, d := testDevice()
+	at := d.Submit(Write, 50e6, NoStream)
+	want := time.Second + 10*time.Millisecond
+	if at != want {
+		t.Fatalf("completion = %v, want %v", at, want)
+	}
+}
+
+func TestRequestsSerialise(t *testing.T) {
+	_, d := testDevice()
+	first := d.Submit(Read, 100e6, NoStream)
+	second := d.Submit(Read, 100e6, NoStream)
+	if second <= first {
+		t.Fatalf("second request (%v) should complete after first (%v)", second, first)
+	}
+	want := first + time.Second + 10*time.Millisecond
+	if second != want {
+		t.Fatalf("second completion = %v, want %v", second, want)
+	}
+}
+
+func TestSequentialStreamSkipsSeek(t *testing.T) {
+	_, d := testDevice()
+	const stream StreamID = 7
+	first := d.Submit(Read, 100e6, stream)
+	second := d.Submit(Read, 100e6, stream)
+	if got, want := second-first, time.Second; got != want {
+		t.Fatalf("sequential continuation took %v, want %v (no seek)", got, want)
+	}
+	if d.Stats().Seeks != 1 {
+		t.Fatalf("Seeks = %d, want 1", d.Stats().Seeks)
+	}
+}
+
+func TestStreamSwitchPaysSeek(t *testing.T) {
+	_, d := testDevice()
+	d.Submit(Read, 1e6, 1)
+	d.Submit(Read, 1e6, 2)
+	d.Submit(Read, 1e6, 1)
+	if d.Stats().Seeks != 3 {
+		t.Fatalf("Seeks = %d, want 3 (every switch seeks)", d.Stats().Seeks)
+	}
+}
+
+func TestNoStreamAlwaysSeeks(t *testing.T) {
+	_, d := testDevice()
+	d.Submit(Read, 1e6, NoStream)
+	d.Submit(Read, 1e6, NoStream)
+	if d.Stats().Seeks != 2 {
+		t.Fatalf("Seeks = %d, want 2", d.Stats().Seeks)
+	}
+}
+
+func TestZeroByteRequestIsFree(t *testing.T) {
+	_, d := testDevice()
+	at := d.Submit(Read, 0, NoStream)
+	if at != 0 {
+		t.Fatalf("zero-byte completion = %v, want 0", at)
+	}
+	s := d.Stats()
+	if s.Reads != 0 || s.Seeks != 0 {
+		t.Fatalf("zero-byte request recorded activity: %+v", s)
+	}
+}
+
+func TestIdleDeviceStartsAtNow(t *testing.T) {
+	eng, d := testDevice()
+	eng.RunUntil(5 * time.Second)
+	at := d.Submit(Read, 100e6, NoStream)
+	want := 5*time.Second + time.Second + 10*time.Millisecond
+	if at != want {
+		t.Fatalf("completion = %v, want %v", at, want)
+	}
+}
+
+func TestTransferCallback(t *testing.T) {
+	eng, d := testDevice()
+	var doneAt time.Duration = -1
+	d.Transfer(Write, 50e6, NoStream, func() { doneAt = eng.Now() })
+	eng.Run()
+	want := time.Second + 10*time.Millisecond
+	if doneAt != want {
+		t.Fatalf("callback at %v, want %v", doneAt, want)
+	}
+}
+
+func TestStatsAccumulate(t *testing.T) {
+	_, d := testDevice()
+	d.Submit(Read, 10e6, NoStream)
+	d.Submit(Write, 20e6, NoStream)
+	d.Submit(Read, 5e6, NoStream)
+	s := d.Stats()
+	if s.BytesRead != 15e6 {
+		t.Errorf("BytesRead = %d, want 15e6", s.BytesRead)
+	}
+	if s.BytesWritten != 20e6 {
+		t.Errorf("BytesWritten = %d, want 20e6", s.BytesWritten)
+	}
+	if s.Reads != 2 || s.Writes != 1 {
+		t.Errorf("Reads/Writes = %d/%d, want 2/1", s.Reads, s.Writes)
+	}
+}
+
+func TestEstimateDoesNotQueue(t *testing.T) {
+	_, d := testDevice()
+	est := d.Estimate(Read, 100e6)
+	want := time.Second + 10*time.Millisecond
+	if est != want {
+		t.Fatalf("Estimate = %v, want %v", est, want)
+	}
+	if d.BusyUntil() != 0 {
+		t.Fatal("Estimate must not occupy the device")
+	}
+	if d.Stats() != (Stats{}) {
+		t.Fatal("Estimate must not touch stats")
+	}
+}
+
+func TestNegativeBytesPanics(t *testing.T) {
+	_, d := testDevice()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative transfer should panic")
+		}
+	}()
+	d.Submit(Read, -1, NoStream)
+}
+
+func TestKindString(t *testing.T) {
+	if Read.String() != "read" || Write.String() != "write" {
+		t.Fatalf("Kind strings wrong: %q %q", Read, Write)
+	}
+	if Kind(99).String() != "Kind(99)" {
+		t.Fatalf("unknown kind string: %q", Kind(99))
+	}
+}
+
+// Property: the device never completes a request before it was submitted
+// plus its pure transfer time, and busy time equals the sum of individual
+// durations (the device never does work for free).
+func TestPropertyDeviceConservation(t *testing.T) {
+	f := func(sizes []uint32, writes []bool) bool {
+		_, d := testDevice()
+		var prev time.Duration
+		for i, sz := range sizes {
+			kind := Read
+			if i < len(writes) && writes[i] {
+				kind = Write
+			}
+			bytes := int64(sz % 10e6)
+			at := d.Submit(kind, bytes, NoStream)
+			if at < prev {
+				return false // completions must be monotonic
+			}
+			if bytes > 0 {
+				minDur := d.Estimate(kind, bytes) - d.Config().SeekTime
+				if at-prev < minDur {
+					return false // faster than bandwidth allows
+				}
+			}
+			prev = at
+		}
+		return d.BusyUntil() == d.Stats().BusyTime
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

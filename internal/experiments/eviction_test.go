@@ -1,0 +1,83 @@
+package experiments
+
+import (
+	"testing"
+
+	"hadooppreempt/internal/core"
+)
+
+func TestEvictionSmallestMemoryPicksLightJob(t *testing.T) {
+	res, err := RunEvictionComparison("smallest-memory", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Victim != "light" {
+		t.Fatalf("victim = %s, want light", res.Victim)
+	}
+	// Suspending the light task leaves almost nothing to page.
+	if res.VictimSwap > 512<<20 {
+		t.Fatalf("light victim swapped %d MB, want little", res.VictimSwap>>20)
+	}
+}
+
+func TestEvictionLargestMemoryPicksHeavyJob(t *testing.T) {
+	res, err := RunEvictionComparison("largest-memory", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Victim != "heavy" {
+		t.Fatalf("victim = %s, want heavy", res.Victim)
+	}
+}
+
+func TestEvictionSmallestMemoryReducesPaging(t *testing.T) {
+	small, err := RunEvictionComparison("smallest-memory", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	large, err := RunEvictionComparison("largest-memory", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// §V-A: suspending the smaller footprint reduces suspension overhead.
+	if small.VictimSwap >= large.VictimSwap {
+		t.Fatalf("smallest-memory victim swap (%d MB) should be below largest-memory (%d MB)",
+			small.VictimSwap>>20, large.VictimSwap>>20)
+	}
+}
+
+func TestEvictionUnknownPolicyFails(t *testing.T) {
+	if _, err := RunEvictionComparison("bogus", 1); err == nil {
+		t.Fatal("unknown policy should fail")
+	}
+}
+
+func TestAdvisorSweepPicksByProgress(t *testing.T) {
+	res, err := RunAdvisorSweep([]float64{0.02, 0.5, 0.97}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].Chosen != core.Kill {
+		t.Fatalf("at r=2%% advisor chose %v, want kill", res[0].Chosen)
+	}
+	if res[1].Chosen != core.Suspend {
+		t.Fatalf("at r=50%% advisor chose %v, want suspend", res[1].Chosen)
+	}
+	if res[2].Chosen != core.Wait {
+		t.Fatalf("at r=97%% advisor chose %v, want wait", res[2].Chosen)
+	}
+	// The advisor must never be much worse than the best fixed primitive
+	// on makespan.
+	for _, r := range res {
+		best := r.Makespans["wait"]
+		for _, prim := range []string{"kill", "susp"} {
+			if r.Makespans[prim] < best {
+				best = r.Makespans[prim]
+			}
+		}
+		adv := r.Makespans["advisor"]
+		if float64(adv) > float64(best)*1.10 {
+			t.Fatalf("r=%v: advisor makespan %v more than 10%% above best fixed %v", r.R, adv, best)
+		}
+	}
+}

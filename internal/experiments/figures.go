@@ -1,0 +1,334 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"hadooppreempt/internal/core"
+	"hadooppreempt/internal/metrics"
+)
+
+// WorstCaseMemory is the 2 GB allocation of the Figure 3 experiments.
+const WorstCaseMemory int64 = 2 << 30
+
+// Figure4TLMemory is tl's fixed 2.5 GB allocation in Figure 4.
+const Figure4TLMemory int64 = 2560 << 20
+
+// DefaultRepetitions matches the paper's 20-run averages; benchmarks use
+// fewer for speed.
+const DefaultRepetitions = 20
+
+// ProgressSweep returns the x-axis of Figures 2 and 3: tl progress at
+// launch of th, 10%..90%.
+func ProgressSweep() []float64 {
+	out := make([]float64, 0, 9)
+	for r := 10; r <= 90; r += 10 {
+		out = append(out, float64(r))
+	}
+	return out
+}
+
+// ComparisonResult holds one figure pair: a sojourn-time series and a
+// makespan series per primitive, averaged over repetitions.
+type ComparisonResult struct {
+	// Sojourn maps primitive name to th's sojourn time (seconds) vs tl
+	// progress (%).
+	Sojourn map[string]*metrics.Series
+	// Makespan maps primitive name to workload makespan (seconds).
+	Makespan map[string]*metrics.Series
+}
+
+// runComparison sweeps r for every primitive with the given memory
+// configuration — the shared engine behind Figures 2 and 3.
+func runComparison(tlMem, thMem int64, reps int, seedBase uint64) (*ComparisonResult, error) {
+	if reps <= 0 {
+		reps = 1
+	}
+	res := &ComparisonResult{
+		Sojourn:  make(map[string]*metrics.Series),
+		Makespan: make(map[string]*metrics.Series),
+	}
+	for _, prim := range core.Primitives() {
+		sj := &metrics.Series{Label: prim.String(), XLabel: "tl progress at launch of th (%)", YLabel: "sojourn time th (s)"}
+		ms := &metrics.Series{Label: prim.String(), XLabel: "tl progress at launch of th (%)", YLabel: "makespan (s)"}
+		for _, r := range ProgressSweep() {
+			var sojourns, makespans []time.Duration
+			for rep := 0; rep < reps; rep++ {
+				p := DefaultTwoJobParams()
+				p.Primitive = prim
+				p.PreemptAt = r / 100
+				p.TLExtraMemory = tlMem
+				p.THExtraMemory = thMem
+				p.Seed = seedBase + uint64(rep)*1000 + uint64(r)
+				out, err := RunTwoJob(p)
+				if err != nil {
+					return nil, fmt.Errorf("r=%v prim=%v rep=%d: %w", r, prim, rep, err)
+				}
+				sojourns = append(sojourns, out.SojournTH)
+				makespans = append(makespans, out.Makespan)
+			}
+			sj.Add(r, metrics.DurationSummary(sojourns).Mean)
+			ms.Add(r, metrics.DurationSummary(makespans).Mean)
+		}
+		res.Sojourn[prim.String()] = sj
+		res.Makespan[prim.String()] = ms
+	}
+	return res, nil
+}
+
+// Figure2 reproduces the baseline (light-weight tasks) comparison:
+// Figure 2a (sojourn time of th) and Figure 2b (makespan).
+func Figure2(reps int, seedBase uint64) (*ComparisonResult, error) {
+	return runComparison(0, 0, reps, seedBase)
+}
+
+// Figure3 reproduces the worst-case comparison with memory-hungry tasks
+// (both allocate 2 GB): Figure 3a and Figure 3b.
+func Figure3(reps int, seedBase uint64) (*ComparisonResult, error) {
+	return runComparison(WorstCaseMemory, WorstCaseMemory, reps, seedBase)
+}
+
+// Figure4Point is one x-position of Figure 4.
+type Figure4Point struct {
+	// THMemoryBytes is the memory allocated by th (x-axis).
+	THMemoryBytes int64
+	// PagedMB is the swap traffic of tl's process in MB (left y-axis).
+	PagedMB float64
+	// SojournOverheadSec is susp's th sojourn minus kill's (right
+	// y-axis).
+	SojournOverheadSec float64
+	// MakespanOverheadSec is susp's makespan minus wait's.
+	MakespanOverheadSec float64
+	// SojournOverheadFrac and MakespanOverheadFrac are the relative
+	// degradations the paper quotes (up to ~20% and ~12%).
+	SojournOverheadFrac  float64
+	MakespanOverheadFrac float64
+}
+
+// Figure4Result is the full overhead-vs-memory-footprint analysis.
+type Figure4Result struct {
+	Points []Figure4Point
+}
+
+// Figure4Sweep returns the paper's x-axis: memory allocated by th, 0 to
+// 2.5 GB in 625 MB steps.
+func Figure4Sweep() []int64 {
+	step := int64(625) << 20
+	out := make([]int64, 0, 5)
+	for m := int64(0); m <= Figure4TLMemory; m += step {
+		out = append(out, m)
+	}
+	return out
+}
+
+// Figure4 reproduces the overhead analysis: tl allocates 2.5 GB, th's
+// allocation sweeps 0..2.5 GB; for each point we measure tl's swap
+// traffic under susp and the sojourn/makespan degradation relative to
+// kill and wait respectively.
+func Figure4(reps int, seedBase uint64) (*Figure4Result, error) {
+	if reps <= 0 {
+		reps = 1
+	}
+	const r = 0.5
+	res := &Figure4Result{}
+	for _, thMem := range Figure4Sweep() {
+		var paged, sojSusp, sojKill, mkSusp, mkWait []float64
+		for rep := 0; rep < reps; rep++ {
+			seed := seedBase + uint64(rep)*1000 + uint64(thMem>>20)
+			base := DefaultTwoJobParams()
+			base.PreemptAt = r
+			base.TLExtraMemory = Figure4TLMemory
+			base.THExtraMemory = thMem
+			base.Seed = seed
+
+			susp := base
+			susp.Primitive = core.Suspend
+			outS, err := RunTwoJob(susp)
+			if err != nil {
+				return nil, fmt.Errorf("fig4 susp thMem=%d: %w", thMem, err)
+			}
+			kill := base
+			kill.Primitive = core.Kill
+			outK, err := RunTwoJob(kill)
+			if err != nil {
+				return nil, fmt.Errorf("fig4 kill thMem=%d: %w", thMem, err)
+			}
+			wait := base
+			wait.Primitive = core.Wait
+			outW, err := RunTwoJob(wait)
+			if err != nil {
+				return nil, fmt.Errorf("fig4 wait thMem=%d: %w", thMem, err)
+			}
+			// The paper plots "paged bytes": the data swapped out of tl's
+			// process (its state written to the swap area).
+			paged = append(paged, float64(outS.SwapOutTL)/float64(1<<20))
+			sojSusp = append(sojSusp, outS.SojournTH.Seconds())
+			sojKill = append(sojKill, outK.SojournTH.Seconds())
+			mkSusp = append(mkSusp, outS.Makespan.Seconds())
+			mkWait = append(mkWait, outW.Makespan.Seconds())
+		}
+		mPaged := metrics.Summarize(paged).Mean
+		mSojS := metrics.Summarize(sojSusp).Mean
+		mSojK := metrics.Summarize(sojKill).Mean
+		mMkS := metrics.Summarize(mkSusp).Mean
+		mMkW := metrics.Summarize(mkWait).Mean
+		pt := Figure4Point{
+			THMemoryBytes:       thMem,
+			PagedMB:             mPaged,
+			SojournOverheadSec:  mSojS - mSojK,
+			MakespanOverheadSec: mMkS - mMkW,
+		}
+		if mSojK > 0 {
+			pt.SojournOverheadFrac = (mSojS - mSojK) / mSojK
+		}
+		if mMkW > 0 {
+			pt.MakespanOverheadFrac = (mMkS - mMkW) / mMkW
+		}
+		res.Points = append(res.Points, pt)
+	}
+	return res, nil
+}
+
+// Figure1Result holds the three schedule charts of Figure 1.
+type Figure1Result struct {
+	// Gantt maps primitive name to its rendered schedule.
+	Gantt map[string]string
+}
+
+// Figure1 renders the task execution schedules for the three primitives
+// at r=50%.
+func Figure1(seed uint64) (*Figure1Result, error) {
+	res := &Figure1Result{Gantt: make(map[string]string)}
+	for _, prim := range core.Primitives() {
+		p := DefaultTwoJobParams()
+		p.Primitive = prim
+		p.PreemptAt = 0.5
+		p.Seed = seed
+		out, err := RunTwoJob(p)
+		if err != nil {
+			return nil, err
+		}
+		res.Gantt[prim.String()] = out.Trace.Gantt(72)
+	}
+	return res, nil
+}
+
+// NatjamResult is the checkpoint-vs-suspend ablation of §IV-C: the paper
+// notes Natjam reported ~7% makespan overhead where the OS-assisted
+// primitive's is negligible.
+type NatjamResult struct {
+	MakespanWait       time.Duration
+	MakespanSuspend    time.Duration
+	MakespanCheckpoint time.Duration
+	// SuspendOverheadFrac and CheckpointOverheadFrac are relative to
+	// wait (the no-extra-work floor).
+	SuspendOverheadFrac    float64
+	CheckpointOverheadFrac float64
+}
+
+// NatjamAblation runs the light-weight setup with suspend and checkpoint.
+func NatjamAblation(reps int, seedBase uint64) (*NatjamResult, error) {
+	if reps <= 0 {
+		reps = 1
+	}
+	const r = 0.5
+	run := func(prim core.Primitive) (time.Duration, error) {
+		var samples []time.Duration
+		for rep := 0; rep < reps; rep++ {
+			p := DefaultTwoJobParams()
+			p.Primitive = prim
+			p.PreemptAt = r
+			p.Seed = seedBase + uint64(rep)
+			out, err := RunTwoJob(p)
+			if err != nil {
+				return 0, err
+			}
+			samples = append(samples, out.Makespan)
+		}
+		return time.Duration(metrics.DurationSummary(samples).Mean * float64(time.Second)), nil
+	}
+	wait, err := run(core.Wait)
+	if err != nil {
+		return nil, err
+	}
+	susp, err := run(core.Suspend)
+	if err != nil {
+		return nil, err
+	}
+	ckpt, err := run(core.Checkpoint)
+	if err != nil {
+		return nil, err
+	}
+	res := &NatjamResult{
+		MakespanWait:       wait,
+		MakespanSuspend:    susp,
+		MakespanCheckpoint: ckpt,
+	}
+	if wait > 0 {
+		res.SuspendOverheadFrac = float64(susp-wait) / float64(wait)
+		res.CheckpointOverheadFrac = float64(ckpt-wait) / float64(wait)
+	}
+	return res, nil
+}
+
+// FormatComparison renders a ComparisonResult as the rows the paper
+// plots.
+func FormatComparison(title string, res *ComparisonResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s ==\n", title)
+	b.WriteString("-- sojourn time of th (s) --\n")
+	b.WriteString(formatSeriesTable(res.Sojourn))
+	b.WriteString("-- makespan (s) --\n")
+	b.WriteString(formatSeriesTable(res.Makespan))
+	return b.String()
+}
+
+func formatSeriesTable(series map[string]*metrics.Series) string {
+	prims := []string{"wait", "kill", "susp"}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%8s", "r(%)")
+	for _, p := range prims {
+		fmt.Fprintf(&b, "%10s", p)
+	}
+	b.WriteString("\n")
+	for _, r := range ProgressSweep() {
+		fmt.Fprintf(&b, "%8.0f", r)
+		for _, p := range prims {
+			if s, ok := series[p]; ok {
+				if y, found := s.YAt(r); found {
+					fmt.Fprintf(&b, "%10.1f", y)
+					continue
+				}
+			}
+			fmt.Fprintf(&b, "%10s", "-")
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// FormatFigure4 renders the overhead analysis.
+func FormatFigure4(res *Figure4Result) string {
+	var b strings.Builder
+	b.WriteString("== Figure 4: overheads when varying memory usage ==\n")
+	fmt.Fprintf(&b, "%14s %12s %16s %18s %12s %12s\n",
+		"th mem", "paged (MB)", "sojourn ovh (s)", "makespan ovh (s)", "sojourn %", "makespan %")
+	for _, pt := range res.Points {
+		fmt.Fprintf(&b, "%14s %12.1f %16.2f %18.2f %11.1f%% %11.1f%%\n",
+			formatBytes(pt.THMemoryBytes), pt.PagedMB, pt.SojournOverheadSec,
+			pt.MakespanOverheadSec, pt.SojournOverheadFrac*100, pt.MakespanOverheadFrac*100)
+	}
+	return b.String()
+}
+
+func formatBytes(b int64) string {
+	switch {
+	case b >= 1<<30 && b%(1<<30) == 0:
+		return fmt.Sprintf("%d GB", b>>30)
+	case b >= 1<<20:
+		return fmt.Sprintf("%d MB", b>>20)
+	default:
+		return fmt.Sprintf("%d B", b)
+	}
+}

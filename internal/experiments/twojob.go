@@ -1,0 +1,233 @@
+// Package experiments reproduces the paper's evaluation (§IV): the
+// two-job scenario of Figure 1, the light-weight comparison of Figure 2,
+// the memory-hungry worst case of Figure 3, the memory-footprint overhead
+// analysis of Figure 4, and the Natjam-style checkpoint ablation of the
+// §IV-C discussion.
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"hadooppreempt/internal/core"
+	"hadooppreempt/internal/disk"
+	"hadooppreempt/internal/mapreduce"
+	"hadooppreempt/internal/scheduler"
+	"hadooppreempt/internal/trace"
+)
+
+// TwoJobParams configures one run of the paper's experimental setup: a
+// low-priority single-task map-only job tl is preempted at r% progress in
+// favour of a high-priority job th; tl is restored once th completes.
+type TwoJobParams struct {
+	// Primitive is the preemption primitive under test.
+	Primitive core.Primitive
+	// PreemptAt is r: th arrives when tl reaches this progress fraction.
+	PreemptAt float64
+	// InputBytes is each job's single-block input size (512 MB in the
+	// paper).
+	InputBytes int64
+	// MapParseRate is the synthetic mapper's parse throughput.
+	MapParseRate float64
+	// TLExtraMemory and THExtraMemory are the worst-case state
+	// allocations (0 for light-weight tasks, 2 GB in Figure 3).
+	TLExtraMemory int64
+	THExtraMemory int64
+	// Seed makes runs reproducible; vary it across repetitions.
+	Seed uint64
+	// Cluster optionally overrides the cluster configuration; nil uses
+	// the paper's single-node 4 GB setup.
+	Cluster *mapreduce.ClusterConfig
+}
+
+// DefaultTwoJobParams returns the paper's baseline setup.
+func DefaultTwoJobParams() TwoJobParams {
+	return TwoJobParams{
+		Primitive:    core.Suspend,
+		PreemptAt:    0.5,
+		InputBytes:   512 << 20,
+		MapParseRate: 6.5e6, // 512 MB in ~82 s of parse CPU
+		Seed:         1,
+	}
+}
+
+// TwoJobResult is the outcome of one run.
+type TwoJobResult struct {
+	// SojournTH is th's submission-to-completion time (Figures 2a, 3a).
+	SojournTH time.Duration
+	// Makespan spans tl's submission to the completion of both jobs
+	// (Figures 2b, 3b).
+	Makespan time.Duration
+	// THSubmittedAt is when the progress trigger fired.
+	THSubmittedAt time.Duration
+	// SwapOutTL / SwapInTL are the bytes swapped by the process executing
+	// tl (Figure 4's "paged bytes").
+	SwapOutTL int64
+	SwapInTL  int64
+	// SwapOutTH / SwapInTH are th's own paging traffic.
+	SwapOutTH int64
+	SwapInTH  int64
+	// TLSuspensions counts suspend cycles observed by tl.
+	TLSuspensions int
+	// TLAttempts counts tl's attempts (2 under kill).
+	TLAttempts int
+	// WastedWork is CPU time discarded by kills.
+	WastedWork time.Duration
+	// Trace holds the execution schedule (Figure 1).
+	Trace *trace.Recorder
+}
+
+// RunTwoJob executes the scenario once.
+func RunTwoJob(p TwoJobParams) (*TwoJobResult, error) {
+	if p.PreemptAt <= 0 || p.PreemptAt >= 1 {
+		return nil, fmt.Errorf("experiments: PreemptAt %v outside (0,1)", p.PreemptAt)
+	}
+	if p.InputBytes <= 0 || p.MapParseRate <= 0 {
+		return nil, fmt.Errorf("experiments: input size and parse rate must be positive")
+	}
+	var ccfg mapreduce.ClusterConfig
+	if p.Cluster != nil {
+		ccfg = *p.Cluster
+	} else {
+		ccfg = mapreduce.DefaultClusterConfig()
+	}
+	ccfg.Seed = p.Seed
+	cluster, err := mapreduce.NewCluster(ccfg)
+	if err != nil {
+		return nil, err
+	}
+	eng := cluster.Engine()
+	jt := cluster.JobTracker()
+	dummy := scheduler.NewDummy(jt)
+	jt.SetScheduler(dummy)
+
+	deviceFor := func(tracker string) *disk.Device {
+		for _, n := range cluster.Nodes() {
+			if n.Tracker.Name() == tracker {
+				return n.Device
+			}
+		}
+		return nil
+	}
+	preemptor, err := core.NewPreemptor(eng, jt, p.Primitive, deviceFor, core.CheckpointConfig{})
+	if err != nil {
+		return nil, err
+	}
+
+	if err := cluster.CreateInput("/input/tl", p.InputBytes); err != nil {
+		return nil, err
+	}
+	if err := cluster.CreateInput("/input/th", p.InputBytes); err != nil {
+		return nil, err
+	}
+
+	tlConf := mapreduce.JobConf{
+		Name:             "tl",
+		InputPath:        "/input/tl",
+		Priority:         0,
+		MapParseRate:     p.MapParseRate,
+		ExtraMemoryBytes: p.TLExtraMemory,
+	}
+	thConf := mapreduce.JobConf{
+		Name:             "th",
+		InputPath:        "/input/th",
+		Priority:         10,
+		MapParseRate:     p.MapParseRate,
+		ExtraMemoryBytes: p.THExtraMemory,
+	}
+
+	rec := &trace.Recorder{}
+	jt.AddListener(&traceListener{rec: rec})
+
+	tlJob, err := jt.Submit(tlConf)
+	if err != nil {
+		return nil, err
+	}
+	tlTask := tlJob.MapTasks()[0].ID()
+
+	var thJob *mapreduce.Job
+	var thSubmitted time.Duration
+	dummy.AddTrigger(scheduler.Trigger{
+		Event:     scheduler.OnProgress,
+		Job:       "tl",
+		Threshold: p.PreemptAt,
+		Do: func() {
+			thSubmitted = eng.Now()
+			j, err := jt.Submit(thConf)
+			if err != nil {
+				panic(fmt.Sprintf("experiments: submit th: %v", err))
+			}
+			thJob = j
+			// Wait is "no primitive": th just queues behind tl.
+			if _, err := preemptor.Preempt(tlTask); err != nil {
+				panic(fmt.Sprintf("experiments: preempt tl: %v", err))
+			}
+		},
+	})
+	dummy.AddTrigger(scheduler.Trigger{
+		Event: scheduler.OnComplete,
+		Job:   "th",
+		Do: func() {
+			if err := preemptor.Restore(tlTask); err != nil {
+				panic(fmt.Sprintf("experiments: restore tl: %v", err))
+			}
+		},
+	})
+
+	if !cluster.RunUntilJobsDone(2 * time.Hour) {
+		return nil, fmt.Errorf("experiments: run did not converge (primitive=%v r=%v)",
+			p.Primitive, p.PreemptAt)
+	}
+	if thJob == nil {
+		return nil, fmt.Errorf("experiments: progress trigger never fired")
+	}
+	rec.CloseAll(eng.Now())
+
+	tl, _ := jt.Task(tlTask)
+	thTask := thJob.MapTasks()[0]
+	res := &TwoJobResult{
+		SojournTH:     thJob.CompletedAt() - thJob.SubmittedAt(),
+		THSubmittedAt: thSubmitted,
+		SwapOutTL:     tl.SwapOutBytes(),
+		SwapInTL:      tl.SwapInBytes(),
+		SwapOutTH:     thTask.SwapOutBytes(),
+		SwapInTH:      thTask.SwapInBytes(),
+		TLSuspensions: tl.Suspensions(),
+		TLAttempts:    tl.Attempts(),
+		WastedWork:    tl.WastedWork(),
+		Trace:         rec,
+	}
+	end := tlJob.CompletedAt()
+	if thJob.CompletedAt() > end {
+		end = thJob.CompletedAt()
+	}
+	res.Makespan = end - tlJob.SubmittedAt()
+	return res, nil
+}
+
+// traceListener feeds engine events into a trace recorder. Rows are the
+// job names (tl / th).
+type traceListener struct {
+	mapreduce.NopListener
+	rec *trace.Recorder
+}
+
+func (l *traceListener) TaskStateChanged(t *mapreduce.Task, from, to mapreduce.TaskState, at time.Duration) {
+	row := t.Job().Conf().Name
+	switch to {
+	case mapreduce.TaskRunning:
+		l.rec.Begin(row, trace.SpanRunning, at)
+	case mapreduce.TaskSuspended:
+		l.rec.Begin(row, trace.SpanSuspended, at)
+	case mapreduce.TaskSucceeded, mapreduce.TaskFailed:
+		l.rec.End(row, at)
+	case mapreduce.TaskPending:
+		if from.Live() || from == mapreduce.TaskKilled {
+			l.rec.Begin(row, trace.SpanWaiting, at)
+		}
+	}
+}
+
+func (l *traceListener) CleanupSpan(task mapreduce.TaskID, tracker string, start, end time.Duration) {
+	l.rec.Add(trace.Span{Row: "cleanup", Kind: trace.SpanCleanup, Start: start, End: end})
+}

@@ -1,0 +1,384 @@
+// Package hdfs models the distributed filesystem substrate the paper's
+// evaluation jobs read from: files split into large blocks, replicated
+// across DataNodes, with locality-aware reads.
+//
+// The model captures what matters for the evaluation: block size (512 MB
+// single-block inputs), sequential disk bandwidth on the serving node, the
+// network penalty of non-local reads, and the fact that streaming a block
+// through a node populates its file-system cache (which, at swappiness 0,
+// is the first thing the memory manager reclaims under pressure).
+package hdfs
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"hadooppreempt/internal/disk"
+	"hadooppreempt/internal/memory"
+	"hadooppreempt/internal/sim"
+)
+
+// NodeID identifies a cluster node.
+type NodeID string
+
+// BlockID identifies a stored block.
+type BlockID int64
+
+// Locality classifies a read path, mirroring Hadoop's locality levels.
+type Locality int
+
+// Locality levels.
+const (
+	// NodeLocal means a replica lives on the reading node.
+	NodeLocal Locality = iota + 1
+	// RackLocal means a replica lives in the reading node's rack.
+	RackLocal
+	// OffRack means every replica is in another rack.
+	OffRack
+)
+
+// String returns the Hadoop-style name of the locality level.
+func (l Locality) String() string {
+	switch l {
+	case NodeLocal:
+		return "node-local"
+	case RackLocal:
+		return "rack-local"
+	case OffRack:
+		return "off-rack"
+	default:
+		return fmt.Sprintf("Locality(%d)", int(l))
+	}
+}
+
+// Config holds filesystem parameters.
+type Config struct {
+	// BlockSize is the split size for new files. The paper stores each
+	// job's input in a single 512 MB block.
+	BlockSize int64
+	// Replication is the number of replicas per block.
+	Replication int
+	// RackLocalBandwidth is the network bandwidth (bytes/s) for reads
+	// served within the rack.
+	RackLocalBandwidth float64
+	// OffRackBandwidth is the network bandwidth (bytes/s) for cross-rack
+	// reads.
+	OffRackBandwidth float64
+}
+
+// DefaultConfig mirrors the paper's setup: 512 MB blocks, replication 3,
+// gigabit network in-rack and half of it across racks.
+func DefaultConfig() Config {
+	return Config{
+		BlockSize:          512 << 20,
+		Replication:        3,
+		RackLocalBandwidth: 117e6, // ~1 GbE after framing overhead
+		OffRackBandwidth:   58e6,
+	}
+}
+
+// DataNode stores block replicas on a node's disk.
+type DataNode struct {
+	id     NodeID
+	rack   string
+	device *disk.Device
+	mem    *memory.Manager // may be nil; used to model cache fill on reads
+	blocks map[BlockID]int64
+}
+
+// ID returns the node identifier.
+func (dn *DataNode) ID() NodeID { return dn.id }
+
+// Rack returns the rack name.
+func (dn *DataNode) Rack() string { return dn.rack }
+
+// Blocks returns the number of replicas stored.
+func (dn *DataNode) Blocks() int { return len(dn.blocks) }
+
+// BlockLocation describes one block of a file and where its replicas are.
+type BlockLocation struct {
+	Block    BlockID
+	Size     int64
+	Replicas []NodeID
+}
+
+// FileSystem is the NameNode plus the set of DataNodes.
+type FileSystem struct {
+	eng       *sim.Engine
+	cfg       Config
+	rng       *sim.RNG
+	nodes     map[NodeID]*DataNode
+	nodeOrder []NodeID // deterministic iteration
+	files     map[string][]BlockID
+	blocks    map[BlockID]*blockMeta
+	nextBlock BlockID
+}
+
+type blockMeta struct {
+	size     int64
+	replicas []NodeID
+}
+
+// New creates an empty filesystem.
+func New(eng *sim.Engine, rng *sim.RNG, cfg Config) (*FileSystem, error) {
+	if cfg.BlockSize <= 0 {
+		return nil, fmt.Errorf("hdfs: block size %d must be positive", cfg.BlockSize)
+	}
+	if cfg.Replication <= 0 {
+		return nil, fmt.Errorf("hdfs: replication %d must be positive", cfg.Replication)
+	}
+	if cfg.RackLocalBandwidth <= 0 || cfg.OffRackBandwidth <= 0 {
+		return nil, fmt.Errorf("hdfs: bandwidths must be positive")
+	}
+	return &FileSystem{
+		eng:       eng,
+		cfg:       cfg,
+		rng:       rng,
+		nodes:     make(map[NodeID]*DataNode),
+		files:     make(map[string][]BlockID),
+		blocks:    make(map[BlockID]*blockMeta),
+		nextBlock: 1,
+	}, nil
+}
+
+// Config returns the filesystem parameters.
+func (fs *FileSystem) Config() Config { return fs.cfg }
+
+// AddDataNode registers a node's storage. mem may be nil when cache
+// modelling is not wanted.
+func (fs *FileSystem) AddDataNode(id NodeID, rack string, device *disk.Device, mem *memory.Manager) (*DataNode, error) {
+	if _, ok := fs.nodes[id]; ok {
+		return nil, fmt.Errorf("hdfs: datanode %q already registered", id)
+	}
+	dn := &DataNode{id: id, rack: rack, device: device, mem: mem, blocks: make(map[BlockID]int64)}
+	fs.nodes[id] = dn
+	fs.nodeOrder = append(fs.nodeOrder, id)
+	sort.Slice(fs.nodeOrder, func(i, j int) bool { return fs.nodeOrder[i] < fs.nodeOrder[j] })
+	return dn, nil
+}
+
+// DataNode returns the datanode with the given id.
+func (fs *FileSystem) DataNode(id NodeID) (*DataNode, bool) {
+	dn, ok := fs.nodes[id]
+	return dn, ok
+}
+
+// Create writes a file of the given size, splitting it into blocks and
+// placing replicas with the HDFS default policy: first replica on a random
+// node (or the hinted writer), second on a node in a different rack, third
+// on another node in the second replica's rack.
+func (fs *FileSystem) Create(path string, size int64, writerHint NodeID) ([]BlockLocation, error) {
+	if _, ok := fs.files[path]; ok {
+		return nil, fmt.Errorf("hdfs: file %q exists", path)
+	}
+	if size <= 0 {
+		return nil, fmt.Errorf("hdfs: file size %d must be positive", size)
+	}
+	if len(fs.nodes) == 0 {
+		return nil, fmt.Errorf("hdfs: no datanodes")
+	}
+	var ids []BlockID
+	var locs []BlockLocation
+	for off := int64(0); off < size; off += fs.cfg.BlockSize {
+		bsize := fs.cfg.BlockSize
+		if off+bsize > size {
+			bsize = size - off
+		}
+		replicas := fs.placeReplicas(writerHint)
+		id := fs.nextBlock
+		fs.nextBlock++
+		fs.blocks[id] = &blockMeta{size: bsize, replicas: replicas}
+		for _, nid := range replicas {
+			fs.nodes[nid].blocks[id] = bsize
+		}
+		ids = append(ids, id)
+		locs = append(locs, BlockLocation{Block: id, Size: bsize, Replicas: replicas})
+	}
+	fs.files[path] = ids
+	return locs, nil
+}
+
+// placeReplicas implements the default placement policy.
+func (fs *FileSystem) placeReplicas(writerHint NodeID) []NodeID {
+	want := fs.cfg.Replication
+	if want > len(fs.nodeOrder) {
+		want = len(fs.nodeOrder)
+	}
+	chosen := make([]NodeID, 0, want)
+	used := make(map[NodeID]bool)
+	pick := func(pred func(*DataNode) bool) bool {
+		// Collect candidates deterministically, then pick one at random.
+		var cands []NodeID
+		for _, id := range fs.nodeOrder {
+			if !used[id] && (pred == nil || pred(fs.nodes[id])) {
+				cands = append(cands, id)
+			}
+		}
+		if len(cands) == 0 {
+			return false
+		}
+		id := cands[fs.rng.Intn(len(cands))]
+		chosen = append(chosen, id)
+		used[id] = true
+		return true
+	}
+	// First replica: the writer if known, else random.
+	if writerHint != "" {
+		if _, ok := fs.nodes[writerHint]; ok && !used[writerHint] {
+			chosen = append(chosen, writerHint)
+			used[writerHint] = true
+		}
+	}
+	if len(chosen) == 0 {
+		pick(nil)
+	}
+	firstRack := fs.nodes[chosen[0]].rack
+	// Second replica: different rack if possible.
+	if len(chosen) < want {
+		if !pick(func(dn *DataNode) bool { return dn.rack != firstRack }) {
+			pick(nil)
+		}
+	}
+	// Third replica: same rack as the second, different node.
+	if len(chosen) < want && len(chosen) >= 2 {
+		secondRack := fs.nodes[chosen[1]].rack
+		if !pick(func(dn *DataNode) bool { return dn.rack == secondRack }) {
+			pick(nil)
+		}
+	}
+	for len(chosen) < want {
+		if !pick(nil) {
+			break
+		}
+	}
+	return chosen
+}
+
+// Blocks returns the block locations of a file.
+func (fs *FileSystem) Blocks(path string) ([]BlockLocation, error) {
+	ids, ok := fs.files[path]
+	if !ok {
+		return nil, fmt.Errorf("hdfs: no such file %q", path)
+	}
+	locs := make([]BlockLocation, 0, len(ids))
+	for _, id := range ids {
+		meta := fs.blocks[id]
+		locs = append(locs, BlockLocation{
+			Block:    id,
+			Size:     meta.size,
+			Replicas: append([]NodeID(nil), meta.replicas...),
+		})
+	}
+	return locs, nil
+}
+
+// Locality reports the best locality level a reader on the given node can
+// achieve for the block.
+func (fs *FileSystem) Locality(reader NodeID, block BlockID) (Locality, error) {
+	meta, ok := fs.blocks[block]
+	if !ok {
+		return 0, fmt.Errorf("hdfs: no such block %d", block)
+	}
+	readerRack := ""
+	if dn, ok := fs.nodes[reader]; ok {
+		readerRack = dn.rack
+	}
+	best := OffRack
+	for _, nid := range meta.replicas {
+		if nid == reader {
+			return NodeLocal, nil
+		}
+		if readerRack != "" && fs.nodes[nid].rack == readerRack {
+			best = RackLocal
+		}
+	}
+	return best, nil
+}
+
+// Read simulates reading [offset, offset+length) of a block from the best
+// replica for the reader. It returns the absolute virtual time at which
+// the data is available and the locality level used. The serving disk is
+// occupied for the transfer; non-local reads are additionally bounded by
+// network bandwidth. The reading node's page cache absorbs the data.
+func (fs *FileSystem) Read(reader NodeID, block BlockID, offset, length int64, stream disk.StreamID) (time.Duration, Locality, error) {
+	meta, ok := fs.blocks[block]
+	if !ok {
+		return 0, 0, fmt.Errorf("hdfs: no such block %d", block)
+	}
+	if offset < 0 || length < 0 || offset+length > meta.size {
+		return 0, 0, fmt.Errorf("hdfs: read [%d,%d) outside block of %d bytes", offset, offset+length, meta.size)
+	}
+	server, loc := fs.chooseReplica(reader, meta)
+	dn := fs.nodes[server]
+	done := dn.device.Submit(disk.Read, length, stream)
+	// Non-local reads stream over the network; the slower of disk and
+	// network dominates, so extend the completion time if the network is
+	// the bottleneck.
+	var netBW float64
+	switch loc {
+	case RackLocal:
+		netBW = fs.cfg.RackLocalBandwidth
+	case OffRack:
+		netBW = fs.cfg.OffRackBandwidth
+	}
+	if netBW > 0 {
+		netTime := time.Duration(float64(length) / netBW * float64(time.Second))
+		if start := fs.eng.Now(); start+netTime > done {
+			done = start + netTime
+		}
+	}
+	// The reader's page cache absorbs the streamed data (clean pages,
+	// reclaimed first under pressure).
+	if rdn, ok := fs.nodes[reader]; ok && rdn.mem != nil {
+		rdn.mem.CacheFill(length)
+	}
+	return done, loc, nil
+}
+
+// chooseReplica picks the closest replica for the reader.
+func (fs *FileSystem) chooseReplica(reader NodeID, meta *blockMeta) (NodeID, Locality) {
+	readerRack := ""
+	if dn, ok := fs.nodes[reader]; ok {
+		readerRack = dn.rack
+	}
+	var rackChoice, anyChoice NodeID
+	for _, nid := range meta.replicas {
+		if nid == reader {
+			return nid, NodeLocal
+		}
+		if rackChoice == "" && readerRack != "" && fs.nodes[nid].rack == readerRack {
+			rackChoice = nid
+		}
+		if anyChoice == "" {
+			anyChoice = nid
+		}
+	}
+	if rackChoice != "" {
+		return rackChoice, RackLocal
+	}
+	return anyChoice, OffRack
+}
+
+// Delete removes a file and its blocks.
+func (fs *FileSystem) Delete(path string) error {
+	ids, ok := fs.files[path]
+	if !ok {
+		return fmt.Errorf("hdfs: no such file %q", path)
+	}
+	for _, id := range ids {
+		meta := fs.blocks[id]
+		for _, nid := range meta.replicas {
+			delete(fs.nodes[nid].blocks, id)
+		}
+		delete(fs.blocks, id)
+	}
+	delete(fs.files, path)
+	return nil
+}
+
+// Exists reports whether a file exists.
+func (fs *FileSystem) Exists(path string) bool {
+	_, ok := fs.files[path]
+	return ok
+}

@@ -1,0 +1,123 @@
+package mapreduce
+
+import (
+	"testing"
+	"time"
+)
+
+// TestExternalConnectionsDelaySuspensionAck verifies §V-B behaviour: a
+// task holding external connections runs a SIGTSTP handler that closes
+// them before the suspension takes effect, delaying the slot release.
+func TestExternalConnectionsDelaySuspensionAck(t *testing.T) {
+	suspendAt := func(conns int) time.Duration {
+		cfg := DefaultClusterConfig()
+		cfg.Node.Memory.PageSize = 1 << 20
+		cfg.Engine.HeartbeatInterval = time.Second
+		cfg.Engine.ConnectionTeardownCost = 200 * time.Millisecond
+		c, err := NewCluster(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.JobTracker().SetScheduler(&fifoTestScheduler{jt: c.JobTracker()})
+		c.CreateInput("/in", 256<<20)
+		conf := lightJobConf("j", "/in")
+		conf.ExternalConnections = conns
+		job, _ := c.JobTracker().Submit(conf)
+		task := job.MapTasks()[0]
+		c.RunUntil(4 * time.Second)
+		if err := c.JobTracker().SuspendTask(task.ID()); err != nil {
+			t.Fatal(err)
+		}
+		// Step until the SUSPENDED ack lands.
+		for c.Engine().Now() < 60*time.Second {
+			if task.State() == TaskSuspended {
+				return c.Engine().Now()
+			}
+			if !c.Engine().Step() {
+				break
+			}
+		}
+		t.Fatalf("task never acknowledged suspension (conns=%d, state=%v)", conns, task.State())
+		return 0
+	}
+	plain := suspendAt(0)
+	withConns := suspendAt(10) // 10 x 200ms = 2s of teardown
+	delay := withConns - plain
+	if delay < 1500*time.Millisecond {
+		t.Fatalf("connection teardown should delay the ack by ~2s, got %v", delay)
+	}
+}
+
+// TestExternalConnectionsDelayResume verifies the SIGCONT handler's
+// reconnection latency postpones the task's completion.
+func TestExternalConnectionsDelayResume(t *testing.T) {
+	completeAt := func(conns int) time.Duration {
+		cfg := DefaultClusterConfig()
+		cfg.Node.Memory.PageSize = 1 << 20
+		cfg.Engine.HeartbeatInterval = time.Second
+		cfg.Engine.ConnectionTeardownCost = 0
+		cfg.Engine.ConnectionSetupCost = 500 * time.Millisecond
+		c, err := NewCluster(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.JobTracker().SetScheduler(&fifoTestScheduler{jt: c.JobTracker()})
+		c.CreateInput("/in", 256<<20)
+		conf := lightJobConf("j", "/in")
+		conf.ExternalConnections = conns
+		job, _ := c.JobTracker().Submit(conf)
+		task := job.MapTasks()[0]
+		c.RunUntil(4 * time.Second)
+		if err := c.JobTracker().SuspendTask(task.ID()); err != nil {
+			t.Fatal(err)
+		}
+		c.RunUntil(10 * time.Second)
+		if task.State() != TaskSuspended {
+			t.Fatalf("state = %v, want SUSPENDED", task.State())
+		}
+		if err := c.JobTracker().ResumeTask(task.ID()); err != nil {
+			t.Fatal(err)
+		}
+		if !c.RunUntilJobsDone(10 * time.Minute) {
+			t.Fatal("job did not finish")
+		}
+		return job.CompletedAt()
+	}
+	plain := completeAt(0)
+	withConns := completeAt(8) // 8 x 500ms = 4s of reconnection
+	delay := withConns - plain
+	if delay < 3*time.Second {
+		t.Fatalf("reconnection should delay completion by ~4s, got %v", delay)
+	}
+}
+
+// TestStatefulMapperRedirtiesState checks that a stateful mapper keeps
+// writing its extra region while processing (so suspension under
+// pressure pays paging on every cycle).
+func TestStatefulMapperRedirtiesState(t *testing.T) {
+	cfg := DefaultClusterConfig()
+	cfg.Engine.HeartbeatInterval = time.Second
+	c, err := NewCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.JobTracker().SetScheduler(&fifoTestScheduler{jt: c.JobTracker()})
+	c.CreateInput("/in", 256<<20)
+	conf := JobConf{
+		Name:             "stateful",
+		InputPath:        "/in",
+		MapParseRate:     16e6,
+		ExtraMemoryBytes: 1 << 30,
+		StatefulMapper:   true,
+	}
+	job, err := c.JobTracker().Submit(conf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.RunUntilJobsDone(20 * time.Minute) {
+		t.Fatalf("job did not finish: %v", job.State())
+	}
+	if job.State() != JobSucceeded {
+		t.Fatalf("state = %v", job.State())
+	}
+}

@@ -1,0 +1,593 @@
+package mapreduce
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"hadooppreempt/internal/hdfs"
+	"hadooppreempt/internal/sim"
+)
+
+// Job is the JobTracker's record of a submitted job.
+type Job struct {
+	id    JobID
+	conf  JobConf
+	state JobState
+
+	tasks []*Task // maps first, then reduces
+
+	submittedAt time.Duration
+	completedAt time.Duration
+}
+
+// ID returns the job id.
+func (j *Job) ID() JobID { return j.id }
+
+// Conf returns the job configuration.
+func (j *Job) Conf() JobConf { return j.conf }
+
+// State returns the job state.
+func (j *Job) State() JobState { return j.state }
+
+// SubmittedAt returns the submission time.
+func (j *Job) SubmittedAt() time.Duration { return j.submittedAt }
+
+// CompletedAt returns the completion time (valid once terminal).
+func (j *Job) CompletedAt() time.Duration { return j.completedAt }
+
+// Tasks returns the job's tasks (maps first, then reduces).
+func (j *Job) Tasks() []*Task { return append([]*Task(nil), j.tasks...) }
+
+// MapTasks returns only the map tasks.
+func (j *Job) MapTasks() []*Task {
+	var out []*Task
+	for _, t := range j.tasks {
+		if t.id.Type == MapTask {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// Progress is the mean progress over all tasks.
+func (j *Job) Progress() float64 {
+	if len(j.tasks) == 0 {
+		return 1
+	}
+	var sum float64
+	for _, t := range j.tasks {
+		if t.state == TaskSucceeded {
+			sum += 1
+		} else {
+			sum += t.progress
+		}
+	}
+	return sum / float64(len(j.tasks))
+}
+
+// Task is the JobTracker's record of one task.
+type Task struct {
+	id    TaskID
+	job   *Job
+	state TaskState
+
+	attempts int       // attempts started so far
+	attempt  AttemptID // current (or last) attempt
+	tracker  string    // TaskTracker of the current/last attempt
+
+	progress float64
+	block    hdfs.BlockLocation // input block for maps
+
+	// signalled marks that the pending MUST_* command was already
+	// piggybacked to the tracker and awaits acknowledgement.
+	signalled bool
+	// killRequeue records whether the in-flight kill should requeue the
+	// task (preemption) or end it (terminal kill).
+	killRequeue bool
+
+	firstLaunchAt time.Duration
+	completedAt   time.Duration
+	suspensions   int
+	wastedWork    time.Duration
+	swapOutBytes  int64
+	swapInBytes   int64
+	residentBytes int64 // last observed resident set
+}
+
+// ID returns the task id.
+func (t *Task) ID() TaskID { return t.id }
+
+// Job returns the owning job.
+func (t *Task) Job() *Job { return t.job }
+
+// State returns the JobTracker-side state.
+func (t *Task) State() TaskState { return t.state }
+
+// Progress returns the last reported progress in [0,1].
+func (t *Task) Progress() float64 { return t.progress }
+
+// Tracker returns the TaskTracker of the current or last attempt.
+func (t *Task) Tracker() string { return t.tracker }
+
+// Attempts returns how many attempts have started.
+func (t *Task) Attempts() int { return t.attempts }
+
+// Suspensions returns how many times the task was suspended.
+func (t *Task) Suspensions() int { return t.suspensions }
+
+// WastedWork returns CPU time lost to killed attempts.
+func (t *Task) WastedWork() time.Duration { return t.wastedWork }
+
+// SwapOutBytes returns paging traffic out of the task's processes.
+func (t *Task) SwapOutBytes() int64 { return t.swapOutBytes }
+
+// SwapInBytes returns paging traffic into the task's processes.
+func (t *Task) SwapInBytes() int64 { return t.swapInBytes }
+
+// ResidentBytes returns the last observed resident set size.
+func (t *Task) ResidentBytes() int64 { return t.residentBytes }
+
+// FirstLaunchAt returns when the first attempt launched.
+func (t *Task) FirstLaunchAt() time.Duration { return t.firstLaunchAt }
+
+// CompletedAt returns when the task succeeded.
+func (t *Task) CompletedAt() time.Duration { return t.completedAt }
+
+// Block returns the input block of a map task.
+func (t *Task) Block() hdfs.BlockLocation { return t.block }
+
+// JobTracker is the centralized coordinator: it tracks jobs and tasks,
+// exchanges heartbeats with TaskTrackers, consults the pluggable Scheduler
+// for assignments, and exposes the preemption control API (§III-B).
+type JobTracker struct {
+	eng       *sim.Engine
+	cfg       *EngineConfig
+	fs        *hdfs.FileSystem
+	scheduler Scheduler
+	listeners []Listener
+
+	jobs     map[JobID]*Job
+	jobOrder []JobID
+	tasks    map[TaskID]*Task
+	trackers map[string]*TaskTracker
+	nextJob  int
+}
+
+// NewJobTracker creates a JobTracker. The scheduler may be set later with
+// SetScheduler but must be non-nil before the first heartbeat.
+func NewJobTracker(eng *sim.Engine, cfg EngineConfig, fs *hdfs.FileSystem) (*JobTracker, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &JobTracker{
+		eng:      eng,
+		cfg:      &cfg,
+		fs:       fs,
+		jobs:     make(map[JobID]*Job),
+		tasks:    make(map[TaskID]*Task),
+		trackers: make(map[string]*TaskTracker),
+	}, nil
+}
+
+// SetScheduler installs the job/task scheduler.
+func (jt *JobTracker) SetScheduler(s Scheduler) { jt.scheduler = s }
+
+// AddListener subscribes an event listener.
+func (jt *JobTracker) AddListener(l Listener) { jt.listeners = append(jt.listeners, l) }
+
+// Config returns the engine configuration.
+func (jt *JobTracker) Config() EngineConfig { return *jt.cfg }
+
+// Engine returns the simulation engine.
+func (jt *JobTracker) Engine() *sim.Engine { return jt.eng }
+
+// registerTracker is called by TaskTrackers when they start.
+func (jt *JobTracker) registerTracker(tt *TaskTracker) error {
+	if _, ok := jt.trackers[tt.name]; ok {
+		return fmt.Errorf("mapreduce: tracker %q already registered", tt.name)
+	}
+	jt.trackers[tt.name] = tt
+	return nil
+}
+
+// Submit creates a job from conf: one map task per input block, plus the
+// configured reduce tasks.
+func (jt *JobTracker) Submit(conf JobConf) (*Job, error) {
+	if err := conf.Validate(); err != nil {
+		return nil, err
+	}
+	blocks, err := jt.fs.Blocks(conf.InputPath)
+	if err != nil {
+		return nil, fmt.Errorf("mapreduce: submit %s: %w", conf.Name, err)
+	}
+	jt.nextJob++
+	id := JobID(fmt.Sprintf("job_%s_%04d", conf.Name, jt.nextJob))
+	job := &Job{
+		id:          id,
+		conf:        conf,
+		state:       JobPending,
+		submittedAt: jt.eng.Now(),
+	}
+	for i, b := range blocks {
+		t := &Task{
+			id:    TaskID{Job: id, Type: MapTask, Index: i},
+			job:   job,
+			state: TaskPending,
+			block: b,
+		}
+		job.tasks = append(job.tasks, t)
+		jt.tasks[t.id] = t
+	}
+	for i := 0; i < conf.NumReduces; i++ {
+		t := &Task{
+			id:    TaskID{Job: id, Type: ReduceTask, Index: i},
+			job:   job,
+			state: TaskPending,
+		}
+		job.tasks = append(job.tasks, t)
+		jt.tasks[t.id] = t
+	}
+	jt.jobs[id] = job
+	jt.jobOrder = append(jt.jobOrder, id)
+	if jt.scheduler != nil {
+		jt.scheduler.JobSubmitted(job)
+	}
+	return job, nil
+}
+
+// Job returns a submitted job.
+func (jt *JobTracker) Job(id JobID) (*Job, bool) {
+	j, ok := jt.jobs[id]
+	return j, ok
+}
+
+// Jobs returns all jobs in submission order.
+func (jt *JobTracker) Jobs() []*Job {
+	out := make([]*Job, 0, len(jt.jobOrder))
+	for _, id := range jt.jobOrder {
+		out = append(out, jt.jobs[id])
+	}
+	return out
+}
+
+// Task returns a task record.
+func (jt *JobTracker) Task(id TaskID) (*Task, bool) {
+	t, ok := jt.tasks[id]
+	return t, ok
+}
+
+// PendingTasks returns tasks awaiting a slot, in (job submission, index)
+// order.
+func (jt *JobTracker) PendingTasks() []*Task {
+	var out []*Task
+	for _, jid := range jt.jobOrder {
+		for _, t := range jt.jobs[jid].tasks {
+			if t.state == TaskPending {
+				out = append(out, t)
+			}
+		}
+	}
+	return out
+}
+
+// setTaskState transitions a task and notifies listeners.
+func (jt *JobTracker) setTaskState(t *Task, to TaskState) {
+	from := t.state
+	if from == to {
+		return
+	}
+	t.state = to
+	now := jt.eng.Now()
+	for _, l := range jt.listeners {
+		l.TaskStateChanged(t, from, to, now)
+	}
+}
+
+// setJobState transitions a job and notifies listeners and the scheduler.
+func (jt *JobTracker) setJobState(j *Job, to JobState) {
+	from := j.state
+	if from == to {
+		return
+	}
+	j.state = to
+	now := jt.eng.Now()
+	for _, l := range jt.listeners {
+		l.JobStateChanged(j, from, to, now)
+	}
+	if to == JobSucceeded || to == JobFailed {
+		j.completedAt = now
+		if jt.scheduler != nil {
+			jt.scheduler.JobCompleted(j)
+		}
+	}
+}
+
+// SuspendTask marks a running task MUST_SUSPEND; the suspend command is
+// piggybacked on the task's tracker's next heartbeat, and the SUSPENDED
+// state is entered when the following heartbeat acknowledges it.
+func (jt *JobTracker) SuspendTask(id TaskID) error {
+	t, ok := jt.tasks[id]
+	if !ok {
+		return fmt.Errorf("mapreduce: no such task %s", id)
+	}
+	if t.state != TaskRunning {
+		return fmt.Errorf("mapreduce: cannot suspend task %s in state %s", id, t.state)
+	}
+	t.signalled = false
+	jt.setTaskState(t, TaskMustSuspend)
+	return nil
+}
+
+// ResumeTask marks a suspended task MUST_RESUME. The resume command is
+// piggybacked on the next heartbeat of the tracker holding the suspended
+// process (resume locality) and consumes a slot there.
+func (jt *JobTracker) ResumeTask(id TaskID) error {
+	t, ok := jt.tasks[id]
+	if !ok {
+		return fmt.Errorf("mapreduce: no such task %s", id)
+	}
+	if t.state != TaskSuspended {
+		return fmt.Errorf("mapreduce: cannot resume task %s in state %s", id, t.state)
+	}
+	t.signalled = false
+	jt.setTaskState(t, TaskMustResume)
+	return nil
+}
+
+// KillJob terminally kills a job: live attempts are killed on their
+// trackers, pending tasks are cancelled, and the job moves to JobFailed.
+func (jt *JobTracker) KillJob(id JobID) error {
+	job, ok := jt.jobs[id]
+	if !ok {
+		return fmt.Errorf("mapreduce: no such job %s", id)
+	}
+	if job.state == JobSucceeded || job.state == JobFailed {
+		return fmt.Errorf("mapreduce: job %s already finished", id)
+	}
+	for _, t := range job.tasks {
+		switch {
+		case t.state.Live():
+			t.killRequeue = false
+			t.signalled = false
+			jt.setTaskState(t, TaskKilled)
+		case t.state == TaskPending:
+			jt.setTaskState(t, TaskKilled)
+		}
+	}
+	jt.setJobState(job, JobFailed)
+	return nil
+}
+
+// KillTaskAttempt kills the live attempt of a task. With requeue the task
+// returns to TaskPending and is rescheduled from scratch (the preemption
+// kill primitive); without, the task is terminally killed.
+func (jt *JobTracker) KillTaskAttempt(id TaskID, requeue bool) error {
+	t, ok := jt.tasks[id]
+	if !ok {
+		return fmt.Errorf("mapreduce: no such task %s", id)
+	}
+	if !t.state.Live() {
+		return fmt.Errorf("mapreduce: cannot kill task %s in state %s", id, t.state)
+	}
+	t.killRequeue = requeue
+	t.signalled = false
+	jt.setTaskState(t, TaskKilled)
+	if !requeue {
+		// A terminally killed task can never succeed, so the job cannot
+		// either.
+		jt.setJobState(t.job, JobFailed)
+	}
+	return nil
+}
+
+// Heartbeat processes a TaskTracker status report and returns the actions
+// to piggyback on the response. This is the paper's communication path:
+// commands flow JobTracker → TaskTracker in responses, acknowledgements
+// flow back in the next status report.
+func (jt *JobTracker) Heartbeat(status HeartbeatStatus) []Action {
+	if jt.scheduler == nil {
+		panic("mapreduce: heartbeat before SetScheduler")
+	}
+	now := jt.eng.Now()
+
+	// 1. Completed / failed attempts.
+	for _, aid := range status.Completed {
+		jt.attemptCompleted(aid)
+	}
+	for _, aid := range status.Failed {
+		jt.attemptFailed(aid)
+	}
+
+	// 2. Progress and suspension acknowledgements.
+	for _, rep := range status.Attempts {
+		t, ok := jt.tasks[rep.Attempt.Task]
+		if !ok || t.attempt != rep.Attempt {
+			continue // stale report of a superseded attempt
+		}
+		if rep.Progress > t.progress {
+			t.progress = rep.Progress
+			for _, l := range jt.listeners {
+				l.TaskProgressed(t, rep.Progress, now)
+			}
+			jt.scheduler.TaskProgressed(t, rep.Progress)
+		}
+		switch {
+		case t.state == TaskMustSuspend && rep.Suspended:
+			t.suspensions++
+			jt.setTaskState(t, TaskSuspended)
+		case t.state == TaskMustResume && !rep.Suspended:
+			jt.setTaskState(t, TaskRunning)
+		}
+	}
+
+	// 3. Pending commands for this tracker.
+	var actions []Action
+	resumes := 0
+	for _, t := range jt.tasksOn(status.TaskTracker) {
+		switch t.state {
+		case TaskMustSuspend:
+			if !t.signalled {
+				t.signalled = true
+				actions = append(actions, SuspendAction{Attempt: t.attempt})
+			}
+		case TaskMustResume:
+			if !t.signalled {
+				t.signalled = true
+				resumes++
+				actions = append(actions, ResumeAction{Attempt: t.attempt})
+			}
+		case TaskKilled:
+			if !t.signalled {
+				t.signalled = true
+				actions = append(actions, KillAction{Attempt: t.attempt, Cleanup: true})
+				if t.killRequeue {
+					// Rescheduled from scratch after the preempting task:
+					// back to the pending queue with progress lost.
+					jt.requeue(t)
+				}
+			}
+		}
+	}
+
+	// 4. New assignments from the scheduler. Resumes issued above consume
+	// slots on execution, so they reduce what the scheduler may fill.
+	free := status.FreeMapSlots - resumes
+	if free < 0 {
+		free = 0
+	}
+	tt := jt.trackers[status.TaskTracker]
+	info := TaskTrackerInfo{
+		Name:         status.TaskTracker,
+		FreeMapSlots: free,
+	}
+	if tt != nil {
+		info.Node = string(tt.node)
+		info.SuspendedTasks = jt.suspendedOn(status.TaskTracker)
+	}
+	for _, a := range jt.scheduler.Assign(info) {
+		t, ok := jt.tasks[a.Task]
+		if !ok {
+			continue
+		}
+		if t.state != TaskPending || free <= 0 {
+			continue
+		}
+		free--
+		t.attempts++
+		t.attempt = AttemptID{Task: t.id, Attempt: t.attempts}
+		t.tracker = status.TaskTracker
+		t.progress = 0
+		if t.attempts == 1 {
+			t.firstLaunchAt = now
+		}
+		actions = append(actions, LaunchAction{Attempt: t.attempt})
+		jt.setTaskState(t, TaskRunning)
+		if t.job.state == JobPending {
+			jt.setJobState(t.job, JobRunning)
+		}
+	}
+	return actions
+}
+
+// tasksOn returns live tasks whose current attempt is on the tracker, in
+// deterministic order.
+func (jt *JobTracker) tasksOn(tracker string) []*Task {
+	var out []*Task
+	for _, t := range jt.tasks {
+		if t.tracker == tracker && (t.state.Live() || t.state == TaskKilled) {
+			out = append(out, t)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].id.String() < out[j].id.String() })
+	return out
+}
+
+// suspendedOn lists tasks suspended on the tracker.
+func (jt *JobTracker) suspendedOn(tracker string) []TaskID {
+	var out []TaskID
+	for _, t := range jt.tasksOn(tracker) {
+		if t.state == TaskSuspended || t.state == TaskMustResume {
+			out = append(out, t.id)
+		}
+	}
+	return out
+}
+
+// requeue returns a killed task to the pending queue, losing its work.
+func (jt *JobTracker) requeue(t *Task) {
+	t.progress = 0
+	jt.setTaskState(t, TaskPending)
+}
+
+// attemptCompleted handles a successful attempt report.
+func (jt *JobTracker) attemptCompleted(aid AttemptID) {
+	t, ok := jt.tasks[aid.Task]
+	if !ok || t.attempt != aid || t.state.Terminal() {
+		return
+	}
+	// The paper notes the race: a task may complete between the suspend
+	// command and its acknowledgement; completion wins.
+	t.progress = 1
+	t.completedAt = jt.eng.Now()
+	jt.setTaskState(t, TaskSucceeded)
+	jt.checkJobCompletion(t.job)
+}
+
+// attemptFailed handles a failed attempt (e.g. OOM kill).
+func (jt *JobTracker) attemptFailed(aid AttemptID) {
+	t, ok := jt.tasks[aid.Task]
+	if !ok || t.attempt != aid || t.state.Terminal() {
+		return
+	}
+	if t.state == TaskKilled && !t.killRequeue {
+		return // deliberate terminal kill
+	}
+	if t.attempts >= jt.cfg.MaxTaskAttempts {
+		jt.setTaskState(t, TaskFailed)
+		jt.setJobState(t.job, JobFailed)
+		return
+	}
+	jt.requeue(t)
+}
+
+// noteWasted records CPU time lost when an attempt was killed.
+func (jt *JobTracker) noteWasted(id TaskID, cpu time.Duration) {
+	if t, ok := jt.tasks[id]; ok {
+		t.wastedWork += cpu
+	}
+}
+
+// noteSwap accumulates an attempt's paging traffic into the task record
+// (Figure 4 plots the bytes swapped by the process executing tl).
+func (jt *JobTracker) noteSwap(id TaskID, out, in int64) {
+	if t, ok := jt.tasks[id]; ok {
+		t.swapOutBytes += out
+		t.swapInBytes += in
+	}
+}
+
+// noteResident records the last observed resident set of the task's
+// process, used by memory-aware eviction policies.
+func (jt *JobTracker) noteResident(id TaskID, bytes int64) {
+	if t, ok := jt.tasks[id]; ok {
+		t.residentBytes = bytes
+	}
+}
+
+// noteCleanup forwards cleanup spans to listeners.
+func (jt *JobTracker) noteCleanup(id TaskID, tracker string, start, end time.Duration) {
+	for _, l := range jt.listeners {
+		l.CleanupSpan(id, tracker, start, end)
+	}
+}
+
+// checkJobCompletion promotes a job to SUCCEEDED when all tasks are done.
+func (jt *JobTracker) checkJobCompletion(j *Job) {
+	for _, t := range j.tasks {
+		if t.state != TaskSucceeded {
+			return
+		}
+	}
+	jt.setJobState(j, JobSucceeded)
+}

@@ -1,0 +1,322 @@
+package mapreduce
+
+import (
+	"time"
+
+	"hadooppreempt/internal/disk"
+	"hadooppreempt/internal/hdfs"
+	"hadooppreempt/internal/ossim"
+	"hadooppreempt/internal/sim"
+)
+
+// taskRuntime is shared between a task program and its TaskTracker; the
+// tracker reads progress from it when building heartbeats.
+type taskRuntime struct {
+	inputBytes     int64
+	processedBytes int64
+}
+
+// progress returns the completed fraction of the input.
+func (rt *taskRuntime) progress() float64 {
+	if rt.inputBytes <= 0 {
+		return 1
+	}
+	p := float64(rt.processedBytes) / float64(rt.inputBytes)
+	if p > 1 {
+		p = 1
+	}
+	return p
+}
+
+// Address-space layout of a task process:
+//
+//	[0, JVMBaseBytes)                      execution engine (heap, buffers)
+//	[JVMBaseBytes, JVMBase+ExtraMemory)    task state (worst-case jobs)
+//
+// The engine region is written once at startup (heap initialisation) and a
+// rotating buffer window inside it stays hot during processing. The extra
+// region is written at startup and read back at finalization, matching the
+// paper's worst-case stateful tasks.
+type mapProgram struct {
+	eng    *sim.Engine
+	cfg    *EngineConfig
+	conf   *JobConf
+	fs     *hdfs.FileSystem
+	node   hdfs.NodeID
+	nodeDV *disk.Device
+	block  hdfs.BlockLocation
+	rt     *taskRuntime
+	stream disk.StreamID
+
+	stage        int // 0 spawn, 1 alloc, 2 process, 3 finalize, 4 commit, 5 done
+	allocDone    int64
+	finalDone    int64
+	bufCursor    int64
+	pendingChunk int64 // bytes of the chunk whose completion is unrecorded
+}
+
+// Program stages.
+const (
+	stageSpawn = iota
+	stageAlloc
+	stageProcess
+	stageFinalize
+	stageCommit
+	stageDone
+)
+
+func newMapProgram(eng *sim.Engine, cfg *EngineConfig, conf *JobConf, fs *hdfs.FileSystem,
+	node hdfs.NodeID, dev *disk.Device, block hdfs.BlockLocation, rt *taskRuntime, stream disk.StreamID) *mapProgram {
+	rt.inputBytes = block.Size
+	return &mapProgram{
+		eng: eng, cfg: cfg, conf: conf, fs: fs, node: node, nodeDV: dev,
+		block: block, rt: rt, stream: stream,
+	}
+}
+
+// totalMemory returns the full address-space size.
+func (mp *mapProgram) totalMemory() int64 {
+	return mp.conf.JVMBaseBytes + mp.conf.ExtraMemoryBytes
+}
+
+// Next implements ossim.Program as a resumable state machine. Each call
+// means the previous op completed.
+func (mp *mapProgram) Next(p *ossim.Process) ossim.Op {
+	// Record completion of the previously returned processing chunk.
+	if mp.pendingChunk > 0 {
+		mp.rt.processedBytes += mp.pendingChunk
+		mp.pendingChunk = 0
+	}
+	switch mp.stage {
+	case stageSpawn:
+		mp.stage = stageAlloc
+		return ossim.Op{Label: "jvm-start", Sleep: mp.cfg.JVMStartup}
+
+	case stageAlloc:
+		// Write the engine heap and the extra state region, chunk by
+		// chunk, at memory bandwidth. Page faults add their own latency.
+		total := mp.totalMemory()
+		if mp.allocDone < total {
+			chunk := mp.cfg.ChunkBytes
+			if mp.allocDone+chunk > total {
+				chunk = total - mp.allocDone
+			}
+			op := ossim.Op{
+				Label:   "alloc",
+				Mem:     &ossim.MemOp{Offset: mp.allocDone, Length: chunk, Write: true},
+				Compute: time.Duration(float64(chunk) / mp.cfg.MemTouchRate * float64(time.Second)),
+			}
+			mp.allocDone += chunk
+			return op
+		}
+		mp.stage = stageProcess
+		fallthrough
+
+	case stageProcess:
+		if mp.rt.processedBytes < mp.block.Size {
+			chunk := mp.cfg.ChunkBytes
+			if mp.rt.processedBytes+chunk > mp.block.Size {
+				chunk = mp.block.Size - mp.rt.processedBytes
+			}
+			// Stream the chunk from HDFS; the read may be remote.
+			done, _, err := mp.fs.Read(mp.node, mp.block.Block, mp.rt.processedBytes, chunk, mp.stream)
+			var ioWait time.Duration
+			if err == nil {
+				if wait := done - mp.eng.Now(); wait > 0 {
+					ioWait = wait
+				}
+			}
+			// Keep a rotating window of memory hot. For plain mappers it
+			// is the engine region (record and sort buffers); stateful
+			// mappers instead sweep their extra state region, re-dirtying
+			// it as in-mapper aggregation structures are updated.
+			var mem *ossim.MemOp
+			if mp.conf.StatefulMapper && mp.conf.ExtraMemoryBytes > 0 {
+				win := mp.conf.ExtraMemoryBytes
+				off := mp.bufCursor % win
+				length := chunk * 4 // state updates touch widely
+				if off+length > win {
+					length = win - off
+				}
+				mem = &ossim.MemOp{Offset: mp.conf.JVMBaseBytes + off, Length: length, Write: true}
+				mp.bufCursor += length
+			} else if mp.cfg.BufferBytes > 0 && mp.conf.JVMBaseBytes > 0 {
+				win := mp.cfg.BufferBytes
+				if win > mp.conf.JVMBaseBytes {
+					win = mp.conf.JVMBaseBytes
+				}
+				off := mp.bufCursor % win
+				length := chunk
+				if off+length > win {
+					length = win - off
+				}
+				mem = &ossim.MemOp{Offset: off, Length: length, Write: true}
+				mp.bufCursor += length
+			}
+			mp.pendingChunk = chunk
+			return ossim.Op{
+				Label:   "map-chunk",
+				Sleep:   ioWait,
+				Mem:     mem,
+				Compute: time.Duration(float64(chunk) / mp.conf.MapParseRate * float64(time.Second)),
+			}
+		}
+		mp.stage = stageFinalize
+		fallthrough
+
+	case stageFinalize:
+		// Read back the extra state region (the paper's worst-case tasks
+		// read their memory when finalizing), faulting in anything that
+		// was paged out.
+		if mp.conf.ExtraMemoryBytes > 0 && mp.finalDone < mp.conf.ExtraMemoryBytes {
+			chunk := mp.cfg.ChunkBytes
+			if mp.finalDone+chunk > mp.conf.ExtraMemoryBytes {
+				chunk = mp.conf.ExtraMemoryBytes - mp.finalDone
+			}
+			op := ossim.Op{
+				Label:   "finalize",
+				Mem:     &ossim.MemOp{Offset: mp.conf.JVMBaseBytes + mp.finalDone, Length: chunk, Write: false},
+				Compute: time.Duration(float64(chunk) / mp.cfg.MemTouchRate * float64(time.Second)),
+			}
+			mp.finalDone += chunk
+			return op
+		}
+		mp.stage = stageCommit
+		fallthrough
+
+	case stageCommit:
+		mp.stage = stageDone
+		op := ossim.Op{Label: "commit", Sleep: mp.cfg.CommitCost}
+		if mp.conf.MapOutputRatio > 0 {
+			out := int64(float64(mp.block.Size) * mp.conf.MapOutputRatio)
+			op.IO = &ossim.IOOp{Device: mp.nodeDV, Kind: disk.Write, Bytes: out, Stream: mp.stream}
+		}
+		return op
+
+	default:
+		return ossim.Op{Done: true, ExitCode: ossim.ExitOK}
+	}
+}
+
+// reduceProgram models shuffle → sort → reduce. Shuffle bytes are the
+// job's aggregate map output divided across reduces.
+type reduceProgram struct {
+	eng          *sim.Engine
+	cfg          *EngineConfig
+	conf         *JobConf
+	nodeDV       *disk.Device
+	rt           *taskRuntime
+	stream       disk.StreamID
+	shuffleBytes int64
+	netBandwidth float64
+
+	stage        int
+	allocDone    int64
+	shuffled     int64
+	reduced      int64
+	pendingChunk int64
+	pendingPhase int // which counter pendingChunk belongs to: 1 shuffle, 2 reduce
+}
+
+func newReduceProgram(eng *sim.Engine, cfg *EngineConfig, conf *JobConf, dev *disk.Device,
+	rt *taskRuntime, stream disk.StreamID, shuffleBytes int64, netBandwidth float64) *reduceProgram {
+	// Progress of a reduce: shuffle+sort is 2/3, reduce 1/3 (Hadoop uses
+	// thirds); we expose bytes so approximate with total work volume.
+	rt.inputBytes = 2 * shuffleBytes
+	return &reduceProgram{
+		eng: eng, cfg: cfg, conf: conf, nodeDV: dev, rt: rt, stream: stream,
+		shuffleBytes: shuffleBytes, netBandwidth: netBandwidth,
+	}
+}
+
+// Next implements ossim.Program.
+func (rp *reduceProgram) Next(p *ossim.Process) ossim.Op {
+	if rp.pendingChunk > 0 {
+		rp.rt.processedBytes += rp.pendingChunk
+		rp.pendingChunk = 0
+	}
+	switch rp.stage {
+	case stageSpawn:
+		rp.stage = stageAlloc
+		return ossim.Op{Label: "jvm-start", Sleep: rp.cfg.JVMStartup}
+
+	case stageAlloc:
+		total := rp.conf.JVMBaseBytes + rp.conf.ExtraMemoryBytes
+		if rp.allocDone < total {
+			chunk := rp.cfg.ChunkBytes
+			if rp.allocDone+chunk > total {
+				chunk = total - rp.allocDone
+			}
+			op := ossim.Op{
+				Label:   "alloc",
+				Mem:     &ossim.MemOp{Offset: rp.allocDone, Length: chunk, Write: true},
+				Compute: time.Duration(float64(chunk) / rp.cfg.MemTouchRate * float64(time.Second)),
+			}
+			rp.allocDone += chunk
+			return op
+		}
+		rp.stage = stageProcess
+		fallthrough
+
+	case stageProcess: // shuffle + sort
+		if rp.shuffled < rp.shuffleBytes {
+			chunk := rp.cfg.ChunkBytes
+			if rp.shuffled+chunk > rp.shuffleBytes {
+				chunk = rp.shuffleBytes - rp.shuffled
+			}
+			rp.shuffled += chunk
+			rp.pendingChunk = chunk
+			// Fetch over the network, spill to local disk, charge sort
+			// CPU.
+			netTime := time.Duration(float64(chunk) / rp.netBandwidth * float64(time.Second))
+			return ossim.Op{
+				Label:   "shuffle",
+				Sleep:   netTime,
+				IO:      &ossim.IOOp{Device: rp.nodeDV, Kind: disk.Write, Bytes: chunk, Stream: rp.stream},
+				Compute: time.Duration(float64(chunk) / rp.conf.ShuffleSortRate * float64(time.Second)),
+			}
+		}
+		rp.stage = stageFinalize
+		fallthrough
+
+	case stageFinalize: // reduce phase
+		if rp.reduced < rp.shuffleBytes {
+			chunk := rp.cfg.ChunkBytes
+			if rp.reduced+chunk > rp.shuffleBytes {
+				chunk = rp.shuffleBytes - rp.reduced
+			}
+			rp.reduced += chunk
+			rp.pendingChunk = chunk
+			return ossim.Op{
+				Label:   "reduce",
+				IO:      &ossim.IOOp{Device: rp.nodeDV, Kind: disk.Read, Bytes: chunk, Stream: rp.stream},
+				Compute: time.Duration(float64(chunk) / rp.conf.ReduceRate * float64(time.Second)),
+			}
+		}
+		rp.stage = stageCommit
+		fallthrough
+
+	case stageCommit:
+		rp.stage = stageDone
+		return ossim.Op{Label: "commit", Sleep: rp.cfg.CommitCost}
+
+	default:
+		return ossim.Op{Done: true, ExitCode: ossim.ExitOK}
+	}
+}
+
+// cleanupProgram removes the temporary output of a killed attempt. It is
+// what makes the kill primitive pay latency beyond rescheduling.
+type cleanupProgram struct {
+	cfg  *EngineConfig
+	done bool
+}
+
+// Next implements ossim.Program.
+func (cp *cleanupProgram) Next(p *ossim.Process) ossim.Op {
+	if cp.done {
+		return ossim.Op{Done: true, ExitCode: ossim.ExitOK}
+	}
+	cp.done = true
+	return ossim.Op{Label: "cleanup", Sleep: cp.cfg.CleanupCost}
+}

@@ -1,0 +1,109 @@
+package mapreduce
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// TestPropertyRandomControlNeverCorruptsEngine fires random control
+// actions (suspend/resume/kill-requeue/kill-terminal) at random times
+// into a running two-job cluster and verifies global invariants: the
+// simulation always converges, slot accounting returns to zero, and no
+// task ends in a transition state.
+func TestPropertyRandomControlNeverCorruptsEngine(t *testing.T) {
+	type action struct {
+		AtSec  uint8 // virtual second, mod 120
+		Victim bool  // which job
+		Kind   uint8 // suspend / resume / kill-requeue / kill-terminal
+	}
+	f := func(actions []action) bool {
+		if len(actions) > 24 {
+			actions = actions[:24]
+		}
+		cfg := DefaultClusterConfig()
+		cfg.Node.MapSlots = 2
+		cfg.Node.Memory.PageSize = 1 << 20
+		cfg.Engine.HeartbeatInterval = time.Second
+		c, err := NewCluster(cfg)
+		if err != nil {
+			return false
+		}
+		jt := c.JobTracker()
+		jt.SetScheduler(&fifoTestScheduler{jt: jt})
+		c.CreateInput("/a", 256<<20)
+		c.CreateInput("/b", 256<<20)
+		ja, _ := jt.Submit(lightJobConf("a", "/a"))
+		jb, _ := jt.Submit(lightJobConf("b", "/b"))
+		jobs := []*Job{ja, jb}
+		terminalKill := false
+		for _, a := range actions {
+			a := a
+			job := jobs[0]
+			if a.Victim {
+				job = jobs[1]
+			}
+			task := job.MapTasks()[0].ID()
+			if a.Kind%4 == 3 {
+				terminalKill = true
+			}
+			c.Engine().Schedule(time.Duration(a.AtSec%120)*time.Second, func() {
+				// Errors are expected for invalid-state commands; the
+				// engine must simply reject them.
+				switch a.Kind % 4 {
+				case 0:
+					jt.SuspendTask(task)
+				case 1:
+					jt.ResumeTask(task)
+				case 2:
+					jt.KillTaskAttempt(task, true)
+				case 3:
+					jt.KillTaskAttempt(task, false)
+				}
+			})
+		}
+		// A suspended task whose resume never comes would hang the run;
+		// issue a final catch-all resume wave.
+		c.Engine().Schedule(130*time.Second, func() {
+			for _, job := range jobs {
+				for _, task := range job.MapTasks() {
+					jt.ResumeTask(task.ID())
+				}
+			}
+		})
+		c.RunUntil(time.Hour)
+		for _, job := range jobs {
+			for _, task := range job.MapTasks() {
+				switch task.State() {
+				case TaskSucceeded, TaskKilled:
+				default:
+					t.Logf("task %s stuck in %v", task.ID(), task.State())
+					return false
+				}
+			}
+			switch job.State() {
+			case JobSucceeded:
+			case JobFailed:
+				if !terminalKill {
+					t.Logf("job %s failed without terminal kill", job.ID())
+					return false
+				}
+			default:
+				t.Logf("job %s stuck in %v", job.ID(), job.State())
+				return false
+			}
+		}
+		if free := c.Node(0).Tracker.FreeMapSlots(); free != 2 {
+			t.Logf("slot accounting leaked: free=%d", free)
+			return false
+		}
+		if c.Node(0).Kernel.Processes() != 0 {
+			t.Logf("process table leaked: %d live", c.Node(0).Kernel.Processes())
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,347 @@
+package mapreduce
+
+import (
+	"fmt"
+	"time"
+
+	"hadooppreempt/internal/disk"
+	"hadooppreempt/internal/hdfs"
+	"hadooppreempt/internal/ossim"
+	"hadooppreempt/internal/sim"
+)
+
+// rpcDelay models the cost of a heartbeat RPC exchange.
+const rpcDelay = 10 * time.Millisecond
+
+// TaskTracker runs task attempts as child processes of its node's OS and
+// exchanges heartbeats with the JobTracker.
+type TaskTracker struct {
+	eng    *sim.Engine
+	jt     *JobTracker
+	cfg    *EngineConfig
+	name   string
+	node   hdfs.NodeID
+	kernel *ossim.Kernel
+	device *disk.Device
+	fs     *hdfs.FileSystem
+
+	mapSlots  int
+	slotsUsed int
+
+	attempts  map[AttemptID]*liveAttempt
+	completed []AttemptID
+	failed    []AttemptID
+
+	hbTimer    *sim.Timer
+	started    bool
+	nextStream disk.StreamID
+	heartbeats int
+}
+
+// liveAttempt is a task attempt with a live process on this tracker.
+type liveAttempt struct {
+	id        AttemptID
+	proc      *ossim.Process
+	rt        *taskRuntime
+	suspended bool
+	// killed marks a TT-initiated SIGKILL whose exit must not be reported
+	// as a failure.
+	killed bool
+	// suspendAckDelay is how long the SIGTSTP handler takes (closing
+	// external connections); the slot frees and the suspension is
+	// acknowledged only after it completes.
+	suspendAckDelay time.Duration
+}
+
+// NewTaskTracker creates and registers a tracker for the given node.
+func NewTaskTracker(jt *JobTracker, name string, node hdfs.NodeID, kernel *ossim.Kernel,
+	device *disk.Device, fs *hdfs.FileSystem, mapSlots int) (*TaskTracker, error) {
+	if mapSlots <= 0 {
+		return nil, fmt.Errorf("mapreduce: tracker %s needs at least one slot", name)
+	}
+	tt := &TaskTracker{
+		eng:        jt.eng,
+		jt:         jt,
+		cfg:        jt.cfg,
+		name:       name,
+		node:       node,
+		kernel:     kernel,
+		device:     device,
+		fs:         fs,
+		mapSlots:   mapSlots,
+		attempts:   make(map[AttemptID]*liveAttempt),
+		nextStream: disk.StreamID(1),
+	}
+	if err := jt.registerTracker(tt); err != nil {
+		return nil, err
+	}
+	return tt, nil
+}
+
+// Name returns the tracker name.
+func (tt *TaskTracker) Name() string { return tt.name }
+
+// Node returns the HDFS node the tracker runs on.
+func (tt *TaskTracker) Node() hdfs.NodeID { return tt.node }
+
+// FreeMapSlots returns currently free map slots.
+func (tt *TaskTracker) FreeMapSlots() int { return tt.mapSlots - tt.slotsUsed }
+
+// Heartbeats returns the number of heartbeats sent.
+func (tt *TaskTracker) Heartbeats() int { return tt.heartbeats }
+
+// Start begins the heartbeat loop. The phase offset staggers trackers so
+// they do not all report at the same instant.
+func (tt *TaskTracker) Start(phase time.Duration) {
+	if tt.started {
+		return
+	}
+	tt.started = true
+	if phase < 0 {
+		phase = 0
+	}
+	tt.hbTimer = tt.eng.Schedule(phase, tt.heartbeat)
+}
+
+// requestOOBHeartbeat schedules an immediate out-of-band heartbeat, used
+// when a slot frees up (task exit, suspension, cleanup completion).
+func (tt *TaskTracker) requestOOBHeartbeat() {
+	if !tt.cfg.OutOfBandHeartbeats || !tt.started {
+		return
+	}
+	if tt.hbTimer != nil {
+		tt.hbTimer.Cancel()
+	}
+	tt.hbTimer = tt.eng.Schedule(rpcDelay, tt.heartbeat)
+}
+
+// heartbeat performs one status/response exchange with the JobTracker and
+// executes the piggybacked actions.
+func (tt *TaskTracker) heartbeat() {
+	tt.heartbeats++
+	status := HeartbeatStatus{
+		TaskTracker:  tt.name,
+		FreeMapSlots: tt.mapSlots - tt.slotsUsed,
+		Completed:    tt.completed,
+		Failed:       tt.failed,
+	}
+	tt.completed = nil
+	tt.failed = nil
+	for _, att := range tt.attemptList() {
+		status.Attempts = append(status.Attempts, AttemptReport{
+			Attempt:   att.id,
+			Suspended: att.suspended,
+			Progress:  att.rt.progress(),
+		})
+		tt.jt.noteResident(att.id.Task, tt.kernel.Memory().ResidentBytes(att.proc.PID()))
+	}
+	actions := tt.jt.Heartbeat(status)
+	// Schedule the next regular heartbeat before executing actions, so an
+	// action that frees a slot (suspend) can replace it with an immediate
+	// out-of-band heartbeat.
+	if tt.hbTimer != nil {
+		tt.hbTimer.Cancel()
+	}
+	tt.hbTimer = tt.eng.Schedule(tt.cfg.HeartbeatInterval, tt.heartbeat)
+	for _, a := range actions {
+		tt.execute(a)
+	}
+}
+
+// attemptList returns live attempts in deterministic order.
+func (tt *TaskTracker) attemptList() []*liveAttempt {
+	out := make([]*liveAttempt, 0, len(tt.attempts))
+	for _, att := range tt.attempts {
+		out = append(out, att)
+	}
+	// Sort by attempt id string for determinism.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j].id.String() < out[j-1].id.String(); j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// execute runs one piggybacked action.
+func (tt *TaskTracker) execute(a Action) {
+	switch act := a.(type) {
+	case LaunchAction:
+		tt.launch(act.Attempt)
+	case SuspendAction:
+		tt.suspend(act.Attempt)
+	case ResumeAction:
+		tt.resume(act.Attempt)
+	case KillAction:
+		tt.kill(act.Attempt, act.Cleanup)
+	default:
+		panic(fmt.Sprintf("mapreduce: unknown action %T", a))
+	}
+}
+
+// launch spawns the child JVM for an attempt.
+func (tt *TaskTracker) launch(aid AttemptID) {
+	task, ok := tt.jt.Task(aid.Task)
+	if !ok {
+		return
+	}
+	conf := task.job.conf
+	rt := &taskRuntime{}
+	stream := tt.nextStream
+	tt.nextStream++
+	var prog ossim.Program
+	switch aid.Task.Type {
+	case MapTask:
+		prog = newMapProgram(tt.eng, tt.cfg, &conf, tt.fs, tt.node, tt.device, task.block, rt, stream)
+	case ReduceTask:
+		shuffle := tt.shuffleBytes(task.job)
+		prog = newReduceProgram(tt.eng, tt.cfg, &conf, tt.device, rt, stream, shuffle,
+			tt.fs.Config().RackLocalBandwidth)
+	default:
+		return
+	}
+	memBytes := conf.JVMBaseBytes + conf.ExtraMemoryBytes
+	att := &liveAttempt{id: aid, rt: rt}
+	proc, err := tt.kernel.Spawn(aid.String(), memBytes, prog, func(p *ossim.Process, code int) {
+		tt.attemptExited(att, code)
+	})
+	if err != nil {
+		tt.failed = append(tt.failed, aid)
+		return
+	}
+	// §V-B: tasks with external state handle SIGTSTP (close connections
+	// before stopping) and SIGCONT (reopen them before resuming) — the
+	// reason the primitive uses SIGTSTP rather than the unhandleable
+	// SIGSTOP.
+	if n := conf.ExternalConnections; n > 0 {
+		teardown := time.Duration(n) * tt.cfg.ConnectionTeardownCost
+		setup := time.Duration(n) * tt.cfg.ConnectionSetupCost
+		proc.Handle(ossim.SIGTSTP, func(*ossim.Process) time.Duration { return teardown })
+		proc.Handle(ossim.SIGCONT, func(*ossim.Process) time.Duration { return setup })
+		att.suspendAckDelay = teardown
+	}
+	att.proc = proc
+	tt.attempts[aid] = att
+	tt.slotsUsed++
+}
+
+// shuffleBytes computes a reduce task's input volume.
+func (tt *TaskTracker) shuffleBytes(job *Job) int64 {
+	var mapInput int64
+	for _, t := range job.tasks {
+		if t.id.Type == MapTask {
+			mapInput += t.block.Size
+		}
+	}
+	total := int64(float64(mapInput) * job.conf.MapOutputRatio)
+	if job.conf.NumReduces <= 0 {
+		return 0
+	}
+	return total / int64(job.conf.NumReduces)
+}
+
+// attemptExited handles child process termination.
+func (tt *TaskTracker) attemptExited(att *liveAttempt, code int) {
+	if _, ok := tt.attempts[att.id]; !ok {
+		return // already handled (e.g. kill path removed it)
+	}
+	delete(tt.attempts, att.id)
+	ms := att.proc.MemoryStats()
+	tt.jt.noteSwap(att.id.Task, ms.PagedOutBytes, ms.PagedInBytes)
+	if att.killed {
+		// TT-initiated kill: the JobTracker already moved the task; the
+		// slot is handed to the cleanup attempt by kill().
+		return
+	}
+	if !att.suspended {
+		tt.slotsUsed--
+	}
+	if code == ossim.ExitOK {
+		tt.completed = append(tt.completed, att.id)
+	} else {
+		tt.failed = append(tt.failed, att.id)
+	}
+	tt.requestOOBHeartbeat()
+}
+
+// suspend delivers SIGTSTP and frees the slot; the suspension is
+// acknowledged on the next heartbeat (out-of-band, so the freed slot is
+// visible quickly). Tasks with external connections delay the slot
+// release until their SIGTSTP handler has closed them.
+func (tt *TaskTracker) suspend(aid AttemptID) {
+	att, ok := tt.attempts[aid]
+	if !ok || att.suspended {
+		return
+	}
+	if err := tt.kernel.Signal(att.proc.PID(), ossim.SIGTSTP); err != nil {
+		return
+	}
+	finish := func() {
+		if _, live := tt.attempts[aid]; !live || att.killed || att.suspended {
+			return
+		}
+		att.suspended = true
+		tt.slotsUsed--
+		tt.requestOOBHeartbeat()
+	}
+	if att.suspendAckDelay > 0 {
+		tt.eng.Schedule(att.suspendAckDelay, finish)
+		return
+	}
+	finish()
+}
+
+// resume delivers SIGCONT, taking a slot again.
+func (tt *TaskTracker) resume(aid AttemptID) {
+	att, ok := tt.attempts[aid]
+	if !ok || !att.suspended {
+		return
+	}
+	if err := tt.kernel.Signal(att.proc.PID(), ossim.SIGCONT); err != nil {
+		return
+	}
+	att.suspended = false
+	tt.slotsUsed++
+	tt.requestOOBHeartbeat()
+}
+
+// kill delivers SIGKILL and runs the cleanup attempt that removes the
+// killed task's temporary output, occupying the slot for CleanupCost.
+func (tt *TaskTracker) kill(aid AttemptID, cleanup bool) {
+	att, ok := tt.attempts[aid]
+	if !ok {
+		return
+	}
+	att.killed = true
+	tt.jt.noteWasted(aid.Task, att.proc.CPUTime())
+	ms := att.proc.MemoryStats()
+	tt.jt.noteSwap(aid.Task, ms.PagedOutBytes, ms.PagedInBytes)
+	wasSuspended := att.suspended
+	delete(tt.attempts, att.id)
+	if err := tt.kernel.Signal(att.proc.PID(), ossim.SIGKILL); err != nil {
+		return
+	}
+	if !cleanup {
+		if !wasSuspended {
+			tt.slotsUsed--
+		}
+		tt.requestOOBHeartbeat()
+		return
+	}
+	// The cleanup attempt takes over the slot (or claims one if the
+	// victim was suspended and held none).
+	if wasSuspended {
+		tt.slotsUsed++
+	}
+	start := tt.eng.Now()
+	prog := &cleanupProgram{cfg: tt.cfg}
+	_, err := tt.kernel.Spawn("cleanup_"+aid.String(), 16<<20, prog, func(p *ossim.Process, code int) {
+		tt.slotsUsed--
+		tt.jt.noteCleanup(aid.Task, tt.name, start, tt.eng.Now())
+		tt.requestOOBHeartbeat()
+	})
+	if err != nil {
+		tt.slotsUsed--
+		tt.requestOOBHeartbeat()
+	}
+}

@@ -1,0 +1,296 @@
+// Package mapreduce implements a Hadoop-1-style MapReduce engine on the
+// simulated substrates: a JobTracker that tracks cluster state and task
+// scheduling, and TaskTrackers that run Map/Reduce tasks as child
+// processes of the simulated node OS.
+//
+// The engine mirrors the pieces §III-B of the paper modifies:
+//
+//   - tasks are ordinary OS processes, controlled with POSIX signals;
+//   - TaskTrackers exchange heartbeats with the JobTracker at a fixed
+//     interval plus out-of-band heartbeats when slots free up;
+//   - preemption commands (suspend/resume/kill) ride heartbeat responses,
+//     and acknowledgements ride the following heartbeat;
+//   - the JobTracker task state machine carries the paper's new states:
+//     MUST_SUSPEND, SUSPENDED and MUST_RESUME.
+package mapreduce
+
+import (
+	"fmt"
+	"time"
+)
+
+// JobID identifies a submitted job.
+type JobID string
+
+// TaskType distinguishes map, reduce, and cleanup work.
+type TaskType int
+
+// Task types.
+const (
+	// MapTask processes one input block.
+	MapTask TaskType = iota + 1
+	// ReduceTask shuffles, sorts and reduces map outputs.
+	ReduceTask
+)
+
+// String returns the Hadoop-style short tag ("m" / "r").
+func (t TaskType) String() string {
+	switch t {
+	case MapTask:
+		return "m"
+	case ReduceTask:
+		return "r"
+	default:
+		return fmt.Sprintf("TaskType(%d)", int(t))
+	}
+}
+
+// TaskID identifies a task within a job.
+type TaskID struct {
+	Job   JobID
+	Type  TaskType
+	Index int
+}
+
+// String renders the Hadoop-style task id, e.g. "job1_m_000000".
+func (id TaskID) String() string {
+	return fmt.Sprintf("%s_%s_%06d", id.Job, id.Type, id.Index)
+}
+
+// AttemptID identifies one execution attempt of a task.
+type AttemptID struct {
+	Task    TaskID
+	Attempt int
+}
+
+// String renders the Hadoop-style attempt id.
+func (id AttemptID) String() string {
+	return fmt.Sprintf("attempt_%s_%d", id.Task, id.Attempt)
+}
+
+// TaskState is the JobTracker-side state of a task. The preemption states
+// (TaskMustSuspend, TaskSuspended, TaskMustResume) are the paper's
+// additions to the Hadoop state machine.
+type TaskState int
+
+// Task states.
+const (
+	// TaskPending means the task waits for a slot.
+	TaskPending TaskState = iota + 1
+	// TaskRunning means an attempt is executing on a TaskTracker.
+	TaskRunning
+	// TaskMustSuspend means a suspend command was issued and will be
+	// piggybacked on the TaskTracker's next heartbeat.
+	TaskMustSuspend
+	// TaskSuspended means the TaskTracker acknowledged the suspension.
+	TaskSuspended
+	// TaskMustResume means a resume command was issued and will be
+	// piggybacked on the TaskTracker's next heartbeat.
+	TaskMustResume
+	// TaskSucceeded is terminal success.
+	TaskSucceeded
+	// TaskKilled means the current attempt was killed; the task either
+	// requeued (back to TaskPending) or is terminally killed.
+	TaskKilled
+	// TaskFailed is terminal failure (e.g. OOM-killed too many times).
+	TaskFailed
+)
+
+// String returns the paper's naming for the state.
+func (s TaskState) String() string {
+	switch s {
+	case TaskPending:
+		return "PENDING"
+	case TaskRunning:
+		return "RUNNING"
+	case TaskMustSuspend:
+		return "MUST_SUSPEND"
+	case TaskSuspended:
+		return "SUSPENDED"
+	case TaskMustResume:
+		return "MUST_RESUME"
+	case TaskSucceeded:
+		return "SUCCEEDED"
+	case TaskKilled:
+		return "KILLED"
+	case TaskFailed:
+		return "FAILED"
+	default:
+		return fmt.Sprintf("TaskState(%d)", int(s))
+	}
+}
+
+// Terminal reports whether the state is final.
+func (s TaskState) Terminal() bool {
+	return s == TaskSucceeded || s == TaskFailed
+}
+
+// Live reports whether the task currently has a live process on a
+// TaskTracker (running or suspended, possibly in a transition state).
+func (s TaskState) Live() bool {
+	switch s {
+	case TaskRunning, TaskMustSuspend, TaskSuspended, TaskMustResume:
+		return true
+	default:
+		return false
+	}
+}
+
+// JobState is the lifecycle state of a job.
+type JobState int
+
+// Job states.
+const (
+	// JobPending means no task has launched yet.
+	JobPending JobState = iota + 1
+	// JobRunning means at least one task launched.
+	JobRunning
+	// JobSucceeded means all tasks succeeded.
+	JobSucceeded
+	// JobFailed means a task failed terminally.
+	JobFailed
+)
+
+// String returns a readable name.
+func (s JobState) String() string {
+	switch s {
+	case JobPending:
+		return "PENDING"
+	case JobRunning:
+		return "RUNNING"
+	case JobSucceeded:
+		return "SUCCEEDED"
+	case JobFailed:
+		return "FAILED"
+	default:
+		return fmt.Sprintf("JobState(%d)", int(s))
+	}
+}
+
+// AttemptReport is the per-attempt portion of a heartbeat.
+type AttemptReport struct {
+	Attempt   AttemptID
+	Suspended bool
+	Progress  float64
+}
+
+// HeartbeatStatus is what a TaskTracker sends the JobTracker.
+type HeartbeatStatus struct {
+	TaskTracker  string
+	FreeMapSlots int
+	// Attempts reports every live attempt (running or suspended).
+	Attempts []AttemptReport
+	// Completed and Failed list attempts that ended since the last
+	// heartbeat. Wasted carries the CPU time thrown away by kills.
+	Completed []AttemptID
+	Failed    []AttemptID
+}
+
+// Action is a command piggybacked on a heartbeat response.
+type Action interface {
+	isAction()
+	String() string
+}
+
+// LaunchAction starts a new attempt of a task.
+type LaunchAction struct {
+	Attempt AttemptID
+}
+
+func (LaunchAction) isAction() {}
+
+// String describes the action.
+func (a LaunchAction) String() string { return "launch " + a.Attempt.String() }
+
+// SuspendAction stops a running attempt with SIGTSTP.
+type SuspendAction struct {
+	Attempt AttemptID
+}
+
+func (SuspendAction) isAction() {}
+
+// String describes the action.
+func (a SuspendAction) String() string { return "suspend " + a.Attempt.String() }
+
+// ResumeAction resumes a suspended attempt with SIGCONT; it consumes a
+// slot on the TaskTracker.
+type ResumeAction struct {
+	Attempt AttemptID
+}
+
+func (ResumeAction) isAction() {}
+
+// String describes the action.
+func (a ResumeAction) String() string { return "resume " + a.Attempt.String() }
+
+// KillAction kills an attempt with SIGKILL. When Cleanup is set the
+// TaskTracker runs a cleanup attempt that occupies the slot briefly to
+// remove temporary outputs, as Hadoop does for killed tasks.
+type KillAction struct {
+	Attempt AttemptID
+	Cleanup bool
+}
+
+func (KillAction) isAction() {}
+
+// String describes the action.
+func (a KillAction) String() string { return "kill " + a.Attempt.String() }
+
+// TaskTrackerInfo is the scheduler's view of one TaskTracker during an
+// assignment round.
+type TaskTrackerInfo struct {
+	Name         string
+	Node         string // HDFS node id
+	FreeMapSlots int
+	// SuspendedTasks lists tasks suspended on this tracker (resume
+	// locality: they can only be resumed here).
+	SuspendedTasks []TaskID
+}
+
+// Assignment is a scheduler decision for one free slot: launch a new
+// attempt of the task on the reporting tracker. (Resumes of suspended
+// tasks flow through JobTracker.ResumeTask instead, because the suspended
+// process is pinned to its tracker — resume locality, §V-A.)
+type Assignment struct {
+	Task TaskID
+}
+
+// Scheduler is the pluggable job/task scheduler consulted by the
+// JobTracker. Implementations decide task placement and drive preemption
+// through the JobTracker's control API (SuspendTask / ResumeTask /
+// KillTaskAttempt).
+type Scheduler interface {
+	// JobSubmitted is called when a job enters the system.
+	JobSubmitted(job *Job)
+	// JobCompleted is called when a job reaches a terminal state.
+	JobCompleted(job *Job)
+	// TaskProgressed is called when a heartbeat updates task progress.
+	TaskProgressed(task *Task, progress float64)
+	// Assign picks tasks for the tracker's free slots.
+	Assign(tt TaskTrackerInfo) []Assignment
+}
+
+// Listener observes engine events; all methods are optional via the
+// embedded NopListener.
+type Listener interface {
+	TaskStateChanged(task *Task, from, to TaskState, at time.Duration)
+	TaskProgressed(task *Task, progress float64, at time.Duration)
+	JobStateChanged(job *Job, from, to JobState, at time.Duration)
+	CleanupSpan(task TaskID, tracker string, start, end time.Duration)
+}
+
+// NopListener implements Listener with no-ops; embed it to implement only
+// the methods of interest.
+type NopListener struct{}
+
+// TaskStateChanged implements Listener.
+func (NopListener) TaskStateChanged(*Task, TaskState, TaskState, time.Duration) {}
+
+// TaskProgressed implements Listener.
+func (NopListener) TaskProgressed(*Task, float64, time.Duration) {}
+
+// JobStateChanged implements Listener.
+func (NopListener) JobStateChanged(*Job, JobState, JobState, time.Duration) {}
+
+// CleanupSpan implements Listener.
+func (NopListener) CleanupSpan(TaskID, string, time.Duration, time.Duration) {}

@@ -1,0 +1,725 @@
+// Package memory implements the simulated operating-system memory manager.
+//
+// It models the mechanisms §III-A of the paper relies on:
+//
+//   - physical RAM is divided into page frames shared by the file-system
+//     cache and anonymous (runtime) memory of processes;
+//   - with swappiness 0 (the recommended Hadoop configuration) the cache is
+//     always reclaimed before anonymous pages;
+//   - anonymous pages are evicted with an approximate LRU (a clock /
+//     second-chance algorithm) and written to the swap area only when
+//     dirty; clean pages are dropped for free;
+//   - page-out is clustered: reclaim frees a batch of pages per scan, which
+//     over-evicts under pressure — the mechanism behind the superlinear
+//     growth of swapped bytes in Figure 4;
+//   - pages of stopped (suspended) processes lose their referenced bits,
+//     so they are evicted before pages of running processes.
+//
+// Fault service time is charged to the faulting process: page-out of dirty
+// victims and page-in of swapped pages are submitted to the swap device and
+// the resulting latency is returned by Touch.
+package memory
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"hadooppreempt/internal/disk"
+	"hadooppreempt/internal/sim"
+)
+
+// PID identifies a process address space. The memory manager treats it as
+// an opaque key.
+type PID int
+
+// cacheOwner marks frames belonging to the file-system cache.
+const cacheOwner PID = -1
+
+// ErrOutOfMemory is returned by Touch when no frame can be reclaimed: the
+// cache is empty, every anonymous page is pinned by running processes, and
+// the swap area is full. The OS would invoke the OOM killer at this point.
+var ErrOutOfMemory = errors.New("memory: out of memory (swap full, nothing reclaimable)")
+
+// Config describes the physical memory of a node.
+type Config struct {
+	// PageSize is the reclaim granularity in bytes. Real kernels use 4KiB
+	// pages but reclaim in larger batches; simulating at a coarser
+	// granularity keeps frame counts manageable without changing byte
+	// accounting.
+	PageSize int64
+	// RAMBytes is total physical memory.
+	RAMBytes int64
+	// ReservedBytes is pinned kernel/framework memory, never reclaimable.
+	ReservedBytes int64
+	// InitialCacheBytes is the starting size of the file-system cache.
+	InitialCacheBytes int64
+	// SwapBytes is the capacity of the swap area.
+	SwapBytes int64
+	// Swappiness in [0,100]. At 0 the cache is always reclaimed first, as
+	// Hadoop best practice configures (§IV-A). Values above 0 let the
+	// clock evict anonymous pages while cache remains, proportionally.
+	Swappiness int
+	// PageClusterPages is the reclaim batch size: one reclaim scan frees
+	// up to this many frames and one swap write covers up to this many
+	// dirty pages. Mirrors vm.page-cluster / kswapd batching.
+	PageClusterPages int
+	// MinorFaultCost is the CPU cost of servicing a fault that does not
+	// touch the disk (zero-fill or soft fault).
+	MinorFaultCost time.Duration
+}
+
+// DefaultConfig returns the 4 GB node used throughout the paper's
+// evaluation: 240 MB reserved for OS + Hadoop daemons, 256 MB of initial
+// cache, 8 GB of swap, swappiness 0.
+func DefaultConfig() Config {
+	return Config{
+		PageSize:          256 << 10,
+		RAMBytes:          4 << 30,
+		ReservedBytes:     240 << 20,
+		InitialCacheBytes: 256 << 20,
+		SwapBytes:         8 << 30,
+		Swappiness:        0,
+		PageClusterPages:  32,
+		MinorFaultCost:    2 * time.Microsecond,
+	}
+}
+
+// Stats aggregates manager-wide activity.
+type Stats struct {
+	MinorFaults     int64
+	MajorFaults     int64
+	PagedOutBytes   int64
+	PagedInBytes    int64
+	CacheDropBytes  int64
+	CacheFillBytes  int64
+	ReclaimScans    int64
+	OOMKills        int64
+	SecondChanceHit int64 // referenced frames spared by the clock
+}
+
+// SpaceStats reports per-process paging activity, the quantity Figure 4
+// plots for tl.
+type SpaceStats struct {
+	ResidentBytes int64
+	SwappedBytes  int64
+	PagedOutBytes int64
+	PagedInBytes  int64
+	MajorFaults   int64
+	MinorFaults   int64
+}
+
+type pageState uint8
+
+const (
+	pageUntouched pageState = iota
+	pageResident
+	pageSwapped
+)
+
+type page struct {
+	state pageState
+	frame int32 // valid when resident
+	dirty bool  // modified since last write to swap
+	slot  bool  // has a valid copy in swap
+}
+
+// Space is a process address space registered with the manager.
+type Space struct {
+	pid      PID
+	npages   int
+	pages    []page
+	resident int
+	swapped  int
+	stopped  bool
+	stats    SpaceStats
+	pageSize int64
+}
+
+// PID returns the owning process ID.
+func (s *Space) PID() PID { return s.pid }
+
+// SizeBytes returns the address-space size.
+func (s *Space) SizeBytes() int64 { return int64(s.npages) * s.pageSize }
+
+// Stats returns a snapshot of per-space paging counters.
+func (s *Space) Stats() SpaceStats {
+	st := s.stats
+	st.ResidentBytes = int64(s.resident) * s.pageSize
+	st.SwappedBytes = int64(s.swapped) * s.pageSize
+	return st
+}
+
+type frame struct {
+	owner      PID
+	page       int32
+	referenced bool
+	inUse      bool
+}
+
+// Manager is the per-node memory manager.
+type Manager struct {
+	eng  *sim.Engine
+	swap *disk.Device
+	cfg  Config
+
+	frames      []frame
+	free        []int32
+	spaces      map[PID]*Space
+	clockHand   int
+	cacheFrames []int32 // frames currently holding cache pages
+	swapUsed    int64   // bytes of swap occupied by valid slots
+	stats       Stats
+
+	swapOutStream disk.StreamID
+	swapInStream  disk.StreamID
+
+	// onOOM, if set, is invoked when reclaim fails entirely. The kernel
+	// layer uses it to kill a victim process.
+	onOOM func()
+
+	// swapEvents is a ring of recent swap-traffic samples used by the
+	// thrashing detector (§III-A).
+	swapEvents []swapEvent
+	swapHead   int
+}
+
+// swapEvent is one timestamped swap transfer.
+type swapEvent struct {
+	at    time.Duration
+	bytes int64
+}
+
+// swapEventRing bounds the thrashing detector's memory.
+const swapEventRing = 512
+
+// New creates a manager backed by the given swap device. The swap device
+// may be shared with other consumers (it typically is the node's only
+// disk).
+func New(eng *sim.Engine, swap *disk.Device, cfg Config) (*Manager, error) {
+	if cfg.PageSize <= 0 {
+		return nil, fmt.Errorf("memory: page size %d must be positive", cfg.PageSize)
+	}
+	if cfg.RAMBytes <= cfg.ReservedBytes {
+		return nil, fmt.Errorf("memory: RAM %d must exceed reserved %d", cfg.RAMBytes, cfg.ReservedBytes)
+	}
+	if cfg.Swappiness < 0 || cfg.Swappiness > 100 {
+		return nil, fmt.Errorf("memory: swappiness %d out of [0,100]", cfg.Swappiness)
+	}
+	if cfg.PageClusterPages <= 0 {
+		cfg.PageClusterPages = 1
+	}
+	usable := (cfg.RAMBytes - cfg.ReservedBytes) / cfg.PageSize
+	if usable <= 0 {
+		return nil, fmt.Errorf("memory: no usable frames")
+	}
+	m := &Manager{
+		eng:           eng,
+		swap:          swap,
+		cfg:           cfg,
+		frames:        make([]frame, usable),
+		free:          make([]int32, 0, usable),
+		spaces:        make(map[PID]*Space),
+		swapOutStream: disk.StreamID(0x5157_4f55), // distinct stream tags for
+		swapInStream:  disk.StreamID(0x5157_494e), // swap write and read runs
+	}
+	for i := int32(int(usable) - 1); i >= 0; i-- {
+		m.free = append(m.free, i)
+	}
+	cachePages := int(cfg.InitialCacheBytes / cfg.PageSize)
+	if cachePages > len(m.frames) {
+		cachePages = len(m.frames)
+	}
+	for i := 0; i < cachePages; i++ {
+		m.cacheFrames = append(m.cacheFrames, m.takeFreeFrameFor(cacheOwner, int32(i)))
+	}
+	return m, nil
+}
+
+// Config returns the manager's configuration.
+func (m *Manager) Config() Config { return m.cfg }
+
+// Stats returns a snapshot of manager-wide counters.
+func (m *Manager) Stats() Stats { return m.stats }
+
+// SetOOMHandler registers fn to be called when reclaim fails entirely.
+func (m *Manager) SetOOMHandler(fn func()) { m.onOOM = fn }
+
+// FreeBytes reports unallocated physical memory (free frames).
+func (m *Manager) FreeBytes() int64 { return int64(len(m.free)) * m.cfg.PageSize }
+
+// CacheBytes reports the current size of the file-system cache.
+func (m *Manager) CacheBytes() int64 { return int64(len(m.cacheFrames)) * m.cfg.PageSize }
+
+// SwapUsedBytes reports occupied swap capacity.
+func (m *Manager) SwapUsedBytes() int64 { return m.swapUsed }
+
+// SwapFreeBytes reports remaining swap capacity.
+func (m *Manager) SwapFreeBytes() int64 { return m.cfg.SwapBytes - m.swapUsed }
+
+// Register creates an address space of the given size for pid. The memory
+// is untouched: frames are allocated lazily on first access, as with mmap'd
+// anonymous memory.
+func (m *Manager) Register(pid PID, bytes int64) (*Space, error) {
+	if _, ok := m.spaces[pid]; ok {
+		return nil, fmt.Errorf("memory: pid %d already registered", pid)
+	}
+	if bytes < 0 {
+		return nil, fmt.Errorf("memory: negative space size %d", bytes)
+	}
+	npages := int((bytes + m.cfg.PageSize - 1) / m.cfg.PageSize)
+	s := &Space{
+		pid:      pid,
+		npages:   npages,
+		pages:    make([]page, npages),
+		pageSize: m.cfg.PageSize,
+	}
+	m.spaces[pid] = s
+	return s, nil
+}
+
+// Unregister releases all frames and swap slots of pid. It is a no-op for
+// unknown pids (e.g. a process that never registered memory).
+func (m *Manager) Unregister(pid PID) {
+	s, ok := m.spaces[pid]
+	if !ok {
+		return
+	}
+	for i := range s.pages {
+		p := &s.pages[i]
+		if p.state == pageResident {
+			m.releaseFrame(p.frame)
+		}
+		if p.slot {
+			m.swapUsed -= m.cfg.PageSize
+			p.slot = false
+		}
+		p.state = pageUntouched
+	}
+	delete(m.spaces, pid)
+}
+
+// Space returns the address space of pid, or nil if not registered.
+func (m *Manager) Space(pid PID) *Space { return m.spaces[pid] }
+
+// MarkStopped records that pid has been stopped (SIGTSTP/SIGSTOP). The
+// referenced bits of its resident pages are cleared, making them the
+// clock's preferred victims — the property §III-A highlights: "pages from
+// suspended processes are evicted before those from running ones".
+func (m *Manager) MarkStopped(pid PID) {
+	s, ok := m.spaces[pid]
+	if !ok {
+		return
+	}
+	s.stopped = true
+	for i := range s.pages {
+		p := &s.pages[i]
+		if p.state == pageResident {
+			m.frames[p.frame].referenced = false
+		}
+	}
+}
+
+// MarkRunning clears the stopped flag set by MarkStopped.
+func (m *Manager) MarkRunning(pid PID) {
+	if s, ok := m.spaces[pid]; ok {
+		s.stopped = false
+	}
+}
+
+// ResidentBytes reports the resident set size of pid.
+func (m *Manager) ResidentBytes(pid PID) int64 {
+	if s, ok := m.spaces[pid]; ok {
+		return int64(s.resident) * m.cfg.PageSize
+	}
+	return 0
+}
+
+// SwappedBytes reports the amount of pid's memory currently in swap.
+func (m *Manager) SwappedBytes(pid PID) int64 {
+	if s, ok := m.spaces[pid]; ok {
+		return int64(s.swapped) * m.cfg.PageSize
+	}
+	return 0
+}
+
+// CacheFill simulates the page cache absorbing freshly read file data. The
+// cache grows into free frames only — it never reclaims anonymous memory
+// for readahead (swappiness-0 behaviour); if no frames are free the data
+// recycles the cache's own oldest pages, which changes nothing in our
+// accounting.
+func (m *Manager) CacheFill(bytes int64) {
+	pages := int(bytes / m.cfg.PageSize)
+	for i := 0; i < pages && len(m.free) > 0; i++ {
+		m.cacheFrames = append(m.cacheFrames, m.takeFreeFrameFor(cacheOwner, 0))
+		m.stats.CacheFillBytes += m.cfg.PageSize
+	}
+}
+
+// Touch simulates the process accessing [offset, offset+length) of its
+// address space. It returns the fault-service latency the process must
+// wait for (disk transfers for page-out of victims and page-in of its own
+// swapped pages, plus minor-fault overhead). A write access dirties the
+// pages. Touch returns ErrOutOfMemory when reclaim fails entirely.
+func (m *Manager) Touch(pid PID, offset, length int64, write bool) (time.Duration, error) {
+	s, ok := m.spaces[pid]
+	if !ok {
+		return 0, fmt.Errorf("memory: touch by unregistered pid %d", pid)
+	}
+	if length <= 0 {
+		return 0, nil
+	}
+	first := int(offset / m.cfg.PageSize)
+	last := int((offset + length - 1) / m.cfg.PageSize)
+	if first < 0 || last >= s.npages {
+		return 0, fmt.Errorf("memory: pid %d touch [%d,%d) outside %d-byte space",
+			pid, offset, offset+length, s.SizeBytes())
+	}
+	// All swap traffic generated by this access (page-out of victims,
+	// page-in of our own pages) queues on one device; the process waits
+	// until the last transfer completes, so the disk portion of the
+	// latency is a deadline (max completion time), not a sum of
+	// queue-relative waits.
+	var cpuCost time.Duration
+	var diskDeadline time.Duration
+	// pendingIn batches contiguous page-ins into clustered swap reads
+	// (swap readahead).
+	pendingIn := 0
+	flushIn := func() {
+		if pendingIn == 0 {
+			return
+		}
+		bytes := int64(pendingIn) * m.cfg.PageSize
+		done := m.swap.Submit(disk.Read, bytes, m.swapInStream)
+		if done > diskDeadline {
+			diskDeadline = done
+		}
+		m.stats.PagedInBytes += bytes
+		s.stats.PagedInBytes += bytes
+		m.noteSwapTraffic(bytes)
+		pendingIn = 0
+	}
+	finish := func() time.Duration {
+		total := cpuCost
+		if wait := diskDeadline - m.eng.Now(); wait > 0 {
+			total += wait
+		}
+		return total
+	}
+	for i := first; i <= last; i++ {
+		p := &s.pages[i]
+		switch p.state {
+		case pageResident:
+			m.frames[p.frame].referenced = true
+			if write && !p.dirty {
+				p.dirty = true
+				m.dropSwapSlot(p)
+			}
+		case pageUntouched:
+			cpu, deadline, err := m.faultIn(s, i, write, false)
+			cpuCost += cpu
+			if deadline > diskDeadline {
+				diskDeadline = deadline
+			}
+			if err != nil {
+				flushIn()
+				return finish(), err
+			}
+		case pageSwapped:
+			cpu, deadline, err := m.faultIn(s, i, write, true)
+			cpuCost += cpu
+			if deadline > diskDeadline {
+				diskDeadline = deadline
+			}
+			if err != nil {
+				flushIn()
+				return finish(), err
+			}
+			pendingIn++
+			if pendingIn >= m.cfg.PageClusterPages {
+				flushIn()
+			}
+		}
+	}
+	flushIn()
+	return finish(), nil
+}
+
+// faultIn allocates a frame for page i of s. For swapped pages the disk
+// read is accounted by the caller's batching; this function only moves the
+// bookkeeping and charges reclaim costs. It returns the CPU cost and the
+// absolute completion deadline of any reclaim write it triggered.
+func (m *Manager) faultIn(s *Space, i int, write, fromSwap bool) (time.Duration, time.Duration, error) {
+	deadline, frameIdx, err := m.allocFrame()
+	if err != nil {
+		return 0, deadline, err
+	}
+	f := &m.frames[frameIdx]
+	f.owner = s.pid
+	f.page = int32(i)
+	f.referenced = true
+	f.inUse = true
+	p := &s.pages[i]
+	p.state = pageResident
+	p.frame = frameIdx
+	s.resident++
+	if fromSwap {
+		s.swapped--
+		s.stats.MajorFaults++
+		m.stats.MajorFaults++
+		// The swap slot remains valid until the page is dirtied again
+		// (swap cache behaviour).
+		p.dirty = false
+		if write {
+			p.dirty = true
+			m.dropSwapSlot(p)
+		}
+	} else {
+		s.stats.MinorFaults++
+		m.stats.MinorFaults++
+		p.dirty = write
+	}
+	return m.cfg.MinorFaultCost, deadline, nil
+}
+
+// dropSwapSlot invalidates the swap copy of a page that has been
+// re-dirtied, freeing its slot.
+func (m *Manager) dropSwapSlot(p *page) {
+	if p.slot {
+		p.slot = false
+		m.swapUsed -= m.cfg.PageSize
+	}
+}
+
+// takeFreeFrameFor pops a free frame and assigns it. Caller must know a
+// frame is free.
+func (m *Manager) takeFreeFrameFor(owner PID, pg int32) int32 {
+	idx := m.free[len(m.free)-1]
+	m.free = m.free[:len(m.free)-1]
+	m.frames[idx] = frame{owner: owner, page: pg, inUse: true}
+	return idx
+}
+
+// releaseFrame returns a frame to the free list.
+func (m *Manager) releaseFrame(idx int32) {
+	m.frames[idx] = frame{}
+	m.free = append(m.free, idx)
+}
+
+// allocFrame returns a free frame, reclaiming if necessary. The returned
+// deadline is the absolute completion time of any swap write the reclaim
+// queued; the faulting process must wait for it (direct reclaim).
+func (m *Manager) allocFrame() (time.Duration, int32, error) {
+	if len(m.free) == 0 {
+		deadline := m.reclaim()
+		if len(m.free) == 0 {
+			m.stats.OOMKills++
+			if m.onOOM != nil {
+				m.onOOM()
+			}
+			if len(m.free) == 0 {
+				return deadline, 0, ErrOutOfMemory
+			}
+		}
+		idx := m.free[len(m.free)-1]
+		m.free = m.free[:len(m.free)-1]
+		return deadline, idx, nil
+	}
+	idx := m.free[len(m.free)-1]
+	m.free = m.free[:len(m.free)-1]
+	return 0, idx, nil
+}
+
+// reclaim frees up to PageClusterPages frames: first from the cache
+// (swappiness 0), then by running the clock over anonymous frames. Dirty
+// victims are written to swap in one clustered request; its absolute
+// completion time is returned so the faulting process can wait for it.
+func (m *Manager) reclaim() time.Duration {
+	m.stats.ReclaimScans++
+	want := m.cfg.PageClusterPages
+	freed := 0
+
+	// Phase 1: drop file-system cache. With swappiness 0 this always runs
+	// first; with higher swappiness a fraction of the batch is taken from
+	// anonymous memory below.
+	cacheShare := want
+	if m.cfg.Swappiness > 0 {
+		cacheShare = want * (100 - m.cfg.Swappiness) / 100
+	}
+	for freed < cacheShare && len(m.cacheFrames) > 0 {
+		m.dropOneCachePage()
+		freed++
+	}
+	if freed >= want {
+		return 0
+	}
+
+	// Phase 2: clock (second chance) over anonymous frames.
+	dirtyVictims := 0
+	n := len(m.frames)
+	// Each reclaim pass may sweep the table at most twice: one pass to
+	// clear referenced bits, one to collect victims.
+	for scanned := 0; scanned < 2*n && freed < want; scanned++ {
+		f := &m.frames[m.clockHand]
+		hand := m.clockHand
+		m.clockHand = (m.clockHand + 1) % n
+		if !f.inUse || f.owner == cacheOwner {
+			continue
+		}
+		if f.referenced {
+			f.referenced = false
+			m.stats.SecondChanceHit++
+			continue
+		}
+		s := m.spaces[f.owner]
+		if s == nil {
+			// Orphaned frame; cannot happen, but be safe.
+			m.releaseFrame(int32(hand))
+			freed++
+			continue
+		}
+		p := &s.pages[f.page]
+		if p.dirty {
+			if m.swapUsed+m.cfg.PageSize > m.cfg.SwapBytes {
+				// Swap full: cannot evict dirty pages; keep looking for
+				// clean ones.
+				continue
+			}
+			p.slot = true
+			p.dirty = false
+			m.swapUsed += m.cfg.PageSize
+			dirtyVictims++
+			m.stats.PagedOutBytes += m.cfg.PageSize
+			s.stats.PagedOutBytes += m.cfg.PageSize
+		}
+		// Clean pages: if they have a swap slot the copy is still valid;
+		// if they never had one they are zero/unwritten and can be
+		// dropped. Either way the frame is free.
+		if p.slot {
+			p.state = pageSwapped
+			s.swapped++
+		} else {
+			p.state = pageUntouched
+		}
+		s.resident--
+		m.releaseFrame(p.frame)
+		freed++
+	}
+
+	var deadline time.Duration
+	if dirtyVictims > 0 {
+		bytes := int64(dirtyVictims) * m.cfg.PageSize
+		deadline = m.swap.Submit(disk.Write, bytes, m.swapOutStream)
+		m.noteSwapTraffic(bytes)
+	}
+	return deadline
+}
+
+// noteSwapTraffic records a swap transfer for the thrashing detector.
+func (m *Manager) noteSwapTraffic(bytes int64) {
+	ev := swapEvent{at: m.eng.Now(), bytes: bytes}
+	if len(m.swapEvents) < swapEventRing {
+		m.swapEvents = append(m.swapEvents, ev)
+		return
+	}
+	m.swapEvents[m.swapHead] = ev
+	m.swapHead = (m.swapHead + 1) % swapEventRing
+}
+
+// SwapRate reports swap traffic (page-in + page-out bytes per second)
+// over the trailing window.
+func (m *Manager) SwapRate(window time.Duration) float64 {
+	if window <= 0 {
+		return 0
+	}
+	cutoff := m.eng.Now() - window
+	var total int64
+	for _, ev := range m.swapEvents {
+		if ev.at >= cutoff {
+			total += ev.bytes
+		}
+	}
+	return float64(total) / window.Seconds()
+}
+
+// Thrashing reports whether swap traffic over the window exceeds the
+// threshold — the continuous read-and-write-to-swap condition of §III-A
+// (Denning's definition). A scheduler that keeps suspending and resuming
+// the same job multiplies the suspend-resume cycle cost; this predicate
+// lets it notice.
+func (m *Manager) Thrashing(window time.Duration, thresholdBytesPerSec float64) bool {
+	return m.SwapRate(window) > thresholdBytesPerSec
+}
+
+// dropOneCachePage releases one cache frame (clean, free to drop). The
+// caller must ensure the cache is non-empty.
+func (m *Manager) dropOneCachePage() {
+	idx := m.cacheFrames[len(m.cacheFrames)-1]
+	m.cacheFrames = m.cacheFrames[:len(m.cacheFrames)-1]
+	m.releaseFrame(idx)
+	m.stats.CacheDropBytes += m.cfg.PageSize
+}
+
+// checkInvariants validates internal consistency; used by tests.
+func (m *Manager) checkInvariants() error {
+	used := 0
+	perOwner := make(map[PID]int)
+	for i := range m.frames {
+		f := &m.frames[i]
+		if !f.inUse {
+			continue
+		}
+		used++
+		perOwner[f.owner]++
+		if f.owner == cacheOwner {
+			continue
+		}
+		s, ok := m.spaces[f.owner]
+		if !ok {
+			return fmt.Errorf("frame %d owned by unregistered pid %d", i, f.owner)
+		}
+		if int(f.page) >= s.npages {
+			return fmt.Errorf("frame %d maps page %d beyond space of pid %d", i, f.page, f.owner)
+		}
+		p := s.pages[f.page]
+		if p.state != pageResident || p.frame != int32(i) {
+			return fmt.Errorf("frame %d / pid %d page %d mapping mismatch", i, f.owner, f.page)
+		}
+	}
+	if used+len(m.free) != len(m.frames) {
+		return fmt.Errorf("frame conservation violated: %d used + %d free != %d total",
+			used, len(m.free), len(m.frames))
+	}
+	if perOwner[cacheOwner] != len(m.cacheFrames) {
+		return fmt.Errorf("cache accounting: %d frames vs %d tracked", perOwner[cacheOwner], len(m.cacheFrames))
+	}
+	var slotBytes int64
+	for pid, s := range m.spaces {
+		resident, swapped := 0, 0
+		for i := range s.pages {
+			switch s.pages[i].state {
+			case pageResident:
+				resident++
+			case pageSwapped:
+				swapped++
+				if !s.pages[i].slot {
+					return fmt.Errorf("pid %d page %d swapped without slot", pid, i)
+				}
+			}
+			if s.pages[i].slot {
+				slotBytes += m.cfg.PageSize
+			}
+		}
+		if resident != s.resident || swapped != s.swapped {
+			return fmt.Errorf("pid %d counters resident=%d/%d swapped=%d/%d",
+				pid, s.resident, resident, s.swapped, swapped)
+		}
+		if resident != perOwner[pid] {
+			return fmt.Errorf("pid %d resident pages %d but owns %d frames", pid, resident, perOwner[pid])
+		}
+	}
+	if slotBytes != m.swapUsed {
+		return fmt.Errorf("swap accounting: %d slot bytes vs %d counter", slotBytes, m.swapUsed)
+	}
+	return nil
+}

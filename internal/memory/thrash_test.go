@@ -1,0 +1,75 @@
+package memory
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSwapRateZeroWithoutTraffic(t *testing.T) {
+	_, m := testSetup(t, 0)
+	if r := m.SwapRate(10 * time.Second); r != 0 {
+		t.Fatalf("SwapRate = %v, want 0", r)
+	}
+	if m.Thrashing(10*time.Second, 1) {
+		t.Fatal("no traffic should not be thrashing")
+	}
+}
+
+func TestSwapRateTracksTraffic(t *testing.T) {
+	_, m := testSetup(t, 0)
+	mustRegister(t, m, 1, 48<<10)
+	mustTouch(t, m, 1, 0, 48<<10, true)
+	m.MarkStopped(1)
+	mustRegister(t, m, 2, 48<<10)
+	mustTouch(t, m, 2, 0, 48<<10, true)
+	if m.Stats().PagedOutBytes == 0 {
+		t.Fatal("setup: expected page-out")
+	}
+	rate := m.SwapRate(10 * time.Second)
+	if rate <= 0 {
+		t.Fatalf("SwapRate = %v, want > 0", rate)
+	}
+	if !m.Thrashing(10*time.Second, rate/2) {
+		t.Fatal("rate above threshold should report thrashing")
+	}
+	if m.Thrashing(10*time.Second, rate*2) {
+		t.Fatal("rate below threshold should not report thrashing")
+	}
+}
+
+func TestSwapRateWindowExpires(t *testing.T) {
+	eng, m := testSetup(t, 0)
+	mustRegister(t, m, 1, 48<<10)
+	mustTouch(t, m, 1, 0, 48<<10, true)
+	m.MarkStopped(1)
+	mustRegister(t, m, 2, 48<<10)
+	mustTouch(t, m, 2, 0, 48<<10, true)
+	if m.SwapRate(time.Minute) == 0 {
+		t.Fatal("setup: expected traffic")
+	}
+	eng.RunUntil(10 * time.Minute)
+	if r := m.SwapRate(time.Minute); r != 0 {
+		t.Fatalf("old traffic should age out of the window, got %v", r)
+	}
+}
+
+func TestSwapEventRingBounded(t *testing.T) {
+	// Force many small reclaim rounds and verify the ring stays bounded
+	// (no unbounded growth, old entries overwritten).
+	eng, m := testSetup(t, 0)
+	mustRegister(t, m, 1, 48<<10)
+	for i := 0; i < 200; i++ {
+		mustTouch(t, m, 1, 0, 48<<10, true)
+		m.MarkStopped(1)
+		pid := PID(1000 + i)
+		mustRegister(t, m, pid, 20<<10)
+		mustTouch(t, m, pid, 0, 20<<10, true)
+		m.Unregister(pid)
+		m.MarkRunning(1)
+		eng.RunFor(time.Second)
+	}
+	if len(m.swapEvents) > swapEventRing {
+		t.Fatalf("ring grew to %d entries, cap %d", len(m.swapEvents), swapEventRing)
+	}
+	checkInv(t, m)
+}

@@ -1,0 +1,83 @@
+package ossim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSIGCONTHandlerDelaysResumption(t *testing.T) {
+	eng, k, _ := testKernel(t, 1)
+	var exitAt time.Duration
+	p, _ := k.Spawn("w", 1<<20, computeProgram(1, 10*time.Second, 0),
+		func(*Process, int) { exitAt = eng.Now() })
+	p.Handle(SIGCONT, func(*Process) time.Duration { return 2 * time.Second })
+	eng.Schedule(4*time.Second, func() { k.Signal(p.PID(), SIGTSTP) })
+	eng.Schedule(6*time.Second, func() { k.Signal(p.PID(), SIGCONT) })
+	eng.Run()
+	// 4s done + 2s stopped + 2s reconnect handler + 6s remaining = 14s.
+	if exitAt != 14*time.Second {
+		t.Fatalf("exit at %v, want 14s (2s handler delay)", exitAt)
+	}
+}
+
+func TestSIGCONTHandlerWithNoPendingCompute(t *testing.T) {
+	eng, k, _ := testKernel(t, 1)
+	// Stop the process at spawn time (phaseIdle), then resume with a
+	// handler: the first op must start only after the handler latency.
+	var exitAt time.Duration
+	p, _ := k.Spawn("w", 1<<20, computeProgram(1, 3*time.Second, 0),
+		func(*Process, int) { exitAt = eng.Now() })
+	p.Handle(SIGCONT, func(*Process) time.Duration { return time.Second })
+	k.Signal(p.PID(), SIGTSTP) // before the spawn event fires
+	eng.Schedule(5*time.Second, func() { k.Signal(p.PID(), SIGCONT) })
+	eng.Run()
+	// Stopped until 5s + 1s handler + 3s compute = 9s.
+	if exitAt != 9*time.Second {
+		t.Fatalf("exit at %v, want 9s", exitAt)
+	}
+}
+
+func TestStopDuringCONTHandlerWindow(t *testing.T) {
+	eng, k, _ := testKernel(t, 1)
+	var exitAt time.Duration
+	p, _ := k.Spawn("w", 1<<20, computeProgram(1, 10*time.Second, 0),
+		func(*Process, int) { exitAt = eng.Now() })
+	p.Handle(SIGCONT, func(*Process) time.Duration { return 2 * time.Second })
+	eng.Schedule(4*time.Second, func() { k.Signal(p.PID(), SIGTSTP) })
+	eng.Schedule(6*time.Second, func() { k.Signal(p.PID(), SIGCONT) })
+	// Second stop lands inside the reconnect window (6s..8s).
+	eng.Schedule(7*time.Second, func() { k.Signal(p.PID(), SIGTSTP) })
+	eng.Schedule(10*time.Second, func() { k.Signal(p.PID(), SIGCONT) })
+	eng.Run()
+	if p.State() != StateExited {
+		t.Fatalf("state = %v, want exited", p.State())
+	}
+	// Work must complete eventually with total compute preserved.
+	if got := p.CPUTime(); got < 10*time.Second-time.Millisecond {
+		t.Fatalf("CPUTime = %v, want ~10s", got)
+	}
+	if exitAt < 14*time.Second {
+		t.Fatalf("exit at %v, want >= 14s given the two stop windows", exitAt)
+	}
+}
+
+func TestMemoryStatsSurviveExit(t *testing.T) {
+	eng, k, _ := testKernel(t, 1)
+	steps := 0
+	prog := ProgramFunc(func(*Process) Op {
+		steps++
+		if steps == 1 {
+			return Op{Mem: &MemOp{Offset: 0, Length: 8 << 20, Write: true}, Compute: time.Second}
+		}
+		return Op{Done: true}
+	})
+	p, _ := k.Spawn("w", 8<<20, prog, nil)
+	eng.Run()
+	st := p.MemoryStats()
+	if st.MinorFaults == 0 {
+		t.Fatal("final memory stats should record the faults")
+	}
+	if k.Memory().Space(p.PID()) != nil {
+		t.Fatal("space should be released after exit")
+	}
+}

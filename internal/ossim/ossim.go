@@ -1,0 +1,634 @@
+// Package ossim models the node operating system: processes, POSIX-style
+// signals, CPU scheduling and the interaction with the memory manager.
+//
+// Map and Reduce tasks in Hadoop 1 are ordinary Unix processes (child JVMs
+// spawned by the TaskTracker), so the paper's preemption primitive is
+// "just" process control: SIGTSTP stops the process, SIGCONT resumes it,
+// and the memory manager transparently pages its state in and out. This
+// package provides exactly that machinery in simulated form:
+//
+//   - a Process executes a Program, a sequence of operations combining CPU
+//     work, memory touches and disk I/O;
+//   - SIGTSTP runs an optional handler (e.g. closing network connections)
+//     and stops the process, clearing its pages' referenced bits;
+//   - SIGCONT resumes execution where it left off; swapped pages fault
+//     back in lazily as the program touches them;
+//   - SIGKILL terminates immediately, releasing memory;
+//   - runnable processes share the node's cores proportionally.
+package ossim
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"hadooppreempt/internal/disk"
+	"hadooppreempt/internal/memory"
+	"hadooppreempt/internal/sim"
+)
+
+// Signal is a POSIX-style signal number (only the ones the preemption
+// primitive needs).
+type Signal int
+
+// The signals used by the preemption primitives, mirroring §III-B.
+const (
+	// SIGTSTP politely stops the process. Unlike SIGSTOP it can be
+	// handled, which lets tasks manage external state before stopping.
+	SIGTSTP Signal = iota + 1
+	// SIGCONT resumes a stopped process.
+	SIGCONT
+	// SIGKILL terminates the process immediately.
+	SIGKILL
+	// SIGTERM requests termination; the default action terminates.
+	SIGTERM
+)
+
+// String returns the conventional signal name.
+func (s Signal) String() string {
+	switch s {
+	case SIGTSTP:
+		return "SIGTSTP"
+	case SIGCONT:
+		return "SIGCONT"
+	case SIGKILL:
+		return "SIGKILL"
+	case SIGTERM:
+		return "SIGTERM"
+	default:
+		return fmt.Sprintf("Signal(%d)", int(s))
+	}
+}
+
+// State is the lifecycle state of a process.
+type State int
+
+// Process states.
+const (
+	// StateRunning means the process is executing (or ready to execute)
+	// its program.
+	StateRunning State = iota + 1
+	// StateStopped means the process received SIGTSTP and is suspended.
+	StateStopped
+	// StateExited means the process terminated.
+	StateExited
+)
+
+// String returns a human-readable state name.
+func (s State) String() string {
+	switch s {
+	case StateRunning:
+		return "running"
+	case StateStopped:
+		return "stopped"
+	case StateExited:
+		return "exited"
+	default:
+		return fmt.Sprintf("State(%d)", int(s))
+	}
+}
+
+// Exit codes reported via the OnExit callback.
+const (
+	// ExitOK is a normal exit.
+	ExitOK = 0
+	// ExitKilled is the conventional 128+SIGKILL code.
+	ExitKilled = 137
+	// ExitOOM marks a process killed because its memory access could not
+	// be satisfied.
+	ExitOOM = 138
+)
+
+// ErrNoSuchProcess is returned when signalling an unknown or exited pid.
+var ErrNoSuchProcess = errors.New("ossim: no such process")
+
+// MemOp describes a memory access performed by an operation.
+type MemOp struct {
+	// Offset and Length delimit the touched range of the address space.
+	Offset int64
+	Length int64
+	// Write dirties the pages.
+	Write bool
+}
+
+// IOOp describes a disk transfer performed by an operation.
+type IOOp struct {
+	Device *disk.Device
+	Kind   disk.Kind
+	Bytes  int64
+	Stream disk.StreamID
+}
+
+// Op is one step of a Program. The kernel first waits for the fixed
+// latencies (Sleep, memory faults, disk I/O), then performs Compute worth
+// of CPU work at the process's share of the node's cores.
+type Op struct {
+	// Label is carried to traces for debugging.
+	Label string
+	// Sleep is a fixed latency (e.g. process startup, RPC wait).
+	Sleep time.Duration
+	// Mem, if non-nil, touches memory; page faults add latency.
+	Mem *MemOp
+	// IO, if non-nil, performs a disk transfer; queueing adds latency.
+	IO *IOOp
+	// Compute is pure CPU work at full speed on one core.
+	Compute time.Duration
+	// Done marks program completion; remaining fields are ignored except
+	// ExitCode.
+	Done bool
+	// ExitCode is the exit status when Done.
+	ExitCode int
+}
+
+// Program generates the operations of a process. Next is called once per
+// step; returning an Op with Done set terminates the process.
+type Program interface {
+	Next(p *Process) Op
+}
+
+// ProgramFunc adapts a function to the Program interface.
+type ProgramFunc func(p *Process) Op
+
+// Next implements Program.
+func (f ProgramFunc) Next(p *Process) Op { return f(p) }
+
+type phase int
+
+const (
+	phaseIdle    phase = iota // between operations
+	phaseLatency              // waiting out fixed latency
+	phaseCompute              // CPU work in progress
+)
+
+// Process is a simulated OS process.
+type Process struct {
+	pid    memory.PID
+	name   string
+	kernel *Kernel
+	prog   Program
+	state  State
+
+	phase            phase
+	timer            *sim.Timer
+	pendingCompute   time.Duration // compute part of the op being latency-waited
+	computeRemaining time.Duration // remaining CPU work of current compute phase
+	speed            float64       // current share of a core
+	speedSetAt       time.Duration
+	stopAfterLatency bool
+
+	handlers map[Signal]func(*Process) time.Duration
+	onExit   func(*Process, int)
+
+	createdAt   time.Duration
+	exitedAt    time.Duration
+	exitCode    int
+	cpuTime     time.Duration
+	stoppedAt   time.Duration
+	stoppedTime time.Duration
+	stops       int
+	conts       int
+	// memStats is the address space's paging counters, captured at exit
+	// (the space itself is released then).
+	memStats memory.SpaceStats
+}
+
+// MemoryStats returns the process's paging counters: live values while the
+// process runs, the final snapshot after it exits.
+func (p *Process) MemoryStats() memory.SpaceStats {
+	if p.state != StateExited {
+		if s := p.kernel.mem.Space(p.pid); s != nil {
+			return s.Stats()
+		}
+	}
+	return p.memStats
+}
+
+// PID returns the process identifier.
+func (p *Process) PID() memory.PID { return p.pid }
+
+// Name returns the process name.
+func (p *Process) Name() string { return p.name }
+
+// State returns the current lifecycle state.
+func (p *Process) State() State { return p.state }
+
+// ExitCode returns the exit status (valid once exited).
+func (p *Process) ExitCode() int { return p.exitCode }
+
+// CPUTime returns the accumulated CPU time consumed.
+func (p *Process) CPUTime() time.Duration { return p.cpuTime }
+
+// StoppedTime returns total time spent in StateStopped (including the
+// current stop, if stopped now).
+func (p *Process) StoppedTime() time.Duration {
+	t := p.stoppedTime
+	if p.state == StateStopped {
+		t += p.kernel.eng.Now() - p.stoppedAt
+	}
+	return t
+}
+
+// Stops and Conts report how many suspend/resume cycles the process saw.
+func (p *Process) Stops() int { return p.stops }
+
+// Conts reports the number of SIGCONT deliveries that resumed the process.
+func (p *Process) Conts() int { return p.conts }
+
+// Handle registers a signal handler. The handler runs before the default
+// action and its returned duration is added as latency (e.g. closing
+// network connections on SIGTSTP). Only SIGTSTP, SIGCONT and SIGTERM can
+// be handled; SIGKILL cannot, as in POSIX.
+func (p *Process) Handle(sig Signal, fn func(*Process) time.Duration) error {
+	if sig == SIGKILL {
+		return fmt.Errorf("ossim: SIGKILL cannot be caught")
+	}
+	if p.handlers == nil {
+		p.handlers = make(map[Signal]func(*Process) time.Duration)
+	}
+	p.handlers[sig] = fn
+	return nil
+}
+
+// Kernel is the operating system of one simulated node.
+type Kernel struct {
+	eng   *sim.Engine
+	name  string
+	cores int
+	mem   *memory.Manager
+
+	procs   map[memory.PID]*Process
+	nextPID memory.PID
+	active  map[memory.PID]*Process // processes in phaseCompute
+}
+
+// NewKernel creates a node OS with the given core count and memory
+// manager. The kernel installs itself as the memory manager's OOM handler:
+// on OOM it kills the process with the largest resident set.
+func NewKernel(eng *sim.Engine, name string, cores int, mem *memory.Manager) *Kernel {
+	if cores <= 0 {
+		panic("ossim: cores must be positive")
+	}
+	k := &Kernel{
+		eng:     eng,
+		name:    name,
+		cores:   cores,
+		mem:     mem,
+		procs:   make(map[memory.PID]*Process),
+		active:  make(map[memory.PID]*Process),
+		nextPID: 1,
+	}
+	mem.SetOOMHandler(k.oomKill)
+	return k
+}
+
+// Name returns the node name.
+func (k *Kernel) Name() string { return k.name }
+
+// Cores returns the CPU count.
+func (k *Kernel) Cores() int { return k.cores }
+
+// Memory returns the node's memory manager.
+func (k *Kernel) Memory() *memory.Manager { return k.mem }
+
+// Engine returns the simulation engine.
+func (k *Kernel) Engine() *sim.Engine { return k.eng }
+
+// Processes returns the live (non-exited) process count.
+func (k *Kernel) Processes() int { return len(k.procs) }
+
+// Process looks up a live process by pid.
+func (k *Kernel) Process(pid memory.PID) (*Process, bool) {
+	p, ok := k.procs[pid]
+	return p, ok
+}
+
+// Spawn creates a process with an address space of memBytes and starts
+// executing prog. onExit (optional) fires when the process terminates for
+// any reason.
+func (k *Kernel) Spawn(name string, memBytes int64, prog Program, onExit func(*Process, int)) (*Process, error) {
+	pid := k.nextPID
+	k.nextPID++
+	if _, err := k.mem.Register(pid, memBytes); err != nil {
+		return nil, fmt.Errorf("ossim: spawn %s: %w", name, err)
+	}
+	p := &Process{
+		pid:       pid,
+		name:      name,
+		kernel:    k,
+		prog:      prog,
+		state:     StateRunning,
+		onExit:    onExit,
+		createdAt: k.eng.Now(),
+		speed:     1,
+	}
+	k.procs[pid] = p
+	// Start executing on the next event so the caller finishes its own
+	// bookkeeping first.
+	k.eng.Schedule(0, func() {
+		if p.state == StateRunning && p.phase == phaseIdle {
+			k.runNextOp(p)
+		}
+	})
+	return p, nil
+}
+
+// Signal delivers sig to pid.
+func (k *Kernel) Signal(pid memory.PID, sig Signal) error {
+	p, ok := k.procs[pid]
+	if !ok {
+		return fmt.Errorf("%w: pid %d", ErrNoSuchProcess, pid)
+	}
+	var handlerLatency time.Duration
+	if h := p.handlers[sig]; h != nil {
+		handlerLatency = h(p)
+	}
+	switch sig {
+	case SIGTSTP:
+		k.stop(p, handlerLatency)
+	case SIGCONT:
+		k.cont(p, handlerLatency)
+	case SIGKILL:
+		k.exit(p, ExitKilled)
+	case SIGTERM:
+		if p.handlers[sig] == nil {
+			k.exit(p, ExitKilled)
+		}
+		// A handled SIGTERM is the handler's business; default action
+		// suppressed.
+	default:
+		return fmt.Errorf("ossim: unsupported signal %v", sig)
+	}
+	return nil
+}
+
+// stop implements the SIGTSTP default action.
+func (k *Kernel) stop(p *Process, handlerLatency time.Duration) {
+	if p.state != StateRunning {
+		return
+	}
+	switch p.phase {
+	case phaseCompute:
+		k.leaveCompute(p)
+		p.timer.Cancel()
+		p.timer = nil
+		p.pendingCompute = p.computeRemaining
+		p.computeRemaining = 0
+	case phaseLatency:
+		// A process blocked on I/O handles the signal when the operation
+		// completes.
+		p.stopAfterLatency = true
+		p.markStopped(handlerLatency)
+		return
+	case phaseIdle:
+		// Between ops (only transiently possible at spawn time).
+	}
+	p.phase = phaseIdle
+	p.markStopped(handlerLatency)
+	if handlerLatency > 0 {
+		// The handler's work (e.g. closing connections) delays the actual
+		// stop; model it as extending the moment the pages go cold.
+		k.eng.Schedule(handlerLatency, func() {
+			if p.state == StateStopped {
+				k.mem.MarkStopped(p.pid)
+			}
+		})
+	} else {
+		k.mem.MarkStopped(p.pid)
+	}
+}
+
+func (p *Process) markStopped(handlerLatency time.Duration) {
+	p.state = StateStopped
+	p.stoppedAt = p.kernel.eng.Now() + handlerLatency
+	if p.stoppedAt < p.kernel.eng.Now() {
+		p.stoppedAt = p.kernel.eng.Now()
+	}
+	p.stops++
+}
+
+// cont implements the SIGCONT default action. handlerLatency delays the
+// actual resumption of work — e.g. a handler re-establishing network
+// connections (§V-B).
+func (k *Kernel) cont(p *Process, handlerLatency time.Duration) {
+	if p.state != StateStopped {
+		return
+	}
+	p.state = StateRunning
+	now := k.eng.Now()
+	if p.stoppedAt < now {
+		p.stoppedTime += now - p.stoppedAt
+	}
+	p.conts++
+	k.mem.MarkRunning(p.pid)
+	if p.stopAfterLatency {
+		// Still waiting out an I/O completion; it will proceed on its own.
+		p.stopAfterLatency = false
+		return
+	}
+	if handlerLatency > 0 {
+		// Park the saved compute (possibly zero) behind the handler's
+		// work; latencyDone picks it up.
+		p.phase = phaseLatency
+		p.timer = k.eng.Schedule(handlerLatency, func() { k.latencyDone(p) })
+		return
+	}
+	if p.pendingCompute > 0 {
+		d := p.pendingCompute
+		p.pendingCompute = 0
+		k.startCompute(p, d)
+		return
+	}
+	if p.phase == phaseIdle {
+		k.runNextOp(p)
+	}
+}
+
+// exit terminates a process.
+func (k *Kernel) exit(p *Process, code int) {
+	if p.state == StateExited {
+		return
+	}
+	if p.phase == phaseCompute {
+		k.leaveCompute(p)
+	}
+	if p.timer != nil {
+		p.timer.Cancel()
+		p.timer = nil
+	}
+	if p.state == StateStopped && p.stoppedAt < k.eng.Now() {
+		p.stoppedTime += k.eng.Now() - p.stoppedAt
+	}
+	p.state = StateExited
+	p.phase = phaseIdle
+	p.exitedAt = k.eng.Now()
+	p.exitCode = code
+	if s := k.mem.Space(p.pid); s != nil {
+		p.memStats = s.Stats()
+	}
+	k.mem.Unregister(p.pid)
+	delete(k.procs, p.pid)
+	if p.onExit != nil {
+		// Deliver asynchronously, like SIGCHLD.
+		k.eng.Schedule(0, func() { p.onExit(p, code) })
+	}
+}
+
+// oomKill implements the kernel OOM killer: the victim is the live process
+// with the largest resident set.
+func (k *Kernel) oomKill() {
+	var victim *Process
+	var max int64 = -1
+	for _, p := range k.procs {
+		if r := k.mem.ResidentBytes(p.pid); r > max {
+			max = r
+			victim = p
+		}
+	}
+	if victim != nil {
+		k.exit(victim, ExitOOM)
+	}
+}
+
+// runNextOp pulls and executes the next operation of p.
+func (k *Kernel) runNextOp(p *Process) {
+	if p.state != StateRunning {
+		return
+	}
+	op := p.prog.Next(p)
+	if op.Done {
+		k.exit(p, op.ExitCode)
+		return
+	}
+	latency := op.Sleep
+	if op.Mem != nil {
+		d, err := k.mem.Touch(p.pid, op.Mem.Offset, op.Mem.Length, op.Mem.Write)
+		latency += d
+		if err != nil {
+			if errors.Is(err, memory.ErrOutOfMemory) {
+				// The faulting process may itself have been chosen by the
+				// OOM killer while touching.
+				if p.state != StateExited {
+					k.exit(p, ExitOOM)
+				}
+				return
+			}
+			panic(fmt.Sprintf("ossim: program of %s touched invalid memory: %v", p.name, err))
+		}
+		if p.state == StateExited {
+			// The OOM killer fired during the touch and chose us.
+			return
+		}
+	}
+	if op.IO != nil {
+		done := op.IO.Device.Submit(op.IO.Kind, op.IO.Bytes, op.IO.Stream)
+		if wait := done - k.eng.Now(); wait > 0 {
+			latency += wait
+		}
+	}
+	if latency > 0 {
+		p.phase = phaseLatency
+		p.pendingCompute = op.Compute
+		p.timer = k.eng.Schedule(latency, func() { k.latencyDone(p) })
+		return
+	}
+	k.startCompute(p, op.Compute)
+}
+
+// latencyDone fires when the fixed-latency part of an op completes.
+func (k *Kernel) latencyDone(p *Process) {
+	p.timer = nil
+	if p.state == StateExited {
+		return
+	}
+	if p.stopAfterLatency || p.state == StateStopped {
+		// SIGTSTP arrived while blocked: now that the I/O finished, stay
+		// stopped; the pending compute resumes on SIGCONT.
+		p.stopAfterLatency = false
+		p.phase = phaseIdle
+		k.mem.MarkStopped(p.pid)
+		return
+	}
+	d := p.pendingCompute
+	p.pendingCompute = 0
+	k.startCompute(p, d)
+}
+
+// startCompute begins (or resumes) CPU work of duration d.
+func (k *Kernel) startCompute(p *Process, d time.Duration) {
+	if d <= 0 {
+		p.phase = phaseIdle
+		k.runNextOp(p)
+		return
+	}
+	p.phase = phaseCompute
+	p.computeRemaining = d
+	p.speedSetAt = k.eng.Now()
+	k.active[p.pid] = p
+	k.rebalance()
+}
+
+// leaveCompute removes p from the CPU-sharing set, banking its progress.
+func (k *Kernel) leaveCompute(p *Process) {
+	k.settle(p)
+	delete(k.active, p.pid)
+	k.rebalance()
+}
+
+// settle updates computeRemaining for the time elapsed at the current
+// speed.
+func (k *Kernel) settle(p *Process) {
+	now := k.eng.Now()
+	if p.phase != phaseCompute {
+		return
+	}
+	elapsed := now - p.speedSetAt
+	if elapsed <= 0 {
+		return
+	}
+	donework := time.Duration(float64(elapsed) * p.speed)
+	if donework > p.computeRemaining {
+		donework = p.computeRemaining
+	}
+	p.computeRemaining -= donework
+	p.cpuTime += donework
+	p.speedSetAt = now
+}
+
+// rebalance recomputes CPU shares for all compute-active processes and
+// reschedules their completion timers.
+func (k *Kernel) rebalance() {
+	n := len(k.active)
+	if n == 0 {
+		return
+	}
+	speed := 1.0
+	if n > k.cores {
+		speed = float64(k.cores) / float64(n)
+	}
+	now := k.eng.Now()
+	for _, p := range k.active {
+		k.settle(p)
+		p.speed = speed
+		p.speedSetAt = now
+		if p.timer != nil {
+			p.timer.Cancel()
+		}
+		remainingWall := time.Duration(float64(p.computeRemaining) / speed)
+		proc := p
+		p.timer = k.eng.Schedule(remainingWall, func() { k.computeDone(proc) })
+	}
+}
+
+// computeDone fires when a process finishes its compute phase.
+func (k *Kernel) computeDone(p *Process) {
+	p.timer = nil
+	if p.state != StateRunning || p.phase != phaseCompute {
+		return
+	}
+	k.settle(p)
+	p.computeRemaining = 0
+	delete(k.active, p.pid)
+	p.phase = phaseIdle
+	k.rebalance()
+	k.runNextOp(p)
+}

@@ -1,0 +1,79 @@
+package ossim
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// TestPropertySignalStormPreservesWork fires random signal sequences at a
+// running process and checks the kernel's accounting invariants: the
+// process either finishes with its full CPU time delivered, or was
+// killed; stopped time and CPU time never exceed wall time; and the
+// process table ends empty when the process died.
+func TestPropertySignalStormPreservesWork(t *testing.T) {
+	type sig struct {
+		AtMs uint16
+		Sig  uint8
+	}
+	f := func(storm []sig) bool {
+		if len(storm) > 32 {
+			storm = storm[:32]
+		}
+		eng, k, _ := testKernel(t, 1)
+		const work = 5 * time.Second
+		p, _ := k.Spawn("w", 1<<20, computeProgram(1, work, 0), nil)
+		killed := false
+		for _, s := range storm {
+			s := s
+			eng.Schedule(time.Duration(s.AtMs)*time.Millisecond, func() {
+				switch s.Sig % 3 {
+				case 0:
+					k.Signal(p.PID(), SIGTSTP)
+				case 1:
+					k.Signal(p.PID(), SIGCONT)
+				case 2:
+					if s.Sig%9 == 2 { // kill rarely
+						killed = true
+						k.Signal(p.PID(), SIGKILL)
+					}
+				}
+			})
+		}
+		// Catch-all resume so a trailing stop cannot hang the run.
+		eng.Schedule(80*time.Second, func() { k.Signal(p.PID(), SIGCONT) })
+		eng.RunUntil(200 * time.Second)
+
+		if p.State() != StateExited {
+			t.Logf("process stuck in %v (killed=%v)", p.State(), killed)
+			return false
+		}
+		if k.Processes() != 0 {
+			t.Logf("process table not empty")
+			return false
+		}
+		cpu := p.CPUTime()
+		if cpu > work+time.Millisecond {
+			t.Logf("CPU time %v exceeds the program's work %v", cpu, work)
+			return false
+		}
+		if p.ExitCode() == ExitOK {
+			// A normally finished process must have consumed all its work.
+			if cpu < work-time.Millisecond {
+				t.Logf("finished with only %v of %v CPU", cpu, work)
+				return false
+			}
+		} else if !killed && p.ExitCode() == ExitKilled {
+			t.Logf("killed without a SIGKILL being sent")
+			return false
+		}
+		if p.StoppedTime() < 0 || p.StoppedTime() > 200*time.Second {
+			t.Logf("implausible stopped time %v", p.StoppedTime())
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}

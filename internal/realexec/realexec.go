@@ -1,0 +1,290 @@
+//go:build unix
+
+// Package realexec demonstrates the paper's preemption primitive on real
+// operating-system processes: workers are ordinary child processes, and
+// suspension/resumption uses the actual POSIX SIGTSTP and SIGCONT
+// signals, exactly as the paper's TaskTracker modification does. Under
+// memory pressure the real kernel pages the stopped worker out — the
+// behaviour the simulation models.
+//
+// Workers report progress over a pipe ("P <fraction>" lines, then
+// "DONE"), mirroring the TaskTracker's view of task progress.
+package realexec
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"strconv"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+)
+
+// Env variables of the self-exec worker protocol.
+const (
+	envWorker = "HADOOPPREEMPT_WORKER"
+	envSteps  = "HADOOPPREEMPT_STEPS"
+	envUnits  = "HADOOPPREEMPT_UNITS"
+	envMem    = "HADOOPPREEMPT_MEM_BYTES"
+)
+
+// State is a worker's lifecycle state as seen by the parent.
+type State int
+
+// Worker states.
+const (
+	// StateRunning means the child process is executing.
+	StateRunning State = iota + 1
+	// StateSuspended means SIGTSTP was delivered.
+	StateSuspended
+	// StateDone means the worker finished successfully.
+	StateDone
+	// StateKilled means the worker was killed.
+	StateKilled
+)
+
+// String returns a readable name.
+func (s State) String() string {
+	switch s {
+	case StateRunning:
+		return "running"
+	case StateSuspended:
+		return "suspended"
+	case StateDone:
+		return "done"
+	case StateKilled:
+		return "killed"
+	default:
+		return fmt.Sprintf("State(%d)", int(s))
+	}
+}
+
+// Worker controls one real child process.
+type Worker struct {
+	name string
+	cmd  *exec.Cmd
+
+	mu       sync.Mutex
+	state    State
+	progress float64
+	err      error
+
+	done chan struct{}
+	wg   sync.WaitGroup
+}
+
+// Spec configures a synthetic worker.
+type Spec struct {
+	// Name labels the worker in logs.
+	Name string
+	// Steps is the number of progress reports over the worker's life.
+	Steps int
+	// UnitsPerStep is the CPU work per step, in busy-loop iterations
+	// (progress therefore advances only when the process is scheduled —
+	// a stopped process makes none, unlike wall-clock sleeps).
+	UnitsPerStep int64
+	// MemBytes is written (dirtied) by the worker at startup and read
+	// back before finishing, like the paper's worst-case tasks.
+	MemBytes int64
+}
+
+// IsWorkerInvocation reports whether the current process was started as a
+// worker and should call WorkerMain instead of its normal main.
+func IsWorkerInvocation() bool {
+	return os.Getenv(envWorker) == "1"
+}
+
+// WorkerMain is the child-side entry point: it performs the synthetic
+// work and reports progress on stdout. It never returns; it exits the
+// process.
+func WorkerMain() {
+	steps, _ := strconv.Atoi(os.Getenv(envSteps))
+	units, _ := strconv.ParseInt(os.Getenv(envUnits), 10, 64)
+	memBytes, _ := strconv.ParseInt(os.Getenv(envMem), 10, 64)
+	if steps <= 0 {
+		steps = 10
+	}
+	if units <= 0 {
+		units = 20_000_000
+	}
+	var state []byte
+	if memBytes > 0 {
+		state = make([]byte, memBytes)
+		for i := range state {
+			state[i] = byte(i * 2654435761)
+		}
+	}
+	sink := uint64(0)
+	out := bufio.NewWriter(os.Stdout)
+	for s := 1; s <= steps; s++ {
+		for i := int64(0); i < units; i++ {
+			sink = sink*6364136223846793005 + 1442695040888963407
+		}
+		fmt.Fprintf(out, "P %.4f\n", float64(s)/float64(steps))
+		out.Flush()
+	}
+	// Read the state back (forces page-ins if we were swapped while
+	// stopped).
+	var check uint64
+	for _, b := range state {
+		check += uint64(b)
+	}
+	fmt.Fprintf(out, "DONE %d %d\n", sink, check)
+	out.Flush()
+	os.Exit(0)
+}
+
+// SpawnSelf re-executes the current binary as a worker. The caller's main
+// must route worker invocations to WorkerMain.
+func SpawnSelf(spec Spec) (*Worker, error) {
+	self, err := os.Executable()
+	if err != nil {
+		return nil, fmt.Errorf("realexec: cannot locate executable: %w", err)
+	}
+	if spec.Steps <= 0 {
+		spec.Steps = 10
+	}
+	if spec.UnitsPerStep <= 0 {
+		spec.UnitsPerStep = 20_000_000
+	}
+	cmd := exec.Command(self)
+	cmd.Env = append(os.Environ(),
+		envWorker+"=1",
+		fmt.Sprintf("%s=%d", envSteps, spec.Steps),
+		fmt.Sprintf("%s=%d", envUnits, spec.UnitsPerStep),
+		fmt.Sprintf("%s=%d", envMem, spec.MemBytes),
+	)
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, fmt.Errorf("realexec: stdout pipe: %w", err)
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, fmt.Errorf("realexec: start worker: %w", err)
+	}
+	w := &Worker{
+		name:  spec.Name,
+		cmd:   cmd,
+		state: StateRunning,
+		done:  make(chan struct{}),
+	}
+	w.wg.Add(1)
+	go w.readLoop(stdout)
+	return w, nil
+}
+
+// readLoop follows the progress pipe until the child exits.
+func (w *Worker) readLoop(r io.Reader) {
+	defer w.wg.Done()
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "P "):
+			if v, err := strconv.ParseFloat(strings.TrimPrefix(line, "P "), 64); err == nil {
+				w.mu.Lock()
+				w.progress = v
+				w.mu.Unlock()
+			}
+		case strings.HasPrefix(line, "DONE"):
+			w.mu.Lock()
+			w.progress = 1
+			w.mu.Unlock()
+		}
+	}
+	err := w.cmd.Wait()
+	w.mu.Lock()
+	if w.state != StateKilled {
+		if err != nil {
+			w.state = StateKilled
+			w.err = err
+		} else {
+			w.state = StateDone
+		}
+	}
+	w.mu.Unlock()
+	close(w.done)
+}
+
+// Name returns the worker label.
+func (w *Worker) Name() string { return w.name }
+
+// PID returns the child process id.
+func (w *Worker) PID() int { return w.cmd.Process.Pid }
+
+// Progress returns the last reported completion fraction.
+func (w *Worker) Progress() float64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.progress
+}
+
+// State returns the parent-side view of the worker state.
+func (w *Worker) State() State {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.state
+}
+
+// Suspend delivers SIGTSTP — the paper's suspension primitive.
+func (w *Worker) Suspend() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.state != StateRunning {
+		return fmt.Errorf("realexec: cannot suspend %s in state %v", w.name, w.state)
+	}
+	if err := w.cmd.Process.Signal(syscall.SIGTSTP); err != nil {
+		return fmt.Errorf("realexec: SIGTSTP: %w", err)
+	}
+	w.state = StateSuspended
+	return nil
+}
+
+// Resume delivers SIGCONT.
+func (w *Worker) Resume() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.state != StateSuspended {
+		return fmt.Errorf("realexec: cannot resume %s in state %v", w.name, w.state)
+	}
+	if err := w.cmd.Process.Signal(syscall.SIGCONT); err != nil {
+		return fmt.Errorf("realexec: SIGCONT: %w", err)
+	}
+	w.state = StateRunning
+	return nil
+}
+
+// Kill delivers SIGKILL.
+func (w *Worker) Kill() error {
+	w.mu.Lock()
+	if w.state == StateDone || w.state == StateKilled {
+		w.mu.Unlock()
+		return nil
+	}
+	w.state = StateKilled
+	w.mu.Unlock()
+	// A stopped process still dies on SIGKILL.
+	return w.cmd.Process.Kill()
+}
+
+// Wait blocks until the worker exits or the timeout elapses; it reports
+// whether the worker exited.
+func (w *Worker) Wait(timeout time.Duration) bool {
+	select {
+	case <-w.done:
+		w.wg.Wait()
+		return true
+	case <-time.After(timeout):
+		return false
+	}
+}
+
+// Err returns the terminal error, if any.
+func (w *Worker) Err() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.err
+}

@@ -1,0 +1,140 @@
+// Package scheduler provides job/task schedulers for the simulated Hadoop
+// engine: the paper's trigger-driven dummy scheduler used for the
+// comparative evaluation, a FIFO baseline, a FAIR scheduler with
+// starvation-triggered preemption, and an HFSP-style size-based scheduler
+// (the paper's §VI outlook).
+package scheduler
+
+import (
+	"fmt"
+	"sort"
+
+	"hadooppreempt/internal/mapreduce"
+)
+
+// TriggerEvent selects what a dummy-scheduler trigger fires on.
+type TriggerEvent int
+
+// Trigger events.
+const (
+	// OnProgress fires when the named job's progress reaches Threshold.
+	OnProgress TriggerEvent = iota + 1
+	// OnComplete fires when the named job succeeds.
+	OnComplete
+	// OnSubmit fires when the named job is submitted.
+	OnSubmit
+)
+
+// String names the event.
+func (e TriggerEvent) String() string {
+	switch e {
+	case OnProgress:
+		return "on-progress"
+	case OnComplete:
+		return "on-complete"
+	case OnSubmit:
+		return "on-submit"
+	default:
+		return fmt.Sprintf("TriggerEvent(%d)", int(e))
+	}
+}
+
+// Trigger is one rule of the dummy scheduler: when the event condition is
+// met for the job (matched by JobConf name), Do runs once.
+type Trigger struct {
+	Event     TriggerEvent
+	Job       string
+	Threshold float64 // OnProgress only
+	Do        func()
+
+	fired bool
+}
+
+// Dummy is the paper's evaluation scheduler (§III-B): it "dictates task
+// eviction according to static configuration files", expressed here as
+// triggers. Slot assignment is by job priority (then submission order),
+// which lets the high-priority task th claim a slot the moment the
+// preempted tl releases it.
+type Dummy struct {
+	jt       *mapreduce.JobTracker
+	triggers []*Trigger
+}
+
+var _ mapreduce.Scheduler = (*Dummy)(nil)
+
+// NewDummy creates the trigger scheduler. Install it with SetScheduler
+// before submitting jobs.
+func NewDummy(jt *mapreduce.JobTracker) *Dummy {
+	return &Dummy{jt: jt}
+}
+
+// AddTrigger registers a rule.
+func (d *Dummy) AddTrigger(t Trigger) {
+	tt := t
+	d.triggers = append(d.triggers, &tt)
+}
+
+// JobSubmitted implements mapreduce.Scheduler.
+func (d *Dummy) JobSubmitted(job *mapreduce.Job) {
+	d.fire(OnSubmit, job.Conf().Name, 1)
+}
+
+// JobCompleted implements mapreduce.Scheduler.
+func (d *Dummy) JobCompleted(job *mapreduce.Job) {
+	d.fire(OnComplete, job.Conf().Name, 1)
+}
+
+// TaskProgressed implements mapreduce.Scheduler.
+func (d *Dummy) TaskProgressed(task *mapreduce.Task, progress float64) {
+	d.fire(OnProgress, task.Job().Conf().Name, task.Job().Progress())
+}
+
+// fire runs matching triggers once.
+func (d *Dummy) fire(ev TriggerEvent, job string, value float64) {
+	for _, t := range d.triggers {
+		if t.fired || t.Event != ev || t.Job != job {
+			continue
+		}
+		if ev == OnProgress && value < t.Threshold {
+			continue
+		}
+		t.fired = true
+		if t.Do != nil {
+			t.Do()
+		}
+	}
+}
+
+// Assign implements mapreduce.Scheduler: pending tasks ordered by job
+// priority (descending), then submission order.
+func (d *Dummy) Assign(tt mapreduce.TaskTrackerInfo) []mapreduce.Assignment {
+	pending := d.jt.PendingTasks()
+	sort.SliceStable(pending, func(i, j int) bool {
+		pi := pending[i].Job().Conf().Priority
+		pj := pending[j].Job().Conf().Priority
+		return pi > pj
+	})
+	var out []mapreduce.Assignment
+	free := tt.FreeMapSlots
+	for _, t := range pending {
+		if free <= 0 {
+			break
+		}
+		if t.ID().Type == mapreduce.ReduceTask && !mapsDone(t.Job()) {
+			continue
+		}
+		out = append(out, mapreduce.Assignment{Task: t.ID()})
+		free--
+	}
+	return out
+}
+
+// mapsDone reports whether all map tasks of a job succeeded.
+func mapsDone(j *mapreduce.Job) bool {
+	for _, t := range j.MapTasks() {
+		if t.State() != mapreduce.TaskSucceeded {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,450 @@
+package scheduler
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"hadooppreempt/internal/core"
+	"hadooppreempt/internal/mapreduce"
+	"hadooppreempt/internal/sim"
+)
+
+// FairConfig parameterizes the FAIR scheduler.
+type FairConfig struct {
+	// TotalSlots is the cluster-wide map slot count (used to compute fair
+	// shares).
+	TotalSlots int
+	// PreemptionTimeout is how long a pool must be starved before the
+	// scheduler preempts tasks of over-share pools, mirroring the Hadoop
+	// fair scheduler's minSharePreemptionTimeout.
+	PreemptionTimeout time.Duration
+	// CheckInterval is the period of the preemption check loop.
+	CheckInterval time.Duration
+	// ResumeLocalityTimeout bounds how long a suspended task may wait for
+	// a slot on its own tracker before it is killed and restarted
+	// elsewhere — the "delayed kill" fallback of §V-A's resume-locality
+	// discussion. Zero disables the fallback.
+	ResumeLocalityTimeout time.Duration
+	// Resident optionally reports a task's resident memory for eviction
+	// policies; nil reports zero.
+	Resident func(mapreduce.TaskID) int64
+	// LocalityWaitSkips implements delay scheduling (Zaharia et al.,
+	// which §V-A reuses for resume locality): a map task declines this
+	// many non-local slot offers before accepting a remote one. Zero
+	// disables the delay.
+	LocalityWaitSkips int
+}
+
+// DefaultFairConfig returns moderate timeouts.
+func DefaultFairConfig(totalSlots int) FairConfig {
+	return FairConfig{
+		TotalSlots:        totalSlots,
+		PreemptionTimeout: 15 * time.Second,
+		CheckInterval:     time.Second,
+		// Resume locality: wait up to 30 s for the home slot, then fall
+		// back to a delayed kill.
+		ResumeLocalityTimeout: 30 * time.Second,
+		// Data locality: decline a few non-local offers first.
+		LocalityWaitSkips: 3,
+	}
+}
+
+// Fair is a two-level fair-share scheduler over pools, using a preemption
+// primitive to enforce shares: when a pool is starved beyond the timeout,
+// tasks of over-share pools are preempted (suspended, killed or
+// checkpointed depending on the configured Preemptor) and restored when
+// capacity returns.
+type Fair struct {
+	eng       *sim.Engine
+	jt        *mapreduce.JobTracker
+	cfg       FairConfig
+	preemptor *core.Preemptor
+	policy    core.EvictionPolicy
+
+	pools map[string]*fairPool
+	// suspended tracks preempted-but-restorable tasks.
+	suspended map[mapreduce.TaskID]*suspendedTask
+	// skips counts declined non-local offers per task (delay
+	// scheduling).
+	skips map[mapreduce.TaskID]int
+
+	preemptions int
+	resumes     int
+	killApplied int
+}
+
+type fairPool struct {
+	name         string
+	jobs         []*mapreduce.Job
+	starvedSince time.Duration
+	starved      bool
+}
+
+type suspendedTask struct {
+	id          mapreduce.TaskID
+	pool        string
+	suspendedAt time.Duration
+}
+
+var _ mapreduce.Scheduler = (*Fair)(nil)
+
+// NewFair creates the scheduler and starts its periodic preemption check.
+func NewFair(eng *sim.Engine, jt *mapreduce.JobTracker, preemptor *core.Preemptor,
+	policy core.EvictionPolicy, cfg FairConfig) (*Fair, error) {
+	if cfg.TotalSlots <= 0 {
+		return nil, fmt.Errorf("scheduler: fair needs positive TotalSlots")
+	}
+	if cfg.CheckInterval <= 0 {
+		cfg.CheckInterval = time.Second
+	}
+	if policy == nil {
+		policy = core.MostProgress()
+	}
+	f := &Fair{
+		eng:       eng,
+		jt:        jt,
+		cfg:       cfg,
+		preemptor: preemptor,
+		policy:    policy,
+		pools:     make(map[string]*fairPool),
+		suspended: make(map[mapreduce.TaskID]*suspendedTask),
+		skips:     make(map[mapreduce.TaskID]int),
+	}
+	eng.Schedule(cfg.CheckInterval, f.check)
+	return f, nil
+}
+
+// Preemptions reports how many preemptions the scheduler issued.
+func (f *Fair) Preemptions() int { return f.preemptions }
+
+// Resumes reports how many restores the scheduler issued.
+func (f *Fair) Resumes() int { return f.resumes }
+
+// DelayedKills reports resume-locality fallbacks.
+func (f *Fair) DelayedKills() int { return f.killApplied }
+
+// poolOf returns the pool for a job, creating it on demand.
+func (f *Fair) poolOf(job *mapreduce.Job) *fairPool {
+	name := job.Conf().Pool
+	if name == "" {
+		name = "default"
+	}
+	p, ok := f.pools[name]
+	if !ok {
+		p = &fairPool{name: name}
+		f.pools[name] = p
+	}
+	return p
+}
+
+// JobSubmitted implements mapreduce.Scheduler.
+func (f *Fair) JobSubmitted(job *mapreduce.Job) {
+	p := f.poolOf(job)
+	p.jobs = append(p.jobs, job)
+}
+
+// JobCompleted implements mapreduce.Scheduler.
+func (f *Fair) JobCompleted(job *mapreduce.Job) {}
+
+// TaskProgressed implements mapreduce.Scheduler.
+func (f *Fair) TaskProgressed(*mapreduce.Task, float64) {}
+
+// poolStats counts a pool's running tasks and total demand.
+func (f *Fair) poolStats(p *fairPool) (running, demand int) {
+	for _, job := range p.jobs {
+		for _, t := range job.Tasks() {
+			switch t.State() {
+			case mapreduce.TaskRunning, mapreduce.TaskMustSuspend:
+				running++
+				demand++
+			case mapreduce.TaskMustResume, mapreduce.TaskSuspended:
+				demand++
+			case mapreduce.TaskPending:
+				demand++
+			}
+		}
+	}
+	return running, demand
+}
+
+// activePools returns pools with live demand, sorted by name.
+func (f *Fair) activePools() []*fairPool {
+	var out []*fairPool
+	for _, p := range f.pools {
+		_, demand := f.poolStats(p)
+		if demand > 0 {
+			out = append(out, p)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}
+
+// share computes the per-pool fair share.
+func (f *Fair) share(active int) float64 {
+	if active == 0 {
+		return float64(f.cfg.TotalSlots)
+	}
+	return float64(f.cfg.TotalSlots) / float64(active)
+}
+
+// Assign implements mapreduce.Scheduler: resume suspended tasks of
+// under-share pools first (resume locality: only on their own tracker),
+// then hand remaining slots to the most-starved pools' pending tasks,
+// preferring node-local maps.
+func (f *Fair) Assign(tt mapreduce.TaskTrackerInfo) []mapreduce.Assignment {
+	active := f.activePools()
+	share := f.share(len(active))
+	free := tt.FreeMapSlots
+
+	// 1. Resume suspended tasks stranded on this tracker when their pool
+	// is below its share.
+	for _, tid := range tt.SuspendedTasks {
+		if free <= 0 {
+			break
+		}
+		st, ok := f.suspended[tid]
+		if !ok {
+			continue
+		}
+		task, ok := f.jt.Task(tid)
+		if !ok || task.State() != mapreduce.TaskSuspended {
+			continue
+		}
+		pool := f.pools[st.pool]
+		running, demand := f.poolStats(pool)
+		if float64(running) < share && demand > running {
+			if err := f.jt.ResumeTask(tid); err == nil {
+				f.resumes++
+				free--
+				delete(f.suspended, tid)
+			}
+		}
+	}
+
+	// 2. Fill remaining slots: repeatedly give the pool furthest below
+	// its share one task. Picks made this round are tracked locally,
+	// since task states only change when the JobTracker processes the
+	// assignments.
+	var out []mapreduce.Assignment
+	taken := make(map[mapreduce.TaskID]bool)
+	extra := make(map[*fairPool]int)
+	skip := make(map[*fairPool]bool)
+	for free > 0 {
+		p := f.neediestPool(active, share, extra, skip)
+		if p == nil {
+			break
+		}
+		t := f.pickTask(p, tt, taken)
+		if t == nil {
+			// Pool has pending work but nothing runnable here.
+			skip[p] = true
+			continue
+		}
+		taken[t.ID()] = true
+		extra[p]++
+		out = append(out, mapreduce.Assignment{Task: t.ID()})
+		free--
+	}
+	return out
+}
+
+// neediestPool picks the active pool furthest below its share with
+// pending work, accounting for picks already made this round.
+func (f *Fair) neediestPool(active []*fairPool, share float64, extra map[*fairPool]int, skip map[*fairPool]bool) *fairPool {
+	var best *fairPool
+	bestGap := 0.0
+	for _, p := range active {
+		if skip[p] {
+			continue
+		}
+		running, demand := f.poolStats(p)
+		running += extra[p]
+		pending := demand - running - f.suspendedCount(p.name)
+		if pending <= 0 {
+			continue
+		}
+		gap := share - float64(running)
+		if gap > bestGap {
+			best = p
+			bestGap = gap
+		}
+	}
+	return best
+}
+
+// suspendedCount counts tasks of a pool currently suspended.
+func (f *Fair) suspendedCount(pool string) int {
+	n := 0
+	for _, st := range f.suspended {
+		if st.pool == pool {
+			n++
+		}
+	}
+	return n
+}
+
+// pickTask chooses a pending task of the pool for the tracker, preferring
+// node-local map input and skipping tasks already picked this round.
+// Non-local candidates use delay scheduling: they decline up to
+// LocalityWaitSkips offers before running remotely.
+func (f *Fair) pickTask(p *fairPool, tt mapreduce.TaskTrackerInfo, taken map[mapreduce.TaskID]bool) *mapreduce.Task {
+	var fallback *mapreduce.Task
+	for _, job := range p.jobs {
+		for _, t := range job.Tasks() {
+			if t.State() != mapreduce.TaskPending || taken[t.ID()] {
+				continue
+			}
+			if t.ID().Type == mapreduce.ReduceTask {
+				if !mapsDone(job) {
+					continue
+				}
+				return t
+			}
+			if f.isLocal(t, tt.Node) {
+				delete(f.skips, t.ID())
+				return t
+			}
+			if fallback == nil {
+				fallback = t
+			}
+		}
+	}
+	if fallback != nil && f.cfg.LocalityWaitSkips > 0 {
+		if f.skips[fallback.ID()] < f.cfg.LocalityWaitSkips {
+			f.skips[fallback.ID()]++
+			return nil // decline this offer, wait for a local slot
+		}
+		delete(f.skips, fallback.ID())
+	}
+	return fallback
+}
+
+// isLocal reports whether the task's block has a replica on the node.
+func (f *Fair) isLocal(t *mapreduce.Task, node string) bool {
+	for _, r := range t.Block().Replicas {
+		if string(r) == node {
+			return true
+		}
+	}
+	return false
+}
+
+// check is the periodic preemption loop: detect starved pools, preempt
+// over-share pools after the timeout, and apply the resume-locality
+// delayed-kill fallback.
+func (f *Fair) check() {
+	defer f.eng.Schedule(f.cfg.CheckInterval, f.check)
+	now := f.eng.Now()
+	active := f.activePools()
+	share := f.share(len(active))
+
+	for _, p := range active {
+		running, demand := f.poolStats(p)
+		want := share
+		if float64(demand) < want {
+			want = float64(demand)
+		}
+		if float64(running) >= want {
+			p.starved = false
+			continue
+		}
+		if !p.starved {
+			p.starved = true
+			p.starvedSince = now
+			continue
+		}
+		if now-p.starvedSince < f.cfg.PreemptionTimeout {
+			continue
+		}
+		// Starved past the timeout: preempt one task from the most
+		// over-share pool.
+		f.preemptFor(p, active, share)
+		p.starvedSince = now // rate-limit: at most one victim per timeout
+	}
+
+	// Resume-locality fallback: suspended too long waiting for its home
+	// slot -> delayed kill so it can restart anywhere.
+	if f.cfg.ResumeLocalityTimeout > 0 {
+		for tid, st := range f.suspended {
+			task, ok := f.jt.Task(tid)
+			if !ok || task.State() != mapreduce.TaskSuspended {
+				continue
+			}
+			if now-st.suspendedAt > f.cfg.ResumeLocalityTimeout {
+				if err := f.jt.KillTaskAttempt(tid, true); err == nil {
+					f.killApplied++
+					delete(f.suspended, tid)
+				}
+			}
+		}
+	}
+}
+
+// preemptFor finds a victim in over-share pools and preempts it.
+func (f *Fair) preemptFor(starved *fairPool, active []*fairPool, share float64) {
+	var candidates []core.Candidate
+	owner := make(map[string]*fairPool)
+	for _, p := range active {
+		if p == starved {
+			continue
+		}
+		running, _ := f.poolStats(p)
+		if float64(running) <= share {
+			continue
+		}
+		for _, job := range p.jobs {
+			for _, t := range job.Tasks() {
+				if t.State() != mapreduce.TaskRunning {
+					continue
+				}
+				var resident int64
+				if f.cfg.Resident != nil {
+					resident = f.cfg.Resident(t.ID())
+				}
+				c := core.Candidate{
+					ID:            t.ID().String(),
+					Progress:      t.Progress(),
+					ResidentBytes: resident,
+					StartedAt:     t.FirstLaunchAt(),
+				}
+				candidates = append(candidates, c)
+				owner[c.ID] = p
+			}
+		}
+	}
+	victim, ok := f.policy.SelectVictim(candidates)
+	if !ok {
+		return
+	}
+	vt := f.findTaskByString(victim.ID)
+	if vt == nil {
+		return
+	}
+	if _, err := f.preemptor.Preempt(vt.ID()); err != nil {
+		return
+	}
+	f.preemptions++
+	if f.preemptor.Primitive() == core.Suspend || f.preemptor.Primitive() == core.Checkpoint {
+		f.suspended[vt.ID()] = &suspendedTask{
+			id:          vt.ID(),
+			pool:        owner[victim.ID].name,
+			suspendedAt: f.eng.Now(),
+		}
+	}
+}
+
+// findTaskByString resolves a stringified task id back to the record.
+func (f *Fair) findTaskByString(s string) *mapreduce.Task {
+	for _, p := range f.pools {
+		for _, job := range p.jobs {
+			for _, t := range job.Tasks() {
+				if t.ID().String() == s {
+					return t
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,45 @@
+package scheduler
+
+import (
+	"hadooppreempt/internal/mapreduce"
+)
+
+// FIFO is Hadoop's default scheduler: tasks are assigned in job submission
+// order with no preemption. It is the "wait" world: a high-priority job
+// simply queues behind running work.
+type FIFO struct {
+	jt *mapreduce.JobTracker
+}
+
+var _ mapreduce.Scheduler = (*FIFO)(nil)
+
+// NewFIFO creates a FIFO scheduler.
+func NewFIFO(jt *mapreduce.JobTracker) *FIFO {
+	return &FIFO{jt: jt}
+}
+
+// JobSubmitted implements mapreduce.Scheduler.
+func (f *FIFO) JobSubmitted(*mapreduce.Job) {}
+
+// JobCompleted implements mapreduce.Scheduler.
+func (f *FIFO) JobCompleted(*mapreduce.Job) {}
+
+// TaskProgressed implements mapreduce.Scheduler.
+func (f *FIFO) TaskProgressed(*mapreduce.Task, float64) {}
+
+// Assign implements mapreduce.Scheduler.
+func (f *FIFO) Assign(tt mapreduce.TaskTrackerInfo) []mapreduce.Assignment {
+	var out []mapreduce.Assignment
+	free := tt.FreeMapSlots
+	for _, t := range f.jt.PendingTasks() {
+		if free <= 0 {
+			break
+		}
+		if t.ID().Type == mapreduce.ReduceTask && !mapsDone(t.Job()) {
+			continue
+		}
+		out = append(out, mapreduce.Assignment{Task: t.ID()})
+		free--
+	}
+	return out
+}

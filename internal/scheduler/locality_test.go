@@ -1,0 +1,112 @@
+package scheduler_test
+
+import (
+	"testing"
+	"time"
+
+	"hadooppreempt/internal/core"
+	"hadooppreempt/internal/hdfs"
+	"hadooppreempt/internal/mapreduce"
+	"hadooppreempt/internal/scheduler"
+)
+
+// TestFairDelaySchedulingPrefersLocalSlot pins a single-replica block on
+// node02 and checks the fair scheduler declines node01's offers until
+// node02's heartbeat arrives.
+func TestFairDelaySchedulingPrefersLocalSlot(t *testing.T) {
+	cfg := mapreduce.DefaultClusterConfig()
+	cfg.Nodes = 2
+	cfg.Node.MapSlots = 1
+	cfg.HDFS.Replication = 1
+	cfg.Engine.HeartbeatInterval = time.Second
+	c, err := mapreduce.NewCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jt := c.JobTracker()
+	pre := preemptorFor(t, c, core.Suspend)
+	fcfg := scheduler.DefaultFairConfig(2)
+	fcfg.LocalityWaitSkips = 3
+	fair, err := scheduler.NewFair(c.Engine(), jt, pre, nil, fcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jt.SetScheduler(fair)
+
+	// Single replica pinned to node02 via the writer hint.
+	if _, err := c.FileSystem().Create("/pinned", 64<<20, hdfs.NodeID("node02")); err != nil {
+		t.Fatal(err)
+	}
+	job, err := jt.Submit(quickJob("pinned", "/pinned"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.RunUntilJobsDone(10 * time.Minute) {
+		t.Fatal("job did not finish")
+	}
+	task := job.MapTasks()[0]
+	if task.Tracker() != "tracker_node02" {
+		t.Fatalf("task ran on %s, want tracker_node02 (delay scheduling should wait for the local slot)",
+			task.Tracker())
+	}
+}
+
+// TestFairDelaySchedulingEventuallyGoesRemote occupies the local node so
+// the task must exhaust its skips and accept a remote slot.
+func TestFairDelaySchedulingEventuallyGoesRemote(t *testing.T) {
+	cfg := mapreduce.DefaultClusterConfig()
+	cfg.Nodes = 2
+	cfg.Node.MapSlots = 1
+	cfg.HDFS.Replication = 1
+	cfg.Engine.HeartbeatInterval = time.Second
+	c, err := mapreduce.NewCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jt := c.JobTracker()
+	pre := preemptorFor(t, c, core.Suspend)
+	fcfg := scheduler.DefaultFairConfig(2)
+	fcfg.LocalityWaitSkips = 2
+	fcfg.PreemptionTimeout = time.Hour // no preemption in this test
+	fair, err := scheduler.NewFair(c.Engine(), jt, pre, nil, fcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jt.SetScheduler(fair)
+
+	// A long job pinned to node02 occupies the only local slot.
+	if _, err := c.FileSystem().Create("/hog", 512<<20, hdfs.NodeID("node02")); err != nil {
+		t.Fatal(err)
+	}
+	hog := quickJob("hog", "/hog")
+	hog.MapParseRate = 4e6 // ~128 s
+	hog.Pool = "same"
+	if _, err := jt.Submit(hog); err != nil {
+		t.Fatal(err)
+	}
+	c.RunUntil(5 * time.Second)
+
+	// The pinned job wants node02 but it is busy; after the skips it
+	// must run on node01.
+	if _, err := c.FileSystem().Create("/pinned", 64<<20, hdfs.NodeID("node02")); err != nil {
+		t.Fatal(err)
+	}
+	pinned := quickJob("pinned", "/pinned")
+	pinned.Pool = "same"
+	job, err := jt.Submit(pinned)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.RunUntilJobsDone(30 * time.Minute) {
+		t.Fatal("jobs did not finish")
+	}
+	task := job.MapTasks()[0]
+	if task.Tracker() != "tracker_node01" {
+		t.Fatalf("task ran on %s, want remote tracker_node01 after exhausting skips", task.Tracker())
+	}
+	// It must have gone remote quickly (a few skipped heartbeats), not
+	// waited for the 128 s hog.
+	if task.FirstLaunchAt() > 60*time.Second {
+		t.Fatalf("remote fallback too slow: launched at %v", task.FirstLaunchAt())
+	}
+}

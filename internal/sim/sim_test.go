@@ -1,0 +1,379 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestEngineStartsAtZero(t *testing.T) {
+	e := New()
+	if e.Now() != 0 {
+		t.Fatalf("Now() = %v, want 0", e.Now())
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("Pending() = %d, want 0", e.Pending())
+	}
+}
+
+func TestScheduleAndRunAdvancesClock(t *testing.T) {
+	e := New()
+	var fired []time.Duration
+	e.Schedule(10*time.Second, func() { fired = append(fired, e.Now()) })
+	e.Schedule(5*time.Second, func() { fired = append(fired, e.Now()) })
+	e.Schedule(20*time.Second, func() { fired = append(fired, e.Now()) })
+	e.Run()
+	want := []time.Duration{5 * time.Second, 10 * time.Second, 20 * time.Second}
+	if len(fired) != len(want) {
+		t.Fatalf("fired %d events, want %d", len(fired), len(want))
+	}
+	for i := range want {
+		if fired[i] != want[i] {
+			t.Errorf("event %d fired at %v, want %v", i, fired[i], want[i])
+		}
+	}
+	if e.Now() != 20*time.Second {
+		t.Errorf("final Now() = %v, want 20s", e.Now())
+	}
+}
+
+func TestSameTimeEventsFireInScheduleOrder(t *testing.T) {
+	e := New()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(time.Second, func() { order = append(order, i) })
+	}
+	e.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("order[%d] = %d, want %d (FIFO within a timestamp)", i, v, i)
+		}
+	}
+}
+
+func TestNegativeDelayClampsToNow(t *testing.T) {
+	e := New()
+	e.Schedule(time.Second, func() {
+		fired := false
+		e.Schedule(-5*time.Second, func() {
+			fired = true
+			if e.Now() != time.Second {
+				t.Errorf("clamped event fired at %v, want 1s", e.Now())
+			}
+		})
+		_ = fired
+	})
+	e.Run()
+	if e.Now() != time.Second {
+		t.Fatalf("Now() = %v, want 1s", e.Now())
+	}
+}
+
+func TestCancelPreventsFiring(t *testing.T) {
+	e := New()
+	fired := false
+	tm := e.Schedule(time.Second, func() { fired = true })
+	if !tm.Pending() {
+		t.Fatal("timer should be pending before cancel")
+	}
+	if !tm.Cancel() {
+		t.Fatal("first Cancel should report true")
+	}
+	if tm.Cancel() {
+		t.Fatal("second Cancel should report false")
+	}
+	if tm.Pending() {
+		t.Fatal("timer should not be pending after cancel")
+	}
+	e.Run()
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+}
+
+func TestCancelAfterFireReturnsFalse(t *testing.T) {
+	e := New()
+	tm := e.Schedule(time.Second, func() {})
+	e.Run()
+	if tm.Cancel() {
+		t.Fatal("Cancel after fire should report false")
+	}
+}
+
+func TestCancelNilTimer(t *testing.T) {
+	var tm *Timer
+	if tm.Cancel() {
+		t.Fatal("Cancel on nil timer should report false")
+	}
+	if tm.Pending() {
+		t.Fatal("nil timer should not be pending")
+	}
+}
+
+func TestEventsScheduledDuringRunAreDispatched(t *testing.T) {
+	e := New()
+	var hits int
+	var recurse func()
+	recurse = func() {
+		hits++
+		if hits < 5 {
+			e.Schedule(time.Second, recurse)
+		}
+	}
+	e.Schedule(time.Second, recurse)
+	e.Run()
+	if hits != 5 {
+		t.Fatalf("hits = %d, want 5", hits)
+	}
+	if e.Now() != 5*time.Second {
+		t.Fatalf("Now() = %v, want 5s", e.Now())
+	}
+}
+
+func TestRunUntilStopsAtDeadline(t *testing.T) {
+	e := New()
+	var fired []time.Duration
+	for _, d := range []time.Duration{1, 2, 3, 4, 5} {
+		d := d * time.Second
+		e.Schedule(d, func() { fired = append(fired, d) })
+	}
+	e.RunUntil(3 * time.Second)
+	if len(fired) != 3 {
+		t.Fatalf("fired %d events, want 3", len(fired))
+	}
+	if e.Now() != 3*time.Second {
+		t.Fatalf("Now() = %v, want 3s", e.Now())
+	}
+	if e.Pending() != 2 {
+		t.Fatalf("Pending() = %d, want 2", e.Pending())
+	}
+	e.Run()
+	if len(fired) != 5 {
+		t.Fatalf("after Run fired %d events, want 5", len(fired))
+	}
+}
+
+func TestRunUntilAdvancesClockWithNoEvents(t *testing.T) {
+	e := New()
+	e.RunUntil(42 * time.Second)
+	if e.Now() != 42*time.Second {
+		t.Fatalf("Now() = %v, want 42s", e.Now())
+	}
+}
+
+func TestRunForIsRelative(t *testing.T) {
+	e := New()
+	e.RunUntil(10 * time.Second)
+	e.RunFor(5 * time.Second)
+	if e.Now() != 15*time.Second {
+		t.Fatalf("Now() = %v, want 15s", e.Now())
+	}
+}
+
+func TestNextEventAt(t *testing.T) {
+	e := New()
+	if _, ok := e.NextEventAt(); ok {
+		t.Fatal("NextEventAt on empty queue should report false")
+	}
+	tm := e.Schedule(7*time.Second, func() {})
+	e.Schedule(9*time.Second, func() {})
+	if at, ok := e.NextEventAt(); !ok || at != 7*time.Second {
+		t.Fatalf("NextEventAt = %v, %v; want 7s, true", at, ok)
+	}
+	tm.Cancel()
+	if at, ok := e.NextEventAt(); !ok || at != 9*time.Second {
+		t.Fatalf("NextEventAt after cancel = %v, %v; want 9s, true", at, ok)
+	}
+}
+
+func TestAtClampsPastTimes(t *testing.T) {
+	e := New()
+	e.RunUntil(10 * time.Second)
+	fired := time.Duration(-1)
+	e.At(5*time.Second, func() { fired = e.Now() })
+	e.Run()
+	if fired != 10*time.Second {
+		t.Fatalf("past event fired at %v, want clamp to 10s", fired)
+	}
+}
+
+func TestStepReturnsFalseWhenEmpty(t *testing.T) {
+	e := New()
+	if e.Step() {
+		t.Fatal("Step on empty engine should report false")
+	}
+}
+
+func TestTimerWhen(t *testing.T) {
+	e := New()
+	tm := e.Schedule(3*time.Second, func() {})
+	if tm.When() != 3*time.Second {
+		t.Fatalf("When() = %v, want 3s", tm.When())
+	}
+}
+
+// Property: regardless of the order in which delays are scheduled, events
+// fire in non-decreasing timestamp order and the engine dispatches exactly
+// the non-cancelled ones.
+func TestPropertyEventOrdering(t *testing.T) {
+	f := func(delays []uint16, cancelMask []bool) bool {
+		e := New()
+		var firedAt []time.Duration
+		timers := make([]*Timer, len(delays))
+		for i, d := range delays {
+			dur := time.Duration(d) * time.Millisecond
+			timers[i] = e.Schedule(dur, func() {
+				firedAt = append(firedAt, e.Now())
+			})
+		}
+		cancelled := 0
+		for i, tm := range timers {
+			if i < len(cancelMask) && cancelMask[i] {
+				if tm.Cancel() {
+					cancelled++
+				}
+			}
+		}
+		e.Run()
+		if len(firedAt) != len(delays)-cancelled {
+			return false
+		}
+		for i := 1; i < len(firedAt); i++ {
+			if firedAt[i] < firedAt[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a := NewRNG(42)
+	b := NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams diverged at step %d", i)
+		}
+	}
+}
+
+func TestRNGSeedsDiffer(t *testing.T) {
+	a := NewRNG(1)
+	b := NewRNG(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("%d/100 identical values across different seeds", same)
+	}
+}
+
+func TestRNGFloat64Range(t *testing.T) {
+	r := NewRNG(7)
+	for i := 0; i < 10000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64() = %v out of [0,1)", v)
+		}
+	}
+}
+
+func TestRNGIntnRange(t *testing.T) {
+	r := NewRNG(7)
+	seen := make(map[int]bool)
+	for i := 0; i < 1000; i++ {
+		v := r.Intn(10)
+		if v < 0 || v >= 10 {
+			t.Fatalf("Intn(10) = %d out of range", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 10 {
+		t.Fatalf("Intn(10) produced only %d distinct values in 1000 draws", len(seen))
+	}
+}
+
+func TestRNGIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) should panic")
+		}
+	}()
+	NewRNG(1).Intn(0)
+}
+
+func TestRNGUniformRange(t *testing.T) {
+	r := NewRNG(3)
+	for i := 0; i < 1000; i++ {
+		v := r.Uniform(5, 8)
+		if v < 5 || v >= 8 {
+			t.Fatalf("Uniform(5,8) = %v out of range", v)
+		}
+	}
+}
+
+func TestRNGExpMean(t *testing.T) {
+	r := NewRNG(11)
+	const n = 200000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += r.ExpFloat64()
+	}
+	mean := sum / n
+	if mean < 0.97 || mean > 1.03 {
+		t.Fatalf("exponential mean = %v, want ~1.0", mean)
+	}
+}
+
+func TestRNGNormMoments(t *testing.T) {
+	r := NewRNG(13)
+	const n = 200000
+	sum, sumSq := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		v := r.NormFloat64()
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if mean < -0.02 || mean > 0.02 {
+		t.Fatalf("normal mean = %v, want ~0", mean)
+	}
+	if variance < 0.95 || variance > 1.05 {
+		t.Fatalf("normal variance = %v, want ~1", variance)
+	}
+}
+
+func TestRNGPermIsPermutation(t *testing.T) {
+	r := NewRNG(5)
+	p := r.Perm(50)
+	seen := make([]bool, 50)
+	for _, v := range p {
+		if v < 0 || v >= 50 || seen[v] {
+			t.Fatalf("Perm produced invalid permutation: %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestRNGForkIndependence(t *testing.T) {
+	parent := NewRNG(9)
+	child := parent.Fork()
+	// The child stream must not simply mirror the parent stream.
+	same := 0
+	for i := 0; i < 100; i++ {
+		if parent.Uint64() == child.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("fork mirrors parent: %d/100 identical", same)
+	}
+}

@@ -1,0 +1,124 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestBeginEndRecordsSpan(t *testing.T) {
+	var r Recorder
+	r.Begin("tl", SpanRunning, 0)
+	r.End("tl", 10*time.Second)
+	spans := r.Spans()
+	if len(spans) != 1 {
+		t.Fatalf("spans = %d, want 1", len(spans))
+	}
+	s := spans[0]
+	if s.Row != "tl" || s.Kind != SpanRunning || s.Start != 0 || s.End != 10*time.Second {
+		t.Fatalf("unexpected span %+v", s)
+	}
+}
+
+func TestBeginClosesPreviousSpan(t *testing.T) {
+	var r Recorder
+	r.Begin("tl", SpanRunning, 0)
+	r.Begin("tl", SpanSuspended, 4*time.Second)
+	r.End("tl", 9*time.Second)
+	spans := r.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("spans = %d, want 2", len(spans))
+	}
+	if spans[0].Kind != SpanRunning || spans[0].End != 4*time.Second {
+		t.Fatalf("first span %+v", spans[0])
+	}
+	if spans[1].Kind != SpanSuspended || spans[1].Start != 4*time.Second {
+		t.Fatalf("second span %+v", spans[1])
+	}
+}
+
+func TestEndWithoutBeginIsNoop(t *testing.T) {
+	var r Recorder
+	r.End("x", time.Second)
+	if len(r.Spans()) != 0 {
+		t.Fatal("no span expected")
+	}
+}
+
+func TestZeroLengthSpansDropped(t *testing.T) {
+	var r Recorder
+	r.Begin("tl", SpanRunning, time.Second)
+	r.End("tl", time.Second)
+	if len(r.Spans()) != 0 {
+		t.Fatal("zero-length span should be dropped")
+	}
+}
+
+func TestCloseAll(t *testing.T) {
+	var r Recorder
+	r.Begin("a", SpanRunning, 0)
+	r.Begin("b", SpanSuspended, time.Second)
+	r.CloseAll(5 * time.Second)
+	if len(r.Spans()) != 2 {
+		t.Fatalf("spans = %d, want 2", len(r.Spans()))
+	}
+	if r.Makespan() != 5*time.Second {
+		t.Fatalf("makespan = %v, want 5s", r.Makespan())
+	}
+}
+
+func TestRowsFirstAppearanceOrder(t *testing.T) {
+	var r Recorder
+	r.Add(Span{Row: "th", Kind: SpanRunning, Start: 2 * time.Second, End: 3 * time.Second})
+	r.Add(Span{Row: "tl", Kind: SpanRunning, Start: 0, End: time.Second})
+	rows := r.Rows()
+	if len(rows) != 2 || rows[0] != "th" || rows[1] != "tl" {
+		t.Fatalf("rows = %v", rows)
+	}
+}
+
+func TestGanttRendersGlyphs(t *testing.T) {
+	var r Recorder
+	r.Add(Span{Row: "tl", Kind: SpanRunning, Start: 0, End: 5 * time.Second})
+	r.Add(Span{Row: "tl", Kind: SpanSuspended, Start: 5 * time.Second, End: 10 * time.Second})
+	r.Add(Span{Row: "th", Kind: SpanRunning, Start: 5 * time.Second, End: 10 * time.Second})
+	g := r.Gantt(20)
+	if !strings.Contains(g, "#") {
+		t.Fatal("missing running glyph")
+	}
+	if !strings.Contains(g, "=") {
+		t.Fatal("missing suspended glyph")
+	}
+	lines := strings.Split(strings.TrimRight(g, "\n"), "\n")
+	if len(lines) != 3 { // two rows + axis
+		t.Fatalf("lines = %d, want 3:\n%s", len(lines), g)
+	}
+}
+
+func TestGanttEmpty(t *testing.T) {
+	var r Recorder
+	if g := r.Gantt(20); !strings.Contains(g, "empty") {
+		t.Fatalf("empty gantt = %q", g)
+	}
+}
+
+func TestSpanKindStrings(t *testing.T) {
+	for kind, want := range map[SpanKind]string{
+		SpanRunning: "running", SpanSuspended: "suspended",
+		SpanCleanup: "cleanup", SpanWaiting: "waiting",
+	} {
+		if kind.String() != want {
+			t.Errorf("%d.String() = %q, want %q", kind, kind.String(), want)
+		}
+	}
+}
+
+func TestSpansSorted(t *testing.T) {
+	var r Recorder
+	r.Add(Span{Row: "b", Kind: SpanRunning, Start: 3 * time.Second, End: 4 * time.Second})
+	r.Add(Span{Row: "a", Kind: SpanRunning, Start: time.Second, End: 2 * time.Second})
+	spans := r.Spans()
+	if spans[0].Row != "a" {
+		t.Fatalf("spans not sorted by start: %+v", spans)
+	}
+}

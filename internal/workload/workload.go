@@ -1,0 +1,172 @@
+// Package workload generates synthetic MapReduce workloads in the style
+// of SWIM (the workload suites of Chen et al., which the paper's §IV-A
+// references as the methodology behind its synthetic jobs): job
+// inter-arrival times and input sizes drawn from configurable
+// distributions, with a mix of small interactive jobs and large batch
+// jobs.
+package workload
+
+import (
+	"fmt"
+	"time"
+
+	"hadooppreempt/internal/mapreduce"
+	"hadooppreempt/internal/sim"
+)
+
+// JobClass describes one class of jobs in the mix (e.g. "interactive",
+// "batch").
+type JobClass struct {
+	// Name labels jobs of this class.
+	Name string
+	// Weight is the relative frequency of the class.
+	Weight float64
+	// InputBytesMu and InputBytesSigma parameterize the log-normal input
+	// size distribution.
+	InputBytesMu    float64
+	InputBytesSigma float64
+	// MinInputBytes floors the sampled size.
+	MinInputBytes int64
+	// MapParseRate is the class's mapper throughput (bytes/s).
+	MapParseRate float64
+	// ExtraMemoryBytes is the per-task state allocation.
+	ExtraMemoryBytes int64
+	// Priority and Pool are passed through to the JobConf.
+	Priority int
+	Pool     string
+}
+
+// Config describes a workload.
+type Config struct {
+	// MeanInterarrival is the mean of the exponential inter-arrival
+	// distribution.
+	MeanInterarrival time.Duration
+	// Classes is the job mix; weights need not sum to 1.
+	Classes []JobClass
+	// Count is the number of jobs to generate.
+	Count int
+}
+
+// DefaultConfig returns a Facebook-like mix: mostly small interactive
+// jobs with a tail of large batch jobs (the skew SWIM reports).
+func DefaultConfig() Config {
+	return Config{
+		MeanInterarrival: 30 * time.Second,
+		Count:            20,
+		Classes: []JobClass{
+			{
+				Name:            "interactive",
+				Weight:          0.7,
+				InputBytesMu:    18.5, // ~108 MB median
+				InputBytesSigma: 0.7,
+				MinInputBytes:   16 << 20,
+				MapParseRate:    8e6,
+			},
+			{
+				Name:            "batch",
+				Weight:          0.3,
+				InputBytesMu:    20.5, // ~800 MB median
+				InputBytesSigma: 0.5,
+				MinInputBytes:   256 << 20,
+				MapParseRate:    8e6,
+			},
+		},
+	}
+}
+
+// JobSpec is one generated job.
+type JobSpec struct {
+	// SubmitAt is the absolute submission time.
+	SubmitAt time.Duration
+	// Class is the class name the job was drawn from.
+	Class string
+	// Conf is ready for JobTracker.Submit once InputPath exists.
+	Conf mapreduce.JobConf
+	// InputBytes is the sampled input size.
+	InputBytes int64
+}
+
+// Generate samples a workload trace. It is deterministic for a given rng
+// state.
+func Generate(cfg Config, rng *sim.RNG) ([]JobSpec, error) {
+	if cfg.Count <= 0 {
+		return nil, fmt.Errorf("workload: count must be positive")
+	}
+	if cfg.MeanInterarrival <= 0 {
+		return nil, fmt.Errorf("workload: mean interarrival must be positive")
+	}
+	if len(cfg.Classes) == 0 {
+		return nil, fmt.Errorf("workload: need at least one class")
+	}
+	totalWeight := 0.0
+	for _, c := range cfg.Classes {
+		if c.Weight < 0 {
+			return nil, fmt.Errorf("workload: class %s has negative weight", c.Name)
+		}
+		if c.MapParseRate <= 0 {
+			return nil, fmt.Errorf("workload: class %s needs a positive parse rate", c.Name)
+		}
+		totalWeight += c.Weight
+	}
+	if totalWeight <= 0 {
+		return nil, fmt.Errorf("workload: total class weight must be positive")
+	}
+	var specs []JobSpec
+	var clock time.Duration
+	for i := 0; i < cfg.Count; i++ {
+		gap := time.Duration(rng.ExpFloat64() * float64(cfg.MeanInterarrival))
+		clock += gap
+		class := pickClass(cfg.Classes, totalWeight, rng)
+		size := int64(rng.LogNormal(class.InputBytesMu, class.InputBytesSigma))
+		if size < class.MinInputBytes {
+			size = class.MinInputBytes
+		}
+		name := fmt.Sprintf("%s-%03d", class.Name, i)
+		specs = append(specs, JobSpec{
+			SubmitAt:   clock,
+			Class:      class.Name,
+			InputBytes: size,
+			Conf: mapreduce.JobConf{
+				Name:             name,
+				InputPath:        "/workload/" + name,
+				Priority:         class.Priority,
+				Pool:             class.Pool,
+				MapParseRate:     class.MapParseRate,
+				ExtraMemoryBytes: class.ExtraMemoryBytes,
+			},
+		})
+	}
+	return specs, nil
+}
+
+// pickClass samples a class proportionally to weight.
+func pickClass(classes []JobClass, total float64, rng *sim.RNG) *JobClass {
+	x := rng.Float64() * total
+	for i := range classes {
+		x -= classes[i].Weight
+		if x <= 0 {
+			return &classes[i]
+		}
+	}
+	return &classes[len(classes)-1]
+}
+
+// Install creates the input files and schedules the submissions on the
+// cluster. It returns the submitted jobs' names in order; the jobs
+// themselves materialize as virtual time advances.
+func Install(cluster *mapreduce.Cluster, specs []JobSpec) ([]string, error) {
+	names := make([]string, 0, len(specs))
+	for i := range specs {
+		spec := specs[i]
+		if err := cluster.CreateInput(spec.Conf.InputPath, spec.InputBytes); err != nil {
+			return nil, fmt.Errorf("workload: input for %s: %w", spec.Conf.Name, err)
+		}
+		cluster.Engine().At(spec.SubmitAt, func() {
+			if _, err := cluster.JobTracker().Submit(spec.Conf); err != nil {
+				panic(fmt.Sprintf("workload: submit %s: %v", spec.Conf.Name, err))
+			}
+		})
+		names = append(names, spec.Conf.Name)
+	}
+	return names, nil
+}
