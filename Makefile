@@ -1,0 +1,35 @@
+# Local targets mirror the CI steps (.github/workflows/ci.yml) so the
+# two never drift.
+
+GO ?= go
+
+.PHONY: all build test vet fmt fmt-check bench sweep-check ci
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	gofmt -w .
+
+fmt-check:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+bench:
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+
+sweep-check:
+	$(GO) build -o /tmp/hadoopsim-ci ./cmd/hadoopsim
+	/tmp/hadoopsim-ci -sweep twojob -parallel 1 -format csv -seed 1 > /tmp/sweep-p1.csv
+	/tmp/hadoopsim-ci -sweep twojob -parallel 8 -format csv -seed 1 > /tmp/sweep-p8.csv
+	cmp /tmp/sweep-p1.csv /tmp/sweep-p8.csv
+
+ci: build vet fmt-check test bench sweep-check

@@ -25,11 +25,16 @@ import (
 // benchSeed keeps benchmark runs reproducible.
 const benchSeed = 1
 
+// benchCfg builds the serial sweep configuration the benchmarks use.
+func benchCfg(reps int) hp.ExperimentConfig {
+	return hp.ExperimentConfig{Reps: reps, Seed: benchSeed}
+}
+
 // BenchmarkFigure1Schedules regenerates the task execution schedules of
 // Figure 1 (wait / kill / suspend at r=50%).
 func BenchmarkFigure1Schedules(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res, err := hp.Figure1(benchSeed)
+		res, err := hp.Figure1(benchCfg(1))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -45,7 +50,7 @@ func BenchmarkFigure2aSojournLightweight(b *testing.B) {
 	var res *experiments.ComparisonResult
 	for i := 0; i < b.N; i++ {
 		var err error
-		res, err = hp.Figure2(1, benchSeed)
+		res, err = hp.Figure2(benchCfg(1))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -59,7 +64,7 @@ func BenchmarkFigure2bMakespanLightweight(b *testing.B) {
 	var res *experiments.ComparisonResult
 	for i := 0; i < b.N; i++ {
 		var err error
-		res, err = hp.Figure2(1, benchSeed)
+		res, err = hp.Figure2(benchCfg(1))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -73,7 +78,7 @@ func BenchmarkFigure3aSojournWorstCase(b *testing.B) {
 	var res *experiments.ComparisonResult
 	for i := 0; i < b.N; i++ {
 		var err error
-		res, err = hp.Figure3(1, benchSeed)
+		res, err = hp.Figure3(benchCfg(1))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -87,7 +92,7 @@ func BenchmarkFigure3bMakespanWorstCase(b *testing.B) {
 	var res *experiments.ComparisonResult
 	for i := 0; i < b.N; i++ {
 		var err error
-		res, err = hp.Figure3(1, benchSeed)
+		res, err = hp.Figure3(benchCfg(1))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -101,7 +106,7 @@ func BenchmarkFigure4MemoryFootprint(b *testing.B) {
 	var res *experiments.Figure4Result
 	for i := 0; i < b.N; i++ {
 		var err error
-		res, err = hp.Figure4(1, benchSeed)
+		res, err = hp.Figure4(benchCfg(1))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -119,7 +124,7 @@ func BenchmarkAblationCheckpointVsSuspend(b *testing.B) {
 	var res *experiments.NatjamResult
 	for i := 0; i < b.N; i++ {
 		var err error
-		res, err = hp.NatjamAblation(1, benchSeed)
+		res, err = hp.NatjamAblation(benchCfg(1))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -288,7 +293,7 @@ func BenchmarkAblationAdvisor(b *testing.B) {
 	var res []*experiments.AdvisorResult
 	for i := 0; i < b.N; i++ {
 		var err error
-		res, err = experiments.RunAdvisorSweep([]float64{0.02, 0.5, 0.97}, benchSeed)
+		res, err = experiments.RunAdvisorSweep([]float64{0.02, 0.5, 0.97}, benchCfg(1))
 		if err != nil {
 			b.Fatal(err)
 		}

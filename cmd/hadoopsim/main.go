@@ -1,10 +1,22 @@
 // Command hadoopsim runs a simulated Hadoop cluster from a dummy-
 // scheduler configuration file (§III-B's "static configuration files")
-// and prints the resulting schedule and per-job metrics.
+// and prints the resulting schedule and per-job metrics, or fans a
+// declarative scenario grid out across a parallel sweep harness.
 //
 // Usage:
 //
 //	hadoopsim -config experiment.conf [-nodes N] [-slots S] [-seed X]
+//	hadoopsim -sweep twojob|pressure|cluster [-parallel W] [-reps N]
+//	          [-seed X] [-format table|csv|json]
+//
+// Sweep grids (27 cells each, before repetitions):
+//
+//	twojob    primitive x preemption point        (Figures 2a/2b)
+//	pressure  primitive x th memory x preemption  (Figures 3/4 regime)
+//	cluster   scheduler x nodes x workload mix    (cluster scale-out)
+//
+// Cell seeds derive from grid coordinates, not execution order, so
+// -parallel 8 produces byte-identical output to -parallel 1.
 //
 // Example configuration (the paper's two-job experiment at r=50%):
 //
@@ -23,31 +35,92 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"sort"
+	"strings"
 	"time"
 
+	hp "hadooppreempt"
 	"hadooppreempt/internal/config"
 	"hadooppreempt/internal/mapreduce"
 )
 
 func main() {
-	path := flag.String("config", "", "experiment configuration file (required)")
+	path := flag.String("config", "", "experiment configuration file")
 	nodes := flag.Int("nodes", 1, "worker node count")
 	slots := flag.Int("slots", 1, "map slots per node")
 	seed := flag.Uint64("seed", 1, "random seed")
 	deadline := flag.Duration("deadline", 2*time.Hour, "virtual-time budget")
 	width := flag.Int("width", 72, "gantt chart width")
+	sweepName := flag.String("sweep", "", "scenario grid to sweep: twojob, pressure or cluster")
+	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "sweep worker pool size")
+	reps := flag.Int("reps", 1, "sweep repetitions per cell")
+	format := flag.String("format", "table", "sweep output format: table, csv or json")
 	flag.Parse()
 
-	if err := run(*path, *nodes, *slots, *seed, *deadline, *width); err != nil {
+	var err error
+	if *sweepName != "" {
+		if conflicting := configOnlyFlagsSet(); len(conflicting) > 0 {
+			err = fmt.Errorf("-sweep cannot be combined with %s (config-mode flags)",
+				strings.Join(conflicting, ", "))
+		} else {
+			err = runSweep(*sweepName, *parallel, *reps, *seed, *format)
+		}
+	} else {
+		err = run(*path, *nodes, *slots, *seed, *deadline, *width)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "hadoopsim:", err)
 		os.Exit(1)
 	}
 }
 
+// configOnlyFlagsSet lists explicitly set flags that only apply to
+// -config mode, so sweep mode rejects them instead of silently ignoring
+// what the user asked for.
+func configOnlyFlagsSet() []string {
+	var out []string
+	flag.Visit(func(f *flag.Flag) {
+		switch f.Name {
+		case "config", "nodes", "slots", "deadline", "width":
+			out = append(out, "-"+f.Name)
+		}
+	})
+	return out
+}
+
+func runSweep(name string, parallel, reps int, seed uint64, format string) error {
+	var grid hp.SweepGrid
+	var runCell hp.SweepRunFunc
+	switch name {
+	case "twojob":
+		grid, runCell = hp.TwoJobSweep(reps)
+	case "pressure":
+		grid, runCell = hp.PressureSweep(reps)
+	case "cluster":
+		grid, runCell = hp.ClusterSweep(12, reps)
+	default:
+		return fmt.Errorf("unknown sweep %q (want twojob, pressure or cluster)", name)
+	}
+	res, err := hp.RunSweep(grid, runCell, hp.SweepOptions{Parallel: parallel, Seed: seed})
+	if err != nil {
+		return err
+	}
+	switch format {
+	case "table":
+		return hp.WriteSweepTable(os.Stdout, res)
+	case "csv":
+		return hp.WriteSweepCSV(os.Stdout, res)
+	case "json":
+		return hp.WriteSweepJSON(os.Stdout, res)
+	default:
+		return fmt.Errorf("unknown format %q (want table, csv or json)", format)
+	}
+}
+
 func run(path string, nodes, slots int, seed uint64, deadline time.Duration, width int) error {
 	if path == "" {
-		return fmt.Errorf("missing -config (see -h for the file format)")
+		return fmt.Errorf("missing -config or -sweep (see -h)")
 	}
 	f, err := os.Open(path)
 	if err != nil {

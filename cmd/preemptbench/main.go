@@ -4,16 +4,23 @@
 // Usage:
 //
 //	preemptbench [-fig 1|2a|2b|3a|3b|4|natjam|all] [-reps N] [-seed S]
+//	             [-parallel W] [-format text|json]
 //
-// Absolute seconds depend on the simulated hardware parameters; the
-// shapes (who wins, by how much, where crossovers fall) are the
-// reproduction target. See EXPERIMENTS.md for paper-vs-measured notes.
+// Figures execute through the parallel sweep harness: -parallel fans the
+// scenario grid out across W workers, and because every cell's seed is
+// derived from its grid coordinates the output is identical at any
+// parallelism level. Absolute seconds depend on the simulated hardware
+// parameters; the shapes (who wins, by how much, where crossovers fall)
+// are the reproduction target. See EXPERIMENTS.md for paper-vs-measured
+// notes.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"sort"
 
 	"hadooppreempt/internal/experiments"
@@ -23,145 +30,172 @@ func main() {
 	fig := flag.String("fig", "all", "figure to regenerate: 1, 2a, 2b, 3a, 3b, 4, natjam, cycles, eviction, advisor, all")
 	reps := flag.Int("reps", 5, "repetitions per data point (the paper averages 20)")
 	seed := flag.Uint64("seed", 1, "base random seed")
+	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "sweep worker pool size")
+	format := flag.String("format", "text", "output format: text or json")
 	flag.Parse()
 
-	if err := run(*fig, *reps, *seed); err != nil {
+	cfg := experiments.Config{Reps: *reps, Seed: *seed, Parallel: *parallel}
+	if err := run(*fig, cfg, *format); err != nil {
 		fmt.Fprintln(os.Stderr, "preemptbench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(fig string, reps int, seed uint64) error {
-	switch fig {
-	case "1":
-		return figure1(seed)
-	case "2a", "2b", "2":
-		return figure23("Figure 2: baseline experiments (light-weight tasks)",
-			experiments.Figure2, fig, reps, seed)
-	case "3a", "3b", "3":
-		return figure23("Figure 3: worst-case experiments (memory-hungry tasks)",
-			experiments.Figure3, fig, reps, seed)
-	case "4":
-		return figure4(reps, seed)
-	case "natjam":
-		return natjam(reps, seed)
-	case "cycles":
-		return cycles(seed)
-	case "eviction":
-		return eviction(seed)
-	case "advisor":
-		return advisor(seed)
-	case "all":
-		for _, f := range []string{"1", "2", "3", "4", "natjam", "cycles", "eviction", "advisor"} {
-			if err := run(f, reps, seed); err != nil {
-				return err
-			}
-			fmt.Println()
-		}
-		return nil
-	default:
-		return fmt.Errorf("unknown figure %q", fig)
-	}
+// figures maps figure names to a generator (producing the raw result for
+// JSON output) and a text renderer. One table drives both formats.
+type figure struct {
+	gen  func(cfg experiments.Config) (any, error)
+	text func(res any)
 }
 
-func figure1(seed uint64) error {
-	res, err := experiments.Figure1(seed)
-	if err != nil {
-		return err
+var figures = map[string]figure{
+	"1":      {genFigure1, textFigure1},
+	"2":      {genFigure2, textFigure2},
+	"3":      {genFigure3, textFigure3},
+	"4":      {genFigure4, textFigure4},
+	"natjam": {genNatjam, textNatjam},
+	"cycles": {genCycles, textCycles},
+	"eviction": {func(cfg experiments.Config) (any, error) {
+		return experiments.EvictionSweep(evictionPolicies, cfg)
+	}, textEviction},
+	"advisor": {func(cfg experiments.Config) (any, error) {
+		return experiments.RunAdvisorSweep(advisorRs, cfg)
+	}, textAdvisor},
+}
+
+var (
+	evictionPolicies = []string{"smallest-memory", "largest-memory", "most-progress", "least-progress"}
+	advisorRs        = []float64{0.02, 0.25, 0.5, 0.75, 0.97}
+	allFigures       = []string{"1", "2", "3", "4", "natjam", "cycles", "eviction", "advisor"}
+)
+
+func run(fig string, cfg experiments.Config, format string) error {
+	if format != "text" && format != "json" {
+		return fmt.Errorf("unknown format %q (want text or json)", format)
 	}
+	// The sub-figure names select the same generator as their figure.
+	switch fig {
+	case "2a", "2b":
+		fig = "2"
+	case "3a", "3b":
+		fig = "3"
+	}
+	names := []string{fig}
+	if fig == "all" {
+		names = allFigures
+	}
+	results := make(map[string]any, len(names))
+	for _, name := range names {
+		f, ok := figures[name]
+		if !ok {
+			return fmt.Errorf("unknown figure %q", name)
+		}
+		res, err := f.gen(cfg)
+		if err != nil {
+			return err
+		}
+		results[name] = res
+		if format == "text" {
+			f.text(res)
+			if len(names) > 1 {
+				fmt.Println()
+			}
+		}
+	}
+	if format == "json" {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if len(names) == 1 {
+			return enc.Encode(results[names[0]])
+		}
+		return enc.Encode(results)
+	}
+	return nil
+}
+
+func genFigure1(cfg experiments.Config) (any, error) { return experiments.Figure1(cfg) }
+func genFigure2(cfg experiments.Config) (any, error) { return experiments.Figure2(cfg) }
+func genFigure3(cfg experiments.Config) (any, error) { return experiments.Figure3(cfg) }
+func genFigure4(cfg experiments.Config) (any, error) { return experiments.Figure4(cfg) }
+func genNatjam(cfg experiments.Config) (any, error)  { return experiments.NatjamAblation(cfg) }
+func genCycles(cfg experiments.Config) (any, error) {
+	return experiments.CycleSweep(6, false, cfg)
+}
+
+func textFigure1(res any) {
+	r := res.(*experiments.Figure1Result)
 	fmt.Println("== Figure 1: task execution schedules ==")
 	fmt.Println("legend: '#' running, '=' suspended, 'c' cleanup, '.' waiting for reschedule")
-	keys := make([]string, 0, len(res.Gantt))
-	for k := range res.Gantt {
+	keys := make([]string, 0, len(r.Gantt))
+	for k := range r.Gantt {
 		keys = append(keys, k)
 	}
 	sort.Strings(keys)
 	for _, prim := range keys {
-		fmt.Printf("\n-- %s --\n%s", prim, res.Gantt[prim])
+		fmt.Printf("\n-- %s --\n%s", prim, r.Gantt[prim])
 	}
-	return nil
 }
 
-func figure23(title string, gen func(int, uint64) (*experiments.ComparisonResult, error),
-	fig string, reps int, seed uint64) error {
-	res, err := gen(reps, seed)
-	if err != nil {
-		return err
-	}
-	fmt.Print(experiments.FormatComparison(title, res))
-	_ = fig
-	return nil
+func textFigure2(res any) {
+	fmt.Print(experiments.FormatComparison(
+		"Figure 2: baseline experiments (light-weight tasks)",
+		res.(*experiments.ComparisonResult)))
 }
 
-func figure4(reps int, seed uint64) error {
-	res, err := experiments.Figure4(reps, seed)
-	if err != nil {
-		return err
-	}
-	fmt.Print(experiments.FormatFigure4(res))
-	return nil
+func textFigure3(res any) {
+	fmt.Print(experiments.FormatComparison(
+		"Figure 3: worst-case experiments (memory-hungry tasks)",
+		res.(*experiments.ComparisonResult)))
 }
 
-func cycles(seed uint64) error {
+func textFigure4(res any) {
+	fmt.Print(experiments.FormatFigure4(res.(*experiments.Figure4Result)))
+}
+
+func textCycles(res any) {
+	r := res.([]*experiments.CycleResult)
 	fmt.Println("== Suspend/resume cycle cost (§III-A) ==")
-	res, err := experiments.CycleSweep(6, false, seed)
-	if err != nil {
-		return err
-	}
 	fmt.Printf("%8s %14s %14s %12s\n", "cycles", "tl sojourn", "tl swap-out", "tl swap-in")
-	for _, r := range res {
+	for _, c := range r {
 		fmt.Printf("%8d %13.1fs %13dM %11dM\n",
-			r.Cycles, r.TLSojourn.Seconds(), r.TLSwapOut>>20, r.TLSwapIn>>20)
+			c.Cycles, c.TLSojourn.Seconds(), c.TLSwapOut>>20, c.TLSwapIn>>20)
 	}
 	fmt.Println("(sojourn grows ~linearly per cycle; cold pages go to swap at most once,")
 	fmt.Println(" so write traffic amortizes — §III-A's thrashing analysis)")
-	return nil
 }
 
-func eviction(seed uint64) error {
+func textEviction(res any) {
+	r := res.([]*experiments.EvictionResult)
 	fmt.Println("== Eviction policies (§V-A): whom to suspend ==")
 	fmt.Printf("%-18s %-8s %12s %14s %14s\n", "policy", "victim", "makespan", "th sojourn", "victim swap")
-	for _, policy := range []string{"smallest-memory", "largest-memory", "most-progress", "least-progress"} {
-		res, err := experiments.RunEvictionComparison(policy, seed)
-		if err != nil {
-			return err
-		}
+	for _, e := range r {
 		fmt.Printf("%-18s %-8s %11.1fs %13.1fs %13dM\n",
-			res.Policy, res.Victim, res.Makespan.Seconds(),
-			res.SojournTH.Seconds(), res.VictimSwap>>20)
+			e.Policy, e.Victim, e.Makespan.Seconds(),
+			e.SojournTH.Seconds(), e.VictimSwap>>20)
 	}
 	fmt.Println("(suspending the smallest memory footprint minimizes paging overhead)")
-	return nil
 }
 
-func advisor(seed uint64) error {
+func textAdvisor(res any) {
+	r := res.([]*experiments.AdvisorResult)
 	fmt.Println("== Primitive advisor (§V-A): kill young, wait for nearly-done, suspend the rest ==")
-	res, err := experiments.RunAdvisorSweep([]float64{0.02, 0.25, 0.5, 0.75, 0.97}, seed)
-	if err != nil {
-		return err
-	}
 	fmt.Printf("%8s %-10s %12s %12s %12s %12s\n", "r(%)", "chosen", "advisor", "wait", "kill", "susp")
-	for _, r := range res {
+	for _, a := range r {
 		fmt.Printf("%8.0f %-10s %11.1fs %11.1fs %11.1fs %11.1fs\n",
-			r.R*100, r.Chosen.String(),
-			r.Makespans["advisor"].Seconds(), r.Makespans["wait"].Seconds(),
-			r.Makespans["kill"].Seconds(), r.Makespans["susp"].Seconds())
+			a.R*100, a.Chosen.String(),
+			a.Makespans["advisor"].Seconds(), a.Makespans["wait"].Seconds(),
+			a.Makespans["kill"].Seconds(), a.Makespans["susp"].Seconds())
 	}
-	return nil
 }
 
-func natjam(reps int, seed uint64) error {
-	res, err := experiments.NatjamAblation(reps, seed)
-	if err != nil {
-		return err
-	}
+func textNatjam(res any) {
+	r := res.(*experiments.NatjamResult)
 	fmt.Println("== Checkpoint (Natjam-style) vs OS-assisted suspension ==")
-	fmt.Printf("makespan wait:       %8.1fs (no-preemption floor)\n", res.MakespanWait.Seconds())
+	fmt.Printf("makespan wait:       %8.1fs (no-preemption floor)\n", r.MakespanWait.Seconds())
 	fmt.Printf("makespan susp:       %8.1fs (overhead %+.1f%%)\n",
-		res.MakespanSuspend.Seconds(), res.SuspendOverheadFrac*100)
+		r.MakespanSuspend.Seconds(), r.SuspendOverheadFrac*100)
 	fmt.Printf("makespan checkpoint: %8.1fs (overhead %+.1f%%)\n",
-		res.MakespanCheckpoint.Seconds(), res.CheckpointOverheadFrac*100)
+		r.MakespanCheckpoint.Seconds(), r.CheckpointOverheadFrac*100)
 	fmt.Println("(the paper reports ~7% makespan overhead for Natjam in a similar setting,")
 	fmt.Println(" and negligible overhead for the OS-assisted primitive)")
-	return nil
 }

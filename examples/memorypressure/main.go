@@ -51,7 +51,7 @@ func main() {
 	fmt.Println("  still the only primitive close to best on BOTH metrics.")
 	fmt.Println()
 	fmt.Println("sweep th's allocation (Figure 4): overhead is linear in swapped bytes")
-	res, err := hp.Figure4(1, 7)
+	res, err := hp.Figure4(hp.ExperimentConfig{Reps: 1, Seed: 7})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,0 +1,3 @@
+module hadooppreempt
+
+go 1.24

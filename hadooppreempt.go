@@ -473,27 +473,33 @@ func DefaultTwoJobParams() TwoJobParams { return experiments.DefaultTwoJobParams
 // RunTwoJob executes the paper's two-job preemption scenario once.
 func RunTwoJob(p TwoJobParams) (*TwoJobResult, error) { return experiments.RunTwoJob(p) }
 
+// ExperimentConfig controls how figure generators execute their grids
+// through the sweep harness (repetitions, base seed, parallelism).
+type ExperimentConfig = experiments.Config
+
 // Figure1 renders the schedule charts of Figure 1.
-func Figure1(seed uint64) (*experiments.Figure1Result, error) { return experiments.Figure1(seed) }
+func Figure1(cfg ExperimentConfig) (*experiments.Figure1Result, error) {
+	return experiments.Figure1(cfg)
+}
 
 // Figure2 regenerates the light-weight comparison (Figures 2a and 2b).
-func Figure2(reps int, seed uint64) (*experiments.ComparisonResult, error) {
-	return experiments.Figure2(reps, seed)
+func Figure2(cfg ExperimentConfig) (*experiments.ComparisonResult, error) {
+	return experiments.Figure2(cfg)
 }
 
 // Figure3 regenerates the worst-case comparison (Figures 3a and 3b).
-func Figure3(reps int, seed uint64) (*experiments.ComparisonResult, error) {
-	return experiments.Figure3(reps, seed)
+func Figure3(cfg ExperimentConfig) (*experiments.ComparisonResult, error) {
+	return experiments.Figure3(cfg)
 }
 
 // Figure4 regenerates the memory-footprint overhead analysis.
-func Figure4(reps int, seed uint64) (*experiments.Figure4Result, error) {
-	return experiments.Figure4(reps, seed)
+func Figure4(cfg ExperimentConfig) (*experiments.Figure4Result, error) {
+	return experiments.Figure4(cfg)
 }
 
 // NatjamAblation compares the checkpoint baseline against suspension.
-func NatjamAblation(reps int, seed uint64) (*experiments.NatjamResult, error) {
-	return experiments.NatjamAblation(reps, seed)
+func NatjamAblation(cfg ExperimentConfig) (*experiments.NatjamResult, error) {
+	return experiments.NatjamAblation(cfg)
 }
 
 // --- Workload re-exports ----------------------------------------------

@@ -8,6 +8,7 @@ import (
 	"hadooppreempt/internal/disk"
 	"hadooppreempt/internal/mapreduce"
 	"hadooppreempt/internal/scheduler"
+	"hadooppreempt/internal/sweep"
 )
 
 // CycleParams configures the suspend/resume cycle-cost experiment of
@@ -166,23 +167,41 @@ func RunCycles(p CycleParams) (*CycleResult, error) {
 	}, nil
 }
 
-// CycleSweep runs 0..maxCycles and returns one result per count,
-// demonstrating that per-cycle cost is roughly constant (so total cost
-// scales with the number of cycles, the scheduler-design warning of
-// §III-A). With stateful set, the victim re-dirties its pages between
-// cycles and the paging volume itself multiplies; without, pages go out
-// and in at most once.
-func CycleSweep(maxCycles int, stateful bool, seed uint64) ([]*CycleResult, error) {
-	var out []*CycleResult
+// CycleSweep runs 0..maxCycles through the harness and returns one
+// result per count, demonstrating that per-cycle cost is roughly
+// constant (so total cost scales with the number of cycles, the
+// scheduler-design warning of §III-A). With stateful set, the victim
+// re-dirties its pages between cycles and the paging volume itself
+// multiplies; without, pages go out and in at most once. The cycle axis
+// is seed-paired: every count faces identical cluster randomness, so
+// differences are pure cycle cost.
+func CycleSweep(maxCycles int, stateful bool, cfg Config) ([]*CycleResult, error) {
+	counts := make([]int, 0, maxCycles+1)
 	for n := 0; n <= maxCycles; n++ {
-		p := DefaultCycleParams(n)
+		counts = append(counts, n)
+	}
+	g := sweep.NewGrid(sweep.Ints("cycles", counts...)).Pair("cycles")
+	res, err := sweep.Run(g, func(pt sweep.Point) (sweep.Outcome, error) {
+		p := DefaultCycleParams(pt.Int("cycles"))
 		p.Stateful = stateful
-		p.Seed = seed
-		res, err := RunCycles(p)
+		p.Seed = pt.Seed
+		r, err := RunCycles(p)
 		if err != nil {
-			return nil, fmt.Errorf("cycles=%d: %w", n, err)
+			return sweep.Outcome{}, err
 		}
-		out = append(out, res)
+		return sweep.Outcome{Values: map[string]float64{
+			"cycles":         float64(r.Cycles),
+			"tl_sojourn_s":   r.TLSojourn.Seconds(),
+			"tl_swap_out_mb": float64(r.TLSwapOut) / float64(1<<20),
+			"tl_swap_in_mb":  float64(r.TLSwapIn) / float64(1<<20),
+		}, Extra: r}, nil
+	}, cfg.options())
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*CycleResult, 0, len(res.Points))
+	for _, pr := range res.Points {
+		out = append(out, pr.Outcome.Extra.(*CycleResult))
 	}
 	return out, nil
 }

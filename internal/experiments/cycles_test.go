@@ -37,7 +37,7 @@ func TestRunCyclesCountsSuspensions(t *testing.T) {
 func TestCycleSojournGrowsPerCycle(t *testing.T) {
 	// §III-A: the moderate cost of a suspend-resume cycle is multiplied
 	// by the number of cycles. tl's sojourn must grow roughly linearly.
-	res, err := CycleSweep(4, false, 1)
+	res, err := CycleSweep(4, false, Config{Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -61,7 +61,7 @@ func TestCycleSwapAmortizedForColdState(t *testing.T) {
 	// Cold (write-once) state keeps a valid swap slot between cycles, so
 	// repeated suspensions do not multiply write traffic — the §III-A
 	// guarantee that pages go to swap at most once.
-	res, err := CycleSweep(5, false, 1)
+	res, err := CycleSweep(5, false, Config{Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}

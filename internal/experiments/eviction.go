@@ -8,6 +8,7 @@ import (
 	"hadooppreempt/internal/disk"
 	"hadooppreempt/internal/mapreduce"
 	"hadooppreempt/internal/scheduler"
+	"hadooppreempt/internal/sweep"
 )
 
 // EvictionResult is the outcome of one eviction-policy comparison run.
@@ -149,6 +150,36 @@ func RunEvictionComparison(policyName string, seed uint64) (*EvictionResult, err
 	}, nil
 }
 
+// EvictionSweep compares victim-selection policies through the harness.
+// The policy axis is seed-paired: every policy faces the identical
+// contention scenario, so outcome differences are pure policy effect.
+func EvictionSweep(policies []string, cfg Config) ([]*EvictionResult, error) {
+	g := sweep.NewGrid(sweep.Strings("policy", policies...)).Pair("policy")
+	res, err := sweep.Run(g, func(pt sweep.Point) (sweep.Outcome, error) {
+		r, err := RunEvictionComparison(pt.Label("policy"), pt.Seed)
+		if err != nil {
+			return sweep.Outcome{}, err
+		}
+		return sweep.Outcome{
+			Values: map[string]float64{
+				"makespan_s":     r.Makespan.Seconds(),
+				"sojourn_th_s":   r.SojournTH.Seconds(),
+				"victim_swap_mb": float64(r.VictimSwap) / float64(1<<20),
+			},
+			Labels: map[string]string{"victim": r.Victim},
+			Extra:  r,
+		}, nil
+	}, cfg.options())
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*EvictionResult, 0, len(res.Points))
+	for _, pr := range res.Points {
+		out = append(out, pr.Outcome.Extra.(*EvictionResult))
+	}
+	return out, nil
+}
+
 // AdvisorResult compares advisor-chosen primitives against fixed ones
 // across the progress sweep.
 type AdvisorResult struct {
@@ -162,26 +193,46 @@ type AdvisorResult struct {
 
 // RunAdvisorSweep evaluates §V-A's cost model: kill freshly started
 // victims, wait for nearly-done ones, suspend the rest. For each r it
-// runs all three fixed primitives plus the advisor's choice.
-func RunAdvisorSweep(rs []float64, seed uint64) ([]*AdvisorResult, error) {
-	advisor := core.DefaultAdvisor()
-	var out []*AdvisorResult
-	for _, r := range rs {
-		res := &AdvisorResult{R: r, Makespans: make(map[string]time.Duration)}
-		for _, prim := range core.Primitives() {
-			p := DefaultTwoJobParams()
-			p.Primitive = prim
-			p.PreemptAt = r
-			p.Seed = seed
-			run, err := RunTwoJob(p)
-			if err != nil {
-				return nil, err
-			}
-			res.Makespans[prim.String()] = run.Makespan
+// runs all three fixed primitives through the harness (seed-paired on
+// the primitive axis) and attaches the advisor's choice.
+func RunAdvisorSweep(rs []float64, cfg Config) ([]*AdvisorResult, error) {
+	g := sweep.NewGrid(
+		sweep.Floats("r", rs...),
+		sweep.Stringers("prim", core.Primitives()...),
+	).Pair("prim")
+	res, err := sweep.Run(g, func(pt sweep.Point) (sweep.Outcome, error) {
+		p := DefaultTwoJobParams()
+		p.Primitive = pt.Value("prim").(core.Primitive)
+		p.PreemptAt = pt.Float("r")
+		p.Seed = pt.Seed
+		run, err := RunTwoJob(p)
+		if err != nil {
+			return sweep.Outcome{}, err
 		}
-		res.Chosen = advisor.Choose(r)
-		res.Makespans["advisor"] = res.Makespans[res.Chosen.String()]
-		out = append(out, res)
+		return sweep.Outcome{Values: map[string]float64{
+			"makespan_s": run.Makespan.Seconds(),
+		}}, nil
+	}, cfg.options())
+	if err != nil {
+		return nil, err
+	}
+	advisor := core.DefaultAdvisor()
+	byR := make(map[float64]*AdvisorResult)
+	var out []*AdvisorResult
+	for _, pr := range res.Points {
+		r := pr.Point.Float("r")
+		ar, ok := byR[r]
+		if !ok {
+			ar = &AdvisorResult{R: r, Makespans: make(map[string]time.Duration)}
+			byR[r] = ar
+			out = append(out, ar)
+		}
+		mk := time.Duration(pr.Outcome.Values["makespan_s"] * float64(time.Second))
+		ar.Makespans[pr.Point.Label("prim")] = mk
+	}
+	for _, ar := range out {
+		ar.Chosen = advisor.Choose(ar.R)
+		ar.Makespans["advisor"] = ar.Makespans[ar.Chosen.String()]
 	}
 	return out, nil
 }

@@ -53,7 +53,7 @@ func TestEvictionUnknownPolicyFails(t *testing.T) {
 }
 
 func TestAdvisorSweepPicksByProgress(t *testing.T) {
-	res, err := RunAdvisorSweep([]float64{0.02, 0.5, 0.97}, 1)
+	res, err := RunAdvisorSweep([]float64{0.02, 0.5, 0.97}, Config{Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -54,7 +54,7 @@ func TestRunTwoJobSeedVariesHeartbeatPhase(t *testing.T) {
 // TestFigure2Shapes validates the qualitative claims of Figure 2 with one
 // repetition per point.
 func TestFigure2Shapes(t *testing.T) {
-	res, err := Figure2(1, 7)
+	res, err := Figure2(Config{Reps: 1, Seed: 7})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -116,7 +116,7 @@ func TestFigure2Shapes(t *testing.T) {
 // TestFigure3Shapes validates the worst-case ordering: susp pays visible
 // paging overhead but stays between the two extremes on both metrics.
 func TestFigure3Shapes(t *testing.T) {
-	res, err := Figure3(1, 11)
+	res, err := Figure3(Config{Reps: 1, Seed: 11})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -143,7 +143,7 @@ func TestFigure3Shapes(t *testing.T) {
 // memory threshold, superlinear growth past it, overhead correlated with
 // swapped volume.
 func TestFigure4Shapes(t *testing.T) {
-	res, err := Figure4(1, 13)
+	res, err := Figure4(Config{Reps: 1, Seed: 13})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -182,7 +182,7 @@ func TestFigure4Shapes(t *testing.T) {
 }
 
 func TestFigure1GanttCharts(t *testing.T) {
-	res, err := Figure1(3)
+	res, err := Figure1(Config{Seed: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -204,7 +204,7 @@ func TestFigure1GanttCharts(t *testing.T) {
 }
 
 func TestNatjamAblation(t *testing.T) {
-	res, err := NatjamAblation(1, 17)
+	res, err := NatjamAblation(Config{Reps: 1, Seed: 17})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -220,7 +220,7 @@ func TestNatjamAblation(t *testing.T) {
 }
 
 func TestComparisonFormatting(t *testing.T) {
-	res, err := Figure2(1, 23)
+	res, err := Figure2(Config{Reps: 1, Seed: 23})
 	if err != nil {
 		t.Fatal(err)
 	}

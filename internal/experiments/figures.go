@@ -7,6 +7,7 @@ import (
 
 	"hadooppreempt/internal/core"
 	"hadooppreempt/internal/metrics"
+	"hadooppreempt/internal/sweep"
 )
 
 // WorstCaseMemory is the 2 GB allocation of the Figure 3 experiments.
@@ -18,6 +19,30 @@ const Figure4TLMemory int64 = 2560 << 20
 // DefaultRepetitions matches the paper's 20-run averages; benchmarks use
 // fewer for speed.
 const DefaultRepetitions = 20
+
+// Config controls how the figure generators execute their scenario
+// grids through the sweep harness.
+type Config struct {
+	// Reps is the repetitions per data point (the paper averages 20).
+	Reps int
+	// Seed is the base seed; every cell derives its own stream from it.
+	Seed uint64
+	// Parallel bounds the harness worker pool; values below 1 run
+	// serially. Results are identical at any level.
+	Parallel int
+}
+
+// options converts the config to harness options, defaulting Reps to 1.
+func (c Config) options() sweep.Options {
+	return sweep.Options{Parallel: c.Parallel, Seed: c.Seed}
+}
+
+func (c Config) reps() int {
+	if c.Reps <= 0 {
+		return 1
+	}
+	return c.Reps
+}
 
 // ProgressSweep returns the x-axis of Figures 2 and 3: tl progress at
 // launch of th, 10%..90%.
@@ -39,54 +64,83 @@ type ComparisonResult struct {
 	Makespan map[string]*metrics.Series
 }
 
+// TwoJobGrid is the scenario grid behind Figures 2 and 3 and the CLI's
+// "twojob" sweep: primitive x preemption point x repetition, with the
+// primitive axis seed-paired so the three primitives face identical
+// randomness at each point.
+func TwoJobGrid(reps int) sweep.Grid {
+	return sweep.NewGrid(
+		sweep.Stringers("prim", core.Primitives()...),
+		sweep.Floats("r", ProgressSweep()...),
+		sweep.Reps(reps),
+	).Pair("prim")
+}
+
+// TwoJobCell runs one two-job scenario cell — the point must carry the
+// "prim" and "r" axes of TwoJobGrid — and reports the standard outcome
+// values ("paged_mb" is tl's swap-out volume, Figure 4's y-axis; the
+// swap totals cover both jobs).
+func TwoJobCell(pt sweep.Point, tlMem, thMem int64) (sweep.Outcome, error) {
+	p := DefaultTwoJobParams()
+	p.Primitive = pt.Value("prim").(core.Primitive)
+	p.PreemptAt = pt.Float("r") / 100
+	p.TLExtraMemory = tlMem
+	p.THExtraMemory = thMem
+	p.Seed = pt.Seed
+	out, err := RunTwoJob(p)
+	if err != nil {
+		return sweep.Outcome{}, err
+	}
+	return sweep.Outcome{Values: map[string]float64{
+		"sojourn_th_s":   out.SojournTH.Seconds(),
+		"makespan_s":     out.Makespan.Seconds(),
+		"paged_mb":       float64(out.SwapOutTL) / float64(1<<20),
+		"swap_out_mb":    float64(out.SwapOutTL+out.SwapOutTH) / float64(1<<20),
+		"swap_in_mb":     float64(out.SwapInTL+out.SwapInTH) / float64(1<<20),
+		"tl_suspensions": float64(out.TLSuspensions),
+		"tl_attempts":    float64(out.TLAttempts),
+		"wasted_cpu_s":   out.WastedWork.Seconds(),
+	}, Extra: out}, nil
+}
+
 // runComparison sweeps r for every primitive with the given memory
 // configuration — the shared engine behind Figures 2 and 3.
-func runComparison(tlMem, thMem int64, reps int, seedBase uint64) (*ComparisonResult, error) {
-	if reps <= 0 {
-		reps = 1
+func runComparison(tlMem, thMem int64, cfg Config) (*ComparisonResult, error) {
+	res, err := sweep.Run(TwoJobGrid(cfg.reps()), func(pt sweep.Point) (sweep.Outcome, error) {
+		return TwoJobCell(pt, tlMem, thMem)
+	}, cfg.options())
+	if err != nil {
+		return nil, err
 	}
-	res := &ComparisonResult{
+	out := &ComparisonResult{
 		Sojourn:  make(map[string]*metrics.Series),
 		Makespan: make(map[string]*metrics.Series),
 	}
-	for _, prim := range core.Primitives() {
-		sj := &metrics.Series{Label: prim.String(), XLabel: "tl progress at launch of th (%)", YLabel: "sojourn time th (s)"}
-		ms := &metrics.Series{Label: prim.String(), XLabel: "tl progress at launch of th (%)", YLabel: "makespan (s)"}
-		for _, r := range ProgressSweep() {
-			var sojourns, makespans []time.Duration
-			for rep := 0; rep < reps; rep++ {
-				p := DefaultTwoJobParams()
-				p.Primitive = prim
-				p.PreemptAt = r / 100
-				p.TLExtraMemory = tlMem
-				p.THExtraMemory = thMem
-				p.Seed = seedBase + uint64(rep)*1000 + uint64(r)
-				out, err := RunTwoJob(p)
-				if err != nil {
-					return nil, fmt.Errorf("r=%v prim=%v rep=%d: %w", r, prim, rep, err)
-				}
-				sojourns = append(sojourns, out.SojournTH)
-				makespans = append(makespans, out.Makespan)
-			}
-			sj.Add(r, metrics.DurationSummary(sojourns).Mean)
-			ms.Add(r, metrics.DurationSummary(makespans).Mean)
+	for _, agg := range res.Collapse(sweep.RepAxis) {
+		prim := agg.Labels["prim"]
+		sj, ok := out.Sojourn[prim]
+		if !ok {
+			sj = &metrics.Series{Label: prim, XLabel: "tl progress at launch of th (%)", YLabel: "sojourn time th (s)"}
+			out.Sojourn[prim] = sj
+			out.Makespan[prim] = &metrics.Series{Label: prim, XLabel: "tl progress at launch of th (%)", YLabel: "makespan (s)"}
 		}
-		res.Sojourn[prim.String()] = sj
-		res.Makespan[prim.String()] = ms
+		r := agg.First.Point.Float("r")
+		sj.Add(r, agg.Metrics["sojourn_th_s"].Mean)
+		out.Makespan[prim].Add(r, agg.Metrics["makespan_s"].Mean)
 	}
-	return res, nil
+	return out, nil
 }
 
 // Figure2 reproduces the baseline (light-weight tasks) comparison:
 // Figure 2a (sojourn time of th) and Figure 2b (makespan).
-func Figure2(reps int, seedBase uint64) (*ComparisonResult, error) {
-	return runComparison(0, 0, reps, seedBase)
+func Figure2(cfg Config) (*ComparisonResult, error) {
+	return runComparison(0, 0, cfg)
 }
 
 // Figure3 reproduces the worst-case comparison with memory-hungry tasks
 // (both allocate 2 GB): Figure 3a and Figure 3b.
-func Figure3(reps int, seedBase uint64) (*ComparisonResult, error) {
-	return runComparison(WorstCaseMemory, WorstCaseMemory, reps, seedBase)
+func Figure3(cfg Config) (*ComparisonResult, error) {
+	return runComparison(WorstCaseMemory, WorstCaseMemory, cfg)
 }
 
 // Figure4Point is one x-position of Figure 4.
@@ -125,69 +179,65 @@ func Figure4Sweep() []int64 {
 // Figure4 reproduces the overhead analysis: tl allocates 2.5 GB, th's
 // allocation sweeps 0..2.5 GB; for each point we measure tl's swap
 // traffic under susp and the sojourn/makespan degradation relative to
-// kill and wait respectively.
-func Figure4(reps int, seedBase uint64) (*Figure4Result, error) {
-	if reps <= 0 {
-		reps = 1
+// kill and wait respectively. The primitive axis is seed-paired so the
+// overheads are paired differences, as in the paper.
+func Figure4(cfg Config) (*Figure4Result, error) {
+	thMems := Figure4Sweep()
+	mems := make([]int, len(thMems))
+	for i, m := range thMems {
+		mems[i] = int(m >> 20)
 	}
-	const r = 0.5
-	res := &Figure4Result{}
-	for _, thMem := range Figure4Sweep() {
-		var paged, sojSusp, sojKill, mkSusp, mkWait []float64
-		for rep := 0; rep < reps; rep++ {
-			seed := seedBase + uint64(rep)*1000 + uint64(thMem>>20)
-			base := DefaultTwoJobParams()
-			base.PreemptAt = r
-			base.TLExtraMemory = Figure4TLMemory
-			base.THExtraMemory = thMem
-			base.Seed = seed
-
-			susp := base
-			susp.Primitive = core.Suspend
-			outS, err := RunTwoJob(susp)
-			if err != nil {
-				return nil, fmt.Errorf("fig4 susp thMem=%d: %w", thMem, err)
-			}
-			kill := base
-			kill.Primitive = core.Kill
-			outK, err := RunTwoJob(kill)
-			if err != nil {
-				return nil, fmt.Errorf("fig4 kill thMem=%d: %w", thMem, err)
-			}
-			wait := base
-			wait.Primitive = core.Wait
-			outW, err := RunTwoJob(wait)
-			if err != nil {
-				return nil, fmt.Errorf("fig4 wait thMem=%d: %w", thMem, err)
-			}
-			// The paper plots "paged bytes": the data swapped out of tl's
-			// process (its state written to the swap area).
-			paged = append(paged, float64(outS.SwapOutTL)/float64(1<<20))
-			sojSusp = append(sojSusp, outS.SojournTH.Seconds())
-			sojKill = append(sojKill, outK.SojournTH.Seconds())
-			mkSusp = append(mkSusp, outS.Makespan.Seconds())
-			mkWait = append(mkWait, outW.Makespan.Seconds())
+	g := sweep.NewGrid(
+		sweep.Ints("th_mem_mb", mems...),
+		sweep.Stringers("prim", core.Primitives()...),
+		sweep.Reps(cfg.reps()),
+	).Pair("prim")
+	res, err := sweep.Run(g, func(pt sweep.Point) (sweep.Outcome, error) {
+		p := DefaultTwoJobParams()
+		p.Primitive = pt.Value("prim").(core.Primitive)
+		p.PreemptAt = 0.5
+		p.TLExtraMemory = Figure4TLMemory
+		p.THExtraMemory = int64(pt.Int("th_mem_mb")) << 20
+		p.Seed = pt.Seed
+		out, err := RunTwoJob(p)
+		if err != nil {
+			return sweep.Outcome{}, err
 		}
-		mPaged := metrics.Summarize(paged).Mean
-		mSojS := metrics.Summarize(sojSusp).Mean
-		mSojK := metrics.Summarize(sojKill).Mean
-		mMkS := metrics.Summarize(mkSusp).Mean
-		mMkW := metrics.Summarize(mkWait).Mean
+		return sweep.Outcome{Values: map[string]float64{
+			"sojourn_th_s": out.SojournTH.Seconds(),
+			"makespan_s":   out.Makespan.Seconds(),
+			"paged_mb":     float64(out.SwapOutTL) / float64(1<<20),
+		}}, nil
+	}, cfg.options())
+	if err != nil {
+		return nil, err
+	}
+	byCell := make(map[string]map[string]metrics.Summary)
+	for _, agg := range res.Collapse(sweep.RepAxis) {
+		key := agg.Labels["th_mem_mb"] + "/" + agg.Labels["prim"]
+		byCell[key] = agg.Metrics
+	}
+	out := &Figure4Result{}
+	for i, thMem := range thMems {
+		cell := func(prim core.Primitive) map[string]metrics.Summary {
+			return byCell[fmt.Sprintf("%d/%s", mems[i], prim)]
+		}
+		susp, kill, wait := cell(core.Suspend), cell(core.Kill), cell(core.Wait)
 		pt := Figure4Point{
 			THMemoryBytes:       thMem,
-			PagedMB:             mPaged,
-			SojournOverheadSec:  mSojS - mSojK,
-			MakespanOverheadSec: mMkS - mMkW,
+			PagedMB:             susp["paged_mb"].Mean,
+			SojournOverheadSec:  susp["sojourn_th_s"].Mean - kill["sojourn_th_s"].Mean,
+			MakespanOverheadSec: susp["makespan_s"].Mean - wait["makespan_s"].Mean,
 		}
-		if mSojK > 0 {
-			pt.SojournOverheadFrac = (mSojS - mSojK) / mSojK
+		if k := kill["sojourn_th_s"].Mean; k > 0 {
+			pt.SojournOverheadFrac = pt.SojournOverheadSec / k
 		}
-		if mMkW > 0 {
-			pt.MakespanOverheadFrac = (mMkS - mMkW) / mMkW
+		if w := wait["makespan_s"].Mean; w > 0 {
+			pt.MakespanOverheadFrac = pt.MakespanOverheadSec / w
 		}
-		res.Points = append(res.Points, pt)
+		out.Points = append(out.Points, pt)
 	}
-	return res, nil
+	return out, nil
 }
 
 // Figure1Result holds the three schedule charts of Figure 1.
@@ -198,20 +248,27 @@ type Figure1Result struct {
 
 // Figure1 renders the task execution schedules for the three primitives
 // at r=50%.
-func Figure1(seed uint64) (*Figure1Result, error) {
-	res := &Figure1Result{Gantt: make(map[string]string)}
-	for _, prim := range core.Primitives() {
+func Figure1(cfg Config) (*Figure1Result, error) {
+	g := sweep.NewGrid(sweep.Stringers("prim", core.Primitives()...)).Pair("prim")
+	res, err := sweep.Run(g, func(pt sweep.Point) (sweep.Outcome, error) {
 		p := DefaultTwoJobParams()
-		p.Primitive = prim
+		p.Primitive = pt.Value("prim").(core.Primitive)
 		p.PreemptAt = 0.5
-		p.Seed = seed
+		p.Seed = pt.Seed
 		out, err := RunTwoJob(p)
 		if err != nil {
-			return nil, err
+			return sweep.Outcome{}, err
 		}
-		res.Gantt[prim.String()] = out.Trace.Gantt(72)
+		return sweep.Outcome{Extra: out.Trace.Gantt(72)}, nil
+	}, cfg.options())
+	if err != nil {
+		return nil, err
 	}
-	return res, nil
+	out := &Figure1Result{Gantt: make(map[string]string)}
+	for _, pr := range res.Points {
+		out.Gantt[pr.Point.Label("prim")] = pr.Outcome.Extra.(string)
+	}
+	return out, nil
 }
 
 // NatjamResult is the checkpoint-vs-suspend ablation of §IV-C: the paper
@@ -228,48 +285,39 @@ type NatjamResult struct {
 }
 
 // NatjamAblation runs the light-weight setup with suspend and checkpoint.
-func NatjamAblation(reps int, seedBase uint64) (*NatjamResult, error) {
-	if reps <= 0 {
-		reps = 1
-	}
-	const r = 0.5
-	run := func(prim core.Primitive) (time.Duration, error) {
-		var samples []time.Duration
-		for rep := 0; rep < reps; rep++ {
-			p := DefaultTwoJobParams()
-			p.Primitive = prim
-			p.PreemptAt = r
-			p.Seed = seedBase + uint64(rep)
-			out, err := RunTwoJob(p)
-			if err != nil {
-				return 0, err
-			}
-			samples = append(samples, out.Makespan)
+func NatjamAblation(cfg Config) (*NatjamResult, error) {
+	prims := []core.Primitive{core.Wait, core.Suspend, core.Checkpoint}
+	g := sweep.NewGrid(sweep.Stringers("prim", prims...), sweep.Reps(cfg.reps())).Pair("prim")
+	res, err := sweep.Run(g, func(pt sweep.Point) (sweep.Outcome, error) {
+		p := DefaultTwoJobParams()
+		p.Primitive = pt.Value("prim").(core.Primitive)
+		p.PreemptAt = 0.5
+		p.Seed = pt.Seed
+		out, err := RunTwoJob(p)
+		if err != nil {
+			return sweep.Outcome{}, err
 		}
-		return time.Duration(metrics.DurationSummary(samples).Mean * float64(time.Second)), nil
-	}
-	wait, err := run(core.Wait)
+		return sweep.Outcome{Values: map[string]float64{
+			"makespan_s": out.Makespan.Seconds(),
+		}}, nil
+	}, cfg.options())
 	if err != nil {
 		return nil, err
 	}
-	susp, err := run(core.Suspend)
-	if err != nil {
-		return nil, err
+	mean := make(map[string]time.Duration)
+	for _, agg := range res.Collapse(sweep.RepAxis) {
+		mean[agg.Labels["prim"]] = time.Duration(agg.Metrics["makespan_s"].Mean * float64(time.Second))
 	}
-	ckpt, err := run(core.Checkpoint)
-	if err != nil {
-		return nil, err
+	out := &NatjamResult{
+		MakespanWait:       mean[core.Wait.String()],
+		MakespanSuspend:    mean[core.Suspend.String()],
+		MakespanCheckpoint: mean[core.Checkpoint.String()],
 	}
-	res := &NatjamResult{
-		MakespanWait:       wait,
-		MakespanSuspend:    susp,
-		MakespanCheckpoint: ckpt,
+	if out.MakespanWait > 0 {
+		out.SuspendOverheadFrac = float64(out.MakespanSuspend-out.MakespanWait) / float64(out.MakespanWait)
+		out.CheckpointOverheadFrac = float64(out.MakespanCheckpoint-out.MakespanWait) / float64(out.MakespanWait)
 	}
-	if wait > 0 {
-		res.SuspendOverheadFrac = float64(susp-wait) / float64(wait)
-		res.CheckpointOverheadFrac = float64(ckpt-wait) / float64(wait)
-	}
-	return res, nil
+	return out, nil
 }
 
 // FormatComparison renders a ComparisonResult as the rows the paper

@@ -1,0 +1,69 @@
+package metrics
+
+import "sort"
+
+// Collector accumulates named scalar samples across repeated runs and
+// summarizes each name with order statistics. It is the merge point the
+// sweep harness feeds per-run outcomes into.
+//
+// A Collector is not safe for concurrent use; the harness merges results
+// sequentially in deterministic grid order.
+type Collector struct {
+	names   []string
+	samples map[string][]float64
+}
+
+// NewCollector returns an empty collector.
+func NewCollector() *Collector {
+	return &Collector{samples: make(map[string][]float64)}
+}
+
+// Observe records one sample under name.
+func (c *Collector) Observe(name string, v float64) {
+	if _, ok := c.samples[name]; !ok {
+		c.names = append(c.names, name)
+	}
+	c.samples[name] = append(c.samples[name], v)
+}
+
+// ObserveAll records every entry of values, in sorted key order so that
+// first-seen name ordering stays deterministic.
+func (c *Collector) ObserveAll(values map[string]float64) {
+	keys := make([]string, 0, len(values))
+	for k := range values {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		c.Observe(k, values[k])
+	}
+}
+
+// Names returns the observed metric names in first-seen order.
+func (c *Collector) Names() []string {
+	return append([]string(nil), c.names...)
+}
+
+// Count returns the number of samples recorded under name.
+func (c *Collector) Count(name string) int {
+	return len(c.samples[name])
+}
+
+// Samples returns a copy of the samples recorded under name.
+func (c *Collector) Samples(name string) []float64 {
+	return append([]float64(nil), c.samples[name]...)
+}
+
+// Summary summarizes the samples recorded under name.
+func (c *Collector) Summary(name string) Summary {
+	return Summarize(c.samples[name])
+}
+
+// Summaries summarizes every observed name.
+func (c *Collector) Summaries() map[string]Summary {
+	out := make(map[string]Summary, len(c.names))
+	for _, n := range c.names {
+		out[n] = Summarize(c.samples[n])
+	}
+	return out
+}

@@ -99,6 +99,30 @@ func (r *RNG) Perm(n int) []int {
 // Fork returns a new generator whose stream is independent from (but fully
 // determined by) the parent's current state. Useful for giving subsystems
 // their own streams without coupling their consumption order.
+//
+// Fork advances the parent, so the substream a call yields depends on how
+// many values the parent produced before it. When substreams must be
+// reproducible regardless of creation order — experiment cells executed by
+// a parallel worker pool — use Stream instead.
 func (r *RNG) Fork() *RNG {
 	return NewRNG(r.Uint64() ^ 0xdeadbeefcafef00d)
+}
+
+// Stream returns the substream named label, derived from the generator's
+// current state without advancing it. Equal (state, label) pairs always
+// yield the same substream, and distinct labels yield decorrelated ones,
+// so a sweep can hand every scenario cell its own reproducible stream no
+// matter which worker reaches the cell first.
+func (r *RNG) Stream(label string) *RNG {
+	// FNV-1a over the label, then the splitmix64 finalizer to mix the
+	// hash with the parent state; nearby labels land far apart.
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(label); i++ {
+		h ^= uint64(label[i])
+		h *= 1099511628211
+	}
+	z := r.state ^ (h + 0x9e3779b97f4a7c15)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return NewRNG(z ^ (z >> 31))
 }

@@ -1,0 +1,155 @@
+package sweep
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"hadooppreempt/internal/metrics"
+)
+
+// Encoders render a collapsed result deterministically: rows follow grid
+// order, metric names are sorted, and floats use a fixed format, so runs
+// at different -parallel levels produce byte-identical output.
+
+// sortedMetricNames returns the union of metric names across aggregates,
+// sorted.
+func sortedMetricNames(aggs []*Aggregate) []string {
+	seen := make(map[string]bool)
+	var names []string
+	for _, a := range aggs {
+		for n := range a.Metrics {
+			if !seen[n] {
+				seen[n] = true
+				names = append(names, n)
+			}
+		}
+	}
+	sort.Strings(names)
+	return names
+}
+
+// groupAxes returns the axis names that survive collapsing, in grid
+// order.
+func groupAxes(g Grid, collapse []string) []string {
+	drop := make(map[string]bool, len(collapse))
+	for _, a := range collapse {
+		drop[a] = true
+	}
+	var names []string
+	for _, a := range g.Axes {
+		if !drop[a.Name] {
+			names = append(names, a.Name)
+		}
+	}
+	return names
+}
+
+func formatStat(v float64) string {
+	return strconv.FormatFloat(v, 'g', 9, 64)
+}
+
+// WriteCSV writes the result collapsed over the given axes as long-form
+// CSV: one row per (cell group, metric) with summary-statistic columns.
+func WriteCSV(w io.Writer, r *Result, collapse ...string) error {
+	axes := groupAxes(r.Grid, collapse)
+	aggs := r.Collapse(collapse...)
+	names := sortedMetricNames(aggs)
+	cw := csv.NewWriter(w)
+	header := append(append([]string{}, axes...),
+		"metric", "count", "mean", "std", "min", "p50", "p95", "max")
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, agg := range aggs {
+		for _, name := range names {
+			s, ok := agg.Metrics[name]
+			if !ok {
+				continue
+			}
+			row := make([]string, 0, len(header))
+			for _, a := range axes {
+				row = append(row, agg.Labels[a])
+			}
+			row = append(row, name, strconv.Itoa(s.Count),
+				formatStat(s.Mean), formatStat(s.Std), formatStat(s.Min),
+				formatStat(s.P50), formatStat(s.P95), formatStat(s.Max))
+			if err := cw.Write(row); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// jsonAggregate is the serialized form of an Aggregate (without the raw
+// First payload, which need not be serializable).
+type jsonAggregate struct {
+	Key     string                     `json:"key"`
+	Labels  map[string]string          `json:"labels"`
+	Count   int                        `json:"count"`
+	Metrics map[string]metrics.Summary `json:"metrics"`
+	Extra   map[string]string          `json:"extra,omitempty"`
+}
+
+// WriteJSON writes the collapsed result as an indented JSON document.
+func WriteJSON(w io.Writer, r *Result, collapse ...string) error {
+	aggs := r.Collapse(collapse...)
+	out := struct {
+		Seed  uint64          `json:"seed"`
+		Cells []jsonAggregate `json:"cells"`
+	}{Seed: r.Seed}
+	for _, agg := range aggs {
+		ja := jsonAggregate{
+			Key:     agg.Key,
+			Labels:  agg.Labels,
+			Count:   agg.Count,
+			Metrics: agg.Metrics,
+		}
+		if len(agg.First.Outcome.Labels) > 0 {
+			ja.Extra = agg.First.Outcome.Labels
+		}
+		out.Cells = append(out.Cells, ja)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// WriteTable writes the collapsed result as an aligned text table with
+// one row per cell group and one mean column per metric.
+func WriteTable(w io.Writer, r *Result, collapse ...string) error {
+	axes := groupAxes(r.Grid, collapse)
+	aggs := r.Collapse(collapse...)
+	names := sortedMetricNames(aggs)
+	var b strings.Builder
+	for _, a := range axes {
+		fmt.Fprintf(&b, "%-12s", a)
+	}
+	fmt.Fprintf(&b, "%6s", "runs")
+	for _, n := range names {
+		fmt.Fprintf(&b, " %18s", n)
+	}
+	b.WriteByte('\n')
+	for _, agg := range aggs {
+		for _, a := range axes {
+			fmt.Fprintf(&b, "%-12s", agg.Labels[a])
+		}
+		fmt.Fprintf(&b, "%6d", agg.Count)
+		for _, n := range names {
+			if s, ok := agg.Metrics[n]; ok {
+				fmt.Fprintf(&b, " %18.3f", s.Mean)
+			} else {
+				fmt.Fprintf(&b, " %18s", "-")
+			}
+		}
+		b.WriteByte('\n')
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}

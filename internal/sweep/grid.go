@@ -1,0 +1,269 @@
+package sweep
+
+import (
+	"fmt"
+	"strings"
+
+	"hadooppreempt/internal/sim"
+)
+
+// RepAxis is the conventional name of the repetition axis. Collapsing a
+// result over RepAxis yields the per-cell aggregates the figures plot.
+const RepAxis = "rep"
+
+// Value is one setting of an axis: a stable label (used in keys, seed
+// derivation and output) plus the underlying value handed to the run
+// function.
+type Value struct {
+	Label string
+	V     any
+}
+
+// Axis is one dimension of a scenario grid.
+type Axis struct {
+	Name   string
+	Values []Value
+}
+
+// Strings builds an axis of string values labelled by themselves.
+func Strings(name string, vs ...string) Axis {
+	a := Axis{Name: name}
+	for _, v := range vs {
+		a.Values = append(a.Values, Value{Label: v, V: v})
+	}
+	return a
+}
+
+// Floats builds an axis of float64 values.
+func Floats(name string, vs ...float64) Axis {
+	a := Axis{Name: name}
+	for _, v := range vs {
+		a.Values = append(a.Values, Value{Label: formatFloat(v), V: v})
+	}
+	return a
+}
+
+// Ints builds an axis of int values.
+func Ints(name string, vs ...int) Axis {
+	a := Axis{Name: name}
+	for _, v := range vs {
+		a.Values = append(a.Values, Value{Label: fmt.Sprintf("%d", v), V: v})
+	}
+	return a
+}
+
+// Stringers builds an axis from values that label themselves.
+func Stringers[T fmt.Stringer](name string, vs ...T) Axis {
+	a := Axis{Name: name}
+	for _, v := range vs {
+		a.Values = append(a.Values, Value{Label: v.String(), V: v})
+	}
+	return a
+}
+
+// Reps returns the repetition axis with n values (at least one).
+func Reps(n int) Axis {
+	if n < 1 {
+		n = 1
+	}
+	a := Axis{Name: RepAxis}
+	for i := 0; i < n; i++ {
+		a.Values = append(a.Values, Value{Label: fmt.Sprintf("%d", i), V: i})
+	}
+	return a
+}
+
+func formatFloat(v float64) string {
+	return strings.TrimRight(strings.TrimRight(fmt.Sprintf("%.6f", v), "0"), ".")
+}
+
+// Grid declares a scenario sweep: the cross product of its axes, executed
+// cell by cell. Cells are ordered row-major with the last axis varying
+// fastest.
+type Grid struct {
+	Axes []Axis
+	// Paired lists axes that do not contribute to per-cell seed
+	// derivation: cells differing only in paired axes share a seed, so
+	// e.g. the preemption primitives are compared under identical arrival
+	// randomness — the paper's paired-comparison methodology.
+	Paired []string
+}
+
+// NewGrid builds a grid over the given axes.
+func NewGrid(axes ...Axis) Grid { return Grid{Axes: axes} }
+
+// Pair marks the named axes as seed-paired and returns the grid.
+func (g Grid) Pair(axes ...string) Grid {
+	g.Paired = append(g.Paired, axes...)
+	return g
+}
+
+// Size is the number of cells (0 if any axis is empty).
+func (g Grid) Size() int {
+	n := 1
+	for _, a := range g.Axes {
+		n *= len(a.Values)
+	}
+	if len(g.Axes) == 0 {
+		return 0
+	}
+	return n
+}
+
+// validate reports structural problems: no axes, empty axes, duplicate
+// axis names, duplicate value labels within an axis, or a paired name
+// that matches no axis.
+func (g Grid) validate() error {
+	if len(g.Axes) == 0 {
+		return fmt.Errorf("sweep: grid has no axes")
+	}
+	seen := make(map[string]bool, len(g.Axes))
+	for _, a := range g.Axes {
+		if a.Name == "" {
+			return fmt.Errorf("sweep: axis with empty name")
+		}
+		if seen[a.Name] {
+			return fmt.Errorf("sweep: duplicate axis %q", a.Name)
+		}
+		seen[a.Name] = true
+		if len(a.Values) == 0 {
+			return fmt.Errorf("sweep: axis %q has no values", a.Name)
+		}
+		labels := make(map[string]bool, len(a.Values))
+		for _, v := range a.Values {
+			if labels[v.Label] {
+				return fmt.Errorf("sweep: axis %q has duplicate label %q", a.Name, v.Label)
+			}
+			labels[v.Label] = true
+		}
+	}
+	for _, p := range g.Paired {
+		if !seen[p] {
+			return fmt.Errorf("sweep: paired axis %q not in grid", p)
+		}
+	}
+	return nil
+}
+
+// Points enumerates every cell in grid order, deriving each cell's seed
+// from baseSeed and the cell's unpaired coordinates. The derivation is
+// positional-order-free: it depends only on the axis names and value
+// labels, never on which worker reaches the cell first.
+func (g Grid) Points(baseSeed uint64) ([]Point, error) {
+	if err := g.validate(); err != nil {
+		return nil, err
+	}
+	root := sim.NewRNG(baseSeed)
+	paired := make(map[string]bool, len(g.Paired))
+	for _, p := range g.Paired {
+		paired[p] = true
+	}
+	grid := &g
+	points := make([]Point, g.Size())
+	idx := make([]int, len(g.Axes))
+	for i := range points {
+		p := Point{Index: i, grid: grid, idx: append([]int(nil), idx...)}
+		p.Seed = root.Stream(p.keyWhere(func(name string) bool { return !paired[name] })).Uint64()
+		points[i] = p
+		// Advance the odometer: last axis fastest.
+		for d := len(idx) - 1; d >= 0; d-- {
+			idx[d]++
+			if idx[d] < len(g.Axes[d].Values) {
+				break
+			}
+			idx[d] = 0
+		}
+	}
+	return points, nil
+}
+
+// Point is one cell of a grid.
+type Point struct {
+	// Index is the cell's position in row-major grid order.
+	Index int
+	// Seed is the cell's deterministic seed, derived from the sweep seed
+	// and the cell's unpaired coordinates.
+	Seed uint64
+
+	grid *Grid
+	idx  []int
+}
+
+// RNG returns a fresh generator seeded for this cell.
+func (p Point) RNG() *sim.RNG { return sim.NewRNG(p.Seed) }
+
+// Value returns the cell's value on the named axis. It panics on an
+// unknown axis: that is a scenario-definition bug, not a runtime
+// condition.
+func (p Point) Value(axis string) any {
+	v, _ := p.lookup(axis)
+	return v.V
+}
+
+// Label returns the cell's value label on the named axis.
+func (p Point) Label(axis string) string {
+	v, _ := p.lookup(axis)
+	return v.Label
+}
+
+// Float returns the cell's value on the named axis as a float64 (the
+// axis must hold float64 or int values).
+func (p Point) Float(axis string) float64 {
+	switch v := p.Value(axis).(type) {
+	case float64:
+		return v
+	case int:
+		return float64(v)
+	default:
+		panic(fmt.Sprintf("sweep: axis %q holds %T, not a number", axis, v))
+	}
+}
+
+// Int returns the cell's value on the named axis as an int.
+func (p Point) Int(axis string) int {
+	v, ok := p.Value(axis).(int)
+	if !ok {
+		panic(fmt.Sprintf("sweep: axis %q does not hold int values", axis))
+	}
+	return v
+}
+
+// Key identifies the cell: "axis=label" pairs joined in axis order.
+func (p Point) Key() string {
+	return p.keyWhere(func(string) bool { return true })
+}
+
+// KeyWithout is Key with the named axes omitted (used to group cells
+// when collapsing).
+func (p Point) KeyWithout(axes ...string) string {
+	drop := make(map[string]bool, len(axes))
+	for _, a := range axes {
+		drop[a] = true
+	}
+	return p.keyWhere(func(name string) bool { return !drop[name] })
+}
+
+func (p Point) keyWhere(keep func(string) bool) string {
+	var b strings.Builder
+	for d, a := range p.grid.Axes {
+		if !keep(a.Name) {
+			continue
+		}
+		if b.Len() > 0 {
+			b.WriteByte(' ')
+		}
+		b.WriteString(a.Name)
+		b.WriteByte('=')
+		b.WriteString(a.Values[p.idx[d]].Label)
+	}
+	return b.String()
+}
+
+func (p Point) lookup(axis string) (Value, int) {
+	for d, a := range p.grid.Axes {
+		if a.Name == axis {
+			return a.Values[p.idx[d]], d
+		}
+	}
+	panic(fmt.Sprintf("sweep: unknown axis %q", axis))
+}

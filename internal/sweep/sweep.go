@@ -1,0 +1,170 @@
+// Package sweep is a parallel experiment harness for the simulation
+// engine: it fans a declarative grid of scenarios (preemption primitive,
+// scheduler, cluster size, memory pressure, workload mix, ...) out across
+// a bounded worker pool, hands every cell an isolated deterministic seed,
+// and merges the per-run outcomes into aggregates in grid order.
+//
+// Because cell seeds derive from the cell's coordinates rather than from
+// execution order (see sim.RNG.Stream), a sweep produces identical
+// results at any parallelism level; output encoders are deterministic so
+// -parallel 8 and -parallel 1 runs are byte-identical.
+package sweep
+
+import (
+	"fmt"
+	"sync"
+
+	"hadooppreempt/internal/metrics"
+)
+
+// Outcome is what one run reports back to the harness.
+type Outcome struct {
+	// Values are named scalar measurements; collapsing summarizes them
+	// per remaining cell across the collapsed axes.
+	Values map[string]float64
+	// Labels are named categorical results (e.g. the chosen victim).
+	Labels map[string]string
+	// Extra carries a scenario-specific payload (trace, raw result);
+	// the harness passes it through untouched.
+	Extra any
+}
+
+// RunFunc executes one scenario cell. Implementations must build their
+// own isolated simulation state (engine, cluster, ...) seeded from
+// p.Seed or p.RNG(): the harness calls RunFunc from multiple goroutines
+// and shares nothing between cells.
+type RunFunc func(p Point) (Outcome, error)
+
+// Options tunes sweep execution.
+type Options struct {
+	// Parallel bounds the worker pool; values below 1 run serially.
+	Parallel int
+	// Seed is the sweep-level base seed every cell seed derives from.
+	Seed uint64
+}
+
+// PointResult pairs a cell with its outcome.
+type PointResult struct {
+	Point   Point
+	Outcome Outcome
+}
+
+// Result is a completed sweep, in grid order regardless of the order
+// cells finished in.
+type Result struct {
+	Grid   Grid
+	Seed   uint64
+	Points []PointResult
+}
+
+// Run executes every cell of the grid through a worker pool of
+// opts.Parallel goroutines and returns the outcomes in grid order. The
+// first error (in grid order, not completion order) aborts the sweep's
+// result; remaining in-flight cells still finish.
+func Run(g Grid, run RunFunc, opts Options) (*Result, error) {
+	points, err := g.Points(opts.Seed)
+	if err != nil {
+		return nil, err
+	}
+	workers := opts.Parallel
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(points) {
+		workers = len(points)
+	}
+	outcomes := make([]Outcome, len(points))
+	errs := make([]error, len(points))
+	next := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				o, err := run(points[i])
+				if err != nil {
+					errs[i] = fmt.Errorf("sweep: cell %q: %w", points[i].Key(), err)
+					continue
+				}
+				outcomes[i] = o
+			}
+		}()
+	}
+	for i := range points {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	res := &Result{Grid: g, Seed: opts.Seed, Points: make([]PointResult, len(points))}
+	for i := range points {
+		res.Points[i] = PointResult{Point: points[i], Outcome: outcomes[i]}
+	}
+	return res, nil
+}
+
+// Aggregate is one group of cells after collapsing axes (typically the
+// repetition axis).
+type Aggregate struct {
+	// Key identifies the group: the cells' shared coordinates.
+	Key string
+	// Labels maps each remaining axis name to the group's value label.
+	Labels map[string]string
+	// Count is the number of cells merged into the group.
+	Count int
+	// Metrics summarizes each outcome value across the group.
+	Metrics map[string]metrics.Summary
+	// First is the group's first cell in grid order, for typed axis
+	// access and scenario payloads that do not aggregate.
+	First PointResult
+}
+
+// Collapse groups the result over the named axes and summarizes every
+// outcome value per group with metrics order statistics. Groups are
+// returned in grid order. Collapsing no axes yields one group per cell.
+func (r *Result) Collapse(axes ...string) []*Aggregate {
+	drop := make(map[string]bool, len(axes))
+	for _, a := range axes {
+		drop[a] = true
+	}
+	byKey := make(map[string]*Aggregate)
+	collectors := make(map[string]*metrics.Collector)
+	var order []*Aggregate
+	for _, pr := range r.Points {
+		key := pr.Point.KeyWithout(axes...)
+		agg, ok := byKey[key]
+		if !ok {
+			labels := make(map[string]string)
+			for _, a := range r.Grid.Axes {
+				if !drop[a.Name] {
+					labels[a.Name] = pr.Point.Label(a.Name)
+				}
+			}
+			agg = &Aggregate{Key: key, Labels: labels, First: pr}
+			byKey[key] = agg
+			collectors[key] = metrics.NewCollector()
+			order = append(order, agg)
+		}
+		agg.Count++
+		collectors[key].ObserveAll(pr.Outcome.Values)
+	}
+	for key, agg := range byKey {
+		agg.Metrics = collectors[key].Summaries()
+	}
+	return order
+}
+
+// MetricNames returns every outcome value name observed across the
+// result, in first-seen grid order.
+func (r *Result) MetricNames() []string {
+	c := metrics.NewCollector()
+	for _, pr := range r.Points {
+		c.ObserveAll(pr.Outcome.Values)
+	}
+	return c.Names()
+}

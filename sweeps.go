@@ -1,0 +1,173 @@
+package hadooppreempt
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"hadooppreempt/internal/core"
+	"hadooppreempt/internal/experiments"
+	"hadooppreempt/internal/metrics"
+	"hadooppreempt/internal/sweep"
+)
+
+// The sweep harness fans a declarative grid of scenarios out across a
+// bounded worker pool; every cell gets its own deterministically derived
+// seed, so results are identical at any parallelism level. These aliases
+// re-export it on the facade.
+
+// SweepGrid declares a scenario grid (the cross product of its axes).
+type SweepGrid = sweep.Grid
+
+// SweepAxis is one grid dimension.
+type SweepAxis = sweep.Axis
+
+// SweepPoint is one grid cell handed to a run function.
+type SweepPoint = sweep.Point
+
+// SweepOutcome is what one run reports back.
+type SweepOutcome = sweep.Outcome
+
+// SweepOptions tunes execution (worker pool size, base seed).
+type SweepOptions = sweep.Options
+
+// SweepResult is a completed sweep in grid order.
+type SweepResult = sweep.Result
+
+// SweepRunFunc executes one cell.
+type SweepRunFunc = sweep.RunFunc
+
+// RunSweep executes every cell of the grid through the parallel harness.
+func RunSweep(g SweepGrid, run SweepRunFunc, opts SweepOptions) (*SweepResult, error) {
+	return sweep.Run(g, run, opts)
+}
+
+// WriteSweepCSV renders a sweep collapsed over its repetition axis as
+// long-form CSV (one row per cell and metric).
+func WriteSweepCSV(w io.Writer, r *SweepResult) error {
+	return sweep.WriteCSV(w, r, sweep.RepAxis)
+}
+
+// WriteSweepJSON renders a sweep collapsed over its repetition axis as
+// an indented JSON document.
+func WriteSweepJSON(w io.Writer, r *SweepResult) error {
+	return sweep.WriteJSON(w, r, sweep.RepAxis)
+}
+
+// WriteSweepTable renders a sweep collapsed over its repetition axis as
+// an aligned text table of per-cell means.
+func WriteSweepTable(w io.Writer, r *SweepResult) error {
+	return sweep.WriteTable(w, r, sweep.RepAxis)
+}
+
+// TwoJobSweep returns the canned grid and runner for the paper's
+// two-job scenario: primitive x preemption point x repetition, 27 cells
+// per repetition. The grid and cell wiring are the same ones behind
+// Figures 2 and 3, so the CLI sweep and the figure generators cannot
+// drift. The primitive axis is seed-paired, so primitives are compared
+// under identical randomness.
+func TwoJobSweep(reps int) (SweepGrid, SweepRunFunc) {
+	run := func(pt SweepPoint) (SweepOutcome, error) {
+		return experiments.TwoJobCell(pt, 0, 0)
+	}
+	return experiments.TwoJobGrid(reps), run
+}
+
+// PressureSweep returns the canned grid and runner for the memory
+// pressure scenario: primitive x th allocation x preemption point x
+// repetition (27 cells per repetition), the grid behind Figures 3 and 4.
+func PressureSweep(reps int) (SweepGrid, SweepRunFunc) {
+	g := sweep.NewGrid(
+		sweep.Stringers("prim", core.Primitives()...),
+		sweep.Ints("th_mem_mb", 0, 1024, 2048),
+		sweep.Floats("r", 25, 50, 75),
+		sweep.Reps(reps),
+	).Pair("prim")
+	run := func(pt SweepPoint) (SweepOutcome, error) {
+		return experiments.TwoJobCell(pt,
+			experiments.WorstCaseMemory, int64(pt.Int("th_mem_mb"))<<20)
+	}
+	return g, run
+}
+
+// ClusterSweep returns the canned grid and runner for the cluster-scale
+// scenario: scheduler x node count x workload mix x repetition (27 cells
+// per repetition). Every cell boots an isolated cluster, installs a
+// deterministic SWIM-style workload of jobs jobs, runs it to completion
+// and reports sojourn statistics, preemption counts and swap traffic.
+func ClusterSweep(jobs, reps int) (SweepGrid, SweepRunFunc) {
+	if jobs <= 0 {
+		jobs = 12
+	}
+	g := sweep.NewGrid(
+		sweep.Strings("sched", "fifo", "fair", "hfsp"),
+		sweep.Ints("nodes", 1, 2, 4),
+		sweep.Strings("mix", "interactive", "mixed", "batch"),
+		sweep.Reps(reps),
+	).Pair("sched")
+	run := func(pt SweepPoint) (SweepOutcome, error) {
+		kinds := map[string]SchedulerKind{
+			"fifo": SchedulerFIFO, "fair": SchedulerFair, "hfsp": SchedulerHFSP,
+		}
+		c, err := New(Options{
+			Nodes:           pt.Int("nodes"),
+			MapSlotsPerNode: 2,
+			Scheduler:       kinds[pt.Label("sched")],
+			Seed:            pt.Seed,
+		})
+		if err != nil {
+			return SweepOutcome{}, err
+		}
+		cfg := workloadMix(pt.Label("mix"), jobs)
+		specs, err := GenerateWorkload(cfg, pt.Seed)
+		if err != nil {
+			return SweepOutcome{}, err
+		}
+		if err := c.InstallWorkload(specs); err != nil {
+			return SweepOutcome{}, err
+		}
+		if !c.RunUntilJobsDone(24 * time.Hour) {
+			return SweepOutcome{}, fmt.Errorf("workload did not converge")
+		}
+		var sojourns []float64
+		var suspensions, attempts int
+		var swapOut, swapIn int64
+		for _, spec := range specs {
+			st, err := c.Stats(spec.Conf.Name)
+			if err != nil {
+				return SweepOutcome{}, err
+			}
+			sojourns = append(sojourns, st.Sojourn.Seconds())
+			suspensions += st.Suspensions
+			attempts += st.Attempts
+			swapOut += st.SwapOut
+			swapIn += st.SwapIn
+		}
+		s := metrics.Summarize(sojourns)
+		return SweepOutcome{Values: map[string]float64{
+			"sojourn_mean_s": s.Mean,
+			"sojourn_p95_s":  s.P95,
+			"makespan_s":     c.Now().Seconds(),
+			"suspensions":    float64(suspensions),
+			"attempts":       float64(attempts),
+			"swap_out_mb":    float64(swapOut) / float64(1<<20),
+			"swap_in_mb":     float64(swapIn) / float64(1<<20),
+		}}, nil
+	}
+	return g, run
+}
+
+// workloadMix builds the named workload configuration: "mixed" is the
+// default interactive/batch blend, "interactive" and "batch" isolate one
+// class each.
+func workloadMix(mix string, jobs int) WorkloadConfig {
+	cfg := DefaultWorkloadConfig()
+	cfg.Count = jobs
+	switch mix {
+	case "interactive":
+		cfg.Classes = cfg.Classes[:1]
+	case "batch":
+		cfg.Classes = cfg.Classes[1:]
+	}
+	return cfg
+}

@@ -1,0 +1,99 @@
+package hadooppreempt_test
+
+import (
+	"bytes"
+	"testing"
+
+	hp "hadooppreempt"
+)
+
+// TestTwoJobSweepEndToEnd drives the paper's two-job scenario grid
+// through the parallel harness and checks the headline qualitative
+// claim: the smaller (high-priority) job's sojourn improves under
+// suspend compared to kill at every preemption point.
+func TestTwoJobSweepEndToEnd(t *testing.T) {
+	grid, run := hp.TwoJobSweep(1)
+	res, err := hp.RunSweep(grid, run, hp.SweepOptions{Parallel: 4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sojourn := make(map[string]map[string]float64) // prim -> r -> mean
+	for _, agg := range res.Collapse("rep") {
+		prim := agg.Labels["prim"]
+		if sojourn[prim] == nil {
+			sojourn[prim] = make(map[string]float64)
+		}
+		sojourn[prim][agg.Labels["r"]] = agg.Metrics["sojourn_th_s"].Mean
+	}
+	if len(sojourn["susp"]) != 9 || len(sojourn["kill"]) != 9 {
+		t.Fatalf("expected 9 preemption points per primitive, got susp=%d kill=%d",
+			len(sojourn["susp"]), len(sojourn["kill"]))
+	}
+	for r, susp := range sojourn["susp"] {
+		kill := sojourn["kill"][r]
+		if susp >= kill {
+			t.Errorf("at r=%s%%: susp sojourn %.1fs should beat kill %.1fs", r, susp, kill)
+		}
+	}
+}
+
+// TestSweepParallelismByteIdentical is the acceptance criterion: the
+// same seed produces byte-identical aggregate output regardless of the
+// worker pool size.
+func TestSweepParallelismByteIdentical(t *testing.T) {
+	render := func(parallel int) (string, string) {
+		grid, run := hp.TwoJobSweep(1)
+		res, err := hp.RunSweep(grid, run, hp.SweepOptions{Parallel: parallel, Seed: 42})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var csv, js bytes.Buffer
+		if err := hp.WriteSweepCSV(&csv, res); err != nil {
+			t.Fatal(err)
+		}
+		if err := hp.WriteSweepJSON(&js, res); err != nil {
+			t.Fatal(err)
+		}
+		return csv.String(), js.String()
+	}
+	csv1, js1 := render(1)
+	csv8, js8 := render(8)
+	if csv1 != csv8 {
+		t.Fatal("CSV output differs between -parallel 1 and -parallel 8")
+	}
+	if js1 != js8 {
+		t.Fatal("JSON output differs between -parallel 1 and -parallel 8")
+	}
+}
+
+// TestClusterSweepRuns smoke-tests the cluster-scale grid on a reduced
+// slice: every scheduler completes a small workload and reports sane
+// aggregates.
+func TestClusterSweepRuns(t *testing.T) {
+	grid, run := hp.ClusterSweep(4, 1)
+	// Reduce to one node count and one mix to keep the test quick.
+	for i, a := range grid.Axes {
+		switch a.Name {
+		case "nodes":
+			grid.Axes[i].Values = a.Values[:1]
+		case "mix":
+			grid.Axes[i].Values = a.Values[1:2]
+		}
+	}
+	res, err := hp.RunSweep(grid, run, hp.SweepOptions{Parallel: 3, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	aggs := res.Collapse("rep")
+	if len(aggs) != 3 {
+		t.Fatalf("groups = %d, want 3 schedulers", len(aggs))
+	}
+	for _, agg := range aggs {
+		if agg.Metrics["sojourn_mean_s"].Mean <= 0 {
+			t.Errorf("scheduler %s reported non-positive mean sojourn", agg.Labels["sched"])
+		}
+		if agg.Metrics["sojourn_p95_s"].Mean < agg.Metrics["sojourn_mean_s"].Mean {
+			t.Errorf("scheduler %s: p95 below mean", agg.Labels["sched"])
+		}
+	}
+}
