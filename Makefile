@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet fmt fmt-check bench sweep-check ci
+.PHONY: all build test vet fmt fmt-check bench bench-golden sweep-check ci
 
 all: build
 
@@ -26,10 +26,18 @@ fmt-check:
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
 
+# Regenerate BENCH_sweep.json and fail if figure metrics drifted from
+# goldens/bench_metrics.json (run with UPDATE=1 to rewrite the goldens).
+bench-golden:
+	$(GO) test -run '^$$' -bench BenchmarkFigure -benchtime 3x -count 3 . \
+		| $(GO) run ./internal/tools/benchjson \
+			-golden goldens/bench_metrics.json $(if $(UPDATE),-update) \
+			> BENCH_sweep.json
+
 sweep-check:
 	$(GO) build -o /tmp/hadoopsim-ci ./cmd/hadoopsim
 	/tmp/hadoopsim-ci -sweep twojob -parallel 1 -format csv -seed 1 > /tmp/sweep-p1.csv
 	/tmp/hadoopsim-ci -sweep twojob -parallel 8 -format csv -seed 1 > /tmp/sweep-p8.csv
 	cmp /tmp/sweep-p1.csv /tmp/sweep-p8.csv
 
-ci: build vet fmt-check test bench sweep-check
+ci: build vet fmt-check test bench bench-golden sweep-check

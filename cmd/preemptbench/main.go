@@ -5,6 +5,7 @@
 //
 //	preemptbench [-fig 1|2a|2b|3a|3b|4|natjam|all] [-reps N] [-seed S]
 //	             [-parallel W] [-format text|json]
+//	             [-cpuprofile file] [-memprofile file]
 //
 // Figures execute through the parallel sweep harness: -parallel fans the
 // scenario grid out across W workers, and because every cell's seed is
@@ -21,6 +22,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"sort"
 
 	"hadooppreempt/internal/experiments"
@@ -32,10 +34,46 @@ func main() {
 	seed := flag.Uint64("seed", 1, "base random seed")
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "sweep worker pool size")
 	format := flag.String("format", "text", "output format: text or json")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	flag.Parse()
 
+	var cpuFile *os.File
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "preemptbench: cpuprofile:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "preemptbench: cpuprofile:", err)
+			os.Exit(1)
+		}
+		cpuFile = f
+	}
+
 	cfg := experiments.Config{Reps: *reps, Seed: *seed, Parallel: *parallel}
-	if err := run(*fig, cfg, *format); err != nil {
+	err := run(*fig, cfg, *format)
+
+	// Flush the CPU profile before any exit path so it is always valid.
+	if cpuFile != nil {
+		pprof.StopCPUProfile()
+		cpuFile.Close()
+	}
+	if *memprofile != "" {
+		f, merr := os.Create(*memprofile)
+		if merr != nil {
+			fmt.Fprintln(os.Stderr, "preemptbench: memprofile:", merr)
+			os.Exit(1)
+		}
+		runtime.GC()
+		if merr := pprof.WriteHeapProfile(f); merr != nil {
+			fmt.Fprintln(os.Stderr, "preemptbench: memprofile:", merr)
+			os.Exit(1)
+		}
+		f.Close()
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "preemptbench:", err)
 		os.Exit(1)
 	}

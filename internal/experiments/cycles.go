@@ -72,6 +72,7 @@ func RunCycles(p CycleParams) (*CycleResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	defer cluster.Close()
 	eng := cluster.Engine()
 	jt := cluster.JobTracker()
 	dummy := scheduler.NewDummy(jt)

@@ -44,6 +44,7 @@ func RunEvictionComparison(policyName string, seed uint64) (*EvictionResult, err
 	if err != nil {
 		return nil, err
 	}
+	defer cluster.Close()
 	eng := cluster.Engine()
 	jt := cluster.JobTracker()
 	dummy := scheduler.NewDummy(jt)

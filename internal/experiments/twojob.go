@@ -96,6 +96,7 @@ func RunTwoJob(p TwoJobParams) (*TwoJobResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	defer cluster.Close()
 	eng := cluster.Engine()
 	jt := cluster.JobTracker()
 	dummy := scheduler.NewDummy(jt)

@@ -329,8 +329,13 @@ func (fs *FileSystem) Read(reader NodeID, block BlockID, offset, length int64, s
 		}
 	}
 	// The reader's page cache absorbs the streamed data (clean pages,
-	// reclaimed first under pressure).
-	if rdn, ok := fs.nodes[reader]; ok && rdn.mem != nil {
+	// reclaimed first under pressure). Node-local reads (the common case)
+	// reuse the server's record instead of a second map lookup.
+	rdn := dn
+	if server != reader {
+		rdn = fs.nodes[reader]
+	}
+	if rdn != nil && rdn.mem != nil {
 		rdn.mem.CacheFill(length)
 	}
 	return done, loc, nil
@@ -338,14 +343,20 @@ func (fs *FileSystem) Read(reader NodeID, block BlockID, offset, length int64, s
 
 // chooseReplica picks the closest replica for the reader.
 func (fs *FileSystem) chooseReplica(reader NodeID, meta *blockMeta) (NodeID, Locality) {
+	// The reader's rack is only needed once a non-local replica shows up;
+	// resolving it lazily keeps the node-local fast path lookup-free.
 	readerRack := ""
-	if dn, ok := fs.nodes[reader]; ok {
-		readerRack = dn.rack
-	}
+	rackKnown := false
 	var rackChoice, anyChoice NodeID
 	for _, nid := range meta.replicas {
 		if nid == reader {
 			return nid, NodeLocal
+		}
+		if !rackKnown {
+			rackKnown = true
+			if dn, ok := fs.nodes[reader]; ok {
+				readerRack = dn.rack
+			}
 		}
 		if rackChoice == "" && readerRack != "" && fs.nodes[nid].rack == readerRack {
 			rackChoice = nid

@@ -156,29 +156,28 @@ func (c *Cluster) RunUntil(deadline time.Duration) { c.eng.RunUntil(deadline) }
 
 // RunUntilJobsDone advances virtual time until every submitted job is in a
 // terminal state or the deadline passes. It reports whether all jobs
-// finished.
+// finished. The termination check runs between every pair of events, so it
+// must not allocate (see JobTracker.allJobsTerminal).
 func (c *Cluster) RunUntilJobsDone(deadline time.Duration) bool {
 	for c.eng.Now() < deadline {
-		done := true
-		for _, j := range c.jt.Jobs() {
-			if j.State() != JobSucceeded && j.State() != JobFailed {
-				done = false
-				break
-			}
-		}
-		if done && len(c.jt.Jobs()) > 0 {
+		if c.jt.allJobsTerminal() && len(c.jt.jobOrder) > 0 {
 			return true
 		}
-		at, ok := c.eng.NextEventAt()
-		if !ok || at > deadline {
+		if !c.eng.StepUntil(deadline) {
 			break
 		}
-		c.eng.Step()
 	}
-	for _, j := range c.jt.Jobs() {
-		if j.State() != JobSucceeded && j.State() != JobFailed {
-			return false
-		}
+	return c.jt.allJobsTerminal() && len(c.jt.jobOrder) > 0
+}
+
+// Close releases per-node resources back to their arenas (today: the
+// memory managers' extent tables and stacks). Call it once a run's results
+// have been extracted; the cluster, its kernels and its memory managers
+// must not be used afterwards. Sweep cells call it between repetitions so
+// a worker reuses one set of buffers instead of reallocating per cell.
+func (c *Cluster) Close() {
+	for _, n := range c.nodes {
+		n.Memory.Release()
 	}
-	return len(c.jt.Jobs()) > 0
+	c.nodes = nil
 }

@@ -2,7 +2,7 @@ package mapreduce
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 	"time"
 
 	"hadooppreempt/internal/hdfs"
@@ -152,6 +152,9 @@ type JobTracker struct {
 	tasks    map[TaskID]*Task
 	trackers map[string]*TaskTracker
 	nextJob  int
+	// liveJobs counts submitted jobs not yet terminal, so the per-event
+	// termination check is a comparison instead of a map walk.
+	liveJobs int
 }
 
 // NewJobTracker creates a JobTracker. The scheduler may be set later with
@@ -230,6 +233,7 @@ func (jt *JobTracker) Submit(conf JobConf) (*Job, error) {
 	}
 	jt.jobs[id] = job
 	jt.jobOrder = append(jt.jobOrder, id)
+	jt.liveJobs++
 	if jt.scheduler != nil {
 		jt.scheduler.JobSubmitted(job)
 	}
@@ -291,11 +295,18 @@ func (jt *JobTracker) setJobState(j *Job, to JobState) {
 		return
 	}
 	j.state = to
+	fromTerminal := from == JobSucceeded || from == JobFailed
+	toTerminal := to == JobSucceeded || to == JobFailed
+	if !fromTerminal && toTerminal {
+		jt.liveJobs--
+	} else if fromTerminal && !toTerminal {
+		jt.liveJobs++
+	}
 	now := jt.eng.Now()
 	for _, l := range jt.listeners {
 		l.JobStateChanged(j, from, to, now)
 	}
-	if to == JobSucceeded || to == JobFailed {
+	if toTerminal {
 		j.completedAt = now
 		if jt.scheduler != nil {
 			jt.scheduler.JobCompleted(j)
@@ -494,13 +505,21 @@ func (jt *JobTracker) Heartbeat(status HeartbeatStatus) []Action {
 // deterministic order.
 func (jt *JobTracker) tasksOn(tracker string) []*Task {
 	var out []*Task
-	for _, t := range jt.tasks {
-		if t.tracker == tracker && (t.state.Live() || t.state == TaskKilled) {
-			out = append(out, t)
+	for _, jid := range jt.jobOrder {
+		for _, t := range jt.jobs[jid].tasks {
+			if t.tracker == tracker && (t.state.Live() || t.state == TaskKilled) {
+				out = append(out, t)
+			}
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].id.String() < out[j].id.String() })
+	slices.SortFunc(out, func(a, b *Task) int { return compareTaskIDs(a.id, b.id) })
 	return out
+}
+
+// allJobsTerminal reports whether every submitted job reached a terminal
+// state. The cluster run loop calls it between every pair of events.
+func (jt *JobTracker) allJobsTerminal() bool {
+	return jt.liveJobs == 0
 }
 
 // suspendedOn lists tasks suspended on the tracker.

@@ -53,6 +53,12 @@ type mapProgram struct {
 	finalDone    int64
 	bufCursor    int64
 	pendingChunk int64 // bytes of the chunk whose completion is unrecorded
+
+	// memOp and ioOp are reused across Next calls: the kernel consumes an
+	// Op synchronously, so handing out the same buffers avoids a heap
+	// allocation per chunk on the hottest loop of the simulation.
+	memOp ossim.MemOp
+	ioOp  ossim.IOOp
 }
 
 // Program stages.
@@ -81,7 +87,7 @@ func (mp *mapProgram) totalMemory() int64 {
 
 // Next implements ossim.Program as a resumable state machine. Each call
 // means the previous op completed.
-func (mp *mapProgram) Next(p *ossim.Process) ossim.Op {
+func (mp *mapProgram) Next(p *ossim.Process, op *ossim.Op) {
 	// Record completion of the previously returned processing chunk.
 	if mp.pendingChunk > 0 {
 		mp.rt.processedBytes += mp.pendingChunk
@@ -90,7 +96,8 @@ func (mp *mapProgram) Next(p *ossim.Process) ossim.Op {
 	switch mp.stage {
 	case stageSpawn:
 		mp.stage = stageAlloc
-		return ossim.Op{Label: "jvm-start", Sleep: mp.cfg.JVMStartup}
+		*op = ossim.Op{Label: "jvm-start", Sleep: mp.cfg.JVMStartup}
+		return
 
 	case stageAlloc:
 		// Write the engine heap and the extra state region, chunk by
@@ -101,13 +108,14 @@ func (mp *mapProgram) Next(p *ossim.Process) ossim.Op {
 			if mp.allocDone+chunk > total {
 				chunk = total - mp.allocDone
 			}
-			op := ossim.Op{
+			mp.memOp = ossim.MemOp{Offset: mp.allocDone, Length: chunk, Write: true}
+			*op = ossim.Op{
 				Label:   "alloc",
-				Mem:     &ossim.MemOp{Offset: mp.allocDone, Length: chunk, Write: true},
+				Mem:     &mp.memOp,
 				Compute: time.Duration(float64(chunk) / mp.cfg.MemTouchRate * float64(time.Second)),
 			}
 			mp.allocDone += chunk
-			return op
+			return
 		}
 		mp.stage = stageProcess
 		fallthrough
@@ -138,7 +146,8 @@ func (mp *mapProgram) Next(p *ossim.Process) ossim.Op {
 				if off+length > win {
 					length = win - off
 				}
-				mem = &ossim.MemOp{Offset: mp.conf.JVMBaseBytes + off, Length: length, Write: true}
+				mp.memOp = ossim.MemOp{Offset: mp.conf.JVMBaseBytes + off, Length: length, Write: true}
+				mem = &mp.memOp
 				mp.bufCursor += length
 			} else if mp.cfg.BufferBytes > 0 && mp.conf.JVMBaseBytes > 0 {
 				win := mp.cfg.BufferBytes
@@ -150,16 +159,18 @@ func (mp *mapProgram) Next(p *ossim.Process) ossim.Op {
 				if off+length > win {
 					length = win - off
 				}
-				mem = &ossim.MemOp{Offset: off, Length: length, Write: true}
+				mp.memOp = ossim.MemOp{Offset: off, Length: length, Write: true}
+				mem = &mp.memOp
 				mp.bufCursor += length
 			}
 			mp.pendingChunk = chunk
-			return ossim.Op{
+			*op = ossim.Op{
 				Label:   "map-chunk",
 				Sleep:   ioWait,
 				Mem:     mem,
 				Compute: time.Duration(float64(chunk) / mp.conf.MapParseRate * float64(time.Second)),
 			}
+			return
 		}
 		mp.stage = stageFinalize
 		fallthrough
@@ -173,28 +184,30 @@ func (mp *mapProgram) Next(p *ossim.Process) ossim.Op {
 			if mp.finalDone+chunk > mp.conf.ExtraMemoryBytes {
 				chunk = mp.conf.ExtraMemoryBytes - mp.finalDone
 			}
-			op := ossim.Op{
+			mp.memOp = ossim.MemOp{Offset: mp.conf.JVMBaseBytes + mp.finalDone, Length: chunk, Write: false}
+			*op = ossim.Op{
 				Label:   "finalize",
-				Mem:     &ossim.MemOp{Offset: mp.conf.JVMBaseBytes + mp.finalDone, Length: chunk, Write: false},
+				Mem:     &mp.memOp,
 				Compute: time.Duration(float64(chunk) / mp.cfg.MemTouchRate * float64(time.Second)),
 			}
 			mp.finalDone += chunk
-			return op
+			return
 		}
 		mp.stage = stageCommit
 		fallthrough
 
 	case stageCommit:
 		mp.stage = stageDone
-		op := ossim.Op{Label: "commit", Sleep: mp.cfg.CommitCost}
+		*op = ossim.Op{Label: "commit", Sleep: mp.cfg.CommitCost}
 		if mp.conf.MapOutputRatio > 0 {
 			out := int64(float64(mp.block.Size) * mp.conf.MapOutputRatio)
-			op.IO = &ossim.IOOp{Device: mp.nodeDV, Kind: disk.Write, Bytes: out, Stream: mp.stream}
+			mp.ioOp = ossim.IOOp{Device: mp.nodeDV, Kind: disk.Write, Bytes: out, Stream: mp.stream}
+			op.IO = &mp.ioOp
 		}
-		return op
+		return
 
 	default:
-		return ossim.Op{Done: true, ExitCode: ossim.ExitOK}
+		*op = ossim.Op{Done: true, ExitCode: ossim.ExitOK}
 	}
 }
 
@@ -216,6 +229,9 @@ type reduceProgram struct {
 	reduced      int64
 	pendingChunk int64
 	pendingPhase int // which counter pendingChunk belongs to: 1 shuffle, 2 reduce
+
+	memOp ossim.MemOp
+	ioOp  ossim.IOOp
 }
 
 func newReduceProgram(eng *sim.Engine, cfg *EngineConfig, conf *JobConf, dev *disk.Device,
@@ -230,7 +246,7 @@ func newReduceProgram(eng *sim.Engine, cfg *EngineConfig, conf *JobConf, dev *di
 }
 
 // Next implements ossim.Program.
-func (rp *reduceProgram) Next(p *ossim.Process) ossim.Op {
+func (rp *reduceProgram) Next(p *ossim.Process, op *ossim.Op) {
 	if rp.pendingChunk > 0 {
 		rp.rt.processedBytes += rp.pendingChunk
 		rp.pendingChunk = 0
@@ -238,7 +254,8 @@ func (rp *reduceProgram) Next(p *ossim.Process) ossim.Op {
 	switch rp.stage {
 	case stageSpawn:
 		rp.stage = stageAlloc
-		return ossim.Op{Label: "jvm-start", Sleep: rp.cfg.JVMStartup}
+		*op = ossim.Op{Label: "jvm-start", Sleep: rp.cfg.JVMStartup}
+		return
 
 	case stageAlloc:
 		total := rp.conf.JVMBaseBytes + rp.conf.ExtraMemoryBytes
@@ -247,13 +264,14 @@ func (rp *reduceProgram) Next(p *ossim.Process) ossim.Op {
 			if rp.allocDone+chunk > total {
 				chunk = total - rp.allocDone
 			}
-			op := ossim.Op{
+			rp.memOp = ossim.MemOp{Offset: rp.allocDone, Length: chunk, Write: true}
+			*op = ossim.Op{
 				Label:   "alloc",
-				Mem:     &ossim.MemOp{Offset: rp.allocDone, Length: chunk, Write: true},
+				Mem:     &rp.memOp,
 				Compute: time.Duration(float64(chunk) / rp.cfg.MemTouchRate * float64(time.Second)),
 			}
 			rp.allocDone += chunk
-			return op
+			return
 		}
 		rp.stage = stageProcess
 		fallthrough
@@ -269,12 +287,14 @@ func (rp *reduceProgram) Next(p *ossim.Process) ossim.Op {
 			// Fetch over the network, spill to local disk, charge sort
 			// CPU.
 			netTime := time.Duration(float64(chunk) / rp.netBandwidth * float64(time.Second))
-			return ossim.Op{
+			rp.ioOp = ossim.IOOp{Device: rp.nodeDV, Kind: disk.Write, Bytes: chunk, Stream: rp.stream}
+			*op = ossim.Op{
 				Label:   "shuffle",
 				Sleep:   netTime,
-				IO:      &ossim.IOOp{Device: rp.nodeDV, Kind: disk.Write, Bytes: chunk, Stream: rp.stream},
+				IO:      &rp.ioOp,
 				Compute: time.Duration(float64(chunk) / rp.conf.ShuffleSortRate * float64(time.Second)),
 			}
+			return
 		}
 		rp.stage = stageFinalize
 		fallthrough
@@ -287,21 +307,24 @@ func (rp *reduceProgram) Next(p *ossim.Process) ossim.Op {
 			}
 			rp.reduced += chunk
 			rp.pendingChunk = chunk
-			return ossim.Op{
+			rp.ioOp = ossim.IOOp{Device: rp.nodeDV, Kind: disk.Read, Bytes: chunk, Stream: rp.stream}
+			*op = ossim.Op{
 				Label:   "reduce",
-				IO:      &ossim.IOOp{Device: rp.nodeDV, Kind: disk.Read, Bytes: chunk, Stream: rp.stream},
+				IO:      &rp.ioOp,
 				Compute: time.Duration(float64(chunk) / rp.conf.ReduceRate * float64(time.Second)),
 			}
+			return
 		}
 		rp.stage = stageCommit
 		fallthrough
 
 	case stageCommit:
 		rp.stage = stageDone
-		return ossim.Op{Label: "commit", Sleep: rp.cfg.CommitCost}
+		*op = ossim.Op{Label: "commit", Sleep: rp.cfg.CommitCost}
+		return
 
 	default:
-		return ossim.Op{Done: true, ExitCode: ossim.ExitOK}
+		*op = ossim.Op{Done: true, ExitCode: ossim.ExitOK}
 	}
 }
 
@@ -313,10 +336,11 @@ type cleanupProgram struct {
 }
 
 // Next implements ossim.Program.
-func (cp *cleanupProgram) Next(p *ossim.Process) ossim.Op {
+func (cp *cleanupProgram) Next(p *ossim.Process, op *ossim.Op) {
 	if cp.done {
-		return ossim.Op{Done: true, ExitCode: ossim.ExitOK}
+		*op = ossim.Op{Done: true, ExitCode: ossim.ExitOK}
+		return
 	}
 	cp.done = true
-	return ossim.Op{Label: "cleanup", Sleep: cp.cfg.CleanupCost}
+	*op = ossim.Op{Label: "cleanup", Sleep: cp.cfg.CleanupCost}
 }

@@ -5,6 +5,7 @@ import (
 
 	"hadooppreempt/internal/disk"
 	"hadooppreempt/internal/hdfs"
+	"hadooppreempt/internal/ossim"
 	"hadooppreempt/internal/sim"
 )
 
@@ -57,7 +58,8 @@ func TestMapProgramOpSequenceLightweight(t *testing.T) {
 	rt := &taskRuntime{}
 	mp := newMapProgram(h.eng, &cfg, conf, h.fs, "n1", h.dev, h.block, rt, 1)
 	labels := runProgram(t, func() (string, bool) {
-		op := mp.Next(nil)
+		var op ossim.Op
+		mp.Next(nil, &op)
 		return op.Label, op.Done
 	}, 1000)
 	if labels[0] != "jvm-start" {
@@ -97,7 +99,8 @@ func TestMapProgramFinalizeReadsExtraState(t *testing.T) {
 	mp := newMapProgram(h.eng, &cfg, conf, h.fs, "n1", h.dev, h.block, rt, 1)
 	sawFinalizeRead := false
 	for i := 0; i < 1000; i++ {
-		op := mp.Next(nil)
+		var op ossim.Op
+		mp.Next(nil, &op)
 		if op.Done {
 			break
 		}
@@ -127,7 +130,8 @@ func TestMapProgramProgressMonotone(t *testing.T) {
 	mp := newMapProgram(h.eng, &cfg, conf, h.fs, "n1", h.dev, h.block, rt, 1)
 	prev := 0.0
 	for i := 0; i < 1000; i++ {
-		op := mp.Next(nil)
+		var op ossim.Op
+		mp.Next(nil, &op)
 		if op.Done {
 			break
 		}
@@ -149,7 +153,8 @@ func TestMapProgramOutputWrite(t *testing.T) {
 	rt := &taskRuntime{}
 	mp := newMapProgram(h.eng, &cfg, conf, h.fs, "n1", h.dev, h.block, rt, 1)
 	for i := 0; i < 1000; i++ {
-		op := mp.Next(nil)
+		var op ossim.Op
+		mp.Next(nil, &op)
 		if op.Done {
 			break
 		}
@@ -178,7 +183,8 @@ func TestReduceProgramPhases(t *testing.T) {
 	rp := newReduceProgram(h.eng, &cfg, conf, h.dev, rt, 1, 32<<20, 100e6)
 	var labels []string
 	for i := 0; i < 1000; i++ {
-		op := rp.Next(nil)
+		var op ossim.Op
+		rp.Next(nil, &op)
 		if op.Done {
 			break
 		}
@@ -208,11 +214,12 @@ func TestReduceProgramPhases(t *testing.T) {
 func TestCleanupProgramSingleOp(t *testing.T) {
 	cfg := DefaultEngineConfig()
 	cp := &cleanupProgram{cfg: &cfg}
-	op := cp.Next(nil)
+	var op ossim.Op
+	cp.Next(nil, &op)
 	if op.Done || op.Sleep != cfg.CleanupCost {
 		t.Fatalf("first op = %+v, want sleep of CleanupCost", op)
 	}
-	op = cp.Next(nil)
+	cp.Next(nil, &op)
 	if !op.Done {
 		t.Fatal("second op should be Done")
 	}

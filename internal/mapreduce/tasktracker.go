@@ -32,10 +32,15 @@ type TaskTracker struct {
 	completed []AttemptID
 	failed    []AttemptID
 
-	hbTimer    *sim.Timer
+	hbTimer    sim.Timer
 	started    bool
 	nextStream disk.StreamID
 	heartbeats int
+
+	// attScratch and reports are reused across heartbeats (the JobTracker
+	// does not retain either).
+	attScratch []*liveAttempt
+	reports    []AttemptReport
 }
 
 // liveAttempt is a task attempt with a live process on this tracker.
@@ -109,9 +114,7 @@ func (tt *TaskTracker) requestOOBHeartbeat() {
 	if !tt.cfg.OutOfBandHeartbeats || !tt.started {
 		return
 	}
-	if tt.hbTimer != nil {
-		tt.hbTimer.Cancel()
-	}
+	tt.hbTimer.Cancel()
 	tt.hbTimer = tt.eng.Schedule(rpcDelay, tt.heartbeat)
 }
 
@@ -127,21 +130,21 @@ func (tt *TaskTracker) heartbeat() {
 	}
 	tt.completed = nil
 	tt.failed = nil
+	tt.reports = tt.reports[:0]
 	for _, att := range tt.attemptList() {
-		status.Attempts = append(status.Attempts, AttemptReport{
+		tt.reports = append(tt.reports, AttemptReport{
 			Attempt:   att.id,
 			Suspended: att.suspended,
 			Progress:  att.rt.progress(),
 		})
 		tt.jt.noteResident(att.id.Task, tt.kernel.Memory().ResidentBytes(att.proc.PID()))
 	}
+	status.Attempts = tt.reports
 	actions := tt.jt.Heartbeat(status)
 	// Schedule the next regular heartbeat before executing actions, so an
 	// action that frees a slot (suspend) can replace it with an immediate
 	// out-of-band heartbeat.
-	if tt.hbTimer != nil {
-		tt.hbTimer.Cancel()
-	}
+	tt.hbTimer.Cancel()
 	tt.hbTimer = tt.eng.Schedule(tt.cfg.HeartbeatInterval, tt.heartbeat)
 	for _, a := range actions {
 		tt.execute(a)
@@ -150,16 +153,17 @@ func (tt *TaskTracker) heartbeat() {
 
 // attemptList returns live attempts in deterministic order.
 func (tt *TaskTracker) attemptList() []*liveAttempt {
-	out := make([]*liveAttempt, 0, len(tt.attempts))
+	out := tt.attScratch[:0]
 	for _, att := range tt.attempts {
 		out = append(out, att)
 	}
-	// Sort by attempt id string for determinism.
+	// Sort by attempt id string order for determinism.
 	for i := 1; i < len(out); i++ {
-		for j := i; j > 0 && out[j].id.String() < out[j-1].id.String(); j-- {
+		for j := i; j > 0 && compareAttemptIDs(out[j].id, out[j-1].id) < 0; j-- {
 			out[j], out[j-1] = out[j-1], out[j]
 		}
 	}
+	tt.attScratch = out
 	return out
 }
 

@@ -15,7 +15,9 @@
 package mapreduce
 
 import (
+	"bytes"
 	"fmt"
+	"strconv"
 	"time"
 )
 
@@ -66,6 +68,41 @@ type AttemptID struct {
 // String renders the Hadoop-style attempt id.
 func (id AttemptID) String() string {
 	return fmt.Sprintf("attempt_%s_%d", id.Task, id.Attempt)
+}
+
+// appendTaskID renders id exactly as String does, into buf.
+func appendTaskID(buf []byte, id TaskID) []byte {
+	buf = append(buf, id.Job...)
+	buf = append(buf, '_')
+	buf = append(buf, id.Type.String()...)
+	buf = append(buf, '_')
+	var tmp [20]byte
+	idx := strconv.AppendInt(tmp[:0], int64(id.Index), 10)
+	for pad := 6 - len(idx); pad > 0; pad-- {
+		buf = append(buf, '0')
+	}
+	return append(buf, idx...)
+}
+
+// compareTaskIDs orders task ids exactly like comparing their String
+// renderings, without allocating (hot: every heartbeat sorts with it).
+func compareTaskIDs(a, b TaskID) int {
+	var ba, bb [48]byte
+	return bytes.Compare(appendTaskID(ba[:0], a), appendTaskID(bb[:0], b))
+}
+
+// compareAttemptIDs orders attempt ids exactly like comparing their
+// String renderings ("attempt_<task>_<n>"), without allocating. The
+// shared "attempt_" prefix never changes the ordering and is skipped.
+func compareAttemptIDs(a, b AttemptID) int {
+	var ba, bb [64]byte
+	sa := appendTaskID(ba[:0], a.Task)
+	sa = append(sa, '_')
+	sa = strconv.AppendInt(sa, int64(a.Attempt), 10)
+	sb := appendTaskID(bb[:0], b.Task)
+	sb = append(sb, '_')
+	sb = strconv.AppendInt(sb, int64(b.Attempt), 10)
+	return bytes.Compare(sa, sb)
 }
 
 // TaskState is the JobTracker-side state of a task. The preemption states

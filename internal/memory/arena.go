@@ -1,0 +1,45 @@
+package memory
+
+import "sync"
+
+// managerPool recycles Manager shells so a sweep cell that tears down and
+// rebuilds its node (once per repetition) reuses the extent lists, stacks
+// and swap-event ring instead of reallocating them. sync.Pool keeps the
+// arenas effectively per-worker without any plumbing through the harness.
+var managerPool = sync.Pool{New: func() any { return &Manager{} }}
+
+// getManager returns a zeroed manager shell with retained slice capacity.
+func getManager() *Manager {
+	m := managerPool.Get().(*Manager)
+	m.exts.reset()
+	m.freeStack = m.freeStack[:0]
+	m.cacheStack = m.cacheStack[:0]
+	m.swapEvents = m.swapEvents[:0]
+	m.swapHead = 0
+	m.nframes = 0
+	m.freeFrames = 0
+	m.cachePages = 0
+	m.clockHand = 0
+	m.swapUsed = 0
+	m.stats = Stats{}
+	m.onOOM = nil
+	if m.spaces == nil {
+		m.spaces = make(map[PID]*Space)
+	} else {
+		clear(m.spaces)
+	}
+	clear(m.dense)
+	m.dense = m.dense[:0]
+	return m
+}
+
+// Release returns the manager's internal buffers to the arena for reuse by
+// a future New. The caller must not touch the manager, its spaces, or any
+// stats snapshot obtained through pointers afterwards.
+func (m *Manager) Release() {
+	m.eng = nil
+	m.swap = nil
+	m.onOOM = nil
+	clear(m.spaces)
+	managerPool.Put(m)
+}

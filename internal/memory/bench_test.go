@@ -1,0 +1,104 @@
+package memory
+
+// Micro-benchmarks for the two hot paths the run-based rewrite targets.
+// Run with:
+//
+//	go test -bench 'BenchmarkTouch|BenchmarkReclaim' -benchmem ./internal/memory/
+//
+// BenchmarkTouch measures faulting a worst-case (2 GB) region in and
+// re-touching it hot; BenchmarkReclaim measures the steady-state thrash
+// cycle (two working sets contending for RAM) that dominates Figures 3/4.
+
+import (
+	"testing"
+	"time"
+
+	"hadooppreempt/internal/disk"
+	"hadooppreempt/internal/sim"
+)
+
+func benchManager(b *testing.B) (*sim.Engine, *Manager) {
+	b.Helper()
+	eng := sim.New()
+	d := disk.New(eng, "swap", disk.DefaultConfig())
+	m, err := New(eng, d, DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	return eng, m
+}
+
+// BenchmarkTouchColdFault faults a 2 GB region into fresh frames — the
+// paper's worst-case task allocation phase.
+func BenchmarkTouchColdFault(b *testing.B) {
+	const region = 2 << 30
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, m := benchManager(b)
+		if _, err := m.Register(1, region); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := m.Touch(1, 0, region, true); err != nil {
+			b.Fatal(err)
+		}
+		m.Unregister(1)
+		m.Release()
+	}
+}
+
+// BenchmarkTouchHot re-touches a resident region (the rotating-buffer
+// pattern of a running mapper): no faults, only referenced-bit upkeep.
+func BenchmarkTouchHot(b *testing.B) {
+	const region = 1 << 30
+	_, m := benchManager(b)
+	if _, err := m.Register(1, region); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := m.Touch(1, 0, region, true); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		off := int64(i%256) * (4 << 20)
+		if _, err := m.Touch(1, off, 4<<20, true); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkReclaim measures the suspend-and-flood cycle: a stopped 2 GB
+// task is progressively evicted while a second task faults its own 2 GB
+// in, then the first is resumed and read back — Figure 3's mechanism.
+func BenchmarkReclaim(b *testing.B) {
+	const region = 2 << 30
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		eng, m := benchManager(b)
+		if _, err := m.Register(1, region); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := m.Touch(1, 0, region, true); err != nil {
+			b.Fatal(err)
+		}
+		m.MarkStopped(1)
+		if _, err := m.Register(2, region); err != nil {
+			b.Fatal(err)
+		}
+		// Chunked like the simulator's programs, so reclaim interleaves
+		// with allocation exactly as in the figure runs.
+		for off := int64(0); off < region; off += 8 << 20 {
+			if _, err := m.Touch(2, off, 8<<20, true); err != nil {
+				b.Fatal(err)
+			}
+		}
+		m.Unregister(2)
+		m.MarkRunning(1)
+		eng.RunFor(time.Minute)
+		if _, err := m.Touch(1, 0, region, false); err != nil {
+			b.Fatal(err)
+		}
+		m.Unregister(1)
+		m.Release()
+	}
+}

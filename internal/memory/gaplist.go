@@ -1,0 +1,108 @@
+package memory
+
+// Gap buffers over the ordered interval lists (frame extents and page
+// runs). The reclaim clock sweeps frames in order, allocations consume the
+// frames reclaim just freed, and touches walk pages sequentially, so
+// splits and merges cluster around one moving position; keeping the
+// slice's spare capacity as a movable gap at that position makes each
+// insert/delete O(distance since the last edit) — effectively O(1) —
+// instead of O(list length). The type is deliberately concrete: a generic
+// version pays dictionary-call overhead on the search and access paths,
+// which are the hottest code in the simulator. Page-run lists stay plain
+// slices — they are short enough that splice copies beat the extra
+// indirection of a gap.
+
+// gapGrow is how much the gap widens when it runs out.
+const gapGrow = 64
+
+type extList struct {
+	buf []frameExt
+	gs  int // physical index where the gap starts (== logical index)
+	gl  int // gap length
+	// hint is the last search result. The clock hand and the allocator
+	// revisit the same neighbourhood, so checking it (and its successor)
+	// first turns most binary searches into one or two comparisons.
+	// Correctness never depends on it: extents are disjoint, so a
+	// containment hit is the right entry no matter how indices shifted.
+	hint int
+}
+
+func (g *extList) len() int { return len(g.buf) - g.gl }
+
+// at returns the element at logical index i. The pointer is valid only
+// until the next insert or delete.
+func (g *extList) at(i int) *frameExt {
+	if i >= g.gs {
+		i += g.gl
+	}
+	return &g.buf[i]
+}
+
+// reset empties the list, keeping capacity.
+func (g *extList) reset() {
+	g.gs = 0
+	g.gl = len(g.buf)
+}
+
+// moveGap relocates the gap to logical index i.
+func (g *extList) moveGap(i int) {
+	switch {
+	case i < g.gs:
+		copy(g.buf[i+g.gl:g.gs+g.gl], g.buf[i:g.gs])
+	case i > g.gs:
+		copy(g.buf[g.gs:], g.buf[g.gs+g.gl:i+g.gl])
+	}
+	g.gs = i
+}
+
+// insert places e at logical index i, shifting later entries up.
+func (g *extList) insert(i int, e frameExt) {
+	g.moveGap(i)
+	if g.gl == 0 {
+		nb := make([]frameExt, len(g.buf)+gapGrow)
+		copy(nb, g.buf[:g.gs])
+		copy(nb[g.gs+gapGrow:], g.buf[g.gs:])
+		g.buf = nb
+		g.gl = gapGrow
+	}
+	g.buf[g.gs] = e
+	g.gs++
+	g.gl--
+}
+
+// delete removes the entry at logical index i.
+func (g *extList) delete(i int) {
+	g.moveGap(i + 1)
+	g.gs--
+	g.gl++
+}
+
+// search returns the logical index of the extent containing frame f (the
+// last entry whose start is <= f).
+func (g *extList) search(f int32) int {
+	n := g.len()
+	if h := g.hint; h < n {
+		if e := g.at(h); e.start <= f {
+			if f < e.start+e.n {
+				return h
+			}
+			if h+1 < n {
+				if e2 := g.at(h + 1); e2.start <= f && f < e2.start+e2.n {
+					g.hint = h + 1
+					return h + 1
+				}
+			}
+		}
+	}
+	lo, hi := 0, n-1
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		if g.at(mid).start <= f {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	g.hint = lo
+	return lo
+}

@@ -18,6 +18,18 @@
 // Fault service time is charged to the faulting process: page-out of dirty
 // victims and page-in of swapped pages are submitted to the swap device and
 // the resulting latency is returned by Touch.
+//
+// # Run-based accounting
+//
+// The manager keeps no per-page or per-frame tables. Contiguous pages in
+// the same state collapse into runs and contiguous frames with the same
+// owner and referenced bit collapse into extents, so touching a 2 GB
+// region, clearing the referenced bits of a suspended process, or sweeping
+// the reclaim clock all cost O(state transitions) instead of O(pages).
+// The semantics are bit-for-bit those of the per-page clock algorithm the
+// runs replace (preserved as refManager in reference_test.go); the
+// differential property test drives both through randomized scripts and
+// asserts identical byte accounting.
 package memory
 
 import (
@@ -117,18 +129,38 @@ const (
 	pageSwapped
 )
 
-type page struct {
+// pageRun is a maximal interval of pages in one uniform state. Resident
+// runs additionally map to a contiguous frame interval: page start+i lives
+// in frame frame+fdir*i (fdir is -1 when frames were handed out from the
+// free stack in descending order).
+type pageRun struct {
+	start int32
+	n     int32
 	state pageState
-	frame int32 // valid when resident
-	dirty bool  // modified since last write to swap
+	dirty bool  // modified since last write to swap (resident only)
 	slot  bool  // has a valid copy in swap
+	frame int32 // frame of page `start` (resident only)
+	fdir  int8  // frame stride per page: +1 or -1 (resident only)
 }
+
+func (r pageRun) end() int32 { return r.start + r.n }
+
+// frameLo and frameHi bound the frame interval of a resident run as
+// [frameLo, frameHi).
+func (r pageRun) frameLo() int32 {
+	if r.fdir >= 0 {
+		return r.frame
+	}
+	return r.frame - (r.n - 1)
+}
+
+func (r pageRun) frameHi() int32 { return r.frameLo() + r.n }
 
 // Space is a process address space registered with the manager.
 type Space struct {
 	pid      PID
 	npages   int
-	pages    []page
+	runs     []pageRun
 	resident int
 	swapped  int
 	stopped  bool
@@ -150,11 +182,43 @@ func (s *Space) Stats() SpaceStats {
 	return st
 }
 
-type frame struct {
-	owner      PID
-	page       int32
-	referenced bool
-	inUse      bool
+// extKind classifies a frame extent.
+type extKind uint8
+
+const (
+	extFree extKind = iota
+	extCache
+	extAnon
+)
+
+// frameExt is a maximal interval of frames with uniform owner and
+// referenced bit. Anonymous extents map back to pages: frame start+i holds
+// page page+pdir*i of owner.
+type frameExt struct {
+	start int32
+	n     int32
+	kind  extKind
+	owner PID   // anon only
+	page  int32 // page held by frame `start` (anon only)
+	pdir  int8  // page stride per frame: +1 or -1 (anon only)
+	ref   bool  // referenced bit (anon only)
+}
+
+func (e frameExt) end() int32 { return e.start + e.n }
+
+// pageAt returns the page held by frame f (anon extents).
+func (e frameExt) pageAt(f int32) int32 {
+	return e.page + int32(e.pdir)*(f-e.start)
+}
+
+// stackExt is a run of frames on a LIFO stack, recorded in push order:
+// pushes were first, first+dir, ..., first+dir*(n-1); pops return them in
+// reverse. It compresses the per-frame free list and cache stack of the
+// per-page model without changing pop order.
+type stackExt struct {
+	first int32
+	n     int32
+	dir   int8
 }
 
 // Manager is the per-node memory manager.
@@ -163,13 +227,20 @@ type Manager struct {
 	swap *disk.Device
 	cfg  Config
 
-	frames      []frame
-	free        []int32
-	spaces      map[PID]*Space
-	clockHand   int
-	cacheFrames []int32 // frames currently holding cache pages
-	swapUsed    int64   // bytes of swap occupied by valid slots
-	stats       Stats
+	nframes    int
+	exts       extList // sorted extents covering [0, nframes)
+	freeStack  []stackExt
+	freeFrames int
+	cacheStack []stackExt
+	cachePages int
+	clockHand  int
+	spaces     map[PID]*Space
+	// dense is a slice fast path over spaces for small non-negative pids
+	// (the OS hands them out sequentially); eviction resolves extent
+	// owners through it instead of hashing.
+	dense    []*Space
+	swapUsed int64 // bytes of swap occupied by valid slots
+	stats    Stats
 
 	swapOutStream disk.StreamID
 	swapInStream  disk.StreamID
@@ -195,7 +266,8 @@ const swapEventRing = 512
 
 // New creates a manager backed by the given swap device. The swap device
 // may be shared with other consumers (it typically is the node's only
-// disk).
+// disk). Managers are drawn from a recycling pool; call Release when the
+// simulation cell is torn down to reuse the internal buffers.
 func New(eng *sim.Engine, swap *disk.Device, cfg Config) (*Manager, error) {
 	if cfg.PageSize <= 0 {
 		return nil, fmt.Errorf("memory: page size %d must be positive", cfg.PageSize)
@@ -213,26 +285,26 @@ func New(eng *sim.Engine, swap *disk.Device, cfg Config) (*Manager, error) {
 	if usable <= 0 {
 		return nil, fmt.Errorf("memory: no usable frames")
 	}
-	m := &Manager{
-		eng:           eng,
-		swap:          swap,
-		cfg:           cfg,
-		frames:        make([]frame, usable),
-		free:          make([]int32, 0, usable),
-		spaces:        make(map[PID]*Space),
-		swapOutStream: disk.StreamID(0x5157_4f55), // distinct stream tags for
-		swapInStream:  disk.StreamID(0x5157_494e), // swap write and read runs
+	if usable > 1<<31-1 {
+		return nil, fmt.Errorf("memory: %d frames exceed the supported maximum", usable)
 	}
-	for i := int32(int(usable) - 1); i >= 0; i-- {
-		m.free = append(m.free, i)
-	}
+	m := getManager()
+	m.eng = eng
+	m.swap = swap
+	m.cfg = cfg
+	m.nframes = int(usable)
+	m.exts.insert(0, frameExt{start: 0, n: int32(usable), kind: extFree})
+	// The free list is seeded high-to-low so frames are handed out in
+	// ascending index order, like the per-page model's initial stack.
+	m.freeStack = append(m.freeStack, stackExt{first: int32(usable) - 1, n: int32(usable), dir: -1})
+	m.freeFrames = int(usable)
+	m.swapOutStream = disk.StreamID(0x5157_4f55) // distinct stream tags for
+	m.swapInStream = disk.StreamID(0x5157_494e)  // swap write and read runs
 	cachePages := int(cfg.InitialCacheBytes / cfg.PageSize)
-	if cachePages > len(m.frames) {
-		cachePages = len(m.frames)
+	if cachePages > m.nframes {
+		cachePages = m.nframes
 	}
-	for i := 0; i < cachePages; i++ {
-		m.cacheFrames = append(m.cacheFrames, m.takeFreeFrameFor(cacheOwner, int32(i)))
-	}
+	m.growCache(cachePages)
 	return m, nil
 }
 
@@ -246,10 +318,10 @@ func (m *Manager) Stats() Stats { return m.stats }
 func (m *Manager) SetOOMHandler(fn func()) { m.onOOM = fn }
 
 // FreeBytes reports unallocated physical memory (free frames).
-func (m *Manager) FreeBytes() int64 { return int64(len(m.free)) * m.cfg.PageSize }
+func (m *Manager) FreeBytes() int64 { return int64(m.freeFrames) * m.cfg.PageSize }
 
 // CacheBytes reports the current size of the file-system cache.
-func (m *Manager) CacheBytes() int64 { return int64(len(m.cacheFrames)) * m.cfg.PageSize }
+func (m *Manager) CacheBytes() int64 { return int64(m.cachePages) * m.cfg.PageSize }
 
 // SwapUsedBytes reports occupied swap capacity.
 func (m *Manager) SwapUsedBytes() int64 { return m.swapUsed }
@@ -268,13 +340,24 @@ func (m *Manager) Register(pid PID, bytes int64) (*Space, error) {
 		return nil, fmt.Errorf("memory: negative space size %d", bytes)
 	}
 	npages := int((bytes + m.cfg.PageSize - 1) / m.cfg.PageSize)
+	if npages > 1<<31-1 {
+		return nil, fmt.Errorf("memory: space of %d pages exceeds the supported maximum", npages)
+	}
 	s := &Space{
 		pid:      pid,
 		npages:   npages,
-		pages:    make([]page, npages),
 		pageSize: m.cfg.PageSize,
 	}
+	if npages > 0 {
+		s.runs = append(s.runs, pageRun{start: 0, n: int32(npages), state: pageUntouched})
+	}
 	m.spaces[pid] = s
+	if pid >= 0 && pid < denseMax {
+		for int(pid) >= len(m.dense) {
+			m.dense = append(m.dense, nil)
+		}
+		m.dense[pid] = s
+	}
 	return s, nil
 }
 
@@ -285,22 +368,41 @@ func (m *Manager) Unregister(pid PID) {
 	if !ok {
 		return
 	}
-	for i := range s.pages {
-		p := &s.pages[i]
-		if p.state == pageResident {
-			m.releaseFrame(p.frame)
-		}
-		if p.slot {
-			m.swapUsed -= m.cfg.PageSize
-			p.slot = false
-		}
-		p.state = pageUntouched
+	if pid >= 0 && int(pid) < len(m.dense) {
+		m.dense[pid] = nil
 	}
+	for _, r := range s.runs {
+		if r.state == pageResident {
+			m.freeFrameRange(r.frameLo(), r.frameHi())
+			// The per-page model releases frames in page order; mirror
+			// the resulting free-stack layout.
+			m.pushFree(r.frame, r.n, r.fdir)
+		}
+		if r.slot {
+			m.swapUsed -= int64(r.n) * m.cfg.PageSize
+		}
+	}
+	s.runs = s.runs[:0]
+	if s.npages > 0 {
+		s.runs = append(s.runs, pageRun{start: 0, n: int32(s.npages), state: pageUntouched})
+	}
+	s.resident, s.swapped = 0, 0
 	delete(m.spaces, pid)
 }
 
 // Space returns the address space of pid, or nil if not registered.
-func (m *Manager) Space(pid PID) *Space { return m.spaces[pid] }
+func (m *Manager) Space(pid PID) *Space { return m.space(pid) }
+
+// denseMax bounds the dense pid fast path; larger pids fall back to the map.
+const denseMax = 1 << 13
+
+// space resolves pid without hashing when it is small and non-negative.
+func (m *Manager) space(pid PID) *Space {
+	if pid >= 0 && int(pid) < len(m.dense) {
+		return m.dense[pid]
+	}
+	return m.spaces[pid]
+}
 
 // MarkStopped records that pid has been stopped (SIGTSTP/SIGSTOP). The
 // referenced bits of its resident pages are cleared, making them the
@@ -312,10 +414,9 @@ func (m *Manager) MarkStopped(pid PID) {
 		return
 	}
 	s.stopped = true
-	for i := range s.pages {
-		p := &s.pages[i]
-		if p.state == pageResident {
-			m.frames[p.frame].referenced = false
+	for _, r := range s.runs {
+		if r.state == pageResident {
+			m.setRef(r.frameLo(), r.frameHi(), false)
 		}
 	}
 }
@@ -329,7 +430,7 @@ func (m *Manager) MarkRunning(pid PID) {
 
 // ResidentBytes reports the resident set size of pid.
 func (m *Manager) ResidentBytes(pid PID) int64 {
-	if s, ok := m.spaces[pid]; ok {
+	if s := m.space(pid); s != nil {
 		return int64(s.resident) * m.cfg.PageSize
 	}
 	return 0
@@ -337,7 +438,7 @@ func (m *Manager) ResidentBytes(pid PID) int64 {
 
 // SwappedBytes reports the amount of pid's memory currently in swap.
 func (m *Manager) SwappedBytes(pid PID) int64 {
-	if s, ok := m.spaces[pid]; ok {
+	if s := m.space(pid); s != nil {
 		return int64(s.swapped) * m.cfg.PageSize
 	}
 	return 0
@@ -349,11 +450,58 @@ func (m *Manager) SwappedBytes(pid PID) int64 {
 // recycles the cache's own oldest pages, which changes nothing in our
 // accounting.
 func (m *Manager) CacheFill(bytes int64) {
-	pages := int(bytes / m.cfg.PageSize)
-	for i := 0; i < pages && len(m.free) > 0; i++ {
-		m.cacheFrames = append(m.cacheFrames, m.takeFreeFrameFor(cacheOwner, 0))
-		m.stats.CacheFillBytes += m.cfg.PageSize
+	pages := min(int(bytes/m.cfg.PageSize), m.freeFrames)
+	if pages <= 0 {
+		return
 	}
+	m.growCache(pages)
+	m.stats.CacheFillBytes += int64(pages) * m.cfg.PageSize
+}
+
+// growCache moves n free frames to the cache, preserving the pop/push
+// order of the per-page model.
+func (m *Manager) growCache(n int) {
+	for n > 0 {
+		first, dir, c := m.popFree(int32(n))
+		lo, hi := chunkBounds(first, dir, c)
+		m.replaceExts(lo, hi, frameExt{start: lo, n: c, kind: extCache})
+		pushStack(&m.cacheStack, first, c, dir)
+		m.cachePages += int(c)
+		n -= int(c)
+	}
+}
+
+// touchState carries the latency accounting of one Touch call.
+type touchState struct {
+	cpu       time.Duration
+	deadline  time.Duration
+	pendingIn int
+}
+
+// flushIn submits the pending clustered swap read (swap readahead).
+func (m *Manager) flushIn(t *touchState, s *Space) {
+	if t.pendingIn == 0 {
+		return
+	}
+	bytes := int64(t.pendingIn) * m.cfg.PageSize
+	done := m.swap.Submit(disk.Read, bytes, m.swapInStream)
+	if done > t.deadline {
+		t.deadline = done
+	}
+	m.stats.PagedInBytes += bytes
+	s.stats.PagedInBytes += bytes
+	m.noteSwapTraffic(bytes)
+	t.pendingIn = 0
+}
+
+// finishTouch converts the accumulated costs into the latency the
+// faulting process must wait for.
+func (m *Manager) finishTouch(t *touchState) time.Duration {
+	total := t.cpu
+	if wait := t.deadline - m.eng.Now(); wait > 0 {
+		total += wait
+	}
+	return total
 }
 
 // Touch simulates the process accessing [offset, offset+length) of its
@@ -362,16 +510,16 @@ func (m *Manager) CacheFill(bytes int64) {
 // swapped pages, plus minor-fault overhead). A write access dirties the
 // pages. Touch returns ErrOutOfMemory when reclaim fails entirely.
 func (m *Manager) Touch(pid PID, offset, length int64, write bool) (time.Duration, error) {
-	s, ok := m.spaces[pid]
-	if !ok {
+	s := m.space(pid)
+	if s == nil {
 		return 0, fmt.Errorf("memory: touch by unregistered pid %d", pid)
 	}
 	if length <= 0 {
 		return 0, nil
 	}
-	first := int(offset / m.cfg.PageSize)
-	last := int((offset + length - 1) / m.cfg.PageSize)
-	if first < 0 || last >= s.npages {
+	first := offset / m.cfg.PageSize
+	last := (offset + length - 1) / m.cfg.PageSize
+	if first < 0 || last >= int64(s.npages) {
 		return 0, fmt.Errorf("memory: pid %d touch [%d,%d) outside %d-byte space",
 			pid, offset, offset+length, s.SizeBytes())
 	}
@@ -380,154 +528,117 @@ func (m *Manager) Touch(pid PID, offset, length int64, write bool) (time.Duratio
 	// until the last transfer completes, so the disk portion of the
 	// latency is a deadline (max completion time), not a sum of
 	// queue-relative waits.
-	var cpuCost time.Duration
-	var diskDeadline time.Duration
-	// pendingIn batches contiguous page-ins into clustered swap reads
-	// (swap readahead).
-	pendingIn := 0
-	flushIn := func() {
-		if pendingIn == 0 {
-			return
-		}
-		bytes := int64(pendingIn) * m.cfg.PageSize
-		done := m.swap.Submit(disk.Read, bytes, m.swapInStream)
-		if done > diskDeadline {
-			diskDeadline = done
-		}
-		m.stats.PagedInBytes += bytes
-		s.stats.PagedInBytes += bytes
-		m.noteSwapTraffic(bytes)
-		pendingIn = 0
-	}
-	finish := func() time.Duration {
-		total := cpuCost
-		if wait := diskDeadline - m.eng.Now(); wait > 0 {
-			total += wait
-		}
-		return total
-	}
-	for i := first; i <= last; i++ {
-		p := &s.pages[i]
-		switch p.state {
+	var tc touchState
+	// Walk the touched range run by run. The cursor is re-resolved after
+	// every piece because faulting may reclaim — possibly from this very
+	// space — and reshape the run list.
+	pg := int32(first)
+	end := int32(last) + 1
+	for pg < end {
+		r := s.runs[s.runIdx(pg)]
+		pieceEnd := min(r.end(), end)
+		n := pieceEnd - pg
+		switch r.state {
 		case pageResident:
-			m.frames[p.frame].referenced = true
-			if write && !p.dirty {
-				p.dirty = true
-				m.dropSwapSlot(p)
+			lo := r.frame + int32(r.fdir)*(pg-r.start)
+			hi := lo
+			if r.fdir >= 0 {
+				hi = lo + n
+			} else {
+				lo, hi = lo-(n-1), lo+1
 			}
+			m.setRef(lo, hi, true)
+			if write && !r.dirty {
+				if r.slot {
+					// Re-dirtied pages invalidate their swap copies
+					// (swap cache behaviour).
+					m.swapUsed -= int64(n) * m.cfg.PageSize
+				}
+				nr := r
+				nr.start, nr.n = pg, n
+				nr.frame = r.frame + int32(r.fdir)*(pg-r.start)
+				nr.dirty, nr.slot = true, false
+				s.replaceRuns(pg, pieceEnd, nr)
+			}
+			pg = pieceEnd
 		case pageUntouched:
-			cpu, deadline, err := m.faultIn(s, i, write, false)
-			cpuCost += cpu
-			if deadline > diskDeadline {
-				diskDeadline = deadline
-			}
-			if err != nil {
-				flushIn()
-				return finish(), err
+			for pg < pieceEnd {
+				c, err := m.faultChunk(s, &tc, pg, pieceEnd-pg, write, false)
+				if err != nil {
+					m.flushIn(&tc, s)
+					return m.finishTouch(&tc), err
+				}
+				pg += c
 			}
 		case pageSwapped:
-			cpu, deadline, err := m.faultIn(s, i, write, true)
-			cpuCost += cpu
-			if deadline > diskDeadline {
-				diskDeadline = deadline
-			}
-			if err != nil {
-				flushIn()
-				return finish(), err
-			}
-			pendingIn++
-			if pendingIn >= m.cfg.PageClusterPages {
-				flushIn()
+			for pg < pieceEnd {
+				want := min(pieceEnd-pg, int32(m.cfg.PageClusterPages-tc.pendingIn))
+				c, err := m.faultChunk(s, &tc, pg, want, write, true)
+				if err != nil {
+					m.flushIn(&tc, s)
+					return m.finishTouch(&tc), err
+				}
+				pg += c
+				tc.pendingIn += int(c)
+				if tc.pendingIn >= m.cfg.PageClusterPages {
+					m.flushIn(&tc, s)
+				}
 			}
 		}
 	}
-	flushIn()
-	return finish(), nil
+	m.flushIn(&tc, s)
+	return m.finishTouch(&tc), nil
 }
 
-// faultIn allocates a frame for page i of s. For swapped pages the disk
-// read is accounted by the caller's batching; this function only moves the
-// bookkeeping and charges reclaim costs. It returns the CPU cost and the
-// absolute completion deadline of any reclaim write it triggered.
-func (m *Manager) faultIn(s *Space, i int, write, fromSwap bool) (time.Duration, time.Duration, error) {
-	deadline, frameIdx, err := m.allocFrame()
-	if err != nil {
-		return 0, deadline, err
-	}
-	f := &m.frames[frameIdx]
-	f.owner = s.pid
-	f.page = int32(i)
-	f.referenced = true
-	f.inUse = true
-	p := &s.pages[i]
-	p.state = pageResident
-	p.frame = frameIdx
-	s.resident++
-	if fromSwap {
-		s.swapped--
-		s.stats.MajorFaults++
-		m.stats.MajorFaults++
-		// The swap slot remains valid until the page is dirtied again
-		// (swap cache behaviour).
-		p.dirty = false
-		if write {
-			p.dirty = true
-			m.dropSwapSlot(p)
-		}
-	} else {
-		s.stats.MinorFaults++
-		m.stats.MinorFaults++
-		p.dirty = write
-	}
-	return m.cfg.MinorFaultCost, deadline, nil
-}
-
-// dropSwapSlot invalidates the swap copy of a page that has been
-// re-dirtied, freeing its slot.
-func (m *Manager) dropSwapSlot(p *page) {
-	if p.slot {
-		p.slot = false
-		m.swapUsed -= m.cfg.PageSize
-	}
-}
-
-// takeFreeFrameFor pops a free frame and assigns it. Caller must know a
-// frame is free.
-func (m *Manager) takeFreeFrameFor(owner PID, pg int32) int32 {
-	idx := m.free[len(m.free)-1]
-	m.free = m.free[:len(m.free)-1]
-	m.frames[idx] = frame{owner: owner, page: pg, inUse: true}
-	return idx
-}
-
-// releaseFrame returns a frame to the free list.
-func (m *Manager) releaseFrame(idx int32) {
-	m.frames[idx] = frame{}
-	m.free = append(m.free, idx)
-}
-
-// allocFrame returns a free frame, reclaiming if necessary. The returned
-// deadline is the absolute completion time of any swap write the reclaim
-// queued; the faulting process must wait for it (direct reclaim).
-func (m *Manager) allocFrame() (time.Duration, int32, error) {
-	if len(m.free) == 0 {
+// faultChunk faults up to maxPages pages of s starting at pg into freshly
+// allocated frames, reclaiming first if none are free — exactly the
+// per-page fault loop, batched. It returns the number of pages faulted
+// (bounded by the contiguous frames available on top of the free stack).
+func (m *Manager) faultChunk(s *Space, tc *touchState, pg, maxPages int32, write, fromSwap bool) (int32, error) {
+	if m.freeFrames == 0 {
 		deadline := m.reclaim()
-		if len(m.free) == 0 {
+		if deadline > tc.deadline {
+			tc.deadline = deadline
+		}
+		if m.freeFrames == 0 {
 			m.stats.OOMKills++
 			if m.onOOM != nil {
 				m.onOOM()
 			}
-			if len(m.free) == 0 {
-				return deadline, 0, ErrOutOfMemory
+			if m.freeFrames == 0 {
+				return 0, ErrOutOfMemory
 			}
 		}
-		idx := m.free[len(m.free)-1]
-		m.free = m.free[:len(m.free)-1]
-		return deadline, idx, nil
 	}
-	idx := m.free[len(m.free)-1]
-	m.free = m.free[:len(m.free)-1]
-	return 0, idx, nil
+	first, dir, c := m.popFree(maxPages)
+	lo, hi := chunkBounds(first, dir, c)
+	ext := frameExt{start: lo, n: c, kind: extAnon, owner: s.pid, ref: true, pdir: dir}
+	if dir >= 0 {
+		ext.page = pg
+	} else {
+		ext.page = pg + c - 1
+	}
+	m.replaceExts(lo, hi, ext)
+	nr := pageRun{start: pg, n: c, state: pageResident, frame: first, fdir: dir, dirty: write}
+	if fromSwap {
+		s.swapped -= int(c)
+		s.stats.MajorFaults += int64(c)
+		m.stats.MajorFaults += int64(c)
+		// The swap slot remains valid until the page is dirtied again
+		// (swap cache behaviour); a write drops it.
+		if write {
+			m.swapUsed -= int64(c) * m.cfg.PageSize
+		} else {
+			nr.slot = true
+		}
+	} else {
+		s.stats.MinorFaults += int64(c)
+		m.stats.MinorFaults += int64(c)
+	}
+	s.replaceRuns(pg, pg+c, nr)
+	s.resident += int(c)
+	tc.cpu += time.Duration(c) * m.cfg.MinorFaultCost
+	return c, nil
 }
 
 // reclaim frees up to PageClusterPages frames: first from the cache
@@ -546,64 +657,47 @@ func (m *Manager) reclaim() time.Duration {
 	if m.cfg.Swappiness > 0 {
 		cacheShare = want * (100 - m.cfg.Swappiness) / 100
 	}
-	for freed < cacheShare && len(m.cacheFrames) > 0 {
-		m.dropOneCachePage()
-		freed++
+	for freed < cacheShare && m.cachePages > 0 {
+		first, dir, c := popStack(&m.cacheStack, int32(cacheShare-freed))
+		lo, hi := chunkBounds(first, dir, c)
+		m.freeFrameRange(lo, hi)
+		m.pushFree(first, c, dir)
+		m.cachePages -= int(c)
+		m.stats.CacheDropBytes += int64(c) * m.cfg.PageSize
+		freed += int(c)
 	}
 	if freed >= want {
 		return 0
 	}
 
-	// Phase 2: clock (second chance) over anonymous frames.
+	// Phase 2: clock (second chance) over anonymous frames, extent by
+	// extent. Each reclaim pass may sweep the frame space at most twice:
+	// one lap to clear referenced bits, one to collect victims.
 	dirtyVictims := 0
-	n := len(m.frames)
-	// Each reclaim pass may sweep the table at most twice: one pass to
-	// clear referenced bits, one to collect victims.
-	for scanned := 0; scanned < 2*n && freed < want; scanned++ {
-		f := &m.frames[m.clockHand]
-		hand := m.clockHand
-		m.clockHand = (m.clockHand + 1) % n
-		if !f.inUse || f.owner == cacheOwner {
-			continue
+	n := m.nframes
+	budget := 2 * n
+	scanned := 0
+	for scanned < budget && freed < want {
+		hand := int32(m.clockHand)
+		e := *m.exts.at(m.extIdx(hand))
+		span := int(e.end() - hand)
+		switch {
+		case e.kind != extAnon:
+			// Free and cache frames are skipped, one scan step each.
+			step := min(span, budget-scanned)
+			scanned += step
+			m.advanceHand(step)
+		case e.ref:
+			step := min(span, budget-scanned)
+			m.setRef(hand, hand+int32(step), false)
+			m.stats.SecondChanceHit += int64(step)
+			scanned += step
+			m.advanceHand(step)
+		default:
+			adv := m.evictAt(e, hand, min(span, budget-scanned), want, &freed, &dirtyVictims)
+			scanned += adv
+			m.advanceHand(adv)
 		}
-		if f.referenced {
-			f.referenced = false
-			m.stats.SecondChanceHit++
-			continue
-		}
-		s := m.spaces[f.owner]
-		if s == nil {
-			// Orphaned frame; cannot happen, but be safe.
-			m.releaseFrame(int32(hand))
-			freed++
-			continue
-		}
-		p := &s.pages[f.page]
-		if p.dirty {
-			if m.swapUsed+m.cfg.PageSize > m.cfg.SwapBytes {
-				// Swap full: cannot evict dirty pages; keep looking for
-				// clean ones.
-				continue
-			}
-			p.slot = true
-			p.dirty = false
-			m.swapUsed += m.cfg.PageSize
-			dirtyVictims++
-			m.stats.PagedOutBytes += m.cfg.PageSize
-			s.stats.PagedOutBytes += m.cfg.PageSize
-		}
-		// Clean pages: if they have a swap slot the copy is still valid;
-		// if they never had one they are zero/unwritten and can be
-		// dropped. Either way the frame is free.
-		if p.slot {
-			p.state = pageSwapped
-			s.swapped++
-		} else {
-			p.state = pageUntouched
-		}
-		s.resident--
-		m.releaseFrame(p.frame)
-		freed++
 	}
 
 	var deadline time.Duration
@@ -613,6 +707,86 @@ func (m *Manager) reclaim() time.Duration {
 		m.noteSwapTraffic(bytes)
 	}
 	return deadline
+}
+
+// evictAt processes one uniform piece of an unreferenced anonymous extent
+// starting at the clock hand: it evicts up to the piece/batch/budget limit
+// and returns how many frames the hand advanced (evicted or skipped).
+func (m *Manager) evictAt(e frameExt, hand int32, limit, want int, freed, dirtyVictims *int) int {
+	pg := e.pageAt(hand)
+	s := m.space(e.owner)
+	if s == nil {
+		// Orphaned extent (its space vanished mid-touch via the OOM
+		// killer); the clock frees the frames without page bookkeeping.
+		c := int32(min(limit, want-*freed))
+		m.freeFrameRange(hand, hand+c)
+		m.pushFree(hand, c, +1)
+		*freed += int(c)
+		return int(c)
+	}
+	r := s.runs[s.runIdx(pg)]
+	// Pages of this extent are visited in frame order; with pdir -1 that
+	// walks the run towards lower pages.
+	var inRun int32
+	if e.pdir >= 0 {
+		inRun = r.end() - pg
+	} else {
+		inRun = pg - r.start + 1
+	}
+	k := min(int32(limit), inRun)
+	if r.dirty {
+		avail := (m.cfg.SwapBytes - m.swapUsed) / m.cfg.PageSize
+		if avail <= 0 {
+			// Swap full: dirty pages cannot be evicted; the clock skips
+			// them and keeps looking for clean ones.
+			return int(k)
+		}
+		if avail > int64(k) {
+			avail = int64(k)
+		}
+		c := min(k, int32(avail), int32(want-*freed))
+		m.swapUsed += int64(c) * m.cfg.PageSize
+		m.stats.PagedOutBytes += int64(c) * m.cfg.PageSize
+		s.stats.PagedOutBytes += int64(c) * m.cfg.PageSize
+		*dirtyVictims += int(c)
+		m.unmapPiece(s, e, hand, c, true)
+		*freed += int(c)
+		return int(c)
+	}
+	c := min(k, int32(want-*freed))
+	m.unmapPiece(s, e, hand, c, r.slot)
+	*freed += int(c)
+	return int(c)
+}
+
+// unmapPiece evicts the c pages held by frames [hand, hand+c): the pages
+// become swapped (slot-backed) or untouched, and the frames return to the
+// free list in clock order.
+func (m *Manager) unmapPiece(s *Space, e frameExt, hand, c int32, toSwap bool) {
+	pLo := e.pageAt(hand)
+	pHi := pLo
+	if e.pdir >= 0 {
+		pHi = pLo + c
+	} else {
+		pLo, pHi = pLo-(c-1), pLo+1
+	}
+	nr := pageRun{start: pLo, n: c, state: pageUntouched}
+	if toSwap {
+		nr.state, nr.slot = pageSwapped, true
+		s.swapped += int(c)
+	}
+	s.replaceRuns(pLo, pHi, nr)
+	s.resident -= int(c)
+	m.freeFrameRange(hand, hand+c)
+	m.pushFree(hand, c, +1)
+}
+
+// advanceHand moves the clock hand forward with wrap-around.
+func (m *Manager) advanceHand(step int) {
+	m.clockHand += step
+	if m.clockHand >= m.nframes {
+		m.clockHand -= m.nframes
+	}
 }
 
 // noteSwapTraffic records a swap transfer for the thrashing detector.
@@ -651,71 +825,418 @@ func (m *Manager) Thrashing(window time.Duration, thresholdBytesPerSec float64) 
 	return m.SwapRate(window) > thresholdBytesPerSec
 }
 
-// dropOneCachePage releases one cache frame (clean, free to drop). The
-// caller must ensure the cache is non-empty.
-func (m *Manager) dropOneCachePage() {
-	idx := m.cacheFrames[len(m.cacheFrames)-1]
-	m.cacheFrames = m.cacheFrames[:len(m.cacheFrames)-1]
-	m.releaseFrame(idx)
-	m.stats.CacheDropBytes += m.cfg.PageSize
+// ---------------------------------------------------------------------------
+// Free-list and cache stacks.
+
+// pushStack pushes a run of frames (in the given stride order) onto a
+// stack, extending the top extent when the push order continues it.
+func pushStack(stack *[]stackExt, first, n int32, dir int8) {
+	if n <= 0 {
+		return
+	}
+	if len(*stack) > 0 {
+		t := &(*stack)[len(*stack)-1]
+		dirs := [2]int8{t.dir, t.dir}
+		if t.n == 1 {
+			dirs = [2]int8{1, -1}
+		}
+		for _, d := range dirs {
+			if first != t.first+int32(d)*t.n {
+				continue
+			}
+			if n > 1 && dir != d {
+				continue
+			}
+			t.dir = d
+			t.n += n
+			return
+		}
+	}
+	*stack = append(*stack, stackExt{first: first, n: n, dir: dir})
 }
+
+// popStack pops up to maxN frames off the top extent. It returns the first
+// popped frame, the stride of subsequent pops, and the count.
+func popStack(stack *[]stackExt, maxN int32) (first int32, dir int8, n int32) {
+	t := &(*stack)[len(*stack)-1]
+	n = min(maxN, t.n)
+	if t.dir >= 0 {
+		first, dir = t.first+t.n-1, -1
+	} else {
+		first, dir = t.first-(t.n-1), +1
+	}
+	t.n -= n
+	if t.n == 0 {
+		*stack = (*stack)[:len(*stack)-1]
+	}
+	return first, dir, n
+}
+
+// pushFree returns frames to the free list in the given push order.
+func (m *Manager) pushFree(first, n int32, dir int8) {
+	pushStack(&m.freeStack, first, n, dir)
+	m.freeFrames += int(n)
+}
+
+// popFree takes up to maxN frames from the free list. Caller must know
+// frames are free.
+func (m *Manager) popFree(maxN int32) (first int32, dir int8, n int32) {
+	first, dir, n = popStack(&m.freeStack, maxN)
+	m.freeFrames -= int(n)
+	return first, dir, n
+}
+
+// chunkBounds converts a (first, stride, count) frame walk to its covered
+// interval [lo, hi).
+func chunkBounds(first int32, dir int8, n int32) (lo, hi int32) {
+	if dir >= 0 {
+		return first, first + n
+	}
+	return first - (n - 1), first + 1
+}
+
+// ---------------------------------------------------------------------------
+// Frame-extent list surgery.
+
+// extIdx returns the index of the extent containing frame f.
+func (m *Manager) extIdx(f int32) int { return m.exts.search(f) }
+
+// splitExtAt ensures an extent boundary exists at frame `at`, given the
+// index i of the extent containing it. It returns the index of the extent
+// that now starts at `at`.
+func (m *Manager) splitExtAt(i int, at int32) int {
+	e := m.exts.at(i)
+	if e.start == at {
+		return i
+	}
+	right := *e
+	right.start = at
+	right.n = e.end() - at
+	if e.kind == extAnon {
+		right.page = e.pageAt(at)
+	}
+	e.n = at - e.start
+	m.exts.insert(i+1, right)
+	return i + 1
+}
+
+// mergeExts tries to merge compatible adjacent extents and returns the
+// merged extent and direction choice.
+func canMergeExts(a, b frameExt) (int8, bool) {
+	if a.kind != b.kind {
+		return 0, false
+	}
+	if a.kind != extAnon {
+		return 0, true
+	}
+	if a.owner != b.owner || a.ref != b.ref {
+		return 0, false
+	}
+	for _, d := range [2]int8{1, -1} {
+		if a.n > 1 && a.pdir != d {
+			continue
+		}
+		if b.n > 1 && b.pdir != d {
+			continue
+		}
+		if b.page == a.page+int32(d)*a.n {
+			return d, true
+		}
+	}
+	return 0, false
+}
+
+// coalesceExts merges mergeable neighbours in the bounded index window
+// [from-1, to+1]; callers pass the indices their edit touched.
+func (m *Manager) coalesceExts(from, to int) {
+	i := max(from-1, 0)
+	for i < m.exts.len()-1 && i <= to {
+		d, ok := canMergeExts(*m.exts.at(i), *m.exts.at(i + 1))
+		if !ok {
+			i++
+			continue
+		}
+		a := m.exts.at(i)
+		a.n += m.exts.at(i + 1).n
+		if a.kind == extAnon {
+			a.pdir = d
+		}
+		m.exts.delete(i + 1)
+		to--
+	}
+}
+
+// replaceExts overwrites the extent coverage of [lo, hi) with ne.
+func (m *Manager) replaceExts(lo, hi int32, ne frameExt) {
+	i := m.splitExtAt(m.extIdx(lo), lo)
+	j := i
+	for j < m.exts.len() && m.exts.at(j).start < hi {
+		j++
+	}
+	if m.exts.at(j-1).end() > hi {
+		m.splitExtAt(j-1, hi)
+	}
+	*m.exts.at(i) = ne
+	for j > i+1 {
+		j--
+		m.exts.delete(j)
+	}
+	m.coalesceExts(i, i)
+}
+
+// freeFrameRange converts frames [lo, hi) to free extents (the free-stack
+// entry is pushed separately by the caller, preserving push order).
+func (m *Manager) freeFrameRange(lo, hi int32) {
+	m.replaceExts(lo, hi, frameExt{start: lo, n: hi - lo, kind: extFree})
+}
+
+// setRef sets the referenced bit of the anonymous frames in [lo, hi).
+func (m *Manager) setRef(lo, hi int32, ref bool) {
+	// Fast path for the dominant access pattern (re-touching a hot,
+	// already-referenced region): when every extent in range carries the
+	// bit already there is nothing to split or merge.
+	i := m.extIdx(lo)
+	j := i
+	for ; j < m.exts.len() && m.exts.at(j).start < hi; j++ {
+		if m.exts.at(j).ref != ref {
+			break
+		}
+	}
+	if j >= m.exts.len() || m.exts.at(j).start >= hi {
+		return
+	}
+	i = m.splitExtAt(i, lo)
+	from := i
+	for i < m.exts.len() && m.exts.at(i).start < hi {
+		if m.exts.at(i).end() > hi {
+			m.splitExtAt(i, hi)
+		}
+		m.exts.at(i).ref = ref
+		i++
+	}
+	m.coalesceExts(from, i-1)
+}
+
+// ---------------------------------------------------------------------------
+// Page-run list surgery.
+
+// runIdx returns the index of the run containing pg.
+func (s *Space) runIdx(pg int32) int {
+	lo, hi := 0, len(s.runs)-1
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		if s.runs[mid].start <= pg {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	return lo
+}
+
+// splitRunAt ensures a run boundary exists at page `at`, given the index
+// i of the run containing it. It returns the index of the run that now
+// starts at `at`.
+func (s *Space) splitRunAt(i int, at int32) int {
+	r := s.runs[i]
+	if r.start == at {
+		return i
+	}
+	right := r
+	right.start = at
+	right.n = r.end() - at
+	if r.state == pageResident {
+		right.frame = r.frame + int32(r.fdir)*(at-r.start)
+	}
+	s.runs[i].n = at - r.start
+	s.runs = append(s.runs, pageRun{})
+	copy(s.runs[i+2:], s.runs[i+1:])
+	s.runs[i+1] = right
+	return i + 1
+}
+
+// canMergeRuns reports whether two adjacent runs are one uniform state.
+func canMergeRuns(a, b pageRun) (int8, bool) {
+	if a.state != b.state {
+		return 0, false
+	}
+	if a.state != pageResident {
+		return 0, true
+	}
+	if a.dirty != b.dirty || a.slot != b.slot {
+		return 0, false
+	}
+	for _, d := range [2]int8{1, -1} {
+		if a.n > 1 && a.fdir != d {
+			continue
+		}
+		if b.n > 1 && b.fdir != d {
+			continue
+		}
+		if b.frame == a.frame+int32(d)*a.n {
+			return d, true
+		}
+	}
+	return 0, false
+}
+
+// coalesceRuns merges mergeable neighbours in the bounded index window
+// [from-1, to+1].
+func (s *Space) coalesceRuns(from, to int) {
+	i := max(from-1, 0)
+	for i < len(s.runs)-1 && i <= to {
+		d, ok := canMergeRuns(s.runs[i], s.runs[i+1])
+		if !ok {
+			i++
+			continue
+		}
+		s.runs[i].n += s.runs[i+1].n
+		if s.runs[i].state == pageResident {
+			s.runs[i].fdir = d
+		}
+		s.runs = append(s.runs[:i+1], s.runs[i+2:]...)
+		to--
+	}
+}
+
+// replaceRuns overwrites the run coverage of pages [lo, hi) with nr.
+func (s *Space) replaceRuns(lo, hi int32, nr pageRun) {
+	i := s.splitRunAt(s.runIdx(lo), lo)
+	j := i
+	for j < len(s.runs) && s.runs[j].start < hi {
+		j++
+	}
+	if last := s.runs[j-1]; last.end() > hi {
+		s.splitRunAt(j-1, hi)
+	}
+	s.runs[i] = nr
+	if j > i+1 {
+		s.runs = append(s.runs[:i+1], s.runs[j:]...)
+	}
+	s.coalesceRuns(i, i)
+}
+
+// ---------------------------------------------------------------------------
+// Invariant checking (used by tests).
 
 // checkInvariants validates internal consistency; used by tests.
 func (m *Manager) checkInvariants() error {
-	used := 0
-	perOwner := make(map[PID]int)
-	for i := range m.frames {
-		f := &m.frames[i]
-		if !f.inUse {
-			continue
+	// Frame extents: sorted, non-empty, exactly covering [0, nframes).
+	var next int32
+	counts := map[extKind]int{}
+	for i := 0; i < m.exts.len(); i++ {
+		e := *m.exts.at(i)
+		if e.n <= 0 {
+			return fmt.Errorf("extent %d empty", i)
 		}
-		used++
-		perOwner[f.owner]++
-		if f.owner == cacheOwner {
-			continue
+		if e.start != next {
+			return fmt.Errorf("extent %d starts at %d, want %d (gap or overlap)", i, e.start, next)
 		}
-		s, ok := m.spaces[f.owner]
-		if !ok {
-			return fmt.Errorf("frame %d owned by unregistered pid %d", i, f.owner)
-		}
-		if int(f.page) >= s.npages {
-			return fmt.Errorf("frame %d maps page %d beyond space of pid %d", i, f.page, f.owner)
-		}
-		p := s.pages[f.page]
-		if p.state != pageResident || p.frame != int32(i) {
-			return fmt.Errorf("frame %d / pid %d page %d mapping mismatch", i, f.owner, f.page)
+		next = e.end()
+		counts[e.kind] += int(e.n)
+		if e.kind == extAnon {
+			if _, ok := m.spaces[e.owner]; !ok && e.owner != cacheOwner {
+				// Orphaned extents can only exist transiently while an
+				// OOM-killed toucher finishes its fault; tests never
+				// observe that state.
+				return fmt.Errorf("extent %d owned by unregistered pid %d", i, e.owner)
+			}
 		}
 	}
-	if used+len(m.free) != len(m.frames) {
-		return fmt.Errorf("frame conservation violated: %d used + %d free != %d total",
-			used, len(m.free), len(m.frames))
+	if next != int32(m.nframes) {
+		return fmt.Errorf("extents cover %d frames, want %d", next, m.nframes)
 	}
-	if perOwner[cacheOwner] != len(m.cacheFrames) {
-		return fmt.Errorf("cache accounting: %d frames vs %d tracked", perOwner[cacheOwner], len(m.cacheFrames))
+	if counts[extFree] != m.freeFrames {
+		return fmt.Errorf("free accounting: %d extent frames vs %d counter", counts[extFree], m.freeFrames)
 	}
+	if counts[extCache] != m.cachePages {
+		return fmt.Errorf("cache accounting: %d extent frames vs %d counter", counts[extCache], m.cachePages)
+	}
+	if counts[extFree]+counts[extCache]+counts[extAnon] != m.nframes {
+		return fmt.Errorf("frame conservation violated")
+	}
+	// Stacks: each stack's frames must be exactly the free/cache extents.
+	for _, chk := range []struct {
+		name  string
+		stack []stackExt
+		kind  extKind
+		total int
+	}{
+		{"free", m.freeStack, extFree, m.freeFrames},
+		{"cache", m.cacheStack, extCache, m.cachePages},
+	} {
+		seen := make(map[int32]bool, chk.total)
+		n := 0
+		for _, se := range chk.stack {
+			for k := int32(0); k < se.n; k++ {
+				f := se.first + int32(se.dir)*k
+				if se.n == 1 {
+					f = se.first
+				}
+				if seen[f] {
+					return fmt.Errorf("%s stack lists frame %d twice", chk.name, f)
+				}
+				seen[f] = true
+				if e := m.exts.at(m.extIdx(f)); e.kind != chk.kind {
+					return fmt.Errorf("%s stack frame %d has extent kind %d", chk.name, f, e.kind)
+				}
+				n++
+			}
+		}
+		if n != chk.total {
+			return fmt.Errorf("%s stack holds %d frames, want %d", chk.name, n, chk.total)
+		}
+	}
+	// Spaces: run coverage, counters, and the frame mapping round trip.
 	var slotBytes int64
 	for pid, s := range m.spaces {
+		var nextPg int32
 		resident, swapped := 0, 0
-		for i := range s.pages {
-			switch s.pages[i].state {
+		for i, r := range s.runs {
+			if r.n <= 0 {
+				return fmt.Errorf("pid %d run %d empty", pid, i)
+			}
+			if r.start != nextPg {
+				return fmt.Errorf("pid %d run %d starts at %d, want %d", pid, i, r.start, nextPg)
+			}
+			nextPg = r.end()
+			switch r.state {
 			case pageResident:
-				resident++
+				resident += int(r.n)
+				if r.slot {
+					slotBytes += int64(r.n) * m.cfg.PageSize
+				}
+				for k := int32(0); k < r.n; k++ {
+					f := r.frame + int32(r.fdir)*k
+					if r.n == 1 {
+						f = r.frame
+					}
+					e := m.exts.at(m.extIdx(f))
+					if e.kind != extAnon || e.owner != pid {
+						return fmt.Errorf("pid %d page %d frame %d not an anon frame of the pid", pid, r.start+k, f)
+					}
+					if got := e.pageAt(f); got != r.start+k {
+						return fmt.Errorf("frame %d maps page %d, run says %d", f, got, r.start+k)
+					}
+				}
 			case pageSwapped:
-				swapped++
-				if !s.pages[i].slot {
-					return fmt.Errorf("pid %d page %d swapped without slot", pid, i)
+				swapped += int(r.n)
+				if !r.slot {
+					return fmt.Errorf("pid %d pages [%d,%d) swapped without slot", pid, r.start, r.end())
+				}
+				slotBytes += int64(r.n) * m.cfg.PageSize
+			case pageUntouched:
+				if r.slot {
+					return fmt.Errorf("pid %d pages [%d,%d) untouched with slot", pid, r.start, r.end())
 				}
 			}
-			if s.pages[i].slot {
-				slotBytes += m.cfg.PageSize
-			}
+		}
+		if int(nextPg) != s.npages {
+			return fmt.Errorf("pid %d runs cover %d pages, want %d", pid, nextPg, s.npages)
 		}
 		if resident != s.resident || swapped != s.swapped {
 			return fmt.Errorf("pid %d counters resident=%d/%d swapped=%d/%d",
 				pid, s.resident, resident, s.swapped, swapped)
-		}
-		if resident != perOwner[pid] {
-			return fmt.Errorf("pid %d resident pages %d but owns %d frames", pid, resident, perOwner[pid])
 		}
 	}
 	if slotBytes != m.swapUsed {

@@ -1,0 +1,115 @@
+package memory
+
+// Invariant coverage at the reclaim boundary the figure experiments lean
+// on hardest: swap exhaustion while the clock is forced (swappiness > 0)
+// to pick anonymous victims with cache still present. Before this file,
+// checkInvariants was never exercised at that boundary.
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"hadooppreempt/internal/disk"
+	"hadooppreempt/internal/sim"
+)
+
+// boundarySetup builds a manager with a tiny swap so reclaim hits the
+// swap-full path quickly.
+func boundarySetup(t *testing.T, swappiness int, swapBytes int64) (*sim.Engine, *Manager) {
+	t.Helper()
+	eng := sim.New()
+	d := disk.New(eng, "swap", disk.Config{
+		SeekTime:       time.Millisecond,
+		ReadBandwidth:  1 << 20,
+		WriteBandwidth: 1 << 20,
+	})
+	m, err := New(eng, d, Config{
+		PageSize:          1024,
+		RAMBytes:          32 << 10,
+		InitialCacheBytes: 8 << 10,
+		SwapBytes:         swapBytes,
+		Swappiness:        swappiness,
+		PageClusterPages:  4,
+		MinorFaultCost:    time.Microsecond,
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return eng, m
+}
+
+// TestInvariantsSwapFullSwappinessReclaim drives reclaim into the state
+// where swap is exhausted, dirty pages must be skipped by the clock, and
+// swappiness > 0 splits the batch between cache and anonymous memory —
+// checking manager invariants after every step.
+func TestInvariantsSwapFullSwappinessReclaim(t *testing.T) {
+	for _, swappiness := range []int{30, 60, 100} {
+		_, m := boundarySetup(t, swappiness, 6<<10) // 6 pages of swap only
+		step := func(name string) {
+			t.Helper()
+			if err := m.checkInvariants(); err != nil {
+				t.Fatalf("swappiness=%d after %s: %v", swappiness, name, err)
+			}
+		}
+		mustRegister(t, m, 1, 24<<10)
+		mustTouch(t, m, 1, 0, 24<<10, true) // dirty everything
+		step("fill p1")
+		m.MarkStopped(1)
+		step("stop p1")
+		mustRegister(t, m, 2, 24<<10)
+		// p2 floods memory: reclaim must write p1's dirty pages until the
+		// 6 KiB swap fills, then skip dirty pages and fall back to cache.
+		for off := int64(0); off < 24<<10; off += 4 << 10 {
+			if _, err := m.Touch(2, off, 4<<10, true); err != nil &&
+				!errors.Is(err, ErrOutOfMemory) {
+				t.Fatalf("swappiness=%d touch: %v", swappiness, err)
+			}
+			step("pressure touch")
+		}
+		if m.SwapUsedBytes() > 6<<10 {
+			t.Fatalf("swappiness=%d swap overcommitted: %d bytes", swappiness, m.SwapUsedBytes())
+		}
+		if m.SwapFreeBytes() < 0 {
+			t.Fatalf("swappiness=%d negative free swap", swappiness)
+		}
+		// Once swap is exhausted, the surviving dirty resident pages of
+		// the stopped process must still be intact (skipped, not lost).
+		total := m.ResidentBytes(1) + m.SwappedBytes(1)
+		if total+m.SwapUsedBytes() < 6<<10 {
+			t.Fatalf("swappiness=%d p1 accounting lost pages: resident+swapped=%d", swappiness, total)
+		}
+		step("final")
+	}
+}
+
+// TestSwapFullOOMThenRecovery checks the full boundary cycle: swap fills,
+// OOM fires, the handler frees a space, and subsequent touches succeed
+// with invariants intact throughout.
+func TestSwapFullOOMThenRecovery(t *testing.T) {
+	_, m := boundarySetup(t, 60, 2<<10)
+	mustRegister(t, m, 1, 24<<10)
+	mustTouch(t, m, 1, 0, 24<<10, true)
+	m.MarkStopped(1)
+	oomKills := 0
+	m.SetOOMHandler(func() {
+		oomKills++
+		m.Unregister(1)
+	})
+	mustRegister(t, m, 2, 24<<10)
+	if _, err := m.Touch(2, 0, 24<<10, true); err != nil {
+		t.Fatalf("touch after OOM-kill should succeed: %v", err)
+	}
+	if oomKills == 0 {
+		t.Fatal("expected the OOM handler to fire at the swap-full boundary")
+	}
+	if err := m.checkInvariants(); err != nil {
+		t.Fatalf("after recovery: %v", err)
+	}
+	if m.Space(1) != nil {
+		t.Fatal("victim should be unregistered")
+	}
+	if got := m.ResidentBytes(2); got == 0 {
+		t.Fatal("survivor should hold memory after recovery")
+	}
+}

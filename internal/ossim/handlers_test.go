@@ -64,12 +64,14 @@ func TestStopDuringCONTHandlerWindow(t *testing.T) {
 func TestMemoryStatsSurviveExit(t *testing.T) {
 	eng, k, _ := testKernel(t, 1)
 	steps := 0
-	prog := ProgramFunc(func(*Process) Op {
+	prog := ProgramFunc(func(_ *Process, op *Op) {
 		steps++
 		if steps == 1 {
-			return Op{Mem: &MemOp{Offset: 0, Length: 8 << 20, Write: true}, Compute: time.Second}
+			*op = Op{Mem: &MemOp{Offset: 0, Length: 8 << 20, Write: true}, Compute: time.Second}
+			return
 		}
-		return Op{Done: true}
+		*op = Op{Done: true}
+		return
 	})
 	p, _ := k.Spawn("w", 8<<20, prog, nil)
 	eng.Run()

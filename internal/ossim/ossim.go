@@ -141,16 +141,18 @@ type Op struct {
 }
 
 // Program generates the operations of a process. Next is called once per
-// step; returning an Op with Done set terminates the process.
+// step and must fully assign *op (typically `*op = Op{...}`); setting
+// op.Done terminates the process. The out-parameter style keeps the
+// per-operation hot path free of struct copies and allocations.
 type Program interface {
-	Next(p *Process) Op
+	Next(p *Process, op *Op)
 }
 
 // ProgramFunc adapts a function to the Program interface.
-type ProgramFunc func(p *Process) Op
+type ProgramFunc func(p *Process, op *Op)
 
 // Next implements Program.
-func (f ProgramFunc) Next(p *Process) Op { return f(p) }
+func (f ProgramFunc) Next(p *Process, op *Op) { f(p, op) }
 
 type phase int
 
@@ -169,7 +171,7 @@ type Process struct {
 	state  State
 
 	phase            phase
-	timer            *sim.Timer
+	timer            sim.Timer
 	pendingCompute   time.Duration // compute part of the op being latency-waited
 	computeRemaining time.Duration // remaining CPU work of current compute phase
 	speed            float64       // current share of a core
@@ -178,6 +180,15 @@ type Process struct {
 
 	handlers map[Signal]func(*Process) time.Duration
 	onExit   func(*Process, int)
+
+	// latencyDoneFn and computeDoneFn are bound once at spawn so the hot
+	// scheduling paths (rebalance, runNextOp) reuse them instead of
+	// allocating a fresh closure per reschedule.
+	latencyDoneFn func()
+	computeDoneFn func()
+
+	// op is the reusable buffer the program fills on each step.
+	op Op
 
 	createdAt   time.Duration
 	exitedAt    time.Duration
@@ -258,7 +269,9 @@ type Kernel struct {
 
 	procs   map[memory.PID]*Process
 	nextPID memory.PID
-	active  map[memory.PID]*Process // processes in phaseCompute
+	// active lists processes in phaseCompute in insertion order; a slice
+	// keeps rebalance iteration deterministic and allocation-free.
+	active []*Process
 }
 
 // NewKernel creates a node OS with the given core count and memory
@@ -274,7 +287,6 @@ func NewKernel(eng *sim.Engine, name string, cores int, mem *memory.Manager) *Ke
 		cores:   cores,
 		mem:     mem,
 		procs:   make(map[memory.PID]*Process),
-		active:  make(map[memory.PID]*Process),
 		nextPID: 1,
 	}
 	mem.SetOOMHandler(k.oomKill)
@@ -321,6 +333,8 @@ func (k *Kernel) Spawn(name string, memBytes int64, prog Program, onExit func(*P
 		createdAt: k.eng.Now(),
 		speed:     1,
 	}
+	p.latencyDoneFn = func() { k.latencyDone(p) }
+	p.computeDoneFn = func() { k.computeDone(p) }
 	k.procs[pid] = p
 	// Start executing on the next event so the caller finishes its own
 	// bookkeeping first.
@@ -370,7 +384,7 @@ func (k *Kernel) stop(p *Process, handlerLatency time.Duration) {
 	case phaseCompute:
 		k.leaveCompute(p)
 		p.timer.Cancel()
-		p.timer = nil
+		p.timer = sim.Timer{}
 		p.pendingCompute = p.computeRemaining
 		p.computeRemaining = 0
 	case phaseLatency:
@@ -429,7 +443,7 @@ func (k *Kernel) cont(p *Process, handlerLatency time.Duration) {
 		// Park the saved compute (possibly zero) behind the handler's
 		// work; latencyDone picks it up.
 		p.phase = phaseLatency
-		p.timer = k.eng.Schedule(handlerLatency, func() { k.latencyDone(p) })
+		p.timer = k.eng.Schedule(handlerLatency, p.latencyDoneFn)
 		return
 	}
 	if p.pendingCompute > 0 {
@@ -451,10 +465,8 @@ func (k *Kernel) exit(p *Process, code int) {
 	if p.phase == phaseCompute {
 		k.leaveCompute(p)
 	}
-	if p.timer != nil {
-		p.timer.Cancel()
-		p.timer = nil
-	}
+	p.timer.Cancel()
+	p.timer = sim.Timer{}
 	if p.state == StateStopped && p.stoppedAt < k.eng.Now() {
 		p.stoppedTime += k.eng.Now() - p.stoppedAt
 	}
@@ -494,7 +506,8 @@ func (k *Kernel) runNextOp(p *Process) {
 	if p.state != StateRunning {
 		return
 	}
-	op := p.prog.Next(p)
+	op := &p.op
+	p.prog.Next(p, op)
 	if op.Done {
 		k.exit(p, op.ExitCode)
 		return
@@ -528,7 +541,7 @@ func (k *Kernel) runNextOp(p *Process) {
 	if latency > 0 {
 		p.phase = phaseLatency
 		p.pendingCompute = op.Compute
-		p.timer = k.eng.Schedule(latency, func() { k.latencyDone(p) })
+		p.timer = k.eng.Schedule(latency, p.latencyDoneFn)
 		return
 	}
 	k.startCompute(p, op.Compute)
@@ -536,7 +549,7 @@ func (k *Kernel) runNextOp(p *Process) {
 
 // latencyDone fires when the fixed-latency part of an op completes.
 func (k *Kernel) latencyDone(p *Process) {
-	p.timer = nil
+	p.timer = sim.Timer{}
 	if p.state == StateExited {
 		return
 	}
@@ -563,15 +576,25 @@ func (k *Kernel) startCompute(p *Process, d time.Duration) {
 	p.phase = phaseCompute
 	p.computeRemaining = d
 	p.speedSetAt = k.eng.Now()
-	k.active[p.pid] = p
+	k.active = append(k.active, p)
 	k.rebalance()
 }
 
 // leaveCompute removes p from the CPU-sharing set, banking its progress.
 func (k *Kernel) leaveCompute(p *Process) {
 	k.settle(p)
-	delete(k.active, p.pid)
+	k.removeActive(p)
 	k.rebalance()
+}
+
+// removeActive drops p from the compute set, preserving insertion order.
+func (k *Kernel) removeActive(p *Process) {
+	for i, q := range k.active {
+		if q == p {
+			k.active = append(k.active[:i], k.active[i+1:]...)
+			return
+		}
+	}
 }
 
 // settle updates computeRemaining for the time elapsed at the current
@@ -610,24 +633,21 @@ func (k *Kernel) rebalance() {
 		k.settle(p)
 		p.speed = speed
 		p.speedSetAt = now
-		if p.timer != nil {
-			p.timer.Cancel()
-		}
+		p.timer.Cancel()
 		remainingWall := time.Duration(float64(p.computeRemaining) / speed)
-		proc := p
-		p.timer = k.eng.Schedule(remainingWall, func() { k.computeDone(proc) })
+		p.timer = k.eng.Schedule(remainingWall, p.computeDoneFn)
 	}
 }
 
 // computeDone fires when a process finishes its compute phase.
 func (k *Kernel) computeDone(p *Process) {
-	p.timer = nil
+	p.timer = sim.Timer{}
 	if p.state != StateRunning || p.phase != phaseCompute {
 		return
 	}
 	k.settle(p)
 	p.computeRemaining = 0
-	delete(k.active, p.pid)
+	k.removeActive(p)
 	p.phase = phaseIdle
 	k.rebalance()
 	k.runNextOp(p)

@@ -33,12 +33,14 @@ func testKernel(t *testing.T, cores int) (*sim.Engine, *Kernel, *disk.Device) {
 // computeProgram runs n compute steps of d each, then exits with code.
 func computeProgram(n int, d time.Duration, code int) Program {
 	step := 0
-	return ProgramFunc(func(*Process) Op {
+	return ProgramFunc(func(_ *Process, op *Op) {
 		if step >= n {
-			return Op{Done: true, ExitCode: code}
+			*op = Op{Done: true, ExitCode: code}
+			return
 		}
 		step++
-		return Op{Label: "compute", Compute: d}
+		*op = Op{Label: "compute", Compute: d}
+		return
 	})
 }
 
@@ -69,13 +71,15 @@ func TestSleepOpAddsLatency(t *testing.T) {
 	eng, k, _ := testKernel(t, 1)
 	done := false
 	steps := 0
-	prog := ProgramFunc(func(*Process) Op {
+	prog := ProgramFunc(func(_ *Process, op *Op) {
 		steps++
 		switch steps {
 		case 1:
-			return Op{Sleep: 2 * time.Second, Compute: time.Second}
+			*op = Op{Sleep: 2 * time.Second, Compute: time.Second}
+			return
 		default:
-			return Op{Done: true}
+			*op = Op{Done: true}
+			return
 		}
 	})
 	k.Spawn("w", 1<<20, prog, func(*Process, int) { done = true })
@@ -156,13 +160,15 @@ func TestSIGTSTPStopsAndSIGCONTResumes(t *testing.T) {
 func TestSIGTSTPMarksPagesEvictable(t *testing.T) {
 	eng, k, _ := testKernel(t, 1)
 	steps := 0
-	prog := ProgramFunc(func(*Process) Op {
+	prog := ProgramFunc(func(_ *Process, op *Op) {
 		steps++
 		switch steps {
 		case 1:
-			return Op{Mem: &MemOp{Offset: 0, Length: 8 << 20, Write: true}, Compute: 100 * time.Second}
+			*op = Op{Mem: &MemOp{Offset: 0, Length: 8 << 20, Write: true}, Compute: 100 * time.Second}
+			return
 		default:
-			return Op{Done: true}
+			*op = Op{Done: true}
+			return
 		}
 	})
 	p, _ := k.Spawn("w", 8<<20, prog, nil)
@@ -172,11 +178,13 @@ func TestSIGTSTPMarksPagesEvictable(t *testing.T) {
 		t.Fatal("pages should still be resident while stopped (no pressure)")
 	}
 	// Under pressure, the stopped process's pages go first: spawn a hog.
-	hog := ProgramFunc(func(pr *Process) Op {
+	hog := ProgramFunc(func(pr *Process, op *Op) {
 		if pr.CPUTime() > 0 {
-			return Op{Done: true}
+			*op = Op{Done: true}
+			return
 		}
-		return Op{Mem: &MemOp{Offset: 0, Length: 60 << 20, Write: true}, Compute: time.Millisecond}
+		*op = Op{Mem: &MemOp{Offset: 0, Length: 60 << 20, Write: true}, Compute: time.Millisecond}
+		return
 	})
 	k.Spawn("hog", 60<<20, hog, nil)
 	eng.Run()
@@ -290,17 +298,18 @@ func TestSIGKILLCannotBeHandled(t *testing.T) {
 func TestStopDuringIOAppliesAfterCompletion(t *testing.T) {
 	eng, k, dev := testKernel(t, 1)
 	steps := 0
-	prog := ProgramFunc(func(*Process) Op {
+	prog := ProgramFunc(func(_ *Process, op *Op) {
 		steps++
 		switch steps {
 		case 1:
 			// 100 MB at 100 MB/s = ~1s of I/O, then 5s compute.
-			return Op{
+			*op = Op{
 				IO:      &IOOp{Device: dev, Kind: disk.Read, Bytes: 100 << 20, Stream: 1},
 				Compute: 5 * time.Second,
 			}
 		default:
-			return Op{Done: true}
+			*op = Op{Done: true}
+			return
 		}
 	})
 	var exitAt time.Duration
@@ -319,16 +328,17 @@ func TestStopDuringIOAppliesAfterCompletion(t *testing.T) {
 func TestContBeforeIOCompletesCancelsStop(t *testing.T) {
 	eng, k, dev := testKernel(t, 1)
 	steps := 0
-	prog := ProgramFunc(func(*Process) Op {
+	prog := ProgramFunc(func(_ *Process, op *Op) {
 		steps++
 		switch steps {
 		case 1:
-			return Op{
+			*op = Op{
 				IO:      &IOOp{Device: dev, Kind: disk.Read, Bytes: 100 << 20, Stream: 1},
 				Compute: 2 * time.Second,
 			}
 		default:
-			return Op{Done: true}
+			*op = Op{Done: true}
+			return
 		}
 	})
 	var exitAt time.Duration
@@ -346,13 +356,15 @@ func TestMemoryTouchLatencyChargedToProcess(t *testing.T) {
 	eng, k, _ := testKernel(t, 1)
 	// First process dirties most of RAM and stops; second must reclaim.
 	steps1 := 0
-	prog1 := ProgramFunc(func(*Process) Op {
+	prog1 := ProgramFunc(func(_ *Process, op *Op) {
 		steps1++
 		switch steps1 {
 		case 1:
-			return Op{Mem: &MemOp{Offset: 0, Length: 56 << 20, Write: true}, Compute: time.Hour}
+			*op = Op{Mem: &MemOp{Offset: 0, Length: 56 << 20, Write: true}, Compute: time.Hour}
+			return
 		default:
-			return Op{Done: true}
+			*op = Op{Done: true}
+			return
 		}
 	})
 	p1, _ := k.Spawn("tl", 56<<20, prog1, nil)
@@ -362,13 +374,15 @@ func TestMemoryTouchLatencyChargedToProcess(t *testing.T) {
 	var exitAt time.Duration
 	start := eng.Now()
 	steps2 := 0
-	prog2 := ProgramFunc(func(*Process) Op {
+	prog2 := ProgramFunc(func(_ *Process, op *Op) {
 		steps2++
 		switch steps2 {
 		case 1:
-			return Op{Mem: &MemOp{Offset: 0, Length: 40 << 20, Write: true}, Compute: time.Second}
+			*op = Op{Mem: &MemOp{Offset: 0, Length: 40 << 20, Write: true}, Compute: time.Second}
+			return
 		default:
-			return Op{Done: true}
+			*op = Op{Done: true}
+			return
 		}
 	})
 	k.Spawn("th", 40<<20, prog2, func(*Process, int) { exitAt = eng.Now() })
@@ -400,12 +414,14 @@ func TestOOMKillsLargestResident(t *testing.T) {
 	k := NewKernel(eng, "node1", 1, m)
 	hogProg := func() Program {
 		steps := 0
-		return ProgramFunc(func(*Process) Op {
+		return ProgramFunc(func(_ *Process, op *Op) {
 			steps++
 			if steps == 1 {
-				return Op{Mem: &MemOp{Offset: 0, Length: 12 << 20, Write: true}, Compute: time.Hour}
+				*op = Op{Mem: &MemOp{Offset: 0, Length: 12 << 20, Write: true}, Compute: time.Hour}
+				return
 			}
-			return Op{Done: true}
+			*op = Op{Done: true}
+			return
 		})
 	}
 	code1 := -1

@@ -5,20 +5,54 @@
 // kernel. Virtual time is represented as time.Duration offsets from the
 // start of the simulation; two events scheduled for the same instant fire
 // in scheduling order, which makes every run fully reproducible.
+//
+// The kernel is allocation-free on the hot path: events live in a reusable
+// slot arena indexed by a value heap, and Timer handles are plain values
+// carrying a (slot, generation) pair, so Schedule/At never heap-allocate
+// per call. Generation counters make a stale Timer (one whose event fired
+// or whose slot was recycled) safely inert.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"time"
 )
 
+// slot lifecycle states.
+const (
+	slotFree uint8 = iota
+	slotPending
+	slotCancelled
+)
+
+// eventSlot is one arena entry. Slots are recycled: gen increments every
+// time a slot is released, invalidating Timers issued for earlier uses.
+type eventSlot struct {
+	fn    func()
+	at    time.Duration
+	gen   uint32
+	state uint8
+}
+
+// heapEntry is a value-typed heap element ordered by (at, seq). Keeping
+// the ordering key inline avoids chasing the slot arena during sifts.
+type heapEntry struct {
+	at   time.Duration
+	seq  uint64
+	slot int32
+}
+
 // Engine is a discrete-event simulator. The zero value is not usable; call
 // New.
 type Engine struct {
-	now   time.Duration
-	seq   uint64
-	queue eventHeap
+	now  time.Duration
+	seq  uint64
+	heap []heapEntry
+	// slots is the event arena; freeSlots indexes released entries.
+	slots     []eventSlot
+	freeSlots []int32
+	// live counts scheduled events that are neither fired nor cancelled.
+	live int
 	// fired counts events that have been dispatched, for diagnostics.
 	fired uint64
 }
@@ -31,48 +65,69 @@ func New() *Engine {
 // Now reports the current virtual time.
 func (e *Engine) Now() time.Duration { return e.now }
 
-// Pending reports the number of events currently scheduled.
-func (e *Engine) Pending() int { return len(e.queue) }
+// Pending reports the number of events currently scheduled, excluding
+// cancelled events that have not yet been removed from the queue.
+func (e *Engine) Pending() int { return e.live }
 
 // Fired reports the number of events dispatched so far.
 func (e *Engine) Fired() uint64 { return e.fired }
 
 // Timer is a handle to a scheduled event. It can be used to cancel the
-// event before it fires.
+// event before it fires. The zero Timer is valid and refers to no event:
+// Cancel and Pending on it report false.
 type Timer struct {
-	ev *event
+	eng  *Engine
+	slot int32
+	gen  uint32
+}
+
+// valid reports whether the timer still refers to its original pending
+// event (the slot has not been recycled for a newer one).
+func (t Timer) valid() (*eventSlot, bool) {
+	if t.eng == nil || int(t.slot) >= len(t.eng.slots) {
+		return nil, false
+	}
+	s := &t.eng.slots[t.slot]
+	if s.gen != t.gen || s.state != slotPending {
+		return nil, false
+	}
+	return s, true
 }
 
 // Cancel prevents the event from firing. It reports whether the event was
 // still pending (a second Cancel, or cancelling an already-fired event,
-// returns false). Cancel on a nil Timer is a no-op returning false.
-func (t *Timer) Cancel() bool {
-	if t == nil || t.ev == nil || t.ev.cancelled || t.ev.fired {
+// returns false). Cancel on the zero Timer is a no-op returning false.
+func (t Timer) Cancel() bool {
+	s, ok := t.valid()
+	if !ok {
 		return false
 	}
-	t.ev.cancelled = true
-	t.ev.fn = nil
+	s.state = slotCancelled
+	s.fn = nil
+	t.eng.live--
 	return true
 }
 
 // Pending reports whether the timer is still scheduled to fire.
-func (t *Timer) Pending() bool {
-	return t != nil && t.ev != nil && !t.ev.cancelled && !t.ev.fired
+func (t Timer) Pending() bool {
+	_, ok := t.valid()
+	return ok
 }
 
 // When reports the virtual time at which the timer fires (meaningful only
 // while Pending).
-func (t *Timer) When() time.Duration {
-	if t == nil || t.ev == nil {
+func (t Timer) When() time.Duration {
+	s, ok := t.valid()
+	if !ok {
 		return 0
 	}
-	return t.ev.at
+	return s.at
 }
 
 // Schedule arranges for fn to run after delay. Negative delays are clamped
 // to zero (the event fires at the current time, after already-queued events
 // for that time).
-func (e *Engine) Schedule(delay time.Duration, fn func()) *Timer {
+func (e *Engine) Schedule(delay time.Duration, fn func()) Timer {
 	if delay < 0 {
 		delay = 0
 	}
@@ -81,36 +136,59 @@ func (e *Engine) Schedule(delay time.Duration, fn func()) *Timer {
 
 // At arranges for fn to run at absolute virtual time t. Times in the past
 // are clamped to the current time.
-func (e *Engine) At(t time.Duration, fn func()) *Timer {
+func (e *Engine) At(t time.Duration, fn func()) Timer {
 	if fn == nil {
 		panic("sim: At called with nil function")
 	}
 	if t < e.now {
 		t = e.now
 	}
-	ev := &event{at: t, seq: e.seq, fn: fn}
+	var slot int32
+	if n := len(e.freeSlots); n > 0 {
+		slot = e.freeSlots[n-1]
+		e.freeSlots = e.freeSlots[:n-1]
+	} else {
+		e.slots = append(e.slots, eventSlot{})
+		slot = int32(len(e.slots) - 1)
+	}
+	s := &e.slots[slot]
+	s.fn = fn
+	s.at = t
+	s.state = slotPending
+	e.push(heapEntry{at: t, seq: e.seq, slot: slot})
 	e.seq++
-	heap.Push(&e.queue, ev)
-	return &Timer{ev: ev}
+	e.live++
+	return Timer{eng: e, slot: slot, gen: s.gen}
+}
+
+// release returns a slot to the arena, invalidating outstanding Timers.
+func (e *Engine) release(slot int32) {
+	s := &e.slots[slot]
+	s.fn = nil
+	s.state = slotFree
+	s.gen++
+	e.freeSlots = append(e.freeSlots, slot)
 }
 
 // Step dispatches the next pending event, advancing the clock to its
 // timestamp. It reports whether an event was dispatched.
 func (e *Engine) Step() bool {
-	for len(e.queue) > 0 {
-		ev := heap.Pop(&e.queue).(*event)
-		if ev.cancelled {
+	for len(e.heap) > 0 {
+		he := e.pop()
+		s := &e.slots[he.slot]
+		if s.state == slotCancelled {
+			e.release(he.slot)
 			continue
 		}
-		if ev.at < e.now {
+		if he.at < e.now {
 			// Cannot happen: At clamps to now. Guard anyway.
-			panic(fmt.Sprintf("sim: event at %v is before current time %v", ev.at, e.now))
+			panic(fmt.Sprintf("sim: event at %v is before current time %v", he.at, e.now))
 		}
-		e.now = ev.at
-		ev.fired = true
+		e.now = he.at
+		fn := s.fn
+		e.release(he.slot)
+		e.live--
 		e.fired++
-		fn := ev.fn
-		ev.fn = nil
 		fn()
 		return true
 	}
@@ -123,16 +201,38 @@ func (e *Engine) Run() {
 	}
 }
 
+// StepUntil dispatches the next event if it fires at or before deadline,
+// reporting whether one was dispatched. It fuses the peek and pop root
+// inspections the run loops would otherwise do back to back.
+func (e *Engine) StepUntil(deadline time.Duration) bool {
+	for len(e.heap) > 0 {
+		he := e.heap[0]
+		s := &e.slots[he.slot]
+		if s.state == slotCancelled {
+			e.pop()
+			e.release(he.slot)
+			continue
+		}
+		if he.at > deadline {
+			return false
+		}
+		e.pop()
+		e.now = he.at
+		fn := s.fn
+		e.release(he.slot)
+		e.live--
+		e.fired++
+		fn()
+		return true
+	}
+	return false
+}
+
 // RunUntil dispatches events with timestamps <= deadline and then advances
 // the clock to deadline. Events scheduled for after the deadline remain
 // queued.
 func (e *Engine) RunUntil(deadline time.Duration) {
-	for {
-		ev := e.peek()
-		if ev == nil || ev.at > deadline {
-			break
-		}
-		e.Step()
+	for e.StepUntil(deadline) {
 	}
 	if e.now < deadline {
 		e.now = deadline
@@ -144,66 +244,73 @@ func (e *Engine) RunFor(d time.Duration) {
 	e.RunUntil(e.now + d)
 }
 
-func (e *Engine) peek() *event {
-	for len(e.queue) > 0 {
-		ev := e.queue[0]
-		if ev.cancelled {
-			heap.Pop(&e.queue)
+// peek reports the timestamp of the next non-cancelled event, pruning
+// cancelled entries from the top of the heap as it goes.
+func (e *Engine) peek() (time.Duration, bool) {
+	for len(e.heap) > 0 {
+		he := e.heap[0]
+		if e.slots[he.slot].state == slotCancelled {
+			e.pop()
+			e.release(he.slot)
 			continue
 		}
-		return ev
+		return he.at, true
 	}
-	return nil
+	return 0, false
 }
 
 // NextEventAt reports the timestamp of the next pending event. The second
 // result is false when the queue is empty.
 func (e *Engine) NextEventAt() (time.Duration, bool) {
-	ev := e.peek()
-	if ev == nil {
-		return 0, false
+	return e.peek()
+}
+
+// less orders heap entries by (timestamp, schedule order).
+func (a heapEntry) less(b heapEntry) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return ev.at, true
+	return a.seq < b.seq
 }
 
-type event struct {
-	at        time.Duration
-	seq       uint64
-	fn        func()
-	index     int
-	cancelled bool
-	fired     bool
-}
-
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// push inserts an entry into the binary heap (sift-up).
+func (e *Engine) push(he heapEntry) {
+	h := append(e.heap, he)
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h[i].less(h[parent]) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
 	}
-	return h[i].seq < h[j].seq
+	e.heap = h
 }
 
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-
-func (h *eventHeap) Push(x any) {
-	ev := x.(*event)
-	ev.index = len(*h)
-	*h = append(*h, ev)
-}
-
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	ev.index = -1
-	*h = old[:n-1]
-	return ev
+// pop removes and returns the minimum entry (sift-down).
+func (e *Engine) pop() heapEntry {
+	h := e.heap
+	top := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h = h[:n]
+	i := 0
+	for {
+		left := 2*i + 1
+		if left >= n {
+			break
+		}
+		least := left
+		if right := left + 1; right < n && h[right].less(h[left]) {
+			least = right
+		}
+		if !h[least].less(h[i]) {
+			break
+		}
+		h[i], h[least] = h[least], h[i]
+		i = least
+	}
+	e.heap = h
+	return top
 }

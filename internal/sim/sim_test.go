@@ -101,13 +101,71 @@ func TestCancelAfterFireReturnsFalse(t *testing.T) {
 	}
 }
 
-func TestCancelNilTimer(t *testing.T) {
-	var tm *Timer
+func TestCancelZeroTimer(t *testing.T) {
+	var tm Timer
 	if tm.Cancel() {
-		t.Fatal("Cancel on nil timer should report false")
+		t.Fatal("Cancel on zero timer should report false")
 	}
 	if tm.Pending() {
-		t.Fatal("nil timer should not be pending")
+		t.Fatal("zero timer should not be pending")
+	}
+}
+
+// Pending must report only live events: cancelled-but-unpopped entries do
+// not count (regression: it used to report the raw queue length).
+func TestPendingExcludesCancelled(t *testing.T) {
+	e := New()
+	a := e.Schedule(time.Second, func() {})
+	e.Schedule(2*time.Second, func() {})
+	if e.Pending() != 2 {
+		t.Fatalf("Pending() = %d, want 2", e.Pending())
+	}
+	a.Cancel()
+	if e.Pending() != 1 {
+		t.Fatalf("Pending() after cancel = %d, want 1 (cancelled event still queued)", e.Pending())
+	}
+	e.Run()
+	if e.Pending() != 0 {
+		t.Fatalf("Pending() after run = %d, want 0", e.Pending())
+	}
+}
+
+// A stale Timer whose slot has been recycled for a newer event must not
+// cancel the newer event.
+func TestStaleTimerDoesNotCancelRecycledSlot(t *testing.T) {
+	e := New()
+	old := e.Schedule(time.Second, func() {})
+	e.Run() // fires and releases the slot
+	fired := false
+	fresh := e.Schedule(time.Second, func() { fired = true })
+	if old.Cancel() {
+		t.Fatal("stale timer Cancel should report false")
+	}
+	if !fresh.Pending() {
+		t.Fatal("fresh timer should still be pending")
+	}
+	e.Run()
+	if !fired {
+		t.Fatal("recycled-slot event should have fired")
+	}
+}
+
+// The hot path must not allocate per event: slots and heap entries are
+// recycled across schedule/dispatch cycles.
+func TestScheduleStepDoesNotAllocate(t *testing.T) {
+	e := New()
+	fn := func() {}
+	// Warm up the arena and heap capacity.
+	for i := 0; i < 64; i++ {
+		e.Schedule(time.Duration(i)*time.Millisecond, fn)
+	}
+	e.Run()
+	avg := testing.AllocsPerRun(1000, func() {
+		e.Schedule(time.Millisecond, fn)
+		e.Step()
+	})
+	if avg > 0.01 {
+		t.Fatalf("Schedule+Step allocates %.3f objects/op, want 0", avg)
 	}
 }
 
@@ -220,7 +278,7 @@ func TestPropertyEventOrdering(t *testing.T) {
 	f := func(delays []uint16, cancelMask []bool) bool {
 		e := New()
 		var firedAt []time.Duration
-		timers := make([]*Timer, len(delays))
+		timers := make([]Timer, len(delays))
 		for i, d := range delays {
 			dur := time.Duration(d) * time.Millisecond
 			timers[i] = e.Schedule(dur, func() {

@@ -1,0 +1,181 @@
+// Command benchjson converts `go test -bench` text output into a JSON
+// report and guards the figure metrics against drift.
+//
+// The figure benchmarks attach the paper's headline numbers (sojourn,
+// makespan, paged MB, ...) as custom benchmark metrics. Those values are
+// fully deterministic — they derive from seeded simulations — so CI runs
+// the benchmarks, converts the output with this tool, uploads the JSON as
+// the BENCH_sweep artifact, and fails if any figure metric moved from the
+// committed goldens. ns/op is recorded but never compared: timing varies,
+// physics must not.
+//
+// Usage:
+//
+//	go test -run '^$' -bench BenchmarkFigure -benchtime 3x -count 3 . \
+//	    | go run ./internal/tools/benchjson -golden goldens/bench_metrics.json \
+//	    > BENCH_sweep.json
+//
+// Pass -update to rewrite the golden file from the observed metrics.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// benchResult is one benchmark's aggregate over repeated -count runs.
+type benchResult struct {
+	// NsPerOp lists the timing of every repetition (informational only).
+	NsPerOp []float64 `json:"ns_per_op"`
+	// Metrics maps unit name to the reported value, rendered exactly as
+	// `go test` printed it so comparisons are bit-exact.
+	Metrics map[string]string `json:"metrics,omitempty"`
+}
+
+func main() {
+	golden := flag.String("golden", "", "golden metrics file to compare against")
+	update := flag.Bool("update", false, "rewrite the golden file instead of comparing")
+	flag.Parse()
+
+	results, err := parse(os.Stdin)
+	if err != nil {
+		fatal(err)
+	}
+	if len(results) == 0 {
+		fatal(fmt.Errorf("no benchmark lines on stdin"))
+	}
+
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(results); err != nil {
+		fatal(err)
+	}
+
+	if *golden == "" {
+		return
+	}
+	observed := make(map[string]map[string]string, len(results))
+	for name, r := range results {
+		if len(r.Metrics) > 0 {
+			observed[name] = r.Metrics
+		}
+	}
+	if *update {
+		data, err := json.MarshalIndent(observed, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*golden, append(data, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "benchjson: wrote %s\n", *golden)
+		return
+	}
+	data, err := os.ReadFile(*golden)
+	if err != nil {
+		fatal(err)
+	}
+	var want map[string]map[string]string
+	if err := json.Unmarshal(data, &want); err != nil {
+		fatal(fmt.Errorf("golden %s: %w", *golden, err))
+	}
+	if err := compare(want, observed); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintln(os.Stderr, "benchjson: figure metrics match goldens")
+}
+
+// parse consumes `go test -bench` output. Repeated runs of one benchmark
+// (-count > 1) must report identical metrics; a mismatch is a
+// determinism bug and fails immediately.
+func parse(f *os.File) (map[string]*benchResult, error) {
+	results := make(map[string]*benchResult)
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		name := fields[0]
+		if i := strings.LastIndexByte(name, '-'); i > 0 {
+			// Strip the GOMAXPROCS suffix.
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		r := results[name]
+		if r == nil {
+			r = &benchResult{Metrics: map[string]string{}}
+			results[name] = r
+		}
+		// fields: name, iterations, then (value, unit) pairs.
+		for i := 2; i+1 < len(fields); i += 2 {
+			value, unit := fields[i], fields[i+1]
+			if unit == "ns/op" {
+				ns, err := strconv.ParseFloat(value, 64)
+				if err != nil {
+					return nil, fmt.Errorf("bad ns/op %q for %s", value, name)
+				}
+				r.NsPerOp = append(r.NsPerOp, ns)
+				continue
+			}
+			if prev, ok := r.Metrics[unit]; ok && prev != value {
+				return nil, fmt.Errorf("%s metric %s not deterministic across runs: %s vs %s",
+					name, unit, prev, value)
+			}
+			r.Metrics[unit] = value
+		}
+	}
+	return results, sc.Err()
+}
+
+// compare reports every metric drift between goldens and observation.
+func compare(want, got map[string]map[string]string) error {
+	var drift []string
+	for _, name := range sortedKeys(want) {
+		gm, ok := got[name]
+		if !ok {
+			drift = append(drift, fmt.Sprintf("%s: missing from run", name))
+			continue
+		}
+		for _, unit := range sortedKeys(want[name]) {
+			w := want[name][unit]
+			g, ok := gm[unit]
+			if !ok {
+				drift = append(drift, fmt.Sprintf("%s/%s: metric missing", name, unit))
+			} else if g != w {
+				drift = append(drift, fmt.Sprintf("%s/%s: golden %s, got %s", name, unit, w, g))
+			}
+		}
+	}
+	for _, name := range sortedKeys(got) {
+		if _, ok := want[name]; !ok {
+			drift = append(drift, fmt.Sprintf("%s: not in goldens (run benchjson -update)", name))
+		}
+	}
+	if len(drift) > 0 {
+		return fmt.Errorf("figure metrics drifted from goldens:\n  %s", strings.Join(drift, "\n  "))
+	}
+	return nil
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
+}
