@@ -26,12 +26,16 @@ fmt-check:
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
 
-# Regenerate BENCH_sweep.json and fail if figure metrics drifted from
-# goldens/bench_metrics.json (run with UPDATE=1 to rewrite the goldens).
+# Regenerate BENCH_sweep.json and fail if figure or grid metrics
+# drifted from goldens/bench_metrics.json (run with UPDATE=1 to rewrite
+# the goldens). BenchmarkSweepCollapse's allocs/cell is reported but not
+# gated: allocator behavior may move with the toolchain.
 bench-golden:
-	$(GO) test -run '^$$' -bench BenchmarkFigure -benchtime 3x -count 3 . \
+	$(GO) test -run '^$$' -bench 'BenchmarkFigure|BenchmarkFullGrid20Reps|BenchmarkSweepCollapse' \
+			-benchtime 3x -count 3 . \
 		| $(GO) run ./internal/tools/benchjson \
-			-golden goldens/bench_metrics.json $(if $(UPDATE),-update) \
+			-golden goldens/bench_metrics.json -volatile BenchmarkSweepCollapse \
+			$(if $(UPDATE),-update) \
 			> BENCH_sweep.json
 
 sweep-check:
@@ -39,5 +43,29 @@ sweep-check:
 	/tmp/hadoopsim-ci -sweep twojob -parallel 1 -format csv -seed 1 > /tmp/sweep-p1.csv
 	/tmp/hadoopsim-ci -sweep twojob -parallel 8 -format csv -seed 1 > /tmp/sweep-p8.csv
 	cmp /tmp/sweep-p1.csv /tmp/sweep-p8.csv
+	for i in 0 1 2; do \
+		/tmp/hadoopsim-ci -sweep twojob -parallel 4 -seed 1 -shard $$i/3 > /tmp/sweep-shard-$$i.json; done
+	/tmp/hadoopsim-ci -merge -format csv \
+		/tmp/sweep-shard-2.json /tmp/sweep-shard-0.json /tmp/sweep-shard-1.json > /tmp/sweep-merged.csv
+	cmp /tmp/sweep-p1.csv /tmp/sweep-merged.csv
+
+# Nightly full-grid gate: regenerate every sweep at the paper's 20
+# repetitions via 3 shards, merge, and diff against the committed
+# aggregate goldens; figures likewise at -reps 20. Run with UPDATE=1 to
+# rewrite goldens/grid_*_reps20.csv and goldens/figures_reps20.json
+# after an intentional physics change.
+nightly-grid:
+	$(GO) build -o /tmp/hadoopsim-ci ./cmd/hadoopsim
+	for s in twojob pressure cluster; do \
+		for i in 0 1 2; do \
+			/tmp/hadoopsim-ci -sweep $$s -reps 20 -seed 1 -shard $$i/3 > /tmp/grid-$$s-$$i.json || exit 1; done; \
+		/tmp/hadoopsim-ci -merge -format csv /tmp/grid-$$s-0.json /tmp/grid-$$s-1.json /tmp/grid-$$s-2.json \
+			> /tmp/grid-$$s.csv || exit 1; \
+		$(if $(UPDATE),cp /tmp/grid-$$s.csv goldens/grid_$${s}_reps20.csv;,) \
+		cmp goldens/grid_$${s}_reps20.csv /tmp/grid-$$s.csv || exit 1; \
+	done
+	$(GO) run ./cmd/preemptbench -fig all -reps 20 -seed 1 -format json > /tmp/figures-reps20.json
+	$(if $(UPDATE),cp /tmp/figures-reps20.json goldens/figures_reps20.json,)
+	cmp goldens/figures_reps20.json /tmp/figures-reps20.json
 
 ci: build vet fmt-check test bench bench-golden sweep-check

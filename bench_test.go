@@ -13,6 +13,7 @@ package hadooppreempt_test
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 	"time"
 
@@ -20,6 +21,7 @@ import (
 	"hadooppreempt/internal/experiments"
 	"hadooppreempt/internal/mapreduce"
 	"hadooppreempt/internal/metrics"
+	"hadooppreempt/internal/sweep"
 )
 
 // benchSeed keeps benchmark runs reproducible.
@@ -302,6 +304,82 @@ func BenchmarkAblationAdvisor(b *testing.B) {
 		b.ReportMetric(r.Makespans["advisor"].Seconds(),
 			fmt.Sprintf("advisor_mk_s@r%.0f%%", r.R*100))
 	}
+}
+
+// BenchmarkFullGrid20Reps runs the paper's full two-job grid at its 20
+// repetitions (540 cells) through the streaming-collapse engine — the
+// grid-scale throughput the sharded sweep work targets. The headline
+// metrics are the r=50% sojourn means over all 20 repetitions, which
+// are deterministic and golden-gated.
+func BenchmarkFullGrid20Reps(b *testing.B) {
+	var col *hp.SweepCollapsed
+	for i := 0; i < b.N; i++ {
+		grid, cell := hp.TwoJobSweep(20)
+		var err error
+		col, err = hp.RunSweepCollapsed(grid, cell,
+			hp.SweepOptions{Parallel: runtime.GOMAXPROCS(0), Seed: benchSeed}, "rep")
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, g := range col.Groups {
+		if g.Labels["r"] == "50" {
+			b.ReportMetric(g.Metrics["sojourn_th_s"].Mean, g.Labels["prim"]+"_sojourn20_s")
+		}
+	}
+}
+
+// BenchmarkSweepCollapse contrasts per-cell allocations of the legacy
+// materialize-then-collapse path against the streaming-collapse path on
+// a synthetic grid, so harness overhead — not simulation cost — is what
+// is measured. The allocs/cell metrics land in BENCH_sweep.json but are
+// exempt from golden gating (allocator behavior may drift with the
+// toolchain).
+func BenchmarkSweepCollapse(b *testing.B) {
+	grid := func() sweep.Grid {
+		return sweep.NewGrid(
+			sweep.Strings("prim", "wait", "kill", "susp"),
+			sweep.Floats("r", 10, 50, 90),
+			sweep.Reps(100),
+		).Pair("prim")
+	}
+	cells := float64(grid().Size())
+	measure := func(b *testing.B, run func()) {
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
+		for i := 0; i < b.N; i++ {
+			run()
+		}
+		runtime.ReadMemStats(&after)
+		b.ReportMetric(float64(after.Mallocs-before.Mallocs)/float64(b.N)/cells, "allocs/cell")
+	}
+	b.Run("legacy", func(b *testing.B) {
+		measure(b, func() {
+			res, err := sweep.Run(grid(), func(pt sweep.Point) (sweep.Outcome, error) {
+				v := float64(pt.Seed >> 12)
+				return sweep.Outcome{Values: map[string]float64{
+					"sojourn_s": v, "makespan_s": 2 * v,
+				}}, nil
+			}, sweep.Options{Seed: benchSeed})
+			if err != nil {
+				b.Fatal(err)
+			}
+			res.Collapse(sweep.RepAxis)
+		})
+	})
+	b.Run("stream", func(b *testing.B) {
+		measure(b, func() {
+			_, err := sweep.RunCollapsed(grid(), func(pt sweep.Point, rec *sweep.Recorder) error {
+				v := float64(pt.Seed >> 12)
+				rec.Observe("sojourn_s", v)
+				rec.Observe("makespan_s", 2*v)
+				return nil
+			}, sweep.Options{Seed: benchSeed}, sweep.RepAxis)
+			if err != nil {
+				b.Fatal(err)
+			}
+		})
+	})
 }
 
 // reportAt attaches the three primitives' values at a given r as metrics.

@@ -8,6 +8,8 @@
 //	hadoopsim -config experiment.conf [-nodes N] [-slots S] [-seed X]
 //	hadoopsim -sweep twojob|pressure|cluster [-parallel W] [-reps N]
 //	          [-seed X] [-format table|csv|json]
+//	hadoopsim -sweep NAME -shard i/n [-reps N] [-seed X] > shard-i.json
+//	hadoopsim -merge [-format table|csv|json] shard-*.json
 //
 // Sweep grids (27 cells each, before repetitions):
 //
@@ -16,7 +18,11 @@
 //	cluster   scheduler x nodes x workload mix    (cluster scale-out)
 //
 // Cell seeds derive from grid coordinates, not execution order, so
-// -parallel 8 produces byte-identical output to -parallel 1.
+// -parallel 8 produces byte-identical output to -parallel 1. The same
+// property makes sharding pure partitioning: -shard i/n runs the i-th
+// of n seed-stable grid slices and emits a mergeable shard file on
+// stdout, and -merge combines the shard files of one sweep — in any
+// order — into output byte-identical to a single-process run.
 //
 // Example configuration (the paper's two-job experiment at r=50%):
 //
@@ -56,17 +62,30 @@ func main() {
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "sweep worker pool size")
 	reps := flag.Int("reps", 1, "sweep repetitions per cell")
 	format := flag.String("format", "table", "sweep output format: table, csv or json")
+	shard := flag.String("shard", "", "run only slice i/n of the sweep and emit a mergeable shard file on stdout")
+	merge := flag.Bool("merge", false, "merge the shard files given as arguments and render with -format")
 	flag.Parse()
 
 	var err error
-	if *sweepName != "" {
+	switch {
+	case *merge:
+		if conflicting := append(configOnlyFlagsSet(), sweepOnlyFlagsSet()...); len(conflicting) > 0 {
+			err = fmt.Errorf("-merge cannot be combined with %s", strings.Join(conflicting, ", "))
+		} else {
+			err = runMerge(flag.Args(), *format)
+		}
+	case *sweepName != "":
 		if conflicting := configOnlyFlagsSet(); len(conflicting) > 0 {
 			err = fmt.Errorf("-sweep cannot be combined with %s (config-mode flags)",
 				strings.Join(conflicting, ", "))
+		} else if *shard != "" && flagSet("format") {
+			// A shard run always emits the shard-file form; merge
+			// applies -format.
+			err = fmt.Errorf("-shard emits a shard file, not -format output (render it via -merge)")
 		} else {
-			err = runSweep(*sweepName, *parallel, *reps, *seed, *format)
+			err = runSweep(*sweepName, *parallel, *reps, *seed, *format, *shard)
 		}
-	} else {
+	default:
 		err = run(*path, *nodes, *slots, *seed, *deadline, *width)
 	}
 	if err != nil {
@@ -89,9 +108,33 @@ func configOnlyFlagsSet() []string {
 	return out
 }
 
-func runSweep(name string, parallel, reps int, seed uint64, format string) error {
+// flagSet reports whether the named flag was explicitly set.
+func flagSet(name string) bool {
+	set := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == name {
+			set = true
+		}
+	})
+	return set
+}
+
+// sweepOnlyFlagsSet lists explicitly set flags that only apply to
+// -sweep mode, so -merge rejects them.
+func sweepOnlyFlagsSet() []string {
+	var out []string
+	flag.Visit(func(f *flag.Flag) {
+		switch f.Name {
+		case "sweep", "parallel", "reps", "seed", "shard":
+			out = append(out, "-"+f.Name)
+		}
+	})
+	return out
+}
+
+func runSweep(name string, parallel, reps int, seed uint64, format, shardSpec string) error {
 	var grid hp.SweepGrid
-	var runCell hp.SweepRunFunc
+	var runCell hp.SweepCellFunc
 	switch name {
 	case "twojob":
 		grid, runCell = hp.TwoJobSweep(reps)
@@ -102,20 +145,46 @@ func runSweep(name string, parallel, reps int, seed uint64, format string) error
 	default:
 		return fmt.Errorf("unknown sweep %q (want twojob, pressure or cluster)", name)
 	}
-	res, err := hp.RunSweep(grid, runCell, hp.SweepOptions{Parallel: parallel, Seed: seed})
+	opts := hp.SweepOptions{Parallel: parallel, Seed: seed}
+	if shardSpec != "" {
+		var err error
+		if opts.Shard, err = hp.ParseSweepShard(shardSpec); err != nil {
+			return err
+		}
+	}
+	col, err := hp.RunSweepCollapsed(grid, runCell, opts, "rep")
 	if err != nil {
 		return err
 	}
-	switch format {
-	case "table":
-		return hp.WriteSweepTable(os.Stdout, res)
-	case "csv":
-		return hp.WriteSweepCSV(os.Stdout, res)
-	case "json":
-		return hp.WriteSweepJSON(os.Stdout, res)
-	default:
-		return fmt.Errorf("unknown format %q (want table, csv or json)", format)
+	if shardSpec != "" {
+		return col.WriteShard(os.Stdout)
 	}
+	return col.Write(os.Stdout, format)
+}
+
+// runMerge combines the shard files of one sweep into the full result
+// and renders it; any shard order yields byte-identical output.
+func runMerge(files []string, format string) error {
+	if len(files) == 0 {
+		return fmt.Errorf("-merge needs shard files as arguments")
+	}
+	shards := make([]*hp.SweepCollapsed, len(files))
+	for i, path := range files {
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		shards[i], err = hp.ReadSweepShard(f)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+	}
+	col, err := hp.MergeSweepShards(shards...)
+	if err != nil {
+		return err
+	}
+	return col.Write(os.Stdout, format)
 }
 
 func run(path string, nodes, slots int, seed uint64, deadline time.Duration, width int) error {

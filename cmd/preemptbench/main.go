@@ -7,13 +7,16 @@
 //	             [-parallel W] [-format text|json]
 //	             [-cpuprofile file] [-memprofile file]
 //
-// Figures execute through the parallel sweep harness: -parallel fans the
-// scenario grid out across W workers, and because every cell's seed is
-// derived from its grid coordinates the output is identical at any
-// parallelism level. Absolute seconds depend on the simulated hardware
-// parameters; the shapes (who wins, by how much, where crossovers fall)
-// are the reproduction target. See EXPERIMENTS.md for paper-vs-measured
-// notes.
+// Figures execute through the parallel sweep harness on its streaming-
+// collapse path: -parallel fans the scenario grid out across W workers,
+// outcomes fold into per-point aggregates as cells complete, and
+// because every cell's seed is derived from its grid coordinates the
+// output is identical at any parallelism level. The nightly CI job
+// regenerates every figure at the paper's -reps 20 and diffs the JSON
+// against goldens/figures_reps20.json. Absolute seconds depend on the
+// simulated hardware parameters; the shapes (who wins, by how much,
+// where crossovers fall) are the reproduction target. See
+// EXPERIMENTS.md for paper-vs-measured notes.
 package main
 
 import (

@@ -76,39 +76,64 @@ func TwoJobGrid(reps int) sweep.Grid {
 	).Pair("prim")
 }
 
-// TwoJobCell runs one two-job scenario cell — the point must carry the
-// "prim" and "r" axes of TwoJobGrid — and reports the standard outcome
-// values ("paged_mb" is tl's swap-out volume, Figure 4's y-axis; the
-// swap totals cover both jobs).
-func TwoJobCell(pt sweep.Point, tlMem, thMem int64) (sweep.Outcome, error) {
+// twoJobParams builds the run parameters for one two-job cell — the
+// point must carry the "prim" and "r" axes of TwoJobGrid.
+func twoJobParams(pt sweep.Point, tlMem, thMem int64) TwoJobParams {
 	p := DefaultTwoJobParams()
 	p.Primitive = pt.Value("prim").(core.Primitive)
 	p.PreemptAt = pt.Float("r") / 100
 	p.TLExtraMemory = tlMem
 	p.THExtraMemory = thMem
 	p.Seed = pt.Seed
-	out, err := RunTwoJob(p)
+	return p
+}
+
+// recordTwoJob reports the standard two-job outcome values ("paged_mb"
+// is tl's swap-out volume, Figure 4's y-axis; the swap totals cover
+// both jobs).
+func recordTwoJob(rec *sweep.Recorder, out *TwoJobResult) {
+	rec.Observe("sojourn_th_s", out.SojournTH.Seconds())
+	rec.Observe("makespan_s", out.Makespan.Seconds())
+	rec.Observe("paged_mb", float64(out.SwapOutTL)/float64(1<<20))
+	rec.Observe("swap_out_mb", float64(out.SwapOutTL+out.SwapOutTH)/float64(1<<20))
+	rec.Observe("swap_in_mb", float64(out.SwapInTL+out.SwapInTH)/float64(1<<20))
+	rec.Observe("tl_suspensions", float64(out.TLSuspensions))
+	rec.Observe("tl_attempts", float64(out.TLAttempts))
+	rec.Observe("wasted_cpu_s", out.WastedWork.Seconds())
+}
+
+// TwoJobCellInto runs one two-job scenario cell on the streaming path,
+// recording the standard outcome values without per-cell maps.
+func TwoJobCellInto(pt sweep.Point, tlMem, thMem int64, rec *sweep.Recorder) error {
+	out, err := RunTwoJob(twoJobParams(pt, tlMem, thMem))
+	if err != nil {
+		return err
+	}
+	recordTwoJob(rec, out)
+	return nil
+}
+
+// TwoJobCell is the materializing form of TwoJobCellInto, for harness
+// paths that retain per-cell outcomes; Extra carries the raw result.
+func TwoJobCell(pt sweep.Point, tlMem, thMem int64) (sweep.Outcome, error) {
+	out, err := RunTwoJob(twoJobParams(pt, tlMem, thMem))
 	if err != nil {
 		return sweep.Outcome{}, err
 	}
-	return sweep.Outcome{Values: map[string]float64{
-		"sojourn_th_s":   out.SojournTH.Seconds(),
-		"makespan_s":     out.Makespan.Seconds(),
-		"paged_mb":       float64(out.SwapOutTL) / float64(1<<20),
-		"swap_out_mb":    float64(out.SwapOutTL+out.SwapOutTH) / float64(1<<20),
-		"swap_in_mb":     float64(out.SwapInTL+out.SwapInTH) / float64(1<<20),
-		"tl_suspensions": float64(out.TLSuspensions),
-		"tl_attempts":    float64(out.TLAttempts),
-		"wasted_cpu_s":   out.WastedWork.Seconds(),
-	}, Extra: out}, nil
+	var rec sweep.Recorder
+	recordTwoJob(&rec, out)
+	o := rec.Outcome()
+	o.Extra = out
+	return o, nil
 }
 
 // runComparison sweeps r for every primitive with the given memory
-// configuration — the shared engine behind Figures 2 and 3.
+// configuration — the shared engine behind Figures 2 and 3. It streams
+// cell outcomes straight into per-(prim, r) aggregates.
 func runComparison(tlMem, thMem int64, cfg Config) (*ComparisonResult, error) {
-	res, err := sweep.Run(TwoJobGrid(cfg.reps()), func(pt sweep.Point) (sweep.Outcome, error) {
-		return TwoJobCell(pt, tlMem, thMem)
-	}, cfg.options())
+	col, err := sweep.RunCollapsed(TwoJobGrid(cfg.reps()), func(pt sweep.Point, rec *sweep.Recorder) error {
+		return TwoJobCellInto(pt, tlMem, thMem, rec)
+	}, cfg.options(), sweep.RepAxis)
 	if err != nil {
 		return nil, err
 	}
@@ -116,17 +141,17 @@ func runComparison(tlMem, thMem int64, cfg Config) (*ComparisonResult, error) {
 		Sojourn:  make(map[string]*metrics.Series),
 		Makespan: make(map[string]*metrics.Series),
 	}
-	for _, agg := range res.Collapse(sweep.RepAxis) {
-		prim := agg.Labels["prim"]
+	for _, g := range col.Groups {
+		prim := g.Labels["prim"]
 		sj, ok := out.Sojourn[prim]
 		if !ok {
 			sj = &metrics.Series{Label: prim, XLabel: "tl progress at launch of th (%)", YLabel: "sojourn time th (s)"}
 			out.Sojourn[prim] = sj
 			out.Makespan[prim] = &metrics.Series{Label: prim, XLabel: "tl progress at launch of th (%)", YLabel: "makespan (s)"}
 		}
-		r := agg.First.Point.Float("r")
-		sj.Add(r, agg.Metrics["sojourn_th_s"].Mean)
-		out.Makespan[prim].Add(r, agg.Metrics["makespan_s"].Mean)
+		r := g.First.Float("r")
+		sj.Add(r, g.Metrics["sojourn_th_s"].Mean)
+		out.Makespan[prim].Add(r, g.Metrics["makespan_s"].Mean)
 	}
 	return out, nil
 }
@@ -192,7 +217,7 @@ func Figure4(cfg Config) (*Figure4Result, error) {
 		sweep.Stringers("prim", core.Primitives()...),
 		sweep.Reps(cfg.reps()),
 	).Pair("prim")
-	res, err := sweep.Run(g, func(pt sweep.Point) (sweep.Outcome, error) {
+	col, err := sweep.RunCollapsed(g, func(pt sweep.Point, rec *sweep.Recorder) error {
 		p := DefaultTwoJobParams()
 		p.Primitive = pt.Value("prim").(core.Primitive)
 		p.PreemptAt = 0.5
@@ -201,21 +226,20 @@ func Figure4(cfg Config) (*Figure4Result, error) {
 		p.Seed = pt.Seed
 		out, err := RunTwoJob(p)
 		if err != nil {
-			return sweep.Outcome{}, err
+			return err
 		}
-		return sweep.Outcome{Values: map[string]float64{
-			"sojourn_th_s": out.SojournTH.Seconds(),
-			"makespan_s":   out.Makespan.Seconds(),
-			"paged_mb":     float64(out.SwapOutTL) / float64(1<<20),
-		}}, nil
-	}, cfg.options())
+		rec.Observe("sojourn_th_s", out.SojournTH.Seconds())
+		rec.Observe("makespan_s", out.Makespan.Seconds())
+		rec.Observe("paged_mb", float64(out.SwapOutTL)/float64(1<<20))
+		return nil
+	}, cfg.options(), sweep.RepAxis)
 	if err != nil {
 		return nil, err
 	}
 	byCell := make(map[string]map[string]metrics.Summary)
-	for _, agg := range res.Collapse(sweep.RepAxis) {
-		key := agg.Labels["th_mem_mb"] + "/" + agg.Labels["prim"]
-		byCell[key] = agg.Metrics
+	for _, g := range col.Groups {
+		key := g.Labels["th_mem_mb"] + "/" + g.Labels["prim"]
+		byCell[key] = g.Metrics
 	}
 	out := &Figure4Result{}
 	for i, thMem := range thMems {
@@ -288,25 +312,24 @@ type NatjamResult struct {
 func NatjamAblation(cfg Config) (*NatjamResult, error) {
 	prims := []core.Primitive{core.Wait, core.Suspend, core.Checkpoint}
 	g := sweep.NewGrid(sweep.Stringers("prim", prims...), sweep.Reps(cfg.reps())).Pair("prim")
-	res, err := sweep.Run(g, func(pt sweep.Point) (sweep.Outcome, error) {
+	col, err := sweep.RunCollapsed(g, func(pt sweep.Point, rec *sweep.Recorder) error {
 		p := DefaultTwoJobParams()
 		p.Primitive = pt.Value("prim").(core.Primitive)
 		p.PreemptAt = 0.5
 		p.Seed = pt.Seed
 		out, err := RunTwoJob(p)
 		if err != nil {
-			return sweep.Outcome{}, err
+			return err
 		}
-		return sweep.Outcome{Values: map[string]float64{
-			"makespan_s": out.Makespan.Seconds(),
-		}}, nil
-	}, cfg.options())
+		rec.Observe("makespan_s", out.Makespan.Seconds())
+		return nil
+	}, cfg.options(), sweep.RepAxis)
 	if err != nil {
 		return nil, err
 	}
 	mean := make(map[string]time.Duration)
-	for _, agg := range res.Collapse(sweep.RepAxis) {
-		mean[agg.Labels["prim"]] = time.Duration(agg.Metrics["makespan_s"].Mean * float64(time.Second))
+	for _, g := range col.Groups {
+		mean[g.Labels["prim"]] = time.Duration(g.Metrics["makespan_s"].Mean * float64(time.Second))
 	}
 	out := &NatjamResult{
 		MakespanWait:       mean[core.Wait.String()],

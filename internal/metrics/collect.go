@@ -39,6 +39,21 @@ func (c *Collector) ObserveAll(values map[string]float64) {
 	}
 }
 
+// Merge folds every sample recorded in other into c. Names other
+// introduces keep their first-seen order after c's own. The merge is
+// exact: because Summarize orders the sample multiset before computing
+// anything, collectors built from disjoint subsets of a sample set
+// combine — in any order — into the same summaries as one collector
+// observing every sample directly.
+func (c *Collector) Merge(other *Collector) {
+	for _, n := range other.names {
+		if _, ok := c.samples[n]; !ok {
+			c.names = append(c.names, n)
+		}
+		c.samples[n] = append(c.samples[n], other.samples[n]...)
+	}
+}
+
 // Names returns the observed metric names in first-seen order.
 func (c *Collector) Names() []string {
 	return append([]string(nil), c.names...)

@@ -1,0 +1,68 @@
+package metrics
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestCollectorObserveAndNames(t *testing.T) {
+	c := NewCollector()
+	c.Observe("b", 1)
+	c.Observe("a", 2)
+	c.Observe("b", 3)
+	if got := c.Names(); !reflect.DeepEqual(got, []string{"b", "a"}) {
+		t.Fatalf("names = %v, want first-seen order [b a]", got)
+	}
+	if c.Count("b") != 2 || c.Count("a") != 1 {
+		t.Fatalf("counts = %d, %d", c.Count("b"), c.Count("a"))
+	}
+	if s := c.Summary("b"); s.Mean != 2 {
+		t.Fatalf("b mean = %v, want 2", s.Mean)
+	}
+}
+
+// TestCollectorMergeExact is the merge contract: collectors fed
+// disjoint subsets of a sample set combine — in any order — into the
+// same summaries as one collector observing everything, including
+// order statistics and on offset-heavy samples.
+func TestCollectorMergeExact(t *testing.T) {
+	samples := []float64{1e9 + 3, 1e9 - 2, 1e9 + 7, 1e9, 1e9 - 5, 1e9 + 1, 1e9 - 9}
+	single := NewCollector()
+	for _, v := range samples {
+		single.Observe("x", v)
+		single.Observe("y", -v)
+	}
+	split := func(order []int) *Collector {
+		parts := make([]*Collector, 3)
+		for i := range parts {
+			parts[i] = NewCollector()
+		}
+		for i, v := range samples {
+			parts[i%3].Observe("x", v)
+			parts[i%3].Observe("y", -v)
+		}
+		merged := NewCollector()
+		for _, i := range order {
+			merged.Merge(parts[i])
+		}
+		return merged
+	}
+	for _, order := range [][]int{{0, 1, 2}, {2, 0, 1}, {1, 2, 0}} {
+		merged := split(order)
+		if !reflect.DeepEqual(merged.Summaries(), single.Summaries()) {
+			t.Fatalf("merge order %v: summaries differ\nmerged: %+v\nsingle: %+v",
+				order, merged.Summaries(), single.Summaries())
+		}
+	}
+}
+
+func TestCollectorMergeNewNamesKeepOrder(t *testing.T) {
+	a, b := NewCollector(), NewCollector()
+	a.Observe("m", 1)
+	b.Observe("n", 2)
+	b.Observe("o", 3)
+	a.Merge(b)
+	if got := a.Names(); !reflect.DeepEqual(got, []string{"m", "n", "o"}) {
+		t.Fatalf("names after merge = %v", got)
+	}
+}

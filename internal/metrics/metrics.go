@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"strings"
 	"time"
 )
 
@@ -28,14 +29,23 @@ func Summarize(samples []float64) Summary {
 	}
 	sorted := append([]float64(nil), samples...)
 	sort.Float64s(sorted)
-	var sum, sumSq float64
+	var sum float64
 	for _, v := range sorted {
 		sum += v
-		sumSq += v * v
 	}
 	n := float64(len(sorted))
 	mean := sum / n
-	variance := sumSq/n - mean*mean
+	// Two-pass variance: accumulating deviations from the mean avoids
+	// the catastrophic cancellation of sumSq/n - mean² when samples sit
+	// on a large offset. Summing in sorted order keeps the result
+	// independent of sample arrival order, so aggregates merged from
+	// shards reproduce the single-pass value bit for bit.
+	var sumSq float64
+	for _, v := range sorted {
+		d := v - mean
+		sumSq += d * d
+	}
+	variance := sumSq / n
 	if variance < 0 {
 		variance = 0
 	}
@@ -168,11 +178,12 @@ func (s *Series) Add(x, y float64) {
 
 // String formats the series as aligned rows.
 func (s *Series) String() string {
-	out := fmt.Sprintf("# %s (%s vs %s)\n", s.Label, s.YLabel, s.XLabel)
+	var b strings.Builder
+	fmt.Fprintf(&b, "# %s (%s vs %s)\n", s.Label, s.YLabel, s.XLabel)
 	for i := range s.X {
-		out += fmt.Sprintf("%10.2f %12.3f\n", s.X[i], s.Y[i])
+		fmt.Fprintf(&b, "%10.2f %12.3f\n", s.X[i], s.Y[i])
 	}
-	return out
+	return b.String()
 }
 
 // YAt returns the y value for the given x, if present.

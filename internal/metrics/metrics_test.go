@@ -39,6 +39,26 @@ func TestSummarizeSingle(t *testing.T) {
 	}
 }
 
+// TestSummarizeOffsetStability is the regression test for the
+// catastrophic cancellation of the old sumSq/n - mean² variance: on a
+// large offset, that formula subtracted two ~1e18 quantities and could
+// return 0 (or noise) for a sample set with real spread. The two-pass
+// form keeps full precision.
+func TestSummarizeOffsetStability(t *testing.T) {
+	const offset = 1e9
+	s := Summarize([]float64{offset - 1, offset, offset + 1})
+	want := math.Sqrt(2.0 / 3.0)
+	if math.Abs(s.Std-want) > 1e-9 {
+		t.Fatalf("Std at offset %g = %v, want %v", offset, s.Std, want)
+	}
+	// Near-identical large samples: std must be ~0, not the sqrt of a
+	// cancellation residue (the old formula returned ~1e-6 here).
+	s = Summarize([]float64{4.503599627370496e6, 4.503599627370496e6, 4.503599627370496e6})
+	if s.Std != 0 {
+		t.Fatalf("Std of identical samples = %v, want exactly 0", s.Std)
+	}
+}
+
 func TestPercentileInterpolation(t *testing.T) {
 	s := Summarize([]float64{0, 10})
 	if s.P50 != 5 {

@@ -114,15 +114,54 @@ func (r *RNG) Fork() *RNG {
 // so a sweep can hand every scenario cell its own reproducible stream no
 // matter which worker reaches the cell first.
 func (r *RNG) Stream(label string) *RNG {
-	// FNV-1a over the label, then the splitmix64 finalizer to mix the
-	// hash with the parent state; nearby labels land far apart.
-	h := uint64(14695981039346656037)
-	for i := 0; i < len(label); i++ {
-		h ^= uint64(label[i])
+	h := NewStreamHash()
+	h.AddString(label)
+	return NewRNG(r.streamState(h))
+}
+
+// StreamHash accumulates a stream label incrementally, so callers that
+// assemble labels from parts (a sweep cell's coordinates, say) can
+// derive substream seeds without building the label string. Hashing the
+// same bytes in any chunking yields the same substream as Stream.
+type StreamHash struct {
+	// FNV-1a running hash; the splitmix64 finalizer in streamState mixes
+	// it with the parent state so nearby labels land far apart.
+	h uint64
+}
+
+// NewStreamHash returns the hash of the empty label.
+func NewStreamHash() StreamHash {
+	return StreamHash{h: 14695981039346656037}
+}
+
+// AddString folds s into the label hash.
+func (s *StreamHash) AddString(str string) {
+	h := s.h
+	for i := 0; i < len(str); i++ {
+		h ^= uint64(str[i])
 		h *= 1099511628211
 	}
-	z := r.state ^ (h + 0x9e3779b97f4a7c15)
+	s.h = h
+}
+
+// AddByte folds one byte into the label hash.
+func (s *StreamHash) AddByte(b byte) {
+	s.h = (s.h ^ uint64(b)) * 1099511628211
+}
+
+// streamState mixes a finished label hash with the generator's state
+// into the substream's initial state.
+func (r *RNG) streamState(h StreamHash) uint64 {
+	z := r.state ^ (h.h + 0x9e3779b97f4a7c15)
 	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
 	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
-	return NewRNG(z ^ (z >> 31))
+	return z ^ (z >> 31)
+}
+
+// SeedFor returns the first value of the substream named by the hashed
+// label — identical to Stream(label).Uint64() — without allocating a
+// generator.
+func (r *RNG) SeedFor(h StreamHash) uint64 {
+	s := RNG{state: r.streamState(h)}
+	return s.Uint64()
 }

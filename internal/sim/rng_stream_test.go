@@ -1,0 +1,36 @@
+package sim
+
+import "testing"
+
+// TestSeedForMatchesStream pins the incremental hashing path to the
+// string path: chunked StreamHash writes must derive the exact seed
+// Stream(label).Uint64() yields, since sweep cell seeds (and therefore
+// every committed golden) depend on it.
+func TestSeedForMatchesStream(t *testing.T) {
+	r := NewRNG(42)
+	labels := []string{"", "prim=wait r=10", "prim=susp r=90 rep=19", "a=b"}
+	for _, label := range labels {
+		want := r.Stream(label).Uint64()
+		h := NewStreamHash()
+		h.AddString(label)
+		if got := r.SeedFor(h); got != want {
+			t.Fatalf("SeedFor(%q) = %d, want %d", label, got, want)
+		}
+	}
+	// Chunked writes hash the same bytes.
+	h := NewStreamHash()
+	h.AddString("prim=wait")
+	h.AddByte(' ')
+	h.AddString("r=10")
+	if got, want := r.SeedFor(h), r.Stream("prim=wait r=10").Uint64(); got != want {
+		t.Fatalf("chunked SeedFor = %d, want %d", got, want)
+	}
+	// Deriving a seed must not advance the parent stream.
+	before := *r
+	h2 := NewStreamHash()
+	h2.AddString("x")
+	r.SeedFor(h2)
+	if *r != before {
+		t.Fatal("SeedFor advanced the parent generator")
+	}
+}

@@ -1,0 +1,173 @@
+package sweep
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// synthCell is the streaming twin of synthRun: identical measurements,
+// recorded without per-cell maps.
+func synthCell(pt Point, rec *Recorder) error {
+	rng := pt.RNG()
+	base := pt.Float("r") + 100*float64(len(pt.Label("prim")))
+	// Note the insertion order differs from synthRun's sorted map
+	// replay on purpose: summaries must not depend on it.
+	rec.Observe("sojourn_s", base+rng.Float64())
+	rec.Observe("makespan_s", 2*base+rng.Float64())
+	return nil
+}
+
+// encodeAll renders a collapsed result in every format.
+func encodeAll(t *testing.T, c *Collapsed) string {
+	t.Helper()
+	var out bytes.Buffer
+	for _, format := range []string{"csv", "json", "table"} {
+		if err := c.Write(&out, format); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return out.String()
+}
+
+// TestStreamingMatchesMaterializedPath is the refactor's core
+// guarantee: the streaming-collapse path produces byte-identical output
+// to Run + Collapse through every encoder.
+func TestStreamingMatchesMaterializedPath(t *testing.T) {
+	g := testGrid(3)
+	res, err := Run(g, synthRun, Options{Parallel: 4, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	legacy := encodeAll(t, res.Collapsed(RepAxis))
+	for _, parallel := range []int{1, 4} {
+		col, err := RunCollapsed(testGrid(3), synthCell, Options{Parallel: parallel, Seed: 7}, RepAxis)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := encodeAll(t, col); got != legacy {
+			t.Fatalf("streaming output (parallel=%d) differs from materialized path", parallel)
+		}
+	}
+}
+
+// TestOutcomeCellAdapter checks the RunFunc adapter feeds the streaming
+// path the same data as the native recorder.
+func TestOutcomeCellAdapter(t *testing.T) {
+	direct, err := RunCollapsed(testGrid(2), synthCell, Options{Seed: 3}, RepAxis)
+	if err != nil {
+		t.Fatal(err)
+	}
+	adapted, err := RunCollapsed(testGrid(2), OutcomeCell(synthRun), Options{Seed: 3}, RepAxis)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if encodeAll(t, direct) != encodeAll(t, adapted) {
+		t.Fatal("OutcomeCell adapter output differs from native recorder")
+	}
+}
+
+// TestRunCollapsedGroups checks group structure: grid order, labels,
+// counts, first-cell extras and typed access through First.
+func TestRunCollapsedGroups(t *testing.T) {
+	g := NewGrid(Strings("variant", "a", "b"), Reps(4))
+	cell := func(pt Point, rec *Recorder) error {
+		v := float64(pt.Int(RepAxis))
+		if pt.Label("variant") == "b" {
+			v *= 2
+		}
+		rec.Observe("x", v)
+		rec.Label("tag", "first-of-"+pt.Label("variant"))
+		return nil
+	}
+	col, err := RunCollapsed(g, cell, Options{Parallel: 2, Seed: 1}, RepAxis)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(col.Groups) != 2 {
+		t.Fatalf("groups = %d, want 2", len(col.Groups))
+	}
+	a, b := col.Groups[0], col.Groups[1]
+	if a.Key != "variant=a" || b.Key != "variant=b" {
+		t.Fatalf("group keys = %q, %q", a.Key, b.Key)
+	}
+	if a.Count != 4 || b.Count != 4 {
+		t.Fatalf("counts = %d, %d, want 4, 4", a.Count, b.Count)
+	}
+	if got := a.Metrics["x"]; got.Mean != 1.5 || got.Min != 0 || got.Max != 3 {
+		t.Fatalf("variant a summary = %+v", got)
+	}
+	if got := b.Metrics["x"].Mean; got != 3.0 {
+		t.Fatalf("variant b mean = %v, want 3", got)
+	}
+	if a.Extra["tag"] != "first-of-a" || b.Extra["tag"] != "first-of-b" {
+		t.Fatalf("extras = %v, %v", a.Extra, b.Extra)
+	}
+	if a.First.Label("variant") != "a" || b.First.Label("variant") != "b" {
+		t.Fatal("First point does not carry the group's coordinates")
+	}
+}
+
+// TestRunCollapsedErrorNamesFirstFailingCell mirrors the Run error
+// contract on the streaming path.
+func TestRunCollapsedErrorNamesFirstFailingCell(t *testing.T) {
+	cell := func(pt Point, rec *Recorder) error {
+		if pt.Label("prim") == "kill" {
+			return fmt.Errorf("boom at r=%v", pt.Float("r"))
+		}
+		return nil
+	}
+	_, err := RunCollapsed(testGrid(1), cell, Options{Parallel: 4, Seed: 1}, RepAxis)
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if !strings.Contains(err.Error(), `cell "prim=kill r=10 rep=0"`) {
+		t.Fatalf("error %q does not name the first failing cell", err)
+	}
+}
+
+// allocRun / allocCell derive measurements from the seed bits alone, so
+// the allocation comparison measures pure harness overhead rather than
+// scenario cost.
+func allocRun(pt Point) (Outcome, error) {
+	v := float64(pt.Seed >> 12)
+	return Outcome{Values: map[string]float64{
+		"sojourn_s":  v,
+		"makespan_s": 2 * v,
+	}}, nil
+}
+
+func allocCell(pt Point, rec *Recorder) error {
+	v := float64(pt.Seed >> 12)
+	rec.Observe("sojourn_s", v)
+	rec.Observe("makespan_s", 2*v)
+	return nil
+}
+
+// TestStreamingCollapseAllocRatio is the perf acceptance criterion:
+// the streaming path must allocate at least 3x less per cell than the
+// materialize-then-collapse path on a synthetic grid (where harness
+// overhead, not simulation, dominates).
+func TestStreamingCollapseAllocRatio(t *testing.T) {
+	g := func() Grid { return testGrid(100) }
+	cells := float64(g().Size())
+	legacy := testing.AllocsPerRun(10, func() {
+		res, err := Run(g(), allocRun, Options{Seed: 1})
+		if err != nil {
+			panic(err)
+		}
+		res.Collapse(RepAxis)
+	})
+	stream := testing.AllocsPerRun(10, func() {
+		if _, err := RunCollapsed(g(), allocCell, Options{Seed: 1}, RepAxis); err != nil {
+			panic(err)
+		}
+	})
+	t.Logf("allocs/cell: legacy %.2f, streaming %.2f (%.1fx)",
+		legacy/cells, stream/cells, legacy/stream)
+	if stream*3 > legacy {
+		t.Fatalf("streaming path allocates %.0f (%.2f/cell), want <= 1/3 of legacy %.0f (%.2f/cell)",
+			stream, stream/cells, legacy, legacy/cells)
+	}
+}

@@ -5,7 +5,6 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
-	"sort"
 	"strconv"
 	"strings"
 
@@ -14,66 +13,32 @@ import (
 
 // Encoders render a collapsed result deterministically: rows follow grid
 // order, metric names are sorted, and floats use a fixed format, so runs
-// at different -parallel levels produce byte-identical output.
-
-// sortedMetricNames returns the union of metric names across aggregates,
-// sorted.
-func sortedMetricNames(aggs []*Aggregate) []string {
-	seen := make(map[string]bool)
-	var names []string
-	for _, a := range aggs {
-		for n := range a.Metrics {
-			if !seen[n] {
-				seen[n] = true
-				names = append(names, n)
-			}
-		}
-	}
-	sort.Strings(names)
-	return names
-}
-
-// groupAxes returns the axis names that survive collapsing, in grid
-// order.
-func groupAxes(g Grid, collapse []string) []string {
-	drop := make(map[string]bool, len(collapse))
-	for _, a := range collapse {
-		drop[a] = true
-	}
-	var names []string
-	for _, a := range g.Axes {
-		if !drop[a.Name] {
-			names = append(names, a.Name)
-		}
-	}
-	return names
-}
+// at different -parallel levels — and merges of shard files in any order
+// — produce byte-identical output.
 
 func formatStat(v float64) string {
 	return strconv.FormatFloat(v, 'g', 9, 64)
 }
 
-// WriteCSV writes the result collapsed over the given axes as long-form
-// CSV: one row per (cell group, metric) with summary-statistic columns.
-func WriteCSV(w io.Writer, r *Result, collapse ...string) error {
-	axes := groupAxes(r.Grid, collapse)
-	aggs := r.Collapse(collapse...)
-	names := sortedMetricNames(aggs)
+// WriteCSV writes the result as long-form CSV: one row per (cell group,
+// metric) with summary-statistic columns.
+func (c *Collapsed) WriteCSV(w io.Writer) error {
+	names := c.MetricNames()
 	cw := csv.NewWriter(w)
-	header := append(append([]string{}, axes...),
+	header := append(append([]string{}, c.GroupAxes...),
 		"metric", "count", "mean", "std", "min", "p50", "p95", "max")
 	if err := cw.Write(header); err != nil {
 		return err
 	}
-	for _, agg := range aggs {
+	for _, g := range c.Groups {
 		for _, name := range names {
-			s, ok := agg.Metrics[name]
+			s, ok := g.Metrics[name]
 			if !ok {
 				continue
 			}
 			row := make([]string, 0, len(header))
-			for _, a := range axes {
-				row = append(row, agg.Labels[a])
+			for _, a := range c.GroupAxes {
+				row = append(row, g.Labels[a])
 			}
 			row = append(row, name, strconv.Itoa(s.Count),
 				formatStat(s.Mean), formatStat(s.Std), formatStat(s.Min),
@@ -87,8 +52,7 @@ func WriteCSV(w io.Writer, r *Result, collapse ...string) error {
 	return cw.Error()
 }
 
-// jsonAggregate is the serialized form of an Aggregate (without the raw
-// First payload, which need not be serializable).
+// jsonAggregate is the serialized form of one cell group.
 type jsonAggregate struct {
 	Key     string                     `json:"key"`
 	Labels  map[string]string          `json:"labels"`
@@ -97,22 +61,21 @@ type jsonAggregate struct {
 	Extra   map[string]string          `json:"extra,omitempty"`
 }
 
-// WriteJSON writes the collapsed result as an indented JSON document.
-func WriteJSON(w io.Writer, r *Result, collapse ...string) error {
-	aggs := r.Collapse(collapse...)
+// WriteJSON writes the result as an indented JSON document.
+func (c *Collapsed) WriteJSON(w io.Writer) error {
 	out := struct {
 		Seed  uint64          `json:"seed"`
 		Cells []jsonAggregate `json:"cells"`
-	}{Seed: r.Seed}
-	for _, agg := range aggs {
+	}{Seed: c.Seed}
+	for _, g := range c.Groups {
 		ja := jsonAggregate{
-			Key:     agg.Key,
-			Labels:  agg.Labels,
-			Count:   agg.Count,
-			Metrics: agg.Metrics,
+			Key:     g.Key,
+			Labels:  g.Labels,
+			Count:   g.Count,
+			Metrics: g.Metrics,
 		}
-		if len(agg.First.Outcome.Labels) > 0 {
-			ja.Extra = agg.First.Outcome.Labels
+		if len(g.Extra) > 0 {
+			ja.Extra = g.Extra
 		}
 		out.Cells = append(out.Cells, ja)
 	}
@@ -121,14 +84,12 @@ func WriteJSON(w io.Writer, r *Result, collapse ...string) error {
 	return enc.Encode(out)
 }
 
-// WriteTable writes the collapsed result as an aligned text table with
-// one row per cell group and one mean column per metric.
-func WriteTable(w io.Writer, r *Result, collapse ...string) error {
-	axes := groupAxes(r.Grid, collapse)
-	aggs := r.Collapse(collapse...)
-	names := sortedMetricNames(aggs)
+// WriteTable writes the result as an aligned text table with one row
+// per cell group and one mean column per metric.
+func (c *Collapsed) WriteTable(w io.Writer) error {
+	names := c.MetricNames()
 	var b strings.Builder
-	for _, a := range axes {
+	for _, a := range c.GroupAxes {
 		fmt.Fprintf(&b, "%-12s", a)
 	}
 	fmt.Fprintf(&b, "%6s", "runs")
@@ -136,13 +97,13 @@ func WriteTable(w io.Writer, r *Result, collapse ...string) error {
 		fmt.Fprintf(&b, " %18s", n)
 	}
 	b.WriteByte('\n')
-	for _, agg := range aggs {
-		for _, a := range axes {
-			fmt.Fprintf(&b, "%-12s", agg.Labels[a])
+	for _, g := range c.Groups {
+		for _, a := range c.GroupAxes {
+			fmt.Fprintf(&b, "%-12s", g.Labels[a])
 		}
-		fmt.Fprintf(&b, "%6d", agg.Count)
+		fmt.Fprintf(&b, "%6d", g.Count)
 		for _, n := range names {
-			if s, ok := agg.Metrics[n]; ok {
+			if s, ok := g.Metrics[n]; ok {
 				fmt.Fprintf(&b, " %18.3f", s.Mean)
 			} else {
 				fmt.Fprintf(&b, " %18s", "-")
@@ -152,4 +113,37 @@ func WriteTable(w io.Writer, r *Result, collapse ...string) error {
 	}
 	_, err := io.WriteString(w, b.String())
 	return err
+}
+
+// Write renders the result in the named format: "csv", "json" or
+// "table".
+func (c *Collapsed) Write(w io.Writer, format string) error {
+	switch format {
+	case "csv":
+		return c.WriteCSV(w)
+	case "json":
+		return c.WriteJSON(w)
+	case "table":
+		return c.WriteTable(w)
+	default:
+		return fmt.Errorf("sweep: unknown format %q (want table, csv or json)", format)
+	}
+}
+
+// WriteCSV writes the materialized result collapsed over the given axes
+// as long-form CSV.
+func WriteCSV(w io.Writer, r *Result, collapse ...string) error {
+	return r.Collapsed(collapse...).WriteCSV(w)
+}
+
+// WriteJSON writes the materialized result collapsed over the given
+// axes as an indented JSON document.
+func WriteJSON(w io.Writer, r *Result, collapse ...string) error {
+	return r.Collapsed(collapse...).WriteJSON(w)
+}
+
+// WriteTable writes the materialized result collapsed over the given
+// axes as an aligned text table.
+func WriteTable(w io.Writer, r *Result, collapse ...string) error {
+	return r.Collapsed(collapse...).WriteTable(w)
 }

@@ -149,6 +149,10 @@ func (g Grid) validate() error {
 // from baseSeed and the cell's unpaired coordinates. The derivation is
 // positional-order-free: it depends only on the axis names and value
 // labels, never on which worker reaches the cell first.
+//
+// Seeds are derived by hashing the cell's unpaired key incrementally
+// (the same bytes keyWhere would produce) and coordinate slices share
+// one backing array, so enumeration costs O(1) allocations per cell.
 func (g Grid) Points(baseSeed uint64) ([]Point, error) {
 	if err := g.validate(); err != nil {
 		return nil, err
@@ -159,12 +163,28 @@ func (g Grid) Points(baseSeed uint64) ([]Point, error) {
 		paired[p] = true
 	}
 	grid := &g
+	axes := len(g.Axes)
 	points := make([]Point, g.Size())
-	idx := make([]int, len(g.Axes))
+	backing := make([]int, len(points)*axes)
+	idx := make([]int, axes)
 	for i := range points {
-		p := Point{Index: i, grid: grid, idx: append([]int(nil), idx...)}
-		p.Seed = root.Stream(p.keyWhere(func(name string) bool { return !paired[name] })).Uint64()
-		points[i] = p
+		w := backing[i*axes : (i+1)*axes : (i+1)*axes]
+		copy(w, idx)
+		h := sim.NewStreamHash()
+		first := true
+		for d, a := range g.Axes {
+			if paired[a.Name] {
+				continue
+			}
+			if !first {
+				h.AddByte(' ')
+			}
+			first = false
+			h.AddString(a.Name)
+			h.AddByte('=')
+			h.AddString(a.Values[idx[d]].Label)
+		}
+		points[i] = Point{Index: i, Seed: root.SeedFor(h), grid: grid, idx: w}
 		// Advance the odometer: last axis fastest.
 		for d := len(idx) - 1; d >= 0; d-- {
 			idx[d]++

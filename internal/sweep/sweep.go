@@ -41,6 +41,9 @@ type Options struct {
 	Parallel int
 	// Seed is the sweep-level base seed every cell seed derives from.
 	Seed uint64
+	// Shard restricts a RunCollapsed execution to one seed-stable slice
+	// of the grid (the zero value runs every cell). Run ignores it.
+	Shard Shard
 }
 
 // PointResult pairs a cell with its outcome.
@@ -127,36 +130,21 @@ type Aggregate struct {
 // Collapse groups the result over the named axes and summarizes every
 // outcome value per group with metrics order statistics. Groups are
 // returned in grid order. Collapsing no axes yields one group per cell.
+// It shares the grouping engine of the streaming path (see Collapsed),
+// so both produce identical aggregates.
 func (r *Result) Collapse(axes ...string) []*Aggregate {
-	drop := make(map[string]bool, len(axes))
-	for _, a := range axes {
-		drop[a] = true
-	}
-	byKey := make(map[string]*Aggregate)
-	collectors := make(map[string]*metrics.Collector)
-	var order []*Aggregate
-	for _, pr := range r.Points {
-		key := pr.Point.KeyWithout(axes...)
-		agg, ok := byKey[key]
-		if !ok {
-			labels := make(map[string]string)
-			for _, a := range r.Grid.Axes {
-				if !drop[a.Name] {
-					labels[a.Name] = pr.Point.Label(a.Name)
-				}
-			}
-			agg = &Aggregate{Key: key, Labels: labels, First: pr}
-			byKey[key] = agg
-			collectors[key] = metrics.NewCollector()
-			order = append(order, agg)
+	c := r.Collapsed(axes...)
+	out := make([]*Aggregate, len(c.Groups))
+	for i, g := range c.Groups {
+		out[i] = &Aggregate{
+			Key:     g.Key,
+			Labels:  g.Labels,
+			Count:   g.Count,
+			Metrics: g.Metrics,
+			First:   r.Points[g.firstIndex],
 		}
-		agg.Count++
-		collectors[key].ObserveAll(pr.Outcome.Values)
 	}
-	for key, agg := range byKey {
-		agg.Metrics = collectors[key].Summaries()
-	}
-	return order
+	return out
 }
 
 // MetricNames returns every outcome value name observed across the

@@ -16,6 +16,10 @@
 //	    > BENCH_sweep.json
 //
 // Pass -update to rewrite the golden file from the observed metrics.
+// Benchmarks matching -volatile still land in the JSON report but are
+// exempt from golden comparison and the cross-run determinism check —
+// for metrics worth tracking that the environment may legitimately move
+// (allocation counts, say), as opposed to simulation physics.
 package main
 
 import (
@@ -24,6 +28,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"regexp"
 	"sort"
 	"strconv"
 	"strings"
@@ -41,9 +46,19 @@ type benchResult struct {
 func main() {
 	golden := flag.String("golden", "", "golden metrics file to compare against")
 	update := flag.Bool("update", false, "rewrite the golden file instead of comparing")
+	volatilePat := flag.String("volatile", "", "regexp of benchmarks reported but not gated")
 	flag.Parse()
 
-	results, err := parse(os.Stdin)
+	volatile := func(string) bool { return false }
+	if *volatilePat != "" {
+		re, err := regexp.Compile(*volatilePat)
+		if err != nil {
+			fatal(fmt.Errorf("-volatile: %w", err))
+		}
+		volatile = re.MatchString
+	}
+
+	results, err := parse(os.Stdin, volatile)
 	if err != nil {
 		fatal(err)
 	}
@@ -62,7 +77,7 @@ func main() {
 	}
 	observed := make(map[string]map[string]string, len(results))
 	for name, r := range results {
-		if len(r.Metrics) > 0 {
+		if len(r.Metrics) > 0 && !volatile(name) {
 			observed[name] = r.Metrics
 		}
 	}
@@ -93,8 +108,9 @@ func main() {
 
 // parse consumes `go test -bench` output. Repeated runs of one benchmark
 // (-count > 1) must report identical metrics; a mismatch is a
-// determinism bug and fails immediately.
-func parse(f *os.File) (map[string]*benchResult, error) {
+// determinism bug and fails immediately, except for volatile benchmarks
+// (their first observation wins).
+func parse(f *os.File, volatile func(string) bool) (map[string]*benchResult, error) {
 	results := make(map[string]*benchResult)
 	sc := bufio.NewScanner(f)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
@@ -127,8 +143,11 @@ func parse(f *os.File) (map[string]*benchResult, error) {
 				continue
 			}
 			if prev, ok := r.Metrics[unit]; ok && prev != value {
-				return nil, fmt.Errorf("%s metric %s not deterministic across runs: %s vs %s",
-					name, unit, prev, value)
+				if !volatile(name) {
+					return nil, fmt.Errorf("%s metric %s not deterministic across runs: %s vs %s",
+						name, unit, prev, value)
+				}
+				continue
 			}
 			r.Metrics[unit] = value
 		}

@@ -34,12 +34,50 @@ type SweepOptions = sweep.Options
 // SweepResult is a completed sweep in grid order.
 type SweepResult = sweep.Result
 
-// SweepRunFunc executes one cell.
+// SweepRunFunc executes one cell, materializing its outcome.
 type SweepRunFunc = sweep.RunFunc
+
+// SweepCellFunc executes one cell on the streaming-collapse path,
+// reporting measurements through a reusable recorder.
+type SweepCellFunc = sweep.CellFunc
+
+// SweepRecorder receives one cell's measurements.
+type SweepRecorder = sweep.Recorder
+
+// SweepCollapsed is a sweep aggregated as cells complete; shard results
+// of the same sweep merge into the single-process result exactly.
+type SweepCollapsed = sweep.Collapsed
+
+// SweepShard selects one of n seed-stable grid slices (see RunSweepCollapsed).
+type SweepShard = sweep.Shard
 
 // RunSweep executes every cell of the grid through the parallel harness.
 func RunSweep(g SweepGrid, run SweepRunFunc, opts SweepOptions) (*SweepResult, error) {
 	return sweep.Run(g, run, opts)
+}
+
+// RunSweepCollapsed executes the grid — or the shard of it selected by
+// opts.Shard — on the streaming path, folding outcomes into aggregates
+// collapsed over the named axes as cells complete.
+func RunSweepCollapsed(g SweepGrid, run SweepCellFunc, opts SweepOptions, collapse ...string) (*SweepCollapsed, error) {
+	return sweep.RunCollapsed(g, run, opts, collapse...)
+}
+
+// ParseSweepShard parses an "i/n" shard specification.
+func ParseSweepShard(spec string) (SweepShard, error) {
+	return sweep.ParseShard(spec)
+}
+
+// ReadSweepShard deserializes a shard file written by
+// SweepCollapsed.WriteShard.
+func ReadSweepShard(r io.Reader) (*SweepCollapsed, error) {
+	return sweep.ReadShard(r)
+}
+
+// MergeSweepShards combines the shards of one sweep — in any order —
+// into the full result, byte-identical to a single-process run.
+func MergeSweepShards(shards ...*SweepCollapsed) (*SweepCollapsed, error) {
+	return sweep.Merge(shards...)
 }
 
 // WriteSweepCSV renders a sweep collapsed over its repetition axis as
@@ -66,9 +104,9 @@ func WriteSweepTable(w io.Writer, r *SweepResult) error {
 // Figures 2 and 3, so the CLI sweep and the figure generators cannot
 // drift. The primitive axis is seed-paired, so primitives are compared
 // under identical randomness.
-func TwoJobSweep(reps int) (SweepGrid, SweepRunFunc) {
-	run := func(pt SweepPoint) (SweepOutcome, error) {
-		return experiments.TwoJobCell(pt, 0, 0)
+func TwoJobSweep(reps int) (SweepGrid, SweepCellFunc) {
+	run := func(pt SweepPoint, rec *SweepRecorder) error {
+		return experiments.TwoJobCellInto(pt, 0, 0, rec)
 	}
 	return experiments.TwoJobGrid(reps), run
 }
@@ -76,16 +114,16 @@ func TwoJobSweep(reps int) (SweepGrid, SweepRunFunc) {
 // PressureSweep returns the canned grid and runner for the memory
 // pressure scenario: primitive x th allocation x preemption point x
 // repetition (27 cells per repetition), the grid behind Figures 3 and 4.
-func PressureSweep(reps int) (SweepGrid, SweepRunFunc) {
+func PressureSweep(reps int) (SweepGrid, SweepCellFunc) {
 	g := sweep.NewGrid(
 		sweep.Stringers("prim", core.Primitives()...),
 		sweep.Ints("th_mem_mb", 0, 1024, 2048),
 		sweep.Floats("r", 25, 50, 75),
 		sweep.Reps(reps),
 	).Pair("prim")
-	run := func(pt SweepPoint) (SweepOutcome, error) {
-		return experiments.TwoJobCell(pt,
-			experiments.WorstCaseMemory, int64(pt.Int("th_mem_mb"))<<20)
+	run := func(pt SweepPoint, rec *SweepRecorder) error {
+		return experiments.TwoJobCellInto(pt,
+			experiments.WorstCaseMemory, int64(pt.Int("th_mem_mb"))<<20, rec)
 	}
 	return g, run
 }
@@ -95,7 +133,7 @@ func PressureSweep(reps int) (SweepGrid, SweepRunFunc) {
 // per repetition). Every cell boots an isolated cluster, installs a
 // deterministic SWIM-style workload of jobs jobs, runs it to completion
 // and reports sojourn statistics, preemption counts and swap traffic.
-func ClusterSweep(jobs, reps int) (SweepGrid, SweepRunFunc) {
+func ClusterSweep(jobs, reps int) (SweepGrid, SweepCellFunc) {
 	if jobs <= 0 {
 		jobs = 12
 	}
@@ -105,7 +143,7 @@ func ClusterSweep(jobs, reps int) (SweepGrid, SweepRunFunc) {
 		sweep.Strings("mix", "interactive", "mixed", "batch"),
 		sweep.Reps(reps),
 	).Pair("sched")
-	run := func(pt SweepPoint) (SweepOutcome, error) {
+	run := func(pt SweepPoint, rec *SweepRecorder) error {
 		kinds := map[string]SchedulerKind{
 			"fifo": SchedulerFIFO, "fair": SchedulerFair, "hfsp": SchedulerHFSP,
 		}
@@ -116,18 +154,18 @@ func ClusterSweep(jobs, reps int) (SweepGrid, SweepRunFunc) {
 			Seed:            pt.Seed,
 		})
 		if err != nil {
-			return SweepOutcome{}, err
+			return err
 		}
 		cfg := workloadMix(pt.Label("mix"), jobs)
 		specs, err := GenerateWorkload(cfg, pt.Seed)
 		if err != nil {
-			return SweepOutcome{}, err
+			return err
 		}
 		if err := c.InstallWorkload(specs); err != nil {
-			return SweepOutcome{}, err
+			return err
 		}
 		if !c.RunUntilJobsDone(24 * time.Hour) {
-			return SweepOutcome{}, fmt.Errorf("workload did not converge")
+			return fmt.Errorf("workload did not converge")
 		}
 		var sojourns []float64
 		var suspensions, attempts int
@@ -135,7 +173,7 @@ func ClusterSweep(jobs, reps int) (SweepGrid, SweepRunFunc) {
 		for _, spec := range specs {
 			st, err := c.Stats(spec.Conf.Name)
 			if err != nil {
-				return SweepOutcome{}, err
+				return err
 			}
 			sojourns = append(sojourns, st.Sojourn.Seconds())
 			suspensions += st.Suspensions
@@ -144,15 +182,14 @@ func ClusterSweep(jobs, reps int) (SweepGrid, SweepRunFunc) {
 			swapIn += st.SwapIn
 		}
 		s := metrics.Summarize(sojourns)
-		return SweepOutcome{Values: map[string]float64{
-			"sojourn_mean_s": s.Mean,
-			"sojourn_p95_s":  s.P95,
-			"makespan_s":     c.Now().Seconds(),
-			"suspensions":    float64(suspensions),
-			"attempts":       float64(attempts),
-			"swap_out_mb":    float64(swapOut) / float64(1<<20),
-			"swap_in_mb":     float64(swapIn) / float64(1<<20),
-		}}, nil
+		rec.Observe("sojourn_mean_s", s.Mean)
+		rec.Observe("sojourn_p95_s", s.P95)
+		rec.Observe("makespan_s", c.Now().Seconds())
+		rec.Observe("suspensions", float64(suspensions))
+		rec.Observe("attempts", float64(attempts))
+		rec.Observe("swap_out_mb", float64(swapOut)/float64(1<<20))
+		rec.Observe("swap_in_mb", float64(swapIn)/float64(1<<20))
+		return nil
 	}
 	return g, run
 }

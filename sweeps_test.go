@@ -8,22 +8,22 @@ import (
 )
 
 // TestTwoJobSweepEndToEnd drives the paper's two-job scenario grid
-// through the parallel harness and checks the headline qualitative
-// claim: the smaller (high-priority) job's sojourn improves under
-// suspend compared to kill at every preemption point.
+// through the streaming-collapse harness and checks the headline
+// qualitative claim: the smaller (high-priority) job's sojourn improves
+// under suspend compared to kill at every preemption point.
 func TestTwoJobSweepEndToEnd(t *testing.T) {
 	grid, run := hp.TwoJobSweep(1)
-	res, err := hp.RunSweep(grid, run, hp.SweepOptions{Parallel: 4, Seed: 1})
+	col, err := hp.RunSweepCollapsed(grid, run, hp.SweepOptions{Parallel: 4, Seed: 1}, "rep")
 	if err != nil {
 		t.Fatal(err)
 	}
 	sojourn := make(map[string]map[string]float64) // prim -> r -> mean
-	for _, agg := range res.Collapse("rep") {
-		prim := agg.Labels["prim"]
+	for _, g := range col.Groups {
+		prim := g.Labels["prim"]
 		if sojourn[prim] == nil {
 			sojourn[prim] = make(map[string]float64)
 		}
-		sojourn[prim][agg.Labels["r"]] = agg.Metrics["sojourn_th_s"].Mean
+		sojourn[prim][g.Labels["r"]] = g.Metrics["sojourn_th_s"].Mean
 	}
 	if len(sojourn["susp"]) != 9 || len(sojourn["kill"]) != 9 {
 		t.Fatalf("expected 9 preemption points per primitive, got susp=%d kill=%d",
@@ -43,15 +43,15 @@ func TestTwoJobSweepEndToEnd(t *testing.T) {
 func TestSweepParallelismByteIdentical(t *testing.T) {
 	render := func(parallel int) (string, string) {
 		grid, run := hp.TwoJobSweep(1)
-		res, err := hp.RunSweep(grid, run, hp.SweepOptions{Parallel: parallel, Seed: 42})
+		col, err := hp.RunSweepCollapsed(grid, run, hp.SweepOptions{Parallel: parallel, Seed: 42}, "rep")
 		if err != nil {
 			t.Fatal(err)
 		}
 		var csv, js bytes.Buffer
-		if err := hp.WriteSweepCSV(&csv, res); err != nil {
+		if err := col.WriteCSV(&csv); err != nil {
 			t.Fatal(err)
 		}
-		if err := hp.WriteSweepJSON(&js, res); err != nil {
+		if err := col.WriteJSON(&js); err != nil {
 			t.Fatal(err)
 		}
 		return csv.String(), js.String()
@@ -63,6 +63,52 @@ func TestSweepParallelismByteIdentical(t *testing.T) {
 	}
 	if js1 != js8 {
 		t.Fatal("JSON output differs between -parallel 1 and -parallel 8")
+	}
+}
+
+// TestSweepShardMergeByteIdentical runs the two-job grid as three
+// shards — through the serialized shard-file form — and checks the
+// merged result renders byte-identically to the unsharded sweep in
+// every format.
+func TestSweepShardMergeByteIdentical(t *testing.T) {
+	const shards = 3
+	render := func(col *hp.SweepCollapsed) string {
+		var out bytes.Buffer
+		for _, format := range []string{"csv", "json", "table"} {
+			if err := col.Write(&out, format); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return out.String()
+	}
+	grid, run := hp.TwoJobSweep(2)
+	full, err := hp.RunSweepCollapsed(grid, run, hp.SweepOptions{Parallel: 4, Seed: 7}, "rep")
+	if err != nil {
+		t.Fatal(err)
+	}
+	parts := make([]*hp.SweepCollapsed, shards)
+	for i := 0; i < shards; i++ {
+		grid, run := hp.TwoJobSweep(2)
+		opts := hp.SweepOptions{Parallel: 4, Seed: 7, Shard: hp.SweepShard{Index: i, Count: shards}}
+		col, err := hp.RunSweepCollapsed(grid, run, opts, "rep")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var file bytes.Buffer
+		if err := col.WriteShard(&file); err != nil {
+			t.Fatal(err)
+		}
+		if parts[i], err = hp.ReadSweepShard(&file); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Merge in a non-trivial order to exercise order independence.
+	merged, err := hp.MergeSweepShards(parts[2], parts[0], parts[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if render(merged) != render(full) {
+		t.Fatal("merged shard output differs from the single-process sweep")
 	}
 }
 
@@ -80,20 +126,19 @@ func TestClusterSweepRuns(t *testing.T) {
 			grid.Axes[i].Values = a.Values[1:2]
 		}
 	}
-	res, err := hp.RunSweep(grid, run, hp.SweepOptions{Parallel: 3, Seed: 5})
+	col, err := hp.RunSweepCollapsed(grid, run, hp.SweepOptions{Parallel: 3, Seed: 5}, "rep")
 	if err != nil {
 		t.Fatal(err)
 	}
-	aggs := res.Collapse("rep")
-	if len(aggs) != 3 {
-		t.Fatalf("groups = %d, want 3 schedulers", len(aggs))
+	if len(col.Groups) != 3 {
+		t.Fatalf("groups = %d, want 3 schedulers", len(col.Groups))
 	}
-	for _, agg := range aggs {
-		if agg.Metrics["sojourn_mean_s"].Mean <= 0 {
-			t.Errorf("scheduler %s reported non-positive mean sojourn", agg.Labels["sched"])
+	for _, g := range col.Groups {
+		if g.Metrics["sojourn_mean_s"].Mean <= 0 {
+			t.Errorf("scheduler %s reported non-positive mean sojourn", g.Labels["sched"])
 		}
-		if agg.Metrics["sojourn_p95_s"].Mean < agg.Metrics["sojourn_mean_s"].Mean {
-			t.Errorf("scheduler %s: p95 below mean", agg.Labels["sched"])
+		if g.Metrics["sojourn_p95_s"].Mean < g.Metrics["sojourn_mean_s"].Mean {
+			t.Errorf("scheduler %s: p95 below mean", g.Labels["sched"])
 		}
 	}
 }
