@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet fmt fmt-check bench bench-golden sweep-check ci
+.PHONY: all build test vet fmt fmt-check bench bench-golden sweep-check backend-check ci
 
 all: build
 
@@ -49,6 +49,27 @@ sweep-check:
 		/tmp/sweep-shard-2.json /tmp/sweep-shard-0.json /tmp/sweep-shard-1.json > /tmp/sweep-merged.csv
 	cmp /tmp/sweep-p1.csv /tmp/sweep-merged.csv
 
+# Backend parity (mirrors the CI backend-parity job): sim backend
+# byte-identical to the committed golden, replay backend deterministic
+# across -parallel and -shard/-merge, real backend smoke run.
+backend-check:
+	$(GO) build -o /tmp/hadoopsim-ci ./cmd/hadoopsim
+	/tmp/hadoopsim-ci -backend sim -sweep twojob -reps 20 -seed 1 -format csv \
+		| cmp goldens/grid_twojob_reps20.csv -
+	/tmp/hadoopsim-ci -backend replay -trace goldens/swim_sample.tsv \
+		-reps 3 -seed 1 -parallel 1 -format csv > /tmp/replay-p1.csv
+	/tmp/hadoopsim-ci -backend replay -trace goldens/swim_sample.tsv \
+		-reps 3 -seed 1 -parallel 8 -format csv > /tmp/replay-p8.csv
+	cmp /tmp/replay-p1.csv /tmp/replay-p8.csv
+	for i in 0 1 2; do \
+		/tmp/hadoopsim-ci -backend replay -trace goldens/swim_sample.tsv \
+			-reps 3 -seed 1 -shard $$i/3 > /tmp/replay-shard-$$i.json || exit 1; done
+	/tmp/hadoopsim-ci -merge -format csv \
+		/tmp/replay-shard-2.json /tmp/replay-shard-0.json /tmp/replay-shard-1.json > /tmp/replay-merged.csv
+	cmp /tmp/replay-p1.csv /tmp/replay-merged.csv
+	/tmp/hadoopsim-ci -backend real -reps 1 -real-steps 10 -real-units 5000000 \
+		-format table | grep -q susp
+
 # Nightly full-grid gate: regenerate every sweep at the paper's 20
 # repetitions via 3 shards, merge, and diff against the committed
 # aggregate goldens; figures likewise at -reps 20. Run with UPDATE=1 to
@@ -68,4 +89,4 @@ nightly-grid:
 	$(if $(UPDATE),cp /tmp/figures-reps20.json goldens/figures_reps20.json,)
 	cmp goldens/figures_reps20.json /tmp/figures-reps20.json
 
-ci: build vet fmt-check test bench bench-golden sweep-check
+ci: build vet fmt-check test bench bench-golden sweep-check backend-check

@@ -1,28 +1,46 @@
 // Command hadoopsim runs a simulated Hadoop cluster from a dummy-
 // scheduler configuration file (§III-B's "static configuration files")
 // and prints the resulting schedule and per-job metrics, or fans a
-// declarative scenario grid out across a parallel sweep harness.
+// declarative scenario grid out across a parallel sweep harness bound
+// to one of three execution backends.
 //
 // Usage:
 //
 //	hadoopsim -config experiment.conf [-nodes N] [-slots S] [-seed X]
-//	hadoopsim -sweep twojob|pressure|cluster [-parallel W] [-reps N]
-//	          [-seed X] [-format table|csv|json]
-//	hadoopsim -sweep NAME -shard i/n [-reps N] [-seed X] > shard-i.json
-//	hadoopsim -merge [-format table|csv|json] shard-*.json
+//	hadoopsim -sweep twojob|pressure|cluster|evict [-parallel W] [-reps N]
+//	          [-seed X] [-format table|csv|json|series]
+//	hadoopsim -backend replay -trace trace.tsv [-trace-shards K]
+//	          [-replay-sched fifo|fair|hfsp] [-reps N] [-format F]
+//	hadoopsim -backend real [-reps N] [-real-steps N] [-real-units U]
+//	          [-real-mem BYTES] [-format F]
+//	hadoopsim [backend flags] -shard i/n > shard-i.json
+//	hadoopsim -merge [-format table|csv|json|series] shard-*.json
 //
-// Sweep grids (27 cells each, before repetitions):
+// Backends (-backend, default sim):
+//
+//	sim     the discrete-event simulator; -sweep picks the grid
+//	replay  SWIM trace replay: -trace splits into -trace-shards cells
+//	        per repetition, each replayed through an isolated cluster
+//	real    the two-job scenario on real OS processes, preempted with
+//	        actual SIGTSTP/SIGCONT/SIGKILL (unix only; wall-clock, so
+//	        output is measured, not deterministic; cells run serially
+//	        unless -parallel is set explicitly, to keep CPU-bound
+//	        workers of different cells from contending)
+//
+// Sim sweep grids (before repetitions):
 //
 //	twojob    primitive x preemption point        (Figures 2a/2b)
 //	pressure  primitive x th memory x preemption  (Figures 3/4 regime)
 //	cluster   scheduler x nodes x workload mix    (cluster scale-out)
+//	evict     fair/hfsp x eviction policy x nodes x mix
 //
-// Cell seeds derive from grid coordinates, not execution order, so
-// -parallel 8 produces byte-identical output to -parallel 1. The same
-// property makes sharding pure partitioning: -shard i/n runs the i-th
-// of n seed-stable grid slices and emits a mergeable shard file on
-// stdout, and -merge combines the shard files of one sweep — in any
-// order — into output byte-identical to a single-process run.
+// Cell seeds derive from grid coordinates, not execution order, so for
+// the sim and replay backends -parallel 8 produces byte-identical
+// output to -parallel 1. The same property makes sharding pure
+// partitioning: -shard i/n runs the i-th of n seed-stable grid slices
+// and emits a mergeable shard file on stdout, and -merge combines the
+// shard files of one sweep — in any order — into output byte-identical
+// to a single-process run.
 //
 // Example configuration (the paper's two-job experiment at r=50%):
 //
@@ -52,16 +70,27 @@ import (
 )
 
 func main() {
+	// The real backend re-executes this binary as its workers.
+	if hp.IsRealExecWorker() {
+		hp.RealExecWorkerMain()
+	}
 	path := flag.String("config", "", "experiment configuration file")
 	nodes := flag.Int("nodes", 1, "worker node count")
 	slots := flag.Int("slots", 1, "map slots per node")
 	seed := flag.Uint64("seed", 1, "random seed")
 	deadline := flag.Duration("deadline", 2*time.Hour, "virtual-time budget")
 	width := flag.Int("width", 72, "gantt chart width")
-	sweepName := flag.String("sweep", "", "scenario grid to sweep: twojob, pressure or cluster")
+	backend := flag.String("backend", "sim", "execution backend: sim, replay or real")
+	sweepName := flag.String("sweep", "", "sim scenario grid to sweep: twojob, pressure, cluster or evict")
+	tracePath := flag.String("trace", "", "SWIM trace file for the replay backend")
+	traceShards := flag.Int("trace-shards", 4, "trace shards per repetition (replay cells)")
+	replaySched := flag.String("replay-sched", "fifo", "replay cluster scheduler: fifo, fair or hfsp")
+	realSteps := flag.Int("real-steps", 20, "real backend: progress steps per worker")
+	realUnits := flag.Int64("real-units", 2_000_000, "real backend: busy-loop iterations per step")
+	realMem := flag.Int64("real-mem", 0, "real backend: bytes of state each worker dirties")
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "sweep worker pool size")
 	reps := flag.Int("reps", 1, "sweep repetitions per cell")
-	format := flag.String("format", "table", "sweep output format: table, csv or json")
+	format := flag.String("format", "table", "sweep output format: table, csv, json or series")
 	shard := flag.String("shard", "", "run only slice i/n of the sweep and emit a mergeable shard file on stdout")
 	merge := flag.Bool("merge", false, "merge the shard files given as arguments and render with -format")
 	flag.Parse()
@@ -74,16 +103,32 @@ func main() {
 		} else {
 			err = runMerge(flag.Args(), *format)
 		}
-	case *sweepName != "":
+	case *sweepName != "" || anyFlagSet("backend", "trace", "trace-shards",
+		"replay-sched", "real-steps", "real-units", "real-mem"):
 		if conflicting := configOnlyFlagsSet(); len(conflicting) > 0 {
-			err = fmt.Errorf("-sweep cannot be combined with %s (config-mode flags)",
+			err = fmt.Errorf("sweep mode cannot be combined with %s (config-mode flags)",
 				strings.Join(conflicting, ", "))
 		} else if *shard != "" && flagSet("format") {
 			// A shard run always emits the shard-file form; merge
 			// applies -format.
 			err = fmt.Errorf("-shard emits a shard file, not -format output (render it via -merge)")
 		} else {
-			err = runSweep(*sweepName, *parallel, *reps, *seed, *format, *shard)
+			err = runSweep(sweepFlags{
+				backend:     *backend,
+				scenario:    *sweepName,
+				trace:       *tracePath,
+				traceShards: *traceShards,
+				replaySched: *replaySched,
+				realSteps:   *realSteps,
+				realUnits:   *realUnits,
+				realMem:     *realMem,
+				parallel:    *parallel,
+				parallelSet: flagSet("parallel"),
+				reps:        *reps,
+				seed:        *seed,
+				format:      *format,
+				shard:       *shard,
+			})
 		}
 	default:
 		err = run(*path, *nodes, *slots, *seed, *deadline, *width)
@@ -119,47 +164,118 @@ func flagSet(name string) bool {
 	return set
 }
 
+// anyFlagSet reports whether any of the named flags was explicitly set.
+func anyFlagSet(names ...string) bool {
+	for _, n := range names {
+		if flagSet(n) {
+			return true
+		}
+	}
+	return false
+}
+
 // sweepOnlyFlagsSet lists explicitly set flags that only apply to
-// -sweep mode, so -merge rejects them.
+// sweep mode, so -merge rejects them.
 func sweepOnlyFlagsSet() []string {
 	var out []string
 	flag.Visit(func(f *flag.Flag) {
 		switch f.Name {
-		case "sweep", "parallel", "reps", "seed", "shard":
+		case "sweep", "parallel", "reps", "seed", "shard", "backend",
+			"trace", "trace-shards", "replay-sched",
+			"real-steps", "real-units", "real-mem":
 			out = append(out, "-"+f.Name)
 		}
 	})
 	return out
 }
 
-func runSweep(name string, parallel, reps int, seed uint64, format, shardSpec string) error {
-	var grid hp.SweepGrid
-	var runCell hp.SweepCellFunc
-	switch name {
-	case "twojob":
-		grid, runCell = hp.TwoJobSweep(reps)
-	case "pressure":
-		grid, runCell = hp.PressureSweep(reps)
-	case "cluster":
-		grid, runCell = hp.ClusterSweep(12, reps)
-	default:
-		return fmt.Errorf("unknown sweep %q (want twojob, pressure or cluster)", name)
-	}
-	opts := hp.SweepOptions{Parallel: parallel, Seed: seed}
-	if shardSpec != "" {
-		var err error
-		if opts.Shard, err = hp.ParseSweepShard(shardSpec); err != nil {
-			return err
+// sweepFlags carries the flag values of one sweep-mode invocation.
+type sweepFlags struct {
+	backend     string
+	scenario    string
+	trace       string
+	traceShards int
+	replaySched string
+	realSteps   int
+	realUnits   int64
+	realMem     int64
+	parallel    int
+	parallelSet bool
+	reps        int
+	seed        uint64
+	format      string
+	shard       string
+}
+
+// buildBackend resolves the flag set to an execution backend.
+func buildBackend(f sweepFlags) (hp.SweepBackend, error) {
+	switch f.backend {
+	case "sim":
+		if f.trace != "" {
+			return nil, fmt.Errorf("-trace needs -backend replay")
 		}
+		scenario := f.scenario
+		if scenario == "" {
+			scenario = "twojob"
+		}
+		return hp.SimSweep(scenario, 12, f.reps)
+	case "replay":
+		if f.scenario != "" {
+			return nil, fmt.Errorf("-sweep names a sim scenario; the replay backend takes -trace")
+		}
+		if f.trace == "" {
+			return nil, fmt.Errorf("-backend replay needs -trace <file>")
+		}
+		jobs, err := hp.ReadSWIMTraceFile(f.trace)
+		if err != nil {
+			return nil, err
+		}
+		return hp.ReplaySweep(hp.ReplayConfig{
+			Jobs:      jobs,
+			Shards:    f.traceShards,
+			Reps:      f.reps,
+			Scheduler: f.replaySched,
+		})
+	case "real":
+		if f.scenario != "" || f.trace != "" {
+			return nil, fmt.Errorf("the real backend takes neither -sweep nor -trace")
+		}
+		return hp.RealExecSweep(hp.RealExecConfig{
+			Reps:         f.reps,
+			Steps:        f.realSteps,
+			UnitsPerStep: f.realUnits,
+			MemBytes:     f.realMem,
+		})
+	default:
+		return nil, fmt.Errorf("unknown backend %q (want sim, replay or real)", f.backend)
 	}
-	col, err := hp.RunSweepCollapsed(grid, runCell, opts, "rep")
+}
+
+func runSweep(f sweepFlags) error {
+	b, err := buildBackend(f)
 	if err != nil {
 		return err
 	}
-	if shardSpec != "" {
+	if f.backend == "real" && !f.parallelSet {
+		// Real cells measure wall-clock time of CPU-bound workers:
+		// running them concurrently would measure contention between
+		// cells, not the primitives. Serialize unless explicitly asked.
+		f.parallel = 1
+	}
+	opts := hp.SweepOptions{Parallel: f.parallel, Seed: f.seed}
+	if f.shard != "" {
+		if opts.Shard, err = hp.ParseSweepShard(f.shard); err != nil {
+			return err
+		}
+	}
+	col, err := hp.RunSweepBackend(b, opts, "rep")
+	if err != nil {
+		return err
+	}
+	if f.shard != "" {
 		return col.WriteShard(os.Stdout)
 	}
-	return col.Write(os.Stdout, format)
+	return col.Write(os.Stdout, f.format)
 }
 
 // runMerge combines the shard files of one sweep into the full result

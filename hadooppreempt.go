@@ -25,6 +25,7 @@ package hadooppreempt
 
 import (
 	"fmt"
+	"math"
 	"time"
 
 	"hadooppreempt/internal/core"
@@ -273,28 +274,15 @@ func (c *Cluster) RunFor(d time.Duration) { c.inner.Engine().RunFor(d) }
 // scheduled (SubmitAt) job finished, or the deadline passed; it reports
 // completion.
 func (c *Cluster) RunUntilJobsDone(deadline time.Duration) bool {
-	eng := c.inner.Engine()
-	done := func() bool {
-		jobs := c.inner.JobTracker().Jobs()
-		if c.planned == 0 || len(jobs) < c.planned {
-			return false
-		}
-		for _, j := range jobs {
-			if j.State() != mapreduce.JobSucceeded && j.State() != mapreduce.JobFailed {
-				return false
-			}
-		}
-		return true
+	planned := c.planned
+	if planned == 0 {
+		// Nothing was submitted or scheduled: drain events to the
+		// deadline and report failure, as an impossible plan would.
+		planned = math.MaxInt
 	}
-	for eng.Now() < deadline && !done() {
-		at, ok := eng.NextEventAt()
-		if !ok || at > deadline {
-			break
-		}
-		eng.Step()
-	}
-	c.rec.CloseAll(eng.Now())
-	return done()
+	ok := c.inner.RunUntilPlannedJobsDone(planned, deadline)
+	c.rec.CloseAll(c.inner.Engine().Now())
+	return ok
 }
 
 // PreemptJob applies the configured primitive to the named job's running

@@ -159,15 +159,30 @@ func (c *Cluster) RunUntil(deadline time.Duration) { c.eng.RunUntil(deadline) }
 // finished. The termination check runs between every pair of events, so it
 // must not allocate (see JobTracker.allJobsTerminal).
 func (c *Cluster) RunUntilJobsDone(deadline time.Duration) bool {
+	return c.RunUntilPlannedJobsDone(1, deadline)
+}
+
+// RunUntilPlannedJobsDone is RunUntilJobsDone for workloads whose
+// submissions are deferred (Engine().At): it does not stop before at
+// least planned jobs have actually been submitted, so an early quiet
+// period — every submitted job terminal while later submissions are
+// still scheduled — is not mistaken for completion.
+func (c *Cluster) RunUntilPlannedJobsDone(planned int, deadline time.Duration) bool {
+	if planned < 1 {
+		planned = 1
+	}
+	done := func() bool {
+		return len(c.jt.jobOrder) >= planned && c.jt.allJobsTerminal()
+	}
 	for c.eng.Now() < deadline {
-		if c.jt.allJobsTerminal() && len(c.jt.jobOrder) > 0 {
+		if done() {
 			return true
 		}
 		if !c.eng.StepUntil(deadline) {
 			break
 		}
 	}
-	return c.jt.allJobsTerminal() && len(c.jt.jobOrder) > 0
+	return done()
 }
 
 // Close releases per-node resources back to their arenas (today: the

@@ -1,0 +1,95 @@
+package realexec
+
+import (
+	"fmt"
+	"time"
+
+	"hadooppreempt/internal/sweep"
+)
+
+// BackendName is the name the real-process backend reports to the sweep
+// harness.
+const BackendName = "real"
+
+// SweepConfig configures the real-process execution backend.
+type SweepConfig struct {
+	// Rs are the preemption points in percent (th arrives when tl
+	// reaches this progress; default 25, 50, 75).
+	Rs []float64
+	// Reps repeats every cell (default 1). Real runs measure wall-clock
+	// time, so repetitions average true scheduling noise rather than
+	// seeded randomness.
+	Reps int
+	// Steps is the number of progress reports over a worker's life
+	// (default 20).
+	Steps int
+	// UnitsPerStep is the CPU work per step in busy-loop iterations
+	// (default 2e6, a sub-second worker on current hardware).
+	UnitsPerStep int64
+	// MemBytes is the state each worker dirties at startup, like the
+	// paper's worst-case tasks (default 0).
+	MemBytes int64
+	// StepTimeout bounds each wait on a worker (default 2m).
+	StepTimeout time.Duration
+}
+
+// Backend runs the paper's two-job scenario on real OS processes: every
+// cell spawns a low-priority worker, preempts it at the cell's progress
+// point with the cell's primitive (an actual SIGTSTP, SIGKILL, or
+// nothing for wait), runs a high-priority worker to completion, then
+// restores the victim. It records the same metric names as the
+// simulator's two-job cells, so sim-vs-real aggregates line up in one
+// table.
+//
+// Unlike the sim and replay backends, cells measure wall-clock time:
+// output is NOT deterministic and -parallel changes contention. Shard
+// files still merge, but only over runs that actually executed.
+type Backend struct {
+	cfg SweepConfig
+}
+
+// NewBackend validates the configuration and builds the backend. On
+// non-unix platforms construction succeeds but every cell fails: the
+// suspension primitive needs SIGTSTP/SIGCONT.
+func NewBackend(cfg SweepConfig) (*Backend, error) {
+	if len(cfg.Rs) == 0 {
+		cfg.Rs = []float64{25, 50, 75}
+	}
+	for _, r := range cfg.Rs {
+		if r <= 0 || r >= 100 {
+			return nil, fmt.Errorf("realexec: preemption point %v%% outside (0,100)", r)
+		}
+	}
+	if cfg.Reps < 1 {
+		cfg.Reps = 1
+	}
+	if cfg.Steps <= 0 {
+		cfg.Steps = 20
+	}
+	if cfg.UnitsPerStep <= 0 {
+		cfg.UnitsPerStep = 2_000_000
+	}
+	if cfg.StepTimeout <= 0 {
+		cfg.StepTimeout = 2 * time.Minute
+	}
+	return &Backend{cfg: cfg}, nil
+}
+
+// Name implements sweep.Backend.
+func (b *Backend) Name() string { return BackendName }
+
+// Grid implements sweep.Backend: primitive x preemption point x
+// repetition, mirroring the simulator's two-job grid so the two
+// backends' aggregates compare cell by cell.
+func (b *Backend) Grid() (sweep.Grid, error) {
+	return sweep.NewGrid(
+		sweep.Strings("prim", "wait", "kill", "susp"),
+		sweep.Floats("r", b.cfg.Rs...),
+		sweep.Reps(b.cfg.Reps),
+	).Pair("prim"), nil
+}
+
+// Cell implements sweep.Backend.
+func (b *Backend) Cell(pt sweep.Point, rec *sweep.Recorder) error {
+	return b.runCell(pt, rec)
+}

@@ -1,0 +1,25 @@
+//go:build !unix
+
+package realexec
+
+import (
+	"fmt"
+
+	"hadooppreempt/internal/sweep"
+)
+
+// The real-process backend needs POSIX job-control signals; on other
+// platforms the package still compiles (so the facade and CLI build
+// everywhere) but cells report a clear error.
+
+// IsWorkerInvocation reports whether the current process was started as
+// a worker; never true off unix.
+func IsWorkerInvocation() bool { return false }
+
+// WorkerMain is the child-side entry point; it cannot be reached off
+// unix because IsWorkerInvocation never reports true.
+func WorkerMain() {}
+
+func (b *Backend) runCell(sweep.Point, *sweep.Recorder) error {
+	return fmt.Errorf("realexec: the real-process backend needs a unix platform (SIGTSTP/SIGCONT)")
+}

@@ -1,0 +1,115 @@
+//go:build unix
+
+package realexec
+
+import (
+	"fmt"
+	"time"
+
+	"hadooppreempt/internal/sweep"
+)
+
+// runCell executes one real-process cell: the paper's two-job scenario
+// with actual signals, timed by the wall clock.
+func (b *Backend) runCell(pt sweep.Point, rec *sweep.Recorder) error {
+	prim := pt.Label("prim")
+	r := pt.Float("r") / 100
+	spec := Spec{
+		Steps:        b.cfg.Steps,
+		UnitsPerStep: b.cfg.UnitsPerStep,
+		MemBytes:     b.cfg.MemBytes,
+	}
+	start := time.Now()
+	tlAttempts, tlSuspensions := 1, 0
+
+	tlSpec := spec
+	tlSpec.Name = "tl-" + pt.Key()
+	tl, err := SpawnSelf(tlSpec)
+	if err != nil {
+		return fmt.Errorf("realexec: spawn tl: %w", err)
+	}
+	defer tl.Kill()
+
+	// Let tl reach the cell's progress point (or finish, for coarse
+	// step counts at high r).
+	poll := time.NewTicker(2 * time.Millisecond)
+	defer poll.Stop()
+	waitDeadline := time.Now().Add(b.cfg.StepTimeout)
+	for tl.Progress() < r && tl.State() == StateRunning {
+		if time.Now().After(waitDeadline) {
+			return fmt.Errorf("realexec: tl stuck at %.0f%% before preemption point", tl.Progress()*100)
+		}
+		<-poll.C
+	}
+
+	// th arrives: apply the primitive to tl.
+	thStart := time.Now()
+	switch prim {
+	case "susp":
+		if tl.State() == StateRunning {
+			if err := tl.Suspend(); err != nil {
+				return err
+			}
+			tlSuspensions++
+		}
+	case "kill":
+		if tl.State() == StateRunning {
+			if err := tl.Kill(); err != nil {
+				return err
+			}
+		}
+	case "wait":
+		if !tl.Wait(b.cfg.StepTimeout) {
+			return fmt.Errorf("realexec: tl did not finish under wait")
+		}
+	default:
+		return fmt.Errorf("realexec: unknown primitive %q", prim)
+	}
+
+	thSpec := spec
+	thSpec.Name = "th-" + pt.Key()
+	th, err := SpawnSelf(thSpec)
+	if err != nil {
+		return fmt.Errorf("realexec: spawn th: %w", err)
+	}
+	defer th.Kill()
+	if !th.Wait(b.cfg.StepTimeout) {
+		return fmt.Errorf("realexec: th did not finish")
+	}
+	sojournTH := time.Since(thStart)
+
+	// Restore tl: resume the suspended victim, or restart the killed one
+	// from scratch (its work is lost — the cost the paper measures).
+	switch prim {
+	case "susp":
+		if tl.State() == StateSuspended {
+			if err := tl.Resume(); err != nil {
+				return err
+			}
+		}
+	case "kill":
+		if tl.State() == StateKilled {
+			retry := spec
+			retry.Name = tlSpec.Name + "-retry"
+			tl, err = SpawnSelf(retry)
+			if err != nil {
+				return fmt.Errorf("realexec: respawn tl: %w", err)
+			}
+			defer tl.Kill()
+			tlAttempts++
+		}
+	}
+	if tl.State() != StateDone && !tl.Wait(b.cfg.StepTimeout) {
+		return fmt.Errorf("realexec: tl did not finish (state %v)", tl.State())
+	}
+	if err := tl.Err(); err != nil {
+		return fmt.Errorf("realexec: tl failed: %w", err)
+	}
+	makespan := time.Since(start)
+
+	rec.Observe("sojourn_th_s", sojournTH.Seconds())
+	rec.Observe("makespan_s", makespan.Seconds())
+	rec.Observe("tl_attempts", float64(tlAttempts))
+	rec.Observe("tl_suspensions", float64(tlSuspensions))
+	return nil
+}

@@ -1,0 +1,52 @@
+package sweep
+
+// A Backend binds a scenario grid to an execution engine. The harness is
+// engine-agnostic: the same grid machinery (coordinate-derived seeds,
+// worker pool, streaming collapse, sharding and exact merges) drives the
+// discrete-event simulator, a trace replayer, or real OS processes —
+// whatever the backend's Cell does with the Point it is handed.
+type Backend interface {
+	// Name identifies the execution engine (e.g. "sim", "replay", "real").
+	Name() string
+	// Grid declares the scenario grid the backend executes.
+	Grid() (Grid, error)
+	// Cell executes one grid cell, reporting measurements through rec.
+	// Like CellFunc implementations, Cell must build isolated state from
+	// p.Seed: the harness calls it from multiple goroutines and shares
+	// nothing between cells.
+	Cell(p Point, rec *Recorder) error
+}
+
+// FuncBackend adapts a (grid, cell-function) pair to the Backend
+// interface.
+type FuncBackend struct {
+	// Engine is the backend name reported by Name.
+	Engine string
+	// G is the scenario grid.
+	G Grid
+	// Run executes one cell.
+	Run CellFunc
+}
+
+// Name implements Backend.
+func (b FuncBackend) Name() string { return b.Engine }
+
+// Grid implements Backend.
+func (b FuncBackend) Grid() (Grid, error) { return b.G, nil }
+
+// Cell implements Backend.
+func (b FuncBackend) Cell(p Point, rec *Recorder) error { return b.Run(p, rec) }
+
+// RunBackend executes the backend's grid — or the shard of it selected
+// by opts.Shard — on the streaming-collapse path, collapsing the named
+// axes. Because seeds derive from grid coordinates, every Backend
+// inherits the harness guarantees: results are identical at any
+// opts.Parallel, and shard results merge (see Merge) into output
+// byte-identical to an unsharded run.
+func RunBackend(b Backend, opts Options, collapse ...string) (*Collapsed, error) {
+	g, err := b.Grid()
+	if err != nil {
+		return nil, err
+	}
+	return RunCollapsed(g, b.Cell, opts, collapse...)
+}

@@ -1,0 +1,105 @@
+package sweep
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+// testBackend is a deterministic backend over a 2-axis grid.
+func testBackend(reps int) FuncBackend {
+	return FuncBackend{
+		Engine: "test",
+		G:      NewGrid(Strings("mode", "a", "b"), Floats("x", 1, 2, 3), Reps(reps)),
+		Run: func(p Point, rec *Recorder) error {
+			rng := p.RNG()
+			rec.Observe("value", p.Float("x")*10+rng.Float64())
+			rec.Observe("cells", 1)
+			return nil
+		},
+	}
+}
+
+// TestRunBackendMatchesRunCollapsed proves the backend path is a pure
+// repackaging of the streaming harness: same grid, same cells, same
+// bytes.
+func TestRunBackendMatchesRunCollapsed(t *testing.T) {
+	b := testBackend(3)
+	opts := Options{Parallel: 4, Seed: 11}
+	viaBackend, err := RunBackend(b, opts, RepAxis)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := RunCollapsed(b.G, b.Run, opts, RepAxis)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, format := range []string{"csv", "json", "table", "series"} {
+		var got, want bytes.Buffer
+		if err := viaBackend.Write(&got, format); err != nil {
+			t.Fatal(err)
+		}
+		if err := direct.Write(&want, format); err != nil {
+			t.Fatal(err)
+		}
+		if got.String() != want.String() {
+			t.Errorf("format %s: backend output differs from direct RunCollapsed", format)
+		}
+	}
+	if b.Name() != "test" {
+		t.Errorf("Name() = %q, want test", b.Name())
+	}
+}
+
+// TestRunBackendShardsMerge runs a backend as shards and merges the
+// serialized shard files back into the single-process result.
+func TestRunBackendShardsMerge(t *testing.T) {
+	b := testBackend(2)
+	full, err := RunBackend(b, Options{Parallel: 2, Seed: 3}, RepAxis)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 3
+	parts := make([]*Collapsed, n)
+	for i := 0; i < n; i++ {
+		col, err := RunBackend(b, Options{Parallel: 2, Seed: 3, Shard: Shard{Index: i, Count: n}}, RepAxis)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var file bytes.Buffer
+		if err := col.WriteShard(&file); err != nil {
+			t.Fatal(err)
+		}
+		if parts[i], err = ReadShard(&file); err != nil {
+			t.Fatal(err)
+		}
+	}
+	merged, err := Merge(parts[1], parts[2], parts[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got, want bytes.Buffer
+	if err := merged.WriteCSV(&got); err != nil {
+		t.Fatal(err)
+	}
+	if err := full.WriteCSV(&want); err != nil {
+		t.Fatal(err)
+	}
+	if got.String() != want.String() {
+		t.Fatal("merged backend shards differ from the unsharded run")
+	}
+}
+
+// TestRunBackendGridError propagates grid construction failures.
+func TestRunBackendGridError(t *testing.T) {
+	b := errBackend{}
+	if _, err := RunBackend(b, Options{}); err == nil {
+		t.Fatal("expected grid error to propagate")
+	}
+}
+
+type errBackend struct{}
+
+func (errBackend) Name() string                { return "err" }
+func (errBackend) Grid() (Grid, error)         { return Grid{}, fmt.Errorf("boom") }
+func (errBackend) Cell(Point, *Recorder) error { return nil }

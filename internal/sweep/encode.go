@@ -115,8 +115,96 @@ func (c *Collapsed) WriteTable(w io.Writer) error {
 	return err
 }
 
-// Write renders the result in the named format: "csv", "json" or
-// "table".
+// WriteSeries writes the result as plot-ready CSV: one block per
+// metric, with the last surviving axis as the x column and one series
+// column per combination of the remaining axes, cells holding group
+// means. Blocks are introduced by a "# metric NAME" comment line and
+// separated by a blank line — a layout gnuplot ("set datafile
+// commentschars") and pandas consume without manual massaging.
+func (c *Collapsed) WriteSeries(w io.Writer) error {
+	if len(c.GroupAxes) == 0 {
+		return fmt.Errorf("sweep: series format needs at least one surviving axis")
+	}
+	xAxis := c.GroupAxes[len(c.GroupAxes)-1]
+	seriesAxes := c.GroupAxes[:len(c.GroupAxes)-1]
+	seriesKey := func(g *Group) string {
+		if len(seriesAxes) == 0 {
+			return "mean"
+		}
+		var b strings.Builder
+		for _, a := range seriesAxes {
+			if b.Len() > 0 {
+				b.WriteByte(' ')
+			}
+			b.WriteString(a)
+			b.WriteByte('=')
+			b.WriteString(g.Labels[a])
+		}
+		return b.String()
+	}
+	// Column and row orders follow the groups' grid order, so output is
+	// deterministic at any parallelism and across merges.
+	var xs, series []string
+	seenX := make(map[string]int)
+	seenSeries := make(map[string]int)
+	type coord struct{ s, x int }
+	cells := make(map[coord]*Group, len(c.Groups))
+	for _, g := range c.Groups {
+		x := g.Labels[xAxis]
+		xi, ok := seenX[x]
+		if !ok {
+			xi = len(xs)
+			seenX[x] = xi
+			xs = append(xs, x)
+		}
+		sk := seriesKey(g)
+		si, ok := seenSeries[sk]
+		if !ok {
+			si = len(series)
+			seenSeries[sk] = si
+			series = append(series, sk)
+		}
+		cells[coord{si, xi}] = g
+	}
+	names := c.MetricNames()
+	for mi, name := range names {
+		if mi > 0 {
+			if _, err := io.WriteString(w, "\n"); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# metric %s\n", name); err != nil {
+			return err
+		}
+		cw := csv.NewWriter(w)
+		if err := cw.Write(append([]string{xAxis}, series...)); err != nil {
+			return err
+		}
+		row := make([]string, 1+len(series))
+		for xi, x := range xs {
+			row[0] = x
+			for si := range series {
+				row[1+si] = ""
+				if g, ok := cells[coord{si, xi}]; ok {
+					if s, ok := g.Metrics[name]; ok {
+						row[1+si] = formatStat(s.Mean)
+					}
+				}
+			}
+			if err := cw.Write(row); err != nil {
+				return err
+			}
+		}
+		cw.Flush()
+		if err := cw.Error(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Write renders the result in the named format: "csv", "json", "table"
+// or "series".
 func (c *Collapsed) Write(w io.Writer, format string) error {
 	switch format {
 	case "csv":
@@ -125,8 +213,10 @@ func (c *Collapsed) Write(w io.Writer, format string) error {
 		return c.WriteJSON(w)
 	case "table":
 		return c.WriteTable(w)
+	case "series":
+		return c.WriteSeries(w)
 	default:
-		return fmt.Errorf("sweep: unknown format %q (want table, csv or json)", format)
+		return fmt.Errorf("sweep: unknown format %q (want table, csv, json or series)", format)
 	}
 }
 
@@ -146,4 +236,10 @@ func WriteJSON(w io.Writer, r *Result, collapse ...string) error {
 // axes as an aligned text table.
 func WriteTable(w io.Writer, r *Result, collapse ...string) error {
 	return r.Collapsed(collapse...).WriteTable(w)
+}
+
+// WriteSeries writes the materialized result collapsed over the given
+// axes as plot-ready per-series CSV blocks.
+func WriteSeries(w io.Writer, r *Result, collapse ...string) error {
+	return r.Collapsed(collapse...).WriteSeries(w)
 }

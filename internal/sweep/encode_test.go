@@ -1,0 +1,101 @@
+package sweep
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// seriesResult builds a small deterministic collapsed result: two
+// series (mode a/b) over three x positions.
+func seriesResult(t *testing.T) *Collapsed {
+	t.Helper()
+	g := NewGrid(Strings("mode", "a", "b"), Ints("x", 1, 2, 3), Reps(2))
+	col, err := RunCollapsed(g, func(p Point, rec *Recorder) error {
+		base := float64(p.Int("x")) * 10
+		if p.Label("mode") == "b" {
+			base += 100
+		}
+		rec.Observe("metric_one", base+float64(p.Int(RepAxis)))
+		return nil
+	}, Options{Parallel: 2, Seed: 1}, RepAxis)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return col
+}
+
+// TestWriteSeriesLayout checks the plot-ready shape: a comment header
+// per metric, x in the first column, one column per series, means in
+// the cells.
+func TestWriteSeriesLayout(t *testing.T) {
+	col := seriesResult(t)
+	var out bytes.Buffer
+	if err := col.WriteSeries(&out); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(out.String(), "\n"), "\n")
+	want := []string{
+		"# metric metric_one",
+		"x,mode=a,mode=b",
+		"1,10.5,110.5",
+		"2,20.5,120.5",
+		"3,30.5,130.5",
+	}
+	if len(lines) != len(want) {
+		t.Fatalf("got %d lines, want %d:\n%s", len(lines), len(want), out.String())
+	}
+	for i := range want {
+		if lines[i] != want[i] {
+			t.Errorf("line %d = %q, want %q", i, lines[i], want[i])
+		}
+	}
+}
+
+// TestWriteSeriesMultiMetricBlocks separates metrics with blank lines.
+func TestWriteSeriesMultiMetricBlocks(t *testing.T) {
+	g := NewGrid(Ints("x", 1, 2), Reps(1))
+	col, err := RunCollapsed(g, func(p Point, rec *Recorder) error {
+		rec.Observe("beta", 2)
+		rec.Observe("alpha", 1)
+		return nil
+	}, Options{Seed: 1}, RepAxis)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := col.WriteSeries(&out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "# metric alpha\n") || !strings.Contains(s, "\n\n# metric beta\n") {
+		t.Fatalf("expected sorted metric blocks separated by a blank line:\n%s", s)
+	}
+	// Single surviving axis: the lone series column is named "mean".
+	if !strings.Contains(s, "x,mean\n") {
+		t.Fatalf("expected x,mean header for a single-axis result:\n%s", s)
+	}
+}
+
+// TestWriteSeriesParallelismByteIdentical extends the determinism
+// guarantee to the series encoder.
+func TestWriteSeriesParallelismByteIdentical(t *testing.T) {
+	render := func(parallel int) string {
+		g := NewGrid(Strings("mode", "a", "b"), Ints("x", 1, 2, 3), Reps(3))
+		col, err := RunCollapsed(g, func(p Point, rec *Recorder) error {
+			rec.Observe("v", p.RNG().Float64())
+			return nil
+		}, Options{Parallel: parallel, Seed: 9}, RepAxis)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out bytes.Buffer
+		if err := col.WriteSeries(&out); err != nil {
+			t.Fatal(err)
+		}
+		return out.String()
+	}
+	if render(1) != render(8) {
+		t.Fatal("series output differs between -parallel 1 and -parallel 8")
+	}
+}

@@ -5,10 +5,11 @@ import (
 	"io"
 	"time"
 
-	"hadooppreempt/internal/core"
 	"hadooppreempt/internal/experiments"
 	"hadooppreempt/internal/metrics"
+	"hadooppreempt/internal/realexec"
 	"hadooppreempt/internal/sweep"
+	"hadooppreempt/internal/workload"
 )
 
 // The sweep harness fans a declarative grid of scenarios out across a
@@ -51,6 +52,13 @@ type SweepCollapsed = sweep.Collapsed
 // SweepShard selects one of n seed-stable grid slices (see RunSweepCollapsed).
 type SweepShard = sweep.Shard
 
+// SweepBackend binds a scenario grid to an execution engine: the
+// simulator, the SWIM trace replayer, or real OS processes. All three
+// run through the same harness, so parallelism, sharding and merge
+// guarantees carry over (the real backend's wall-clock measurements are
+// the one documented exception to determinism).
+type SweepBackend = sweep.Backend
+
 // RunSweep executes every cell of the grid through the parallel harness.
 func RunSweep(g SweepGrid, run SweepRunFunc, opts SweepOptions) (*SweepResult, error) {
 	return sweep.Run(g, run, opts)
@@ -61,6 +69,13 @@ func RunSweep(g SweepGrid, run SweepRunFunc, opts SweepOptions) (*SweepResult, e
 // collapsed over the named axes as cells complete.
 func RunSweepCollapsed(g SweepGrid, run SweepCellFunc, opts SweepOptions, collapse ...string) (*SweepCollapsed, error) {
 	return sweep.RunCollapsed(g, run, opts, collapse...)
+}
+
+// RunSweepBackend executes the backend's grid — or the shard of it
+// selected by opts.Shard — on the streaming path, collapsing the named
+// axes as cells complete.
+func RunSweepBackend(b SweepBackend, opts SweepOptions, collapse ...string) (*SweepCollapsed, error) {
+	return sweep.RunBackend(b, opts, collapse...)
 }
 
 // ParseSweepShard parses an "i/n" shard specification.
@@ -98,6 +113,13 @@ func WriteSweepTable(w io.Writer, r *SweepResult) error {
 	return sweep.WriteTable(w, r, sweep.RepAxis)
 }
 
+// WriteSweepSeries renders a sweep collapsed over its repetition axis
+// as plot-ready per-series CSV blocks (one block per metric, one column
+// per series).
+func WriteSweepSeries(w io.Writer, r *SweepResult) error {
+	return sweep.WriteSeries(w, r, sweep.RepAxis)
+}
+
 // TwoJobSweep returns the canned grid and runner for the paper's
 // two-job scenario: primitive x preemption point x repetition, 27 cells
 // per repetition. The grid and cell wiring are the same ones behind
@@ -115,17 +137,7 @@ func TwoJobSweep(reps int) (SweepGrid, SweepCellFunc) {
 // pressure scenario: primitive x th allocation x preemption point x
 // repetition (27 cells per repetition), the grid behind Figures 3 and 4.
 func PressureSweep(reps int) (SweepGrid, SweepCellFunc) {
-	g := sweep.NewGrid(
-		sweep.Stringers("prim", core.Primitives()...),
-		sweep.Ints("th_mem_mb", 0, 1024, 2048),
-		sweep.Floats("r", 25, 50, 75),
-		sweep.Reps(reps),
-	).Pair("prim")
-	run := func(pt SweepPoint, rec *SweepRecorder) error {
-		return experiments.TwoJobCellInto(pt,
-			experiments.WorstCaseMemory, int64(pt.Int("th_mem_mb"))<<20, rec)
-	}
-	return g, run
+	return experiments.PressureGrid(reps), experiments.PressureCellInto
 }
 
 // ClusterSweep returns the canned grid and runner for the cluster-scale
@@ -133,26 +145,47 @@ func PressureSweep(reps int) (SweepGrid, SweepCellFunc) {
 // per repetition). Every cell boots an isolated cluster, installs a
 // deterministic SWIM-style workload of jobs jobs, runs it to completion
 // and reports sojourn statistics, preemption counts and swap traffic.
-func ClusterSweep(jobs, reps int) (SweepGrid, SweepCellFunc) {
+//
+// Passing eviction policies adds an "evict" axis and restricts the
+// scheduler axis to the preempting schedulers (fair, hfsp), so
+// victim-selection policies get the same grid coverage as the two-job
+// scenario; FIFO never preempts, which would make the axis inert.
+func ClusterSweep(jobs, reps int, evictionPolicies ...string) (SweepGrid, SweepCellFunc) {
 	if jobs <= 0 {
 		jobs = 12
 	}
-	g := sweep.NewGrid(
-		sweep.Strings("sched", "fifo", "fair", "hfsp"),
+	axes := []SweepAxis{sweep.Strings("sched", "fifo", "fair", "hfsp")}
+	paired := []string{"sched"}
+	if len(evictionPolicies) > 0 {
+		axes = []SweepAxis{
+			sweep.Strings("sched", "fair", "hfsp"),
+			sweep.Strings("evict", evictionPolicies...),
+		}
+		// Pairing the policy axis gives every policy the identical
+		// workload draw, so outcome differences are pure policy effect —
+		// the paper's paired-comparison methodology.
+		paired = append(paired, "evict")
+	}
+	axes = append(axes,
 		sweep.Ints("nodes", 1, 2, 4),
 		sweep.Strings("mix", "interactive", "mixed", "batch"),
 		sweep.Reps(reps),
-	).Pair("sched")
+	)
+	g := sweep.NewGrid(axes...).Pair(paired...)
 	run := func(pt SweepPoint, rec *SweepRecorder) error {
 		kinds := map[string]SchedulerKind{
 			"fifo": SchedulerFIFO, "fair": SchedulerFair, "hfsp": SchedulerHFSP,
 		}
-		c, err := New(Options{
+		opts := Options{
 			Nodes:           pt.Int("nodes"),
 			MapSlotsPerNode: 2,
 			Scheduler:       kinds[pt.Label("sched")],
 			Seed:            pt.Seed,
-		})
+		}
+		if len(evictionPolicies) > 0 {
+			opts.EvictionPolicy = pt.Label("evict")
+		}
+		c, err := New(opts)
 		if err != nil {
 			return err
 		}
@@ -193,6 +226,80 @@ func ClusterSweep(jobs, reps int) (SweepGrid, SweepCellFunc) {
 	}
 	return g, run
 }
+
+// EvictionPolicyNames lists the victim-selection policies the evict
+// sweep covers by default.
+func EvictionPolicyNames() []string {
+	return []string{"most-progress", "least-progress", "smallest-memory", "largest-memory"}
+}
+
+// --- Execution backends -----------------------------------------------
+
+// SimSweep resolves a named simulator scenario to an execution backend:
+// "twojob", "pressure", "cluster", or "evict" (the cluster grid with
+// the eviction-policy axis). The sim backend is the pre-existing sweep
+// path behind the committed goldens; its output is byte-identical to
+// the direct grid runners at any parallelism level.
+func SimSweep(scenario string, jobs, reps int) (SweepBackend, error) {
+	switch scenario {
+	case "twojob", "pressure":
+		return experiments.SimBackend(scenario, reps)
+	case "cluster":
+		g, run := ClusterSweep(jobs, reps)
+		return sweep.FuncBackend{Engine: experiments.SimBackendName, G: g, Run: run}, nil
+	case "evict":
+		g, run := ClusterSweep(jobs, reps, EvictionPolicyNames()...)
+		return sweep.FuncBackend{Engine: experiments.SimBackendName, G: g, Run: run}, nil
+	default:
+		return nil, fmt.Errorf("hadooppreempt: unknown sim scenario %q (want twojob, pressure, cluster or evict)", scenario)
+	}
+}
+
+// SWIMTraceJob is one job of a parsed SWIM trace file.
+type SWIMTraceJob = workload.TraceJob
+
+// ParseSWIMTrace reads a SWIM-format workload trace (one job per line:
+// id, submit time, inter-arrival, input/shuffle/output bytes).
+func ParseSWIMTrace(r io.Reader) ([]SWIMTraceJob, error) {
+	return workload.ParseTrace(r)
+}
+
+// ReadSWIMTraceFile parses the SWIM trace at the given path.
+func ReadSWIMTraceFile(path string) ([]SWIMTraceJob, error) {
+	return workload.ReadTraceFile(path)
+}
+
+// ReplayConfig configures the trace-replay backend.
+type ReplayConfig = workload.ReplayConfig
+
+// ReplaySweep builds the backend that replays a SWIM trace through
+// simulated clusters, one trace shard per grid cell. Replay cells
+// derive their seeds from grid coordinates like every other backend, so
+// replay output is deterministic across -parallel and process shards.
+func ReplaySweep(cfg ReplayConfig) (SweepBackend, error) {
+	return workload.NewReplayBackend(cfg)
+}
+
+// RealExecConfig configures the real-process backend.
+type RealExecConfig = realexec.SweepConfig
+
+// RealExecSweep builds the backend that runs the two-job preemption
+// scenario on real OS processes (SIGTSTP/SIGCONT/SIGKILL), recording
+// the same metric names as the simulator's two-job cells so sim and
+// real aggregates compare in one table. The embedding binary must route
+// worker self-invocations: call realexec-style worker dispatch (see
+// IsRealExecWorker / RealExecWorkerMain) before flag parsing.
+func RealExecSweep(cfg RealExecConfig) (SweepBackend, error) {
+	return realexec.NewBackend(cfg)
+}
+
+// IsRealExecWorker reports whether this process was re-executed as a
+// real-backend worker and must call RealExecWorkerMain.
+func IsRealExecWorker() bool { return realexec.IsWorkerInvocation() }
+
+// RealExecWorkerMain runs the worker side of the real-process backend;
+// it does not return.
+func RealExecWorkerMain() { realexec.WorkerMain() }
 
 // workloadMix builds the named workload configuration: "mixed" is the
 // default interactive/batch blend, "interactive" and "batch" isolate one

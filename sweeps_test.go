@@ -112,6 +112,95 @@ func TestSweepShardMergeByteIdentical(t *testing.T) {
 	}
 }
 
+// TestSimSweepBackendMatchesCanned proves the backend repackaging of
+// the simulator path changed no bytes: SimSweep("twojob") renders
+// identically to the direct canned grid at any parallelism.
+func TestSimSweepBackendMatchesCanned(t *testing.T) {
+	b, err := hp.SimSweep("twojob", 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Name() != "sim" {
+		t.Errorf("backend name = %q, want sim", b.Name())
+	}
+	viaBackend, err := hp.RunSweepBackend(b, hp.SweepOptions{Parallel: 8, Seed: 1}, "rep")
+	if err != nil {
+		t.Fatal(err)
+	}
+	grid, run := hp.TwoJobSweep(1)
+	direct, err := hp.RunSweepCollapsed(grid, run, hp.SweepOptions{Parallel: 2, Seed: 1}, "rep")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got, want bytes.Buffer
+	if err := viaBackend.WriteCSV(&got); err != nil {
+		t.Fatal(err)
+	}
+	if err := direct.WriteCSV(&want); err != nil {
+		t.Fatal(err)
+	}
+	if got.String() != want.String() {
+		t.Fatal("SimSweep backend output differs from the canned twojob sweep")
+	}
+	if _, err := hp.SimSweep("nope", 0, 1); err == nil {
+		t.Fatal("unknown scenario should fail")
+	}
+}
+
+// TestEvictSweepCoversPolicies checks the eviction-policy axis: the
+// grid restricts to the preempting schedulers, carries one value per
+// policy, and a reduced slice runs to completion with the policy label
+// reaching the cluster.
+func TestEvictSweepCoversPolicies(t *testing.T) {
+	grid, run := hp.ClusterSweep(4, 1, "most-progress", "least-progress")
+	var sched, evict *hp.SweepAxis
+	for i, a := range grid.Axes {
+		switch a.Name {
+		case "sched":
+			sched = &grid.Axes[i]
+		case "evict":
+			evict = &grid.Axes[i]
+		case "nodes":
+			grid.Axes[i].Values = a.Values[:1]
+		case "mix":
+			grid.Axes[i].Values = a.Values[1:2]
+		}
+	}
+	if sched == nil || evict == nil {
+		t.Fatal("expected sched and evict axes")
+	}
+	if len(sched.Values) != 2 {
+		t.Fatalf("sched axis has %d values, want fair+hfsp only", len(sched.Values))
+	}
+	if len(evict.Values) != 2 {
+		t.Fatalf("evict axis has %d values, want 2 policies", len(evict.Values))
+	}
+	col, err := hp.RunSweepCollapsed(grid, run, hp.SweepOptions{Parallel: 4, Seed: 5}, "rep")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(col.Groups) != 4 {
+		t.Fatalf("groups = %d, want sched x evict = 4", len(col.Groups))
+	}
+	for _, g := range col.Groups {
+		if g.Metrics["sojourn_mean_s"].Mean <= 0 {
+			t.Errorf("%s: non-positive mean sojourn", g.Key)
+		}
+	}
+	// An unknown policy must surface as a cell error, proving the axis
+	// value actually reaches the cluster's eviction wiring.
+	badGrid, badRun := hp.ClusterSweep(2, 1, "no-such-policy")
+	for i, a := range badGrid.Axes {
+		switch a.Name {
+		case "sched", "nodes", "mix":
+			badGrid.Axes[i].Values = a.Values[:1]
+		}
+	}
+	if _, err := hp.RunSweepCollapsed(badGrid, badRun, hp.SweepOptions{Parallel: 1, Seed: 1}, "rep"); err == nil {
+		t.Fatal("unknown eviction policy should fail the cell")
+	}
+}
+
 // TestClusterSweepRuns smoke-tests the cluster-scale grid on a reduced
 // slice: every scheduler completes a small workload and reports sane
 // aggregates.
