@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet fmt fmt-check bench bench-golden sweep-check backend-check ci
+.PHONY: all build test vet fmt fmt-check bench bench-golden sweep-check backend-check dist-check ci
 
 all: build
 
@@ -70,6 +70,14 @@ backend-check:
 	/tmp/hadoopsim-ci -backend real -reps 1 -real-steps 10 -real-units 5000000 \
 		-format table | grep -q susp
 
+# Distributed parity (mirrors the CI distributed-parity job): a
+# coordinator plus two localhost workers — with artificially uneven
+# cell costs and a worker-kill/lease-reissue case — must reproduce the
+# single-process sweep byte for byte.
+dist-check:
+	$(GO) build -o /tmp/hadoopsim-ci ./cmd/hadoopsim
+	bash scripts/dist_parity.sh /tmp/hadoopsim-ci
+
 # Nightly full-grid gate: regenerate every sweep at the paper's 20
 # repetitions via 3 shards, merge, and diff against the committed
 # aggregate goldens; figures likewise at -reps 20. Run with UPDATE=1 to
@@ -89,4 +97,4 @@ nightly-grid:
 	$(if $(UPDATE),cp /tmp/figures-reps20.json goldens/figures_reps20.json,)
 	cmp goldens/figures_reps20.json /tmp/figures-reps20.json
 
-ci: build vet fmt-check test bench bench-golden sweep-check backend-check
+ci: build vet fmt-check test bench bench-golden sweep-check backend-check dist-check

@@ -7,20 +7,25 @@
 // Usage:
 //
 //	hadoopsim -config experiment.conf [-nodes N] [-slots S] [-seed X]
-//	hadoopsim -sweep twojob|pressure|cluster|evict [-parallel W] [-reps N]
-//	          [-seed X] [-format table|csv|json|series]
+//	hadoopsim -sweep twojob|pressure|cluster|evict|primitive [-parallel W]
+//	          [-reps N] [-seed X] [-format table|csv|json|series]
 //	hadoopsim -backend replay -trace trace.tsv [-trace-shards K]
-//	          [-replay-sched fifo|fair|hfsp] [-reps N] [-format F]
+//	          [-replay-sched fifo|fair|hfsp] [-replay-timescale F]
+//	          [-reps N] [-format F]
 //	hadoopsim -backend real [-reps N] [-real-steps N] [-real-units U]
 //	          [-real-mem BYTES] [-format F]
 //	hadoopsim [backend flags] -shard i/n > shard-i.json
 //	hadoopsim -merge [-format table|csv|json|series] shard-*.json
+//	hadoopsim [backend flags] -serve addr [-lease N] [-lease-ttl D] [-format F]
+//	hadoopsim [backend flags] -worker addr [-parallel W]
 //
 // Backends (-backend, default sim):
 //
 //	sim     the discrete-event simulator; -sweep picks the grid
 //	replay  SWIM trace replay: -trace splits into -trace-shards cells
 //	        per repetition, each replayed through an isolated cluster
+//	        (-replay-timescale F divides trace submission times, so
+//	        day-long traces run in bounded cells)
 //	real    the two-job scenario on real OS processes, preempted with
 //	        actual SIGTSTP/SIGCONT/SIGKILL (unix only; wall-clock, so
 //	        output is measured, not deterministic; cells run serially
@@ -29,10 +34,11 @@
 //
 // Sim sweep grids (before repetitions):
 //
-//	twojob    primitive x preemption point        (Figures 2a/2b)
-//	pressure  primitive x th memory x preemption  (Figures 3/4 regime)
-//	cluster   scheduler x nodes x workload mix    (cluster scale-out)
-//	evict     fair/hfsp x eviction policy x nodes x mix
+//	twojob     primitive x preemption point        (Figures 2a/2b)
+//	pressure   primitive x th memory x preemption  (Figures 3/4 regime)
+//	cluster    scheduler x nodes x workload mix    (cluster scale-out)
+//	evict      fair/hfsp x eviction policy x nodes x mix
+//	primitive  fair/hfsp x susp/kill x nodes x mix (seed-paired)
 //
 // Cell seeds derive from grid coordinates, not execution order, so for
 // the sim and replay backends -parallel 8 produces byte-identical
@@ -41,6 +47,18 @@
 // and emits a mergeable shard file on stdout, and -merge combines the
 // shard files of one sweep — in any order — into output byte-identical
 // to a single-process run.
+//
+// Distributed mode replaces static shards with dynamic scheduling: a
+// coordinator (-serve addr) partitions the grid into leases of -lease
+// cells and hands them to workers (-worker addr) over HTTP+JSON. Every
+// process is started with the same backend flags; the coordinator
+// verifies each worker sweeps the identical grid (structure and
+// content fingerprints) before leasing, re-issues leases whose worker
+// went silent past -lease-ttl, and lets fast workers steal outstanding
+// leases from stragglers (first result wins, duplicates discarded).
+// The merged output the coordinator prints is byte-identical to the
+// single-process sweep at any worker count, join order, steal or
+// re-issue history.
 //
 // Example configuration (the paper's two-job experiment at r=50%):
 //
@@ -56,6 +74,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -81,10 +100,11 @@ func main() {
 	deadline := flag.Duration("deadline", 2*time.Hour, "virtual-time budget")
 	width := flag.Int("width", 72, "gantt chart width")
 	backend := flag.String("backend", "sim", "execution backend: sim, replay or real")
-	sweepName := flag.String("sweep", "", "sim scenario grid to sweep: twojob, pressure, cluster or evict")
+	sweepName := flag.String("sweep", "", "sim scenario grid to sweep: twojob, pressure, cluster, evict or primitive")
 	tracePath := flag.String("trace", "", "SWIM trace file for the replay backend")
 	traceShards := flag.Int("trace-shards", 4, "trace shards per repetition (replay cells)")
 	replaySched := flag.String("replay-sched", "fifo", "replay cluster scheduler: fifo, fair or hfsp")
+	replayTimescale := flag.Float64("replay-timescale", 1, "replay backend: divide trace submission times by this factor")
 	realSteps := flag.Int("real-steps", 20, "real backend: progress steps per worker")
 	realUnits := flag.Int64("real-units", 2_000_000, "real backend: busy-loop iterations per step")
 	realMem := flag.Int64("real-mem", 0, "real backend: bytes of state each worker dirties")
@@ -93,8 +113,31 @@ func main() {
 	format := flag.String("format", "table", "sweep output format: table, csv, json or series")
 	shard := flag.String("shard", "", "run only slice i/n of the sweep and emit a mergeable shard file on stdout")
 	merge := flag.Bool("merge", false, "merge the shard files given as arguments and render with -format")
+	serveAddr := flag.String("serve", "", "coordinate a distributed sweep: listen on this address, lease cells to -worker processes, print the merged result")
+	workerAddr := flag.String("worker", "", "join the distributed-sweep coordinator at this address and execute leased cells")
+	leaseCells := flag.Int("lease", 8, "distributed mode: grid cells per lease")
+	leaseTTL := flag.Duration("lease-ttl", 30*time.Second, "distributed mode: how long a lease may stay outstanding before a silent worker's cells are reissued")
+	cellSleep := flag.Duration("cell-sleep", 0, "debug: sleep (1 + cell mod 3) x this per cell — artificially slow, uneven cells for exercising the distributed scheduler; results are unchanged")
 	flag.Parse()
 
+	f := sweepFlags{
+		cellSleep:       *cellSleep,
+		backend:         *backend,
+		scenario:        *sweepName,
+		trace:           *tracePath,
+		traceShards:     *traceShards,
+		replaySched:     *replaySched,
+		replayTimescale: *replayTimescale,
+		realSteps:       *realSteps,
+		realUnits:       *realUnits,
+		realMem:         *realMem,
+		parallel:        *parallel,
+		parallelSet:     flagSet("parallel"),
+		reps:            *reps,
+		seed:            *seed,
+		format:          *format,
+		shard:           *shard,
+	}
 	var err error
 	switch {
 	case *merge:
@@ -103,32 +146,43 @@ func main() {
 		} else {
 			err = runMerge(flag.Args(), *format)
 		}
+	case *serveAddr != "" && *workerAddr != "":
+		err = fmt.Errorf("-serve and -worker are different processes; pick one")
+	case *serveAddr != "":
+		if conflicting := configOnlyFlagsSet(); len(conflicting) > 0 {
+			err = fmt.Errorf("-serve cannot be combined with %s (config-mode flags)", strings.Join(conflicting, ", "))
+		} else if *shard != "" {
+			err = fmt.Errorf("-serve schedules cells dynamically; it cannot be combined with -shard")
+		} else {
+			err = runServe(f, *serveAddr, *leaseCells, *leaseTTL)
+		}
+	case *workerAddr != "":
+		switch {
+		case len(configOnlyFlagsSet()) > 0:
+			err = fmt.Errorf("-worker cannot be combined with %s (config-mode flags)",
+				strings.Join(configOnlyFlagsSet(), ", "))
+		case *shard != "" || flagSet("format"):
+			err = fmt.Errorf("-worker streams results to the coordinator; -shard and -format do not apply")
+		case flagSet("seed"):
+			err = fmt.Errorf("-worker takes the sweep seed from the coordinator; drop -seed")
+		case anyFlagSet("lease", "lease-ttl"):
+			err = fmt.Errorf("-lease and -lease-ttl are coordinator (-serve) flags")
+		default:
+			err = runWorker(f, *workerAddr)
+		}
 	case *sweepName != "" || anyFlagSet("backend", "trace", "trace-shards",
-		"replay-sched", "real-steps", "real-units", "real-mem"):
+		"replay-sched", "replay-timescale", "real-steps", "real-units", "real-mem", "cell-sleep"):
 		if conflicting := configOnlyFlagsSet(); len(conflicting) > 0 {
 			err = fmt.Errorf("sweep mode cannot be combined with %s (config-mode flags)",
 				strings.Join(conflicting, ", "))
+		} else if conflicting := distOnlyFlagsSet(); len(conflicting) > 0 {
+			err = fmt.Errorf("%s need -serve or -worker", strings.Join(conflicting, ", "))
 		} else if *shard != "" && flagSet("format") {
 			// A shard run always emits the shard-file form; merge
 			// applies -format.
 			err = fmt.Errorf("-shard emits a shard file, not -format output (render it via -merge)")
 		} else {
-			err = runSweep(sweepFlags{
-				backend:     *backend,
-				scenario:    *sweepName,
-				trace:       *tracePath,
-				traceShards: *traceShards,
-				replaySched: *replaySched,
-				realSteps:   *realSteps,
-				realUnits:   *realUnits,
-				realMem:     *realMem,
-				parallel:    *parallel,
-				parallelSet: flagSet("parallel"),
-				reps:        *reps,
-				seed:        *seed,
-				format:      *format,
-				shard:       *shard,
-			})
+			err = runSweep(f)
 		}
 	default:
 		err = run(*path, *nodes, *slots, *seed, *deadline, *width)
@@ -181,8 +235,22 @@ func sweepOnlyFlagsSet() []string {
 	flag.Visit(func(f *flag.Flag) {
 		switch f.Name {
 		case "sweep", "parallel", "reps", "seed", "shard", "backend",
-			"trace", "trace-shards", "replay-sched",
-			"real-steps", "real-units", "real-mem":
+			"trace", "trace-shards", "replay-sched", "replay-timescale",
+			"real-steps", "real-units", "real-mem",
+			"serve", "worker", "lease", "lease-ttl", "cell-sleep":
+			out = append(out, "-"+f.Name)
+		}
+	})
+	return out
+}
+
+// distOnlyFlagsSet lists explicitly set flags that only apply to the
+// distributed modes, so plain sweeps reject them.
+func distOnlyFlagsSet() []string {
+	var out []string
+	flag.Visit(func(f *flag.Flag) {
+		switch f.Name {
+		case "lease", "lease-ttl":
 			out = append(out, "-"+f.Name)
 		}
 	})
@@ -191,24 +259,35 @@ func sweepOnlyFlagsSet() []string {
 
 // sweepFlags carries the flag values of one sweep-mode invocation.
 type sweepFlags struct {
-	backend     string
-	scenario    string
-	trace       string
-	traceShards int
-	replaySched string
-	realSteps   int
-	realUnits   int64
-	realMem     int64
-	parallel    int
-	parallelSet bool
-	reps        int
-	seed        uint64
-	format      string
-	shard       string
+	cellSleep       time.Duration
+	backend         string
+	scenario        string
+	trace           string
+	traceShards     int
+	replaySched     string
+	replayTimescale float64
+	realSteps       int
+	realUnits       int64
+	realMem         int64
+	parallel        int
+	parallelSet     bool
+	reps            int
+	seed            uint64
+	format          string
+	shard           string
 }
 
-// buildBackend resolves the flag set to an execution backend.
+// buildBackend resolves the flag set to an execution backend,
+// decorated with the -cell-sleep debug cost when asked for.
 func buildBackend(f sweepFlags) (hp.SweepBackend, error) {
+	b, err := buildBareBackend(f)
+	if err != nil {
+		return nil, err
+	}
+	return hp.SlowSweep(b, f.cellSleep), nil
+}
+
+func buildBareBackend(f sweepFlags) (hp.SweepBackend, error) {
 	switch f.backend {
 	case "sim":
 		if f.trace != "" {
@@ -235,6 +314,7 @@ func buildBackend(f sweepFlags) (hp.SweepBackend, error) {
 			Shards:    f.traceShards,
 			Reps:      f.reps,
 			Scheduler: f.replaySched,
+			TimeScale: f.replayTimescale,
 		})
 	case "real":
 		if f.scenario != "" || f.trace != "" {
@@ -276,6 +356,48 @@ func runSweep(f sweepFlags) error {
 		return col.WriteShard(os.Stdout)
 	}
 	return col.Write(os.Stdout, f.format)
+}
+
+// runServe coordinates a distributed sweep: partition the grid into
+// leases, hand them to workers, merge their uploads and render the
+// result — byte-identical to runSweep at any worker count.
+func runServe(f sweepFlags, addr string, leaseCells int, ttl time.Duration) error {
+	b, err := buildBackend(f)
+	if err != nil {
+		return err
+	}
+	logf := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "coord: "+format+"\n", args...)
+	}
+	col, err := hp.DistributedSweep(context.Background(), b, hp.DistributedOptions{
+		Addr:       addr,
+		Seed:       f.seed,
+		LeaseCells: leaseCells,
+		LeaseTTL:   ttl,
+		Logf:       logf,
+	}, "rep")
+	if err != nil {
+		return err
+	}
+	return col.Write(os.Stdout, f.format)
+}
+
+// runWorker joins a coordinator and executes leased cells with the
+// locally constructed backend until the sweep completes.
+func runWorker(f sweepFlags, addr string) error {
+	b, err := buildBackend(f)
+	if err != nil {
+		return err
+	}
+	if f.backend == "real" && !f.parallelSet {
+		// Same rule as runSweep: real cells measure wall-clock time, so
+		// they run serially unless concurrency is asked for explicitly.
+		f.parallel = 1
+	}
+	logf := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "worker: "+format+"\n", args...)
+	}
+	return hp.DistributedSweepWorker(context.Background(), addr, b, f.parallel, logf)
 }
 
 // runMerge combines the shard files of one sweep into the full result

@@ -1,0 +1,128 @@
+// Package coord turns the sweep harness into an elastic multi-machine
+// grid engine. A coordinator serves lease-based work units — batches of
+// grid cell indices — over a small HTTP+JSON protocol, and workers run
+// any sweep.Backend locally, streaming shard-encoded group aggregates
+// back. Leases are re-issued when a worker goes silent past the lease
+// TTL, and speculatively duplicated — "stolen" — when a worker drains
+// the queue early, so uneven cell costs never leave capacity idle.
+//
+// The coordinator accepts the first result per lease and discards
+// duplicates. Because cell seeds derive from grid coordinates (see
+// sweep.Grid.Points), the accepted result for a lease is identical no
+// matter which worker ran it, and the final merge — sweep.MergeSubsets
+// over raw per-group sample multisets, in lease order — is
+// byte-identical to a single-process sweep regardless of worker count,
+// join order, steals or re-issues.
+//
+// Protocol (all endpoints POST JSON, rooted at /v1):
+//
+//	/v1/join    worker introduces itself; the coordinator verifies the
+//	            worker enumerates the same grid (structure fingerprint,
+//	            cell count, backend name and content fingerprint) and
+//	            replies with the sweep seed and collapse axes.
+//	/v1/lease   worker asks for work; the coordinator replies with a
+//	            lease (id + cell indices), wait (poll again shortly),
+//	            done (sweep complete) or abort (another worker failed).
+//	/v1/result  worker uploads a lease's result as a shard-encoded
+//	            Collapsed (sweep.WriteShard bytes), or reports the cell
+//	            error that stopped it.
+package coord
+
+import (
+	"encoding/json"
+
+	"hadooppreempt/internal/sweep"
+)
+
+// protocolVersion guards against coordinator/worker skew; bump it when
+// the wire format changes.
+const protocolVersion = 1
+
+// Lease-response statuses.
+const (
+	statusLease = "lease"
+	statusWait  = "wait"
+	statusDone  = "done"
+	statusAbort = "abort"
+)
+
+// joinRequest introduces a worker to the coordinator.
+type joinRequest struct {
+	Proto int `json:"proto"`
+	// Backend is the worker's execution engine name ("sim", "replay",
+	// "real").
+	Backend string `json:"backend"`
+	// Fingerprint is the worker's sweep.Grid.Fingerprint: proof the
+	// worker enumerates the same cells with the same seeds.
+	Fingerprint string `json:"fingerprint"`
+	// BackendFP is the backend's content fingerprint (see
+	// Fingerprinter), covering data the grid structure cannot — e.g.
+	// the replay trace. Empty when the backend does not implement it.
+	BackendFP string `json:"backend_fp,omitempty"`
+	// Cells is the worker's grid size, a cheap cross-check.
+	Cells int `json:"cells"`
+}
+
+// joinResponse hands the worker its identity and the sweep parameters
+// the coordinator governs.
+type joinResponse struct {
+	Worker   string   `json:"worker"`
+	Seed     uint64   `json:"seed"`
+	Collapse []string `json:"collapse,omitempty"`
+}
+
+// leaseRequest asks for the next work unit.
+type leaseRequest struct {
+	Worker string `json:"worker"`
+}
+
+// leaseResponse is one of: a lease, a wait hint, done, or abort.
+type leaseResponse struct {
+	Status  string `json:"status"`
+	Lease   int    `json:"lease,omitempty"`
+	Cells   []int  `json:"cells,omitempty"`
+	RetryMS int    `json:"retry_ms,omitempty"`
+	Error   string `json:"error,omitempty"`
+}
+
+// resultRequest uploads a lease's outcome: either the shard-encoded
+// Collapsed bytes or the error that stopped the worker.
+type resultRequest struct {
+	Worker string          `json:"worker"`
+	Lease  int             `json:"lease"`
+	Error  string          `json:"error,omitempty"`
+	Shard  json.RawMessage `json:"shard,omitempty"`
+}
+
+// resultResponse acknowledges an upload. Accepted is false for
+// duplicates (a stolen lease's losing copy) — not an error. Done tells
+// the worker the whole sweep is complete so it need not poll again.
+type resultResponse struct {
+	Accepted bool `json:"accepted"`
+	Done     bool `json:"done"`
+}
+
+// errorResponse carries a protocol-level rejection (join refused,
+// unknown lease).
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// Fingerprinter lets a backend contribute a content signature to the
+// join compatibility check. Grid fingerprints cover structure only; a
+// backend whose cells depend on external data — the replay backend's
+// trace file — should implement Fingerprint over that data so workers
+// holding a different copy are rejected instead of silently corrupting
+// the merge.
+type Fingerprinter interface {
+	Fingerprint() string
+}
+
+// BackendFingerprint returns the backend's content fingerprint, or ""
+// when the backend does not implement Fingerprinter.
+func BackendFingerprint(b sweep.Backend) string {
+	if f, ok := b.(Fingerprinter); ok {
+		return f.Fingerprint()
+	}
+	return ""
+}

@@ -1,0 +1,377 @@
+package coord
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"hadooppreempt/internal/sim"
+	"hadooppreempt/internal/sweep"
+)
+
+// testBackend is a deterministic synthetic backend: measurements derive
+// purely from each cell's seed and coordinates, so every worker — and
+// the single-process reference run — computes identical values.
+type testBackend struct {
+	g     sweep.Grid
+	delay time.Duration
+}
+
+func (b *testBackend) Name() string              { return "test" }
+func (b *testBackend) Grid() (sweep.Grid, error) { return b.g, nil }
+func (b *testBackend) Cell(pt sweep.Point, rec *sweep.Recorder) error {
+	if b.delay > 0 {
+		time.Sleep(b.delay)
+	}
+	rng := pt.RNG()
+	rec.Observe("m0", float64(pt.Index)+rng.Float64())
+	if pt.Seed%3 != 0 {
+		rec.Observe("m1", rng.Float64()*1e9)
+	}
+	if pt.Seed%2 == 0 {
+		rec.Label("flag", fmt.Sprintf("cell-%d", pt.Index))
+	}
+	return nil
+}
+
+// randomGrid mirrors the sweep package's property-test generator.
+func randomGrid(rng *sim.RNG) sweep.Grid {
+	axes := 1 + rng.Intn(3)
+	g := sweep.Grid{}
+	for a := 0; a < axes; a++ {
+		name := fmt.Sprintf("ax%d", a)
+		size := 1 + rng.Intn(4)
+		labels := make([]string, size)
+		for v := range labels {
+			labels[v] = fmt.Sprintf("v%d", v)
+		}
+		g.Axes = append(g.Axes, sweep.Strings(name, labels...))
+	}
+	if rng.Intn(3) == 0 {
+		g = g.Pair(g.Axes[rng.Intn(len(g.Axes))].Name)
+	}
+	return g
+}
+
+func randomCollapse(rng *sim.RNG, g sweep.Grid) []string {
+	var out []string
+	for _, a := range g.Axes {
+		if rng.Intn(2) == 0 {
+			out = append(out, a.Name)
+		}
+	}
+	return out
+}
+
+// encodeAll renders a collapsed result in every output format.
+func encodeAll(t *testing.T, c *sweep.Collapsed) string {
+	t.Helper()
+	var out bytes.Buffer
+	for _, format := range []string{"csv", "json", "table", "series"} {
+		if err := c.Write(&out, format); err != nil {
+			if format == "series" && strings.Contains(err.Error(), "at least one surviving axis") {
+				continue // fully collapsed grids have no series form
+			}
+			t.Fatal(err)
+		}
+	}
+	return out.String()
+}
+
+// startCoordinator brings a coordinator up on a loopback port.
+func startCoordinator(t *testing.T, cfg Config, g sweep.Grid, seed uint64, collapse ...string) *Coordinator {
+	t.Helper()
+	cfg.Addr = "127.0.0.1:0"
+	if cfg.DoneGrace == 0 {
+		cfg.DoneGrace = 200 * time.Millisecond
+	}
+	c := New(cfg)
+	if err := c.Start(g, seed, collapse...); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	return c
+}
+
+// TestDistributedMatchesSingleProcessProperty is the acceptance
+// criterion with everything randomized: for random grids, collapse
+// sets, seeds, lease sizes, worker counts and join order, the
+// coordinator's merged result renders byte-identically to a
+// single-process sweep in every format.
+func TestDistributedMatchesSingleProcessProperty(t *testing.T) {
+	rng := sim.NewRNG(20260728)
+	for trial := 0; trial < 12; trial++ {
+		g := randomGrid(rng)
+		collapse := randomCollapse(rng, g)
+		seed := rng.Uint64()
+		b := &testBackend{g: g}
+		want, err := sweep.RunBackend(b, sweep.Options{Parallel: 4, Seed: seed}, collapse...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := startCoordinator(t, Config{
+			LeaseCells:  1 + rng.Intn(3),
+			LeaseTTL:    time.Minute,
+			BackendName: "test",
+		}, g, seed, collapse...)
+		workers := 1 + rng.Intn(3)
+		var wg sync.WaitGroup
+		errs := make([]error, workers)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			delay := time.Duration(rng.Intn(20)) * time.Millisecond
+			go func(w int) {
+				defer wg.Done()
+				time.Sleep(delay) // randomize join order
+				errs[w] = RunWorker(context.Background(), WorkerConfig{
+					Addr:     c.Addr(),
+					Backend:  &testBackend{g: g},
+					Parallel: 2,
+				})
+			}(w)
+		}
+		got, err := c.Wait(context.Background())
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		// Workers still polling (or still joining) hear "done" while the
+		// server is up; only then drain and stop it.
+		wg.Wait()
+		c.Drain()
+		for w, err := range errs {
+			if err != nil {
+				t.Fatalf("trial %d: worker %d: %v", trial, w, err)
+			}
+		}
+		if encodeAll(t, got) != encodeAll(t, want) {
+			t.Fatalf("trial %d (cells=%d workers=%d): distributed output differs from single-process",
+				trial, g.Size(), workers)
+		}
+	}
+}
+
+// rawClient speaks the wire protocol directly so tests can act as a
+// worker that misbehaves (takes a lease and goes silent, or reports
+// very late).
+type rawClient struct {
+	t    *testing.T
+	base string
+	id   joinResponse
+}
+
+func newRawClient(t *testing.T, c *Coordinator, g sweep.Grid) *rawClient {
+	t.Helper()
+	rc := &rawClient{t: t, base: "http://" + c.Addr()}
+	err := post(context.Background(), http.DefaultClient, rc.base+"/v1/join", joinRequest{
+		Proto:       protocolVersion,
+		Backend:     "test",
+		Fingerprint: g.Fingerprint(),
+		Cells:       g.Size(),
+	}, &rc.id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rc
+}
+
+func (rc *rawClient) lease() leaseResponse {
+	rc.t.Helper()
+	var lr leaseResponse
+	if err := post(context.Background(), http.DefaultClient, rc.base+"/v1/lease",
+		leaseRequest{Worker: rc.id.Worker}, &lr); err != nil {
+		rc.t.Fatal(err)
+	}
+	return lr
+}
+
+func (rc *rawClient) upload(g sweep.Grid, lr leaseResponse, parallel int) resultResponse {
+	rc.t.Helper()
+	b := &testBackend{g: g}
+	col, err := sweep.RunCells(g, b.Cell, rc.id.Seed, parallel, lr.Cells, rc.id.Collapse...)
+	if err != nil {
+		rc.t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := col.WriteShard(&buf); err != nil {
+		rc.t.Fatal(err)
+	}
+	var rr resultResponse
+	if err := post(context.Background(), http.DefaultClient, rc.base+"/v1/result",
+		resultRequest{Worker: rc.id.Worker, Lease: lr.Lease, Shard: buf.Bytes()}, &rr); err != nil {
+		rc.t.Fatal(err)
+	}
+	return rr
+}
+
+// TestLeaseExpiryReissue: a worker takes a lease and vanishes; after
+// the TTL the coordinator re-queues it, a healthy worker finishes the
+// sweep, and the output is still byte-identical to single-process.
+func TestLeaseExpiryReissue(t *testing.T) {
+	g := sweep.NewGrid(sweep.Strings("a", "x", "y"), sweep.Reps(4))
+	want, err := sweep.RunBackend(&testBackend{g: g}, sweep.Options{Parallel: 2, Seed: 9}, "rep")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := startCoordinator(t, Config{LeaseCells: 2, LeaseTTL: 100 * time.Millisecond}, g, 9, "rep")
+	dead := newRawClient(t, c, g)
+	if lr := dead.lease(); lr.Status != statusLease {
+		t.Fatalf("dead worker got %q, want a lease", lr.Status)
+	}
+	// The dead worker never reports. A healthy worker joins after the
+	// TTL has expired the lease.
+	time.Sleep(150 * time.Millisecond)
+	if err := RunWorker(context.Background(), WorkerConfig{Addr: c.Addr(), Backend: &testBackend{g: g}, Parallel: 2}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Wait(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := c.Stats(); st.Reissues < 1 {
+		t.Fatalf("expected at least one reissue, stats %+v", st)
+	}
+	if encodeAll(t, got) != encodeAll(t, want) {
+		t.Fatal("output differs after lease reissue")
+	}
+}
+
+// TestStealAndDuplicateDiscard: a slow worker holds a lease while a
+// fast worker drains the queue; the fast worker steals the outstanding
+// lease, and the slow worker's late upload is discarded without
+// changing the output.
+func TestStealAndDuplicateDiscard(t *testing.T) {
+	g := sweep.NewGrid(sweep.Strings("a", "x", "y"), sweep.Reps(3))
+	want, err := sweep.RunBackend(&testBackend{g: g}, sweep.Options{Parallel: 2, Seed: 5}, "rep")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := startCoordinator(t, Config{LeaseCells: 2, LeaseTTL: time.Minute}, g, 5, "rep")
+	slow := newRawClient(t, c, g)
+	held := slow.lease()
+	if held.Status != statusLease {
+		t.Fatalf("slow worker got %q, want a lease", held.Status)
+	}
+	// Fast worker drains the queue; with the held lease outstanding and
+	// the TTL far away, finishing requires stealing it.
+	if err := RunWorker(context.Background(), WorkerConfig{Addr: c.Addr(), Backend: &testBackend{g: g}, Parallel: 2}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Wait(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The slow worker finally reports its (correct) result — discarded.
+	if rr := slow.upload(g, held, 1); rr.Accepted {
+		t.Fatal("late duplicate result was accepted")
+	}
+	// A straggler's error for a lease someone else completed is equally
+	// irrelevant: it must be discarded, not abort the finished sweep.
+	var rr resultResponse
+	if err := post(context.Background(), http.DefaultClient, slow.base+"/v1/result",
+		resultRequest{Worker: slow.id.Worker, Lease: held.Lease, Error: "late transient failure"}, &rr); err != nil {
+		t.Fatal(err)
+	}
+	if rr.Accepted {
+		t.Fatal("late error was accepted")
+	}
+	if _, err := c.Wait(context.Background()); err != nil {
+		t.Fatalf("late error for a done lease aborted the sweep: %v", err)
+	}
+	st := c.Stats()
+	if st.Steals < 1 || st.Duplicates < 1 {
+		t.Fatalf("expected a steal and a discarded duplicate, stats %+v", st)
+	}
+	if encodeAll(t, got) != encodeAll(t, want) {
+		t.Fatal("output differs after steal + duplicate discard")
+	}
+}
+
+// TestJoinRejectsMismatchedWorker: a worker sweeping a different grid
+// (or a different backend) is refused at join, before any lease.
+func TestJoinRejectsMismatchedWorker(t *testing.T) {
+	g := sweep.NewGrid(sweep.Strings("a", "x", "y"), sweep.Reps(2))
+	c := startCoordinator(t, Config{BackendName: "test", LeaseTTL: time.Minute}, g, 1, "rep")
+	other := sweep.NewGrid(sweep.Strings("a", "x", "z"), sweep.Reps(2))
+	err := RunWorker(context.Background(), WorkerConfig{
+		Addr: c.Addr(), Backend: &testBackend{g: other}, JoinWindow: time.Second,
+	})
+	if err == nil || !strings.Contains(err.Error(), "fingerprint") {
+		t.Fatalf("mismatched grid joined: %v", err)
+	}
+	c.fail(fmt.Errorf("test over"))
+}
+
+// failBackend errors on one cell.
+type failBackend struct{ g sweep.Grid }
+
+func (b *failBackend) Name() string              { return "test" }
+func (b *failBackend) Grid() (sweep.Grid, error) { return b.g, nil }
+func (b *failBackend) Cell(pt sweep.Point, rec *sweep.Recorder) error {
+	if pt.Index == 1 {
+		return fmt.Errorf("synthetic cell failure")
+	}
+	rec.Observe("m0", 1)
+	return nil
+}
+
+// TestWorkerCellErrorAbortsSweep: a deterministic cell error stops the
+// sweep with the error surfaced at the coordinator, and later workers
+// are told to abort.
+func TestWorkerCellErrorAbortsSweep(t *testing.T) {
+	g := sweep.NewGrid(sweep.Strings("a", "x", "y"), sweep.Reps(2))
+	c := startCoordinator(t, Config{LeaseCells: 4, LeaseTTL: time.Minute}, g, 1, "rep")
+	err := RunWorker(context.Background(), WorkerConfig{Addr: c.Addr(), Backend: &failBackend{g: g}, Parallel: 1})
+	if err == nil || !strings.Contains(err.Error(), "synthetic cell failure") {
+		t.Fatalf("worker error = %v, want the cell failure", err)
+	}
+	if _, err := c.Wait(context.Background()); err == nil || !strings.Contains(err.Error(), "synthetic cell failure") {
+		t.Fatalf("coordinator error = %v, want the cell failure", err)
+	}
+	err = RunWorker(context.Background(), WorkerConfig{Addr: c.Addr(), Backend: &testBackend{g: g}, Parallel: 1})
+	if err == nil || !strings.Contains(err.Error(), "aborted") {
+		t.Fatalf("late worker error = %v, want abort", err)
+	}
+}
+
+// TestDispatchBackendViaCoordinator drives the coordinator through the
+// same sweep.DispatchBackend entry point the facade uses.
+func TestDispatchBackendViaCoordinator(t *testing.T) {
+	g := sweep.NewGrid(sweep.Strings("a", "x", "y", "z"), sweep.Reps(2))
+	b := &testBackend{g: g}
+	want, err := sweep.RunBackend(b, sweep.Options{Parallel: 2, Seed: 3}, "rep")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := New(Config{Addr: "127.0.0.1:0", LeaseCells: 2, LeaseTTL: time.Minute, DoneGrace: 200 * time.Millisecond})
+	var got *sweep.Collapsed
+	var dispatchErr error
+	donec := make(chan struct{})
+	go func() {
+		defer close(donec)
+		got, dispatchErr = sweep.DispatchBackend(b, c, 3, "rep")
+	}()
+	// Wait for the listener, then serve the sweep with one worker.
+	var addr string
+	for i := 0; i < 100 && addr == ""; i++ {
+		time.Sleep(10 * time.Millisecond)
+		addr = c.Addr()
+	}
+	if addr == "" {
+		t.Fatal("coordinator never bound")
+	}
+	if err := RunWorker(context.Background(), WorkerConfig{Addr: addr, Backend: &testBackend{g: g}, Parallel: 2}); err != nil {
+		t.Fatal(err)
+	}
+	<-donec
+	if dispatchErr != nil {
+		t.Fatal(dispatchErr)
+	}
+	if encodeAll(t, got) != encodeAll(t, want) {
+		t.Fatal("DispatchBackend output differs from RunBackend")
+	}
+}

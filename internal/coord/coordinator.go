@@ -1,0 +1,527 @@
+package coord
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"slices"
+	"sync"
+	"time"
+
+	"hadooppreempt/internal/sweep"
+)
+
+// Config tunes a coordinator.
+type Config struct {
+	// Addr is the TCP listen address, e.g. ":9090" or "127.0.0.1:0".
+	Addr string
+	// LeaseCells is the number of grid cells per lease (default 8).
+	// Smaller leases balance uneven cell costs better at the price of
+	// more round trips.
+	LeaseCells int
+	// LeaseTTL bounds how long a lease may stay outstanding without a
+	// result before it is re-queued for another worker (default 30s).
+	LeaseTTL time.Duration
+	// MaxIssues caps how many workers may run one lease concurrently
+	// via stealing (default 2: the original holder plus one thief).
+	MaxIssues int
+	// DoneGrace bounds how long Drain waits for joined workers to hear
+	// the sweep is over before the server stops (default 2s).
+	DoneGrace time.Duration
+	// BackendName, when set, must match joining workers' backend name.
+	BackendName string
+	// BackendFP, when set, must match joining workers' backend content
+	// fingerprint (see Fingerprinter).
+	BackendFP string
+	// Context, when set, cancels Dispatch (default context.Background).
+	Context context.Context
+	// OnListen, when set, receives the bound listen address once the
+	// server is up — the way to learn the port of an ":0" Addr.
+	OnListen func(addr string)
+	// Logf, when set, receives progress lines (joins, leases, steals,
+	// re-issues, completions).
+	Logf func(format string, args ...any)
+}
+
+// Stats counts scheduling events, for tests and operator logs.
+type Stats struct {
+	// Workers is the number of workers that joined.
+	Workers int
+	// Leases is the number of work units the grid was partitioned into.
+	Leases int
+	// Reissues counts leases re-queued after their TTL expired with no
+	// result (worker loss).
+	Reissues int
+	// Steals counts speculative duplicate issues of outstanding leases
+	// to workers that drained the queue early.
+	Steals int
+	// Duplicates counts uploaded results discarded because another
+	// worker completed the lease first.
+	Duplicates int
+}
+
+// lease is one work unit: a batch of grid cell indices.
+type lease struct {
+	id    int
+	cells []int
+	// expected holds the per-group cell counts a correct result must
+	// report, precomputed from the grid geometry.
+	expected map[int]int
+	done     bool
+	result   *sweep.Collapsed
+	// issues holds the expiry times of the active issues of this lease
+	// (one per worker currently running it).
+	issues []time.Time
+	queued bool
+}
+
+// Coordinator serves lease-based work units for one sweep and merges
+// the results. Create with New, then either call Dispatch (it
+// implements sweep.Dispatcher) or Start/Wait/Drain separately.
+type Coordinator struct {
+	cfg Config
+
+	mu        sync.Mutex
+	started   bool
+	seed      uint64
+	collapse  []string
+	fp        string
+	cells     int
+	skeleton  *sweep.Collapsed
+	leases    []*lease
+	pending   []int
+	remaining int
+	workers   map[string]bool // worker id -> has been told the sweep is over
+	stats     Stats
+	failed    error
+	finish    sync.Once
+	done      chan struct{}
+	ln        net.Listener
+	srv       *http.Server
+}
+
+// New builds a coordinator; Start (or Dispatch) binds it to a grid.
+func New(cfg Config) *Coordinator {
+	if cfg.LeaseCells < 1 {
+		cfg.LeaseCells = 8
+	}
+	if cfg.LeaseTTL <= 0 {
+		cfg.LeaseTTL = 30 * time.Second
+	}
+	if cfg.MaxIssues < 1 {
+		cfg.MaxIssues = 2
+	}
+	if cfg.DoneGrace <= 0 {
+		cfg.DoneGrace = 2 * time.Second
+	}
+	return &Coordinator{
+		cfg:     cfg,
+		workers: make(map[string]bool),
+		done:    make(chan struct{}),
+	}
+}
+
+func (c *Coordinator) logf(format string, args ...any) {
+	if c.cfg.Logf != nil {
+		c.cfg.Logf(format, args...)
+	}
+}
+
+// Start partitions the grid into leases and begins serving the
+// protocol. It returns once the listener is bound (see Addr), so
+// workers started afterwards cannot miss it.
+func (c *Coordinator) Start(g sweep.Grid, seed uint64, collapse ...string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.started {
+		return fmt.Errorf("coord: coordinator already started")
+	}
+	// Both fallible steps come before any state mutation, so a failed
+	// Start (bad grid, port in use) leaves the coordinator clean for a
+	// retry instead of with doubled lease state.
+	skel, err := sweep.Skeleton(g, seed, collapse...)
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", c.cfg.Addr)
+	if err != nil {
+		return fmt.Errorf("coord: listen %s: %w", c.cfg.Addr, err)
+	}
+	c.skeleton = skel
+	c.seed = seed
+	c.collapse = append([]string(nil), collapse...)
+	c.fp = g.Fingerprint()
+	c.cells = skel.Cells()
+	for lo := 0; lo < c.cells; lo += c.cfg.LeaseCells {
+		hi := lo + c.cfg.LeaseCells
+		if hi > c.cells {
+			hi = c.cells
+		}
+		l := &lease{id: len(c.leases), expected: make(map[int]int)}
+		for cell := lo; cell < hi; cell++ {
+			l.cells = append(l.cells, cell)
+			gi, _ := skel.GroupOfCell(cell)
+			l.expected[gi]++
+		}
+		l.queued = true
+		c.leases = append(c.leases, l)
+		c.pending = append(c.pending, l.id)
+	}
+	c.remaining = len(c.leases)
+	c.stats.Leases = len(c.leases)
+	c.ln = ln
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/join", c.handleJoin)
+	mux.HandleFunc("POST /v1/lease", c.handleLease)
+	mux.HandleFunc("POST /v1/result", c.handleResult)
+	c.srv = &http.Server{Handler: mux}
+	go c.srv.Serve(ln)
+	c.started = true
+	c.logf("serving %d cells as %d leases of <=%d on %s",
+		c.cells, len(c.leases), c.cfg.LeaseCells, ln.Addr())
+	if c.cfg.OnListen != nil {
+		c.cfg.OnListen(ln.Addr().String())
+	}
+	return nil
+}
+
+// Addr returns the bound listen address (useful with ":0").
+func (c *Coordinator) Addr() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.ln == nil {
+		return ""
+	}
+	return c.ln.Addr().String()
+}
+
+// Stats returns a snapshot of the scheduling counters.
+func (c *Coordinator) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// Wait blocks until every lease has a result (or a worker reported a
+// cell error, or ctx is cancelled) and returns the merged sweep,
+// byte-identical to a single-process run. The server keeps answering
+// "done" to stragglers until Drain or Close.
+func (c *Coordinator) Wait(ctx context.Context) (*sweep.Collapsed, error) {
+	select {
+	case <-c.done:
+	case <-ctx.Done():
+		c.fail(fmt.Errorf("coord: %w", ctx.Err()))
+		return nil, ctx.Err()
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.failed != nil {
+		return nil, c.failed
+	}
+	parts := make([]*sweep.Collapsed, len(c.leases))
+	for i, l := range c.leases {
+		parts[i] = l.result
+	}
+	merged, err := sweep.MergeSubsets(parts...)
+	if err != nil {
+		return nil, fmt.Errorf("coord: merging %d lease results: %w", len(parts), err)
+	}
+	return merged, nil
+}
+
+// Drain waits until every joined worker has been told the sweep is
+// over (capped by DoneGrace) and then stops the server, so short-lived
+// coordinator processes don't vanish mid-poll and turn clean worker
+// exits into connection errors.
+func (c *Coordinator) Drain() {
+	deadline := time.Now().Add(c.cfg.DoneGrace)
+	for time.Now().Before(deadline) {
+		c.mu.Lock()
+		all := true
+		for _, told := range c.workers {
+			if !told {
+				all = false
+			}
+		}
+		c.mu.Unlock()
+		if all {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	c.Close()
+}
+
+// Close stops the server immediately.
+func (c *Coordinator) Close() {
+	c.mu.Lock()
+	srv := c.srv
+	c.mu.Unlock()
+	if srv != nil {
+		srv.Close()
+	}
+}
+
+// Dispatch implements sweep.Dispatcher: it serves the grid to workers
+// and blocks until their merged result is ready. The run function is
+// deliberately unused — cells execute on workers, which construct the
+// same backend locally — but the signature lets distributed runs drive
+// the exact facade path local and sharded runs use.
+func (c *Coordinator) Dispatch(g sweep.Grid, run sweep.CellFunc, seed uint64, collapse ...string) (*sweep.Collapsed, error) {
+	_ = run
+	if err := c.Start(g, seed, collapse...); err != nil {
+		return nil, err
+	}
+	ctx := c.cfg.Context
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	col, err := c.Wait(ctx)
+	c.Drain()
+	return col, err
+}
+
+// fail records the first fatal error and releases Wait; subsequent
+// lease requests answer abort.
+func (c *Coordinator) fail(err error) {
+	c.mu.Lock()
+	if c.failed == nil {
+		c.failed = err
+	}
+	c.mu.Unlock()
+	c.finish.Do(func() { close(c.done) })
+}
+
+func respond(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}
+
+func reject(w http.ResponseWriter, status int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(errorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+func (c *Coordinator) handleJoin(w http.ResponseWriter, r *http.Request) {
+	var req joinRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		reject(w, http.StatusBadRequest, "coord: join: %v", err)
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	switch {
+	case req.Proto != protocolVersion:
+		reject(w, http.StatusConflict, "coord: protocol %d, want %d", req.Proto, protocolVersion)
+		return
+	case req.Fingerprint != c.fp:
+		reject(w, http.StatusConflict,
+			"coord: grid fingerprint mismatch: the worker enumerates a different sweep (check backend flags)")
+		return
+	case req.Cells != c.cells:
+		reject(w, http.StatusConflict, "coord: worker grid has %d cells, coordinator %d", req.Cells, c.cells)
+		return
+	case c.cfg.BackendName != "" && req.Backend != c.cfg.BackendName:
+		reject(w, http.StatusConflict, "coord: worker backend %q, coordinator %q", req.Backend, c.cfg.BackendName)
+		return
+	case req.BackendFP != c.cfg.BackendFP:
+		reject(w, http.StatusConflict,
+			"coord: backend content fingerprint mismatch (e.g. a different trace file on the worker)")
+		return
+	}
+	c.stats.Workers++
+	id := fmt.Sprintf("w%d", c.stats.Workers)
+	c.workers[id] = false
+	c.logf("worker %s joined", id)
+	respond(w, joinResponse{Worker: id, Seed: c.seed, Collapse: c.collapse})
+}
+
+func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
+	var req leaseRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		reject(w, http.StatusBadRequest, "coord: lease: %v", err)
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.failed != nil {
+		c.told(req.Worker)
+		respond(w, leaseResponse{Status: statusAbort, Error: c.failed.Error()})
+		return
+	}
+	c.reap(time.Now())
+	if c.remaining == 0 {
+		c.told(req.Worker)
+		respond(w, leaseResponse{Status: statusDone})
+		return
+	}
+	if len(c.pending) > 0 {
+		l := c.leases[c.pending[0]]
+		c.pending = c.pending[1:]
+		l.queued = false
+		l.issues = append(l.issues, time.Now().Add(c.cfg.LeaseTTL))
+		c.logf("lease %d (%d cells) -> %s", l.id, len(l.cells), req.Worker)
+		respond(w, leaseResponse{Status: statusLease, Lease: l.id, Cells: l.cells})
+		return
+	}
+	// The queue is dry but leases are still outstanding: steal — issue
+	// a speculative duplicate of the least-duplicated, earliest-expiring
+	// incomplete lease. The first uploaded result wins; both copies
+	// compute identical bytes, so the race never affects output.
+	var victim *lease
+	for _, l := range c.leases {
+		if l.done || len(l.issues) >= c.cfg.MaxIssues {
+			continue
+		}
+		if victim == nil || len(l.issues) < len(victim.issues) ||
+			(len(l.issues) == len(victim.issues) && l.issues[0].Before(victim.issues[0])) {
+			victim = l
+		}
+	}
+	if victim == nil {
+		respond(w, leaseResponse{Status: statusWait, RetryMS: 200})
+		return
+	}
+	victim.issues = append(victim.issues, time.Now().Add(c.cfg.LeaseTTL))
+	c.stats.Steals++
+	c.logf("lease %d stolen by %s (speculative duplicate %d)", victim.id, req.Worker, len(victim.issues))
+	respond(w, leaseResponse{Status: statusLease, Lease: victim.id, Cells: victim.cells})
+}
+
+// reap drops expired issues and re-queues incomplete leases nobody is
+// running anymore (worker loss). Callers hold mu.
+func (c *Coordinator) reap(now time.Time) {
+	for _, l := range c.leases {
+		if l.done {
+			continue
+		}
+		live := l.issues[:0]
+		for _, exp := range l.issues {
+			if exp.After(now) {
+				live = append(live, exp)
+			}
+		}
+		expired := len(l.issues) - len(live)
+		l.issues = live
+		if expired > 0 && len(l.issues) == 0 && !l.queued {
+			l.queued = true
+			c.pending = append(c.pending, l.id)
+			c.stats.Reissues++
+			c.logf("lease %d expired with no result, reissue", l.id)
+		}
+	}
+}
+
+func (c *Coordinator) handleResult(w http.ResponseWriter, r *http.Request) {
+	var req resultRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		reject(w, http.StatusBadRequest, "coord: result: %v", err)
+		return
+	}
+	c.mu.Lock()
+	if req.Lease < 0 || req.Lease >= len(c.leases) {
+		c.mu.Unlock()
+		reject(w, http.StatusBadRequest, "coord: unknown lease %d", req.Lease)
+		return
+	}
+	l := c.leases[req.Lease]
+	if req.Error != "" {
+		if l.done {
+			// Another worker already completed this lease (steal or
+			// reissue); a straggler's error for it is as irrelevant as
+			// a straggler's duplicate result.
+			c.logf("lease %d late error from %s discarded (lease already done)", l.id, req.Worker)
+			done := c.remaining == 0
+			if done {
+				c.told(req.Worker)
+			}
+			c.mu.Unlock()
+			respond(w, resultResponse{Accepted: false, Done: done})
+			return
+		}
+		c.mu.Unlock()
+		c.fail(fmt.Errorf("coord: worker %s, lease %d: %s", req.Worker, req.Lease, req.Error))
+		respond(w, resultResponse{Accepted: false, Done: true})
+		return
+	}
+	if c.failed != nil || l.done {
+		if l.done {
+			c.stats.Duplicates++
+			c.logf("lease %d duplicate from %s discarded", l.id, req.Worker)
+		}
+		done := c.remaining == 0
+		if done || c.failed != nil {
+			c.told(req.Worker)
+		}
+		c.mu.Unlock()
+		respond(w, resultResponse{Accepted: false, Done: done})
+		return
+	}
+	col, err := sweep.ReadShard(bytes.NewReader(req.Shard))
+	if err == nil {
+		err = c.validateLeaseResult(l, col)
+	}
+	if err != nil {
+		c.mu.Unlock()
+		c.fail(fmt.Errorf("coord: worker %s, lease %d: %v", req.Worker, req.Lease, err))
+		respond(w, resultResponse{Accepted: false, Done: true})
+		return
+	}
+	l.done = true
+	l.result = col
+	l.issues = nil
+	l.queued = false
+	c.remaining--
+	done := c.remaining == 0
+	c.logf("lease %d done by %s (%d/%d)", l.id, req.Worker, len(c.leases)-c.remaining, len(c.leases))
+	if done {
+		c.told(req.Worker)
+	}
+	c.mu.Unlock()
+	if done {
+		c.finish.Do(func() { close(c.done) })
+	}
+	respond(w, resultResponse{Accepted: true, Done: done})
+}
+
+// validateLeaseResult checks an uploaded Collapsed describes this sweep
+// and covers exactly the lease's cells. Callers hold mu.
+func (c *Coordinator) validateLeaseResult(l *lease, col *sweep.Collapsed) error {
+	if col.Seed != c.seed {
+		return fmt.Errorf("result for seed %d, want %d", col.Seed, c.seed)
+	}
+	if col.Shard != (sweep.Shard{}) {
+		return fmt.Errorf("result is a static shard slice %s, not a lease result", col.Shard)
+	}
+	if col.Cells() != c.cells {
+		return fmt.Errorf("result grid has %d cells, want %d", col.Cells(), c.cells)
+	}
+	skel := c.skeleton
+	if !slices.Equal(col.CollapsedAxes, skel.CollapsedAxes) || !slices.Equal(col.GroupAxes, skel.GroupAxes) {
+		return fmt.Errorf("result collapses different axes")
+	}
+	if len(col.Groups) != len(skel.Groups) {
+		return fmt.Errorf("result has %d groups, want %d", len(col.Groups), len(skel.Groups))
+	}
+	for gi, g := range col.Groups {
+		if g.Key != skel.Groups[gi].Key {
+			return fmt.Errorf("result group %d is %q, want %q", gi, g.Key, skel.Groups[gi].Key)
+		}
+		if g.Count != l.expected[gi] {
+			return fmt.Errorf("result group %q ran %d cells, lease expects %d", g.Key, g.Count, l.expected[gi])
+		}
+	}
+	return nil
+}
+
+// told marks a worker as having heard the sweep is over. Callers hold
+// mu.
+func (c *Coordinator) told(worker string) {
+	if _, ok := c.workers[worker]; ok {
+		c.workers[worker] = true
+	}
+}

@@ -1,0 +1,185 @@
+package coord
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"hadooppreempt/internal/sweep"
+)
+
+// WorkerConfig tunes one worker process.
+type WorkerConfig struct {
+	// Addr is the coordinator's host:port.
+	Addr string
+	// Backend is the locally constructed execution backend. Its grid
+	// must fingerprint-match the coordinator's; the coordinator's seed
+	// and collapse axes govern.
+	Backend sweep.Backend
+	// Parallel bounds the worker's in-process pool per lease.
+	Parallel int
+	// JoinWindow bounds how long the worker retries the initial join
+	// while the coordinator is still coming up (default 10s).
+	JoinWindow time.Duration
+	// Client overrides the HTTP client (default: 30s timeout).
+	Client *http.Client
+	// Logf, when set, receives progress lines.
+	Logf func(format string, args ...any)
+}
+
+// protocolError is a rejection the coordinator chose to send (join
+// refused, unknown lease) as opposed to a transport failure; the join
+// retry loop fails fast on it.
+type protocolError struct {
+	status int
+	msg    string
+}
+
+func (e *protocolError) Error() string { return e.msg }
+
+// RunWorker joins the coordinator at cfg.Addr and executes leased cell
+// batches through the backend until the coordinator reports the sweep
+// is done. Lease results are uploaded as shard-encoded aggregates;
+// whether this worker's copy of a stolen lease wins or is discarded
+// never changes the merged output.
+func RunWorker(ctx context.Context, cfg WorkerConfig) error {
+	if cfg.Backend == nil {
+		return fmt.Errorf("coord: worker needs a backend")
+	}
+	if cfg.JoinWindow <= 0 {
+		cfg.JoinWindow = 10 * time.Second
+	}
+	client := cfg.Client
+	if client == nil {
+		client = &http.Client{Timeout: 30 * time.Second}
+	}
+	logf := cfg.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	g, err := cfg.Backend.Grid()
+	if err != nil {
+		return err
+	}
+	base := "http://" + cfg.Addr
+	join := joinRequest{
+		Proto:       protocolVersion,
+		Backend:     cfg.Backend.Name(),
+		Fingerprint: g.Fingerprint(),
+		BackendFP:   BackendFingerprint(cfg.Backend),
+		Cells:       g.Size(),
+	}
+	var id joinResponse
+	deadline := time.Now().Add(cfg.JoinWindow)
+	for {
+		err = post(ctx, client, base+"/v1/join", join, &id)
+		if err == nil {
+			break
+		}
+		var pe *protocolError
+		if errors.As(err, &pe) {
+			return fmt.Errorf("coord: join %s: %w", cfg.Addr, err)
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("coord: join %s: %w", cfg.Addr, err)
+		}
+		if err := sleep(ctx, 100*time.Millisecond); err != nil {
+			return err
+		}
+	}
+	logf("joined %s as %s (seed %d)", cfg.Addr, id.Worker, id.Seed)
+	for {
+		var lr leaseResponse
+		if err := post(ctx, client, base+"/v1/lease", leaseRequest{Worker: id.Worker}, &lr); err != nil {
+			return fmt.Errorf("coord: lease from %s: %w", cfg.Addr, err)
+		}
+		switch lr.Status {
+		case statusDone:
+			logf("sweep done, exiting")
+			return nil
+		case statusAbort:
+			return fmt.Errorf("coord: sweep aborted: %s", lr.Error)
+		case statusWait:
+			retry := time.Duration(lr.RetryMS) * time.Millisecond
+			if retry <= 0 {
+				retry = 200 * time.Millisecond
+			}
+			if err := sleep(ctx, retry); err != nil {
+				return err
+			}
+		case statusLease:
+			logf("lease %d: %d cells", lr.Lease, len(lr.Cells))
+			res := resultRequest{Worker: id.Worker, Lease: lr.Lease}
+			col, err := sweep.RunCells(g, cfg.Backend.Cell, id.Seed, cfg.Parallel, lr.Cells, id.Collapse...)
+			if err != nil {
+				res.Error = err.Error()
+				var rr resultResponse
+				post(ctx, client, base+"/v1/result", res, &rr) // best effort before bailing
+				return err
+			}
+			var buf bytes.Buffer
+			if err := col.WriteShard(&buf); err != nil {
+				return err
+			}
+			res.Shard = buf.Bytes()
+			var rr resultResponse
+			if err := post(ctx, client, base+"/v1/result", res, &rr); err != nil {
+				return fmt.Errorf("coord: upload lease %d: %w", lr.Lease, err)
+			}
+			if !rr.Accepted {
+				logf("lease %d result discarded (another worker won)", lr.Lease)
+			}
+			if rr.Done {
+				logf("sweep done, exiting")
+				return nil
+			}
+		default:
+			return fmt.Errorf("coord: unknown lease status %q", lr.Status)
+		}
+	}
+}
+
+// post sends one JSON request and decodes the JSON response. Non-200
+// statuses become protocolErrors carrying the server's error message.
+func post(ctx context.Context, client *http.Client, url string, in, out any) error {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var er errorResponse
+		data, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		if json.Unmarshal(data, &er) != nil || er.Error == "" {
+			er.Error = fmt.Sprintf("HTTP %d: %s", resp.StatusCode, bytes.TrimSpace(data))
+		}
+		return &protocolError{status: resp.StatusCode, msg: er.Error}
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// sleep waits d or until ctx is cancelled.
+func sleep(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

@@ -44,9 +44,17 @@ func (b FuncBackend) Cell(p Point, rec *Recorder) error { return b.Run(p, rec) }
 // opts.Parallel, and shard results merge (see Merge) into output
 // byte-identical to an unsharded run.
 func RunBackend(b Backend, opts Options, collapse ...string) (*Collapsed, error) {
+	return DispatchBackend(b, opts.dispatcher(), opts.Seed, collapse...)
+}
+
+// DispatchBackend executes the backend's grid through an arbitrary
+// dispatcher — the in-process pool, the static shard slicer, or the
+// distributed coordinator — collapsing the named axes. It is the one
+// entry point behind local, sharded and multi-machine sweeps.
+func DispatchBackend(b Backend, d Dispatcher, seed uint64, collapse ...string) (*Collapsed, error) {
 	g, err := b.Grid()
 	if err != nil {
 		return nil, err
 	}
-	return RunCollapsed(g, b.Cell, opts, collapse...)
+	return d.Dispatch(g, b.Cell, seed, collapse...)
 }

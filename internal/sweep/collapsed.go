@@ -1,10 +1,8 @@
 package sweep
 
 import (
-	"fmt"
 	"sort"
 	"strings"
-	"sync"
 
 	"hadooppreempt/internal/metrics"
 )
@@ -165,6 +163,11 @@ type Collapsed struct {
 	// groupStride maps axis position to the group-index stride (0 for
 	// collapsed axes): group lookup is arithmetic, not string keys.
 	groupStride []int
+	// cellStride maps axis position to the cell-index stride, kept so
+	// results built from a grid in this process can map cell indices to
+	// groups (see GroupOfCell); results read back from shard files do
+	// not carry it.
+	cellStride []int
 	// names and ids intern metric names to dense sample-slice indices.
 	names []string
 	ids   map[string]int
@@ -191,6 +194,7 @@ func newCollapsed(g *Grid, seed uint64, collapse []string) *Collapsed {
 		stride *= len(g.Axes[d].Values)
 	}
 	c.cells = stride
+	c.cellStride = cellStride
 	groups := 1
 	for d := len(g.Axes) - 1; d >= 0; d-- {
 		if drop[g.Axes[d].Name] {
@@ -293,67 +297,36 @@ func (c *Collapsed) MetricNames() []string {
 	return names
 }
 
+// Cells returns the size of the grid the result describes (the full
+// grid, not the subset of cells this result ran).
+func (c *Collapsed) Cells() int { return c.cells }
+
+// GroupOfCell maps a grid cell index to the index of the group the
+// cell folds into. It is only available on results built from a Grid
+// in this process (Skeleton, RunCells, RunCollapsed); results read
+// back from shard files do not carry the grid geometry and report
+// ok=false, as do out-of-range cell indices.
+func (c *Collapsed) GroupOfCell(cell int) (gi int, ok bool) {
+	if len(c.cellStride) == 0 || cell < 0 || cell >= c.cells {
+		return 0, false
+	}
+	prev := c.cells
+	for d, s := range c.cellStride {
+		size := prev / s
+		gi += (cell / s) % size * c.groupStride[d]
+		prev = s
+	}
+	return gi, true
+}
+
 // RunCollapsed executes the grid (or the shard of it selected by
-// opts.Shard) through a worker pool and folds every outcome into group
-// aggregates as cells complete, collapsing the named axes. The result
-// is identical at any parallelism level, and shard results merge (see
-// Merge) into output byte-identical to an unsharded run.
+// opts.Shard) through the in-process dispatcher the options describe
+// and folds every outcome into group aggregates as cells complete,
+// collapsing the named axes. The result is identical at any
+// parallelism level, and shard results merge (see Merge) into output
+// byte-identical to an unsharded run.
 func RunCollapsed(g Grid, run CellFunc, opts Options, collapse ...string) (*Collapsed, error) {
-	if err := opts.Shard.validate(); err != nil {
-		return nil, err
-	}
-	points, err := g.Points(opts.Seed)
-	if err != nil {
-		return nil, err
-	}
-	c := newCollapsed(&g, opts.Seed, collapse)
-	c.Shard = opts.Shard
-	cells := make([]int, 0, len(points))
-	for i := range points {
-		if opts.Shard.owns(i) {
-			cells = append(cells, i)
-		}
-	}
-	workers := opts.Parallel
-	if workers < 1 {
-		workers = 1
-	}
-	if workers > len(cells) {
-		workers = len(cells)
-	}
-	errs := make([]error, len(points))
-	next := make(chan int)
-	var mu sync.Mutex
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			rec := &Recorder{}
-			for i := range next {
-				rec.reset()
-				if err := run(points[i], rec); err != nil {
-					errs[i] = fmt.Errorf("sweep: cell %q: %w", points[i].Key(), err)
-					continue
-				}
-				mu.Lock()
-				c.fold(points[i], rec)
-				mu.Unlock()
-			}
-		}()
-	}
-	for _, i := range cells {
-		next <- i
-	}
-	close(next)
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
-	}
-	c.finalize()
-	return c, nil
+	return opts.dispatcher().Dispatch(g, run, opts.Seed, collapse...)
 }
 
 // Collapsed folds the materialized result into the streaming aggregate

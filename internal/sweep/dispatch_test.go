@@ -1,0 +1,222 @@
+package sweep
+
+import (
+	"strings"
+	"testing"
+
+	"hadooppreempt/internal/sim"
+)
+
+// TestDispatchersMatchRunCollapsed checks, over random grids, that the
+// pool and shard dispatchers used directly produce output byte-identical
+// to the Options-driven entry points they back.
+func TestDispatchersMatchRunCollapsed(t *testing.T) {
+	rng := sim.NewRNG(7)
+	for trial := 0; trial < 20; trial++ {
+		g := randomGrid(rng)
+		collapse := randomCollapse(rng, g)
+		seed := rng.Uint64()
+		want, err := RunCollapsed(g, propertyCell, Options{Parallel: 3, Seed: seed}, collapse...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pool, err := PoolDispatcher{Parallel: 3}.Dispatch(g, propertyCell, seed, collapse...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if encodeAll(t, pool) != encodeAll(t, want) {
+			t.Fatalf("trial %d: PoolDispatcher output differs from RunCollapsed", trial)
+		}
+		n := 1 + rng.Intn(3)
+		for i := 0; i < n; i++ {
+			sh := Shard{Index: i, Count: n}
+			viaOpts, err := RunCollapsed(g, propertyCell, Options{Parallel: 2, Seed: seed, Shard: sh}, collapse...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			viaDispatch, err := ShardDispatcher{Shard: sh, Parallel: 2}.Dispatch(g, propertyCell, seed, collapse...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if encodeAll(t, viaDispatch) != encodeAll(t, viaOpts) {
+				t.Fatalf("trial %d shard %s: ShardDispatcher output differs from Options.Shard", trial, sh)
+			}
+			if viaDispatch.Shard != sh {
+				t.Fatalf("trial %d: ShardDispatcher result carries shard %s, want %s", trial, viaDispatch.Shard, sh)
+			}
+		}
+	}
+}
+
+// TestRunCellsSubsetsMerge is the distributed-execution contract with
+// the network removed: any partition of the grid's cells into RunCells
+// batches merges (via MergeSubsets, in any batch order) into output
+// byte-identical to a single-process sweep.
+func TestRunCellsSubsetsMerge(t *testing.T) {
+	rng := sim.NewRNG(99)
+	for trial := 0; trial < 20; trial++ {
+		g := randomGrid(rng)
+		collapse := randomCollapse(rng, g)
+		seed := rng.Uint64()
+		full, err := RunCollapsed(g, propertyCell, Options{Parallel: 4, Seed: seed}, collapse...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := encodeAll(t, full)
+		cells := rng.Perm(g.Size())
+		var parts []*Collapsed
+		for len(cells) > 0 {
+			n := 1 + rng.Intn(len(cells))
+			batch, rest := cells[:n], cells[n:]
+			part, err := RunCells(g, propertyCell, seed, 2, batch, collapse...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			parts = append(parts, part)
+			cells = rest
+		}
+		perm := rng.Perm(len(parts))
+		shuffled := make([]*Collapsed, len(parts))
+		for i, p := range perm {
+			shuffled[i] = parts[p]
+		}
+		merged, err := MergeSubsets(shuffled...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := encodeAll(t, merged); got != want {
+			t.Fatalf("trial %d (%d parts): merged subset output differs\nwant:\n%s\ngot:\n%s",
+				trial, len(parts), want, got)
+		}
+	}
+}
+
+// TestRunCellsValidation rejects out-of-range and duplicate cell
+// indices instead of silently mis-counting.
+func TestRunCellsValidation(t *testing.T) {
+	g := testGrid(2)
+	if _, err := RunCells(g, synthCell, 1, 1, []int{0, g.Size()}, RepAxis); err == nil {
+		t.Fatal("out-of-range cell accepted")
+	}
+	if _, err := RunCells(g, synthCell, 1, 1, []int{-1}, RepAxis); err == nil {
+		t.Fatal("negative cell accepted")
+	}
+	if _, err := RunCells(g, synthCell, 1, 1, []int{1, 1}, RepAxis); err == nil {
+		t.Fatal("duplicate cell accepted")
+	}
+	empty, err := RunCells(g, synthCell, 1, 1, []int{}, RepAxis)
+	if err != nil {
+		t.Fatalf("empty cell list rejected: %v", err)
+	}
+	for _, grp := range empty.Groups {
+		if grp.Count != 0 {
+			t.Fatal("empty run folded cells")
+		}
+	}
+}
+
+// TestMergeSubsetsValidation rejects overlapping, incomplete and
+// shard-sliced parts.
+func TestMergeSubsetsValidation(t *testing.T) {
+	g := testGrid(2)
+	part := func(cells ...int) *Collapsed {
+		c, err := RunCells(g, synthCell, 1, 1, cells, RepAxis)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	all := make([]int, g.Size())
+	for i := range all {
+		all[i] = i
+	}
+	if _, err := MergeSubsets(); err == nil {
+		t.Fatal("empty subset merge accepted")
+	}
+	if _, err := MergeSubsets(part(all[:2]...)); err == nil {
+		t.Fatal("incomplete single part accepted")
+	}
+	if _, err := MergeSubsets(part(all[:2]...), part(all[1:]...)); err == nil {
+		t.Fatal("overlapping parts accepted")
+	}
+	if _, err := MergeSubsets(part(all[:2]...), part(all[3:]...)); err == nil {
+		t.Fatal("gapped parts accepted")
+	}
+	sharded, err := RunCollapsed(g, synthCell, Options{Seed: 1, Shard: Shard{Index: 0, Count: 2}}, RepAxis)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := MergeSubsets(sharded); err == nil {
+		t.Fatal("shard slice accepted by subset merge")
+	}
+	if _, err := MergeSubsets(part(all[:2]...), part(all[2:]...)); err != nil {
+		t.Fatalf("valid subset partition rejected: %v", err)
+	}
+	if _, err := MergeSubsets(part(all...)); err != nil {
+		t.Fatalf("full single part rejected: %v", err)
+	}
+}
+
+// TestGridFingerprint: equal structure hashes equally; any change to
+// axis names, labels, order or pairing changes the fingerprint.
+func TestGridFingerprint(t *testing.T) {
+	base := NewGrid(Strings("a", "x", "y"), Ints("n", 1, 2)).Pair("a")
+	if base.Fingerprint() != NewGrid(Strings("a", "x", "y"), Ints("n", 1, 2)).Pair("a").Fingerprint() {
+		t.Fatal("identical grids fingerprint differently")
+	}
+	variants := []Grid{
+		NewGrid(Strings("a", "x", "y"), Ints("n", 1, 2)),                // pairing dropped
+		NewGrid(Strings("a", "x", "z"), Ints("n", 1, 2)).Pair("a"),      // label changed
+		NewGrid(Strings("b", "x", "y"), Ints("n", 1, 2)).Pair("b"),      // axis renamed
+		NewGrid(Ints("n", 1, 2), Strings("a", "x", "y")).Pair("a"),      // axis order swapped
+		NewGrid(Strings("a", "x", "y"), Ints("n", 1, 2, 3)).Pair("a"),   // value added
+		NewGrid(Strings("a", "x", "y", "z"), Ints("n", 1, 2)).Pair("a"), // value added to paired axis
+	}
+	seen := map[string]bool{base.Fingerprint(): true}
+	for i, v := range variants {
+		fp := v.Fingerprint()
+		if seen[fp] {
+			t.Fatalf("variant %d collides with an earlier fingerprint", i)
+		}
+		seen[fp] = true
+	}
+	if len(base.Fingerprint()) != 64 || strings.ToLower(base.Fingerprint()) != base.Fingerprint() {
+		t.Fatal("fingerprint is not lowercase hex sha256")
+	}
+}
+
+// TestGroupOfCell checks the cell-to-group arithmetic against the fold
+// path: running exactly one cell must increment exactly the group
+// GroupOfCell names.
+func TestGroupOfCell(t *testing.T) {
+	rng := sim.NewRNG(3)
+	for trial := 0; trial < 10; trial++ {
+		g := randomGrid(rng)
+		collapse := randomCollapse(rng, g)
+		skel, err := Skeleton(g, 1, collapse...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for cell := 0; cell < g.Size(); cell++ {
+			want, ok := skel.GroupOfCell(cell)
+			if !ok {
+				t.Fatalf("trial %d: GroupOfCell(%d) unavailable on skeleton", trial, cell)
+			}
+			one, err := RunCells(g, propertyCell, 1, 1, []int{cell}, collapse...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for gi, grp := range one.Groups {
+				if (grp.Count == 1) != (gi == want) {
+					t.Fatalf("trial %d cell %d: fold hit group %d, GroupOfCell says %d", trial, cell, gi, want)
+				}
+			}
+		}
+		if _, ok := skel.GroupOfCell(-1); ok {
+			t.Fatal("negative cell mapped")
+		}
+		if _, ok := skel.GroupOfCell(g.Size()); ok {
+			t.Fatal("out-of-range cell mapped")
+		}
+	}
+}

@@ -1,7 +1,11 @@
 package sweep
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
+	"io"
+	"sort"
 	"strings"
 
 	"hadooppreempt/internal/sim"
@@ -96,6 +100,31 @@ func NewGrid(axes ...Axis) Grid { return Grid{Axes: axes} }
 func (g Grid) Pair(axes ...string) Grid {
 	g.Paired = append(g.Paired, axes...)
 	return g
+}
+
+// Fingerprint returns a stable hex signature of the grid's structure:
+// axis names and value labels in order, plus the seed-paired axis set.
+// Two grids with equal fingerprints enumerate the same cells with the
+// same coordinate-derived seeds, which is what a distributed worker
+// must prove to its coordinator before any work is leased. The
+// fingerprint deliberately excludes the base seed (the coordinator
+// hands that to workers) and axis values' Go representations (labels
+// alone drive keys and seeds).
+func (g Grid) Fingerprint() string {
+	h := sha256.New()
+	for _, a := range g.Axes {
+		fmt.Fprintf(h, "axis %q", a.Name)
+		for _, v := range a.Values {
+			fmt.Fprintf(h, " %q", v.Label)
+		}
+		io.WriteString(h, "\n")
+	}
+	paired := append([]string(nil), g.Paired...)
+	sort.Strings(paired)
+	for _, p := range paired {
+		fmt.Fprintf(h, "paired %q\n", p)
+	}
+	return hex.EncodeToString(h.Sum(nil))
 }
 
 // Size is the number of cells (0 if any axis is empty).

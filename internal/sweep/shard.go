@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"slices"
 	"strconv"
 	"strings"
 )
@@ -126,15 +127,27 @@ func (c *Collapsed) WriteShard(w io.Writer) error {
 	return enc.Encode(f)
 }
 
-// ReadShard deserializes a shard file written by WriteShard.
+// ReadShard deserializes a shard file written by WriteShard. Truncated
+// or corrupt input — short streams, trailing garbage, duplicate group
+// keys, sample rows without cells, out-of-range first-cell indices —
+// fails with an error rather than silently mis-merging downstream.
 func ReadShard(r io.Reader) (*Collapsed, error) {
 	var f shardFile
 	dec := json.NewDecoder(r)
 	if err := dec.Decode(&f); err != nil {
 		return nil, fmt.Errorf("sweep: shard file: %w", err)
 	}
+	if dec.More() {
+		return nil, fmt.Errorf("sweep: shard file: trailing data after result (two shards in one file?)")
+	}
 	if f.Version != shardFileVersion {
 		return nil, fmt.Errorf("sweep: shard file version %d, want %d", f.Version, shardFileVersion)
+	}
+	if f.Cells < 1 {
+		return nil, fmt.Errorf("sweep: shard file: grid of %d cells", f.Cells)
+	}
+	if err := f.Shard.validate(); err != nil {
+		return nil, err
 	}
 	c := &Collapsed{
 		Seed:          f.Seed,
@@ -146,16 +159,35 @@ func ReadShard(r io.Reader) (*Collapsed, error) {
 		ids:           make(map[string]int, len(f.Metrics)),
 	}
 	for id, n := range f.Metrics {
+		if _, ok := c.ids[n]; ok {
+			return nil, fmt.Errorf("sweep: shard file: metric %q listed twice", n)
+		}
 		c.ids[n] = id
 	}
 	c.Groups = make([]*Group, len(f.Groups))
+	keys := make(map[string]bool, len(f.Groups))
 	for i, g := range f.Groups {
+		if keys[g.Key] {
+			return nil, fmt.Errorf("sweep: shard file: duplicate group %q", g.Key)
+		}
+		keys[g.Key] = true
 		if len(g.Samples) > len(f.Metrics) {
 			return nil, fmt.Errorf("sweep: shard file: group %d has %d sample rows for %d metrics",
 				i, len(g.Samples), len(f.Metrics))
 		}
 		if g.Count < 0 {
 			return nil, fmt.Errorf("sweep: shard file: group %d has negative count", i)
+		}
+		if g.Count == 0 {
+			for _, row := range g.Samples {
+				if len(row) > 0 {
+					return nil, fmt.Errorf("sweep: shard file: group %d has samples but ran no cells", i)
+				}
+			}
+		}
+		if g.First < 0 || g.First >= f.Cells {
+			return nil, fmt.Errorf("sweep: shard file: group %d first cell %d outside grid of %d cells",
+				i, g.First, f.Cells)
 		}
 		c.Groups[i] = &Group{
 			Key:        g.Key,
@@ -198,11 +230,64 @@ func Merge(shards ...*Collapsed) (*Collapsed, error) {
 			return nil, fmt.Errorf("sweep: shard %d/%d present twice", s.Shard.Index, s.Shard.Count)
 		}
 		seen[s.Shard.Index] = true
+	}
+	return mergeParts(shards)
+}
+
+// MergeSubsets combines disjoint partial results of one sweep — e.g.
+// the lease results a distributed coordinator collects from its
+// workers — into the full result. Unlike Merge it does not require the
+// parts to form an i/n shard partition: any set of RunCells results
+// covering every grid cell exactly once merges — in any order — into
+// output byte-identical to a single-process run.
+//
+// Validation is necessarily partial: a Collapsed does not record which
+// cells it ran, so MergeSubsets checks that the parts describe the
+// same sweep, that the total number of cell runs equals the grid size,
+// and that at most one part ran each group's first cell. A pathological
+// overlap balanced by an equal-sized gap within one group passes those
+// checks; callers that hand out the cell partition (the coordinator
+// validates every lease result's per-group counts) own true
+// disjointness.
+func MergeSubsets(parts ...*Collapsed) (*Collapsed, error) {
+	if len(parts) == 0 {
+		return nil, fmt.Errorf("sweep: merge of no parts")
+	}
+	for _, p := range parts {
+		if p.Shard.Count > 1 {
+			return nil, fmt.Errorf("sweep: subset merge of shard slice %s (use Merge)", p.Shard)
+		}
+	}
+	out := parts[0]
+	if len(parts) > 1 {
+		var err error
+		if out, err = mergeParts(parts); err != nil {
+			return nil, err
+		}
+	}
+	ran := 0
+	for _, g := range out.Groups {
+		ran += g.Count
+	}
+	if ran != out.cells {
+		return nil, fmt.Errorf("sweep: subset merge covers %d cell runs of a %d-cell grid", ran, out.cells)
+	}
+	return out, nil
+}
+
+// mergeParts combines per-group counts, sample multisets and
+// first-cell extras of parts describing the same sweep. Callers
+// validate how the parts partition the grid; mergeParts itself rejects
+// parts of different sweeps and parts that both ran a group's first
+// cell (a sure sign of overlap).
+func mergeParts(parts []*Collapsed) (*Collapsed, error) {
+	first := parts[0]
+	for _, s := range parts {
 		if s.Seed != first.Seed || s.cells != first.cells ||
-			!equalStrings(s.CollapsedAxes, first.CollapsedAxes) ||
-			!equalStrings(s.GroupAxes, first.GroupAxes) ||
+			!slices.Equal(s.CollapsedAxes, first.CollapsedAxes) ||
+			!slices.Equal(s.GroupAxes, first.GroupAxes) ||
 			len(s.Groups) != len(first.Groups) {
-			return nil, fmt.Errorf("sweep: shard %s is not a slice of the same sweep", s.Shard)
+			return nil, fmt.Errorf("sweep: part %s is not a slice of the same sweep", s.Shard)
 		}
 	}
 	out := &Collapsed{
@@ -210,15 +295,16 @@ func Merge(shards ...*Collapsed) (*Collapsed, error) {
 		CollapsedAxes: first.CollapsedAxes,
 		GroupAxes:     first.GroupAxes,
 		cells:         first.cells,
+		cellStride:    first.cellStride,
 		ids:           make(map[string]int),
 	}
 	out.Groups = make([]*Group, len(first.Groups))
 	for gi, fg := range first.Groups {
 		g := &Group{Key: fg.Key, Labels: fg.Labels, firstIndex: fg.firstIndex}
-		for _, s := range shards {
+		for _, s := range parts {
 			sg := s.Groups[gi]
 			if sg.Key != fg.Key || sg.firstIndex != fg.firstIndex {
-				return nil, fmt.Errorf("sweep: shard %s group %d is %q, want %q",
+				return nil, fmt.Errorf("sweep: part %s group %d is %q, want %q",
 					s.Shard, gi, sg.Key, fg.Key)
 			}
 			g.Count += sg.Count
@@ -239,6 +325,9 @@ func Merge(shards ...*Collapsed) (*Collapsed, error) {
 				g.samples[oid] = append(g.samples[oid], samples...)
 			}
 			if sg.hasFirst {
+				if g.hasFirst {
+					return nil, fmt.Errorf("sweep: group %d first cell present in two parts (overlapping slices)", gi)
+				}
 				g.hasFirst = true
 				g.Extra = sg.Extra
 				g.First = sg.First
@@ -248,16 +337,4 @@ func Merge(shards ...*Collapsed) (*Collapsed, error) {
 	}
 	out.finalize()
 	return out, nil
-}
-
-func equalStrings(a, b []string) bool {
-	if len(a) != len(b) {
-		return false
-	}
-	for i := range a {
-		if a[i] != b[i] {
-			return false
-		}
-	}
-	return true
 }

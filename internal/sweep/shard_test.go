@@ -136,19 +136,96 @@ func TestMergeValidation(t *testing.T) {
 	}
 }
 
-// TestReadShardRejectsMalformedFiles checks malformed input fails with
-// an error, never a panic.
+// validShardBytes serializes one real shard of the test grid.
+func validShardBytes(t *testing.T) []byte {
+	t.Helper()
+	col, err := RunCollapsed(testGrid(2), synthCell,
+		Options{Seed: 1, Shard: Shard{Index: 0, Count: 2}}, RepAxis)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := col.WriteShard(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestReadShardRejectsMalformedFiles checks malformed input — hand-
+// crafted corruption and mutations of a real shard file — fails with
+// an error, never a panic and never a silent mis-merge.
 func TestReadShardRejectsMalformedFiles(t *testing.T) {
+	valid := validShardBytes(t)
 	cases := map[string]string{
-		"not json":       `{`,
-		"wrong version":  `{"version":99}`,
-		"excess samples": `{"version":1,"metrics":["m0"],"groups":[{"key":"k","samples":[[1],[2]]}]}`,
-		"negative count": `{"version":1,"metrics":[],"groups":[{"key":"k","count":-1,"samples":[]}]}`,
+		"empty":            ``,
+		"not json":         `{`,
+		"truncated":        string(valid[:len(valid)/2]),
+		"trailing data":    string(valid) + string(valid),
+		"wrong version":    `{"version":99}`,
+		"no cells":         `{"version":1,"cells":0,"metrics":[],"groups":[]}`,
+		"negative cells":   `{"version":1,"cells":-4,"metrics":[],"groups":[]}`,
+		"bad shard spec":   `{"version":1,"cells":2,"shard":{"index":5,"count":2},"metrics":[],"groups":[]}`,
+		"duplicate metric": `{"version":1,"cells":2,"metrics":["m0","m0"],"groups":[]}`,
+		"duplicate group": `{"version":1,"cells":2,"metrics":[],"groups":[` +
+			`{"key":"k","count":1,"samples":[]},{"key":"k","count":1,"samples":[]}]}`,
+		"excess samples": `{"version":1,"cells":2,"metrics":["m0"],"groups":[{"key":"k","count":1,"samples":[[1],[2]]}]}`,
+		"negative count": `{"version":1,"cells":2,"metrics":[],"groups":[{"key":"k","count":-1,"samples":[]}]}`,
+		"samples without cells": `{"version":1,"cells":2,"metrics":["m0"],"groups":[` +
+			`{"key":"k","count":0,"samples":[[1]]}]}`,
+		"first out of range": `{"version":1,"cells":2,"metrics":[],"groups":[` +
+			`{"key":"k","count":1,"first":7,"samples":[]}]}`,
 	}
 	for name, raw := range cases {
 		if _, err := ReadShard(strings.NewReader(raw)); err == nil {
 			t.Fatalf("%s: malformed shard file accepted", name)
 		}
+	}
+	if _, err := ReadShard(bytes.NewReader(valid)); err != nil {
+		t.Fatalf("valid shard file rejected: %v", err)
+	}
+}
+
+// TestMergeRejectsTamperedShards: shard files that individually parse
+// but disagree structurally must fail the merge, not mis-merge.
+func TestMergeRejectsTamperedShards(t *testing.T) {
+	g := testGrid(2)
+	shard := func(i, n int) *Collapsed {
+		col, err := RunCollapsed(g, synthCell, Options{Seed: 1, Shard: Shard{Index: i, Count: n}}, RepAxis)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := col.WriteShard(&buf); err != nil {
+			t.Fatal(err)
+		}
+		rt, err := ReadShard(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rt
+	}
+	// A shard of a different grid shape (extra repetition) aligned into
+	// the same shard count.
+	otherGrid, err := RunCollapsed(testGrid(3), synthCell,
+		Options{Seed: 1, Shard: Shard{Index: 1, Count: 2}}, RepAxis)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Merge(shard(0, 2), otherGrid); err == nil {
+		t.Fatal("shards of different grids merged")
+	}
+	// Both halves claiming the same slice (duplicate-group content for
+	// every group that ran): rejected by the shard-set check.
+	if _, err := Merge(shard(0, 2), shard(0, 2)); err == nil {
+		t.Fatal("duplicate slice merged")
+	}
+	// Same sweep sliced under different collapse sets.
+	collapsed, err := RunCollapsed(g, synthCell, Options{Seed: 1, Shard: Shard{Index: 1, Count: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Merge(shard(0, 2), collapsed); err == nil {
+		t.Fatal("mixed collapse sets merged")
 	}
 }
 

@@ -11,9 +11,6 @@
 package sweep
 
 import (
-	"fmt"
-	"sync"
-
 	"hadooppreempt/internal/metrics"
 )
 
@@ -60,49 +57,33 @@ type Result struct {
 	Points []PointResult
 }
 
-// Run executes every cell of the grid through a worker pool of
-// opts.Parallel goroutines and returns the outcomes in grid order. The
-// first error (in grid order, not completion order) aborts the sweep's
-// result; remaining in-flight cells still finish.
+// Run executes every cell of the grid through the shared worker-pool
+// loop (see runPool) with opts.Parallel goroutines and returns the
+// outcomes in grid order. The first error (in grid order, not
+// completion order) aborts the sweep's result; remaining in-flight
+// cells still finish.
 func Run(g Grid, run RunFunc, opts Options) (*Result, error) {
 	points, err := g.Points(opts.Seed)
 	if err != nil {
 		return nil, err
 	}
-	workers := opts.Parallel
-	if workers < 1 {
-		workers = 1
-	}
-	if workers > len(points) {
-		workers = len(points)
+	cells := make([]int, len(points))
+	for i := range cells {
+		cells[i] = i
 	}
 	outcomes := make([]Outcome, len(points))
-	errs := make([]error, len(points))
-	next := make(chan int)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				o, err := run(points[i])
-				if err != nil {
-					errs[i] = fmt.Errorf("sweep: cell %q: %w", points[i].Key(), err)
-					continue
-				}
-				outcomes[i] = o
+	err = runPool(points, cells, opts.Parallel, func() func(int) error {
+		return func(i int) error {
+			o, err := run(points[i])
+			if err != nil {
+				return err
 			}
-		}()
-	}
-	for i := range points {
-		next <- i
-	}
-	close(next)
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
+			outcomes[i] = o
+			return nil
 		}
+	})
+	if err != nil {
+		return nil, err
 	}
 	res := &Result{Grid: g, Seed: opts.Seed, Points: make([]PointResult, len(points))}
 	for i := range points {

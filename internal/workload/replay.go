@@ -1,6 +1,8 @@
 package workload
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
 	"time"
 
@@ -45,6 +47,13 @@ type ReplayConfig struct {
 	// public traces contain multi-TB outliers that would swamp a
 	// simulated cell.
 	MaxInputBytes int64
+	// TimeScale divides replayed submission times, compressing trace
+	// inter-arrival gaps so day-long SWIM traces run in bounded sweep
+	// cells (e.g. 24 turns a day of arrivals into an hour of virtual
+	// time). It is a pure function of the trace, so replay output stays
+	// deterministic across -parallel, -shard and distributed workers.
+	// 0 means 1 (no compression); negative values are rejected.
+	TimeScale float64
 	// Deadline bounds each cell's virtual time (default 24h).
 	Deadline time.Duration
 }
@@ -90,6 +99,12 @@ func NewReplayBackend(cfg ReplayConfig) (*ReplayBackend, error) {
 	if cfg.MapParseRate <= 0 {
 		cfg.MapParseRate = 8e6
 	}
+	if cfg.TimeScale < 0 {
+		return nil, fmt.Errorf("workload: negative replay time scale %g", cfg.TimeScale)
+	}
+	if cfg.TimeScale == 0 {
+		cfg.TimeScale = 1
+	}
 	if cfg.Deadline <= 0 {
 		cfg.Deadline = 24 * time.Hour
 	}
@@ -98,6 +113,24 @@ func NewReplayBackend(cfg ReplayConfig) (*ReplayBackend, error) {
 
 // Name implements sweep.Backend.
 func (b *ReplayBackend) Name() string { return ReplayBackendName }
+
+// Fingerprint returns a content signature of everything a replay cell's
+// outcome depends on beyond the grid structure: the parsed trace and
+// the replay configuration. The distributed coordinator compares it at
+// join time, so a worker holding a different copy of the trace (or
+// different replay flags) is rejected instead of silently breaking the
+// merged sweep's byte-identity.
+func (b *ReplayBackend) Fingerprint() string {
+	h := sha256.New()
+	fmt.Fprintf(h, "replay shards=%d reps=%d nodes=%d slots=%d sched=%s rate=%g cap=%d timescale=%g deadline=%d\n",
+		b.cfg.Shards, b.cfg.Reps, b.cfg.Nodes, b.cfg.SlotsPerNode, b.cfg.Scheduler,
+		b.cfg.MapParseRate, b.cfg.MaxInputBytes, b.cfg.TimeScale, int64(b.cfg.Deadline))
+	for _, j := range b.cfg.Jobs {
+		fmt.Fprintf(h, "%q %d %d %d %d %d\n", j.ID, int64(j.SubmitAt), int64(j.Interarrival),
+			j.InputBytes, j.ShuffleBytes, j.OutputBytes)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
 
 // Grid implements sweep.Backend: trace shard x repetition.
 func (b *ReplayBackend) Grid() (sweep.Grid, error) {
@@ -127,8 +160,12 @@ func (b *ReplayBackend) Specs(shard int) []JobSpec {
 		if size < 1<<20 {
 			size = 1 << 20
 		}
+		at := tj.SubmitAt
+		if b.cfg.TimeScale != 1 {
+			at = time.Duration(float64(at) / b.cfg.TimeScale)
+		}
 		specs = append(specs, JobSpec{
-			SubmitAt:   tj.SubmitAt,
+			SubmitAt:   at,
 			Class:      "trace",
 			InputBytes: size,
 			Conf: mapreduce.JobConf{

@@ -1,0 +1,110 @@
+package workload
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"hadooppreempt/internal/sweep"
+)
+
+// TestReplayTimeScaleCompressesSubmissions: -replay-timescale F divides
+// submission times, job order and sizes untouched; 0 means no
+// compression and negative factors are rejected.
+func TestReplayTimeScaleCompressesSubmissions(t *testing.T) {
+	jobs, err := ReadTraceFile(sampleTracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	build := func(ts float64) *ReplayBackend {
+		b, err := NewReplayBackend(ReplayConfig{Jobs: jobs, TimeScale: ts})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	plain := build(0).Specs(0)
+	fast := build(4).Specs(0)
+	if len(plain) != len(fast) || len(plain) == 0 {
+		t.Fatalf("spec counts differ: %d vs %d", len(plain), len(fast))
+	}
+	for i := range plain {
+		want := time.Duration(float64(plain[i].SubmitAt) / 4)
+		if fast[i].SubmitAt != want {
+			t.Fatalf("job %d submit %v at timescale 4, want %v (plain %v)",
+				i, fast[i].SubmitAt, want, plain[i].SubmitAt)
+		}
+		if fast[i].InputBytes != plain[i].InputBytes || fast[i].Conf.Name != plain[i].Conf.Name {
+			t.Fatalf("job %d: timescale changed more than submission time", i)
+		}
+	}
+	if _, err := NewReplayBackend(ReplayConfig{Jobs: jobs, TimeScale: -1}); err == nil {
+		t.Fatal("negative timescale accepted")
+	}
+}
+
+// TestReplayTimeScaleDeterministic: a compressed replay is still
+// byte-identical across parallelism levels — the knob must not leak
+// execution order into results.
+func TestReplayTimeScaleDeterministic(t *testing.T) {
+	jobs, err := ReadTraceFile(sampleTracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	render := func(parallel int) string {
+		b, err := NewReplayBackend(ReplayConfig{Jobs: jobs, Shards: 2, TimeScale: 6, Scheduler: "hfsp"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		col, err := sweep.RunBackend(b, sweep.Options{Parallel: parallel, Seed: 3}, sweep.RepAxis)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out bytes.Buffer
+		if err := col.WriteCSV(&out); err != nil {
+			t.Fatal(err)
+		}
+		return out.String()
+	}
+	one := render(1)
+	if one != render(4) {
+		t.Fatal("timescaled replay differs across parallelism")
+	}
+	if len(one) == 0 {
+		t.Fatal("empty replay output")
+	}
+}
+
+// TestReplayFingerprintCoversContent: the backend content fingerprint
+// must change when the trace or the replay configuration changes, so
+// distributed workers with a different trace copy are rejected at join.
+func TestReplayFingerprintCoversContent(t *testing.T) {
+	jobs, err := ReadTraceFile(sampleTracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp := func(cfg ReplayConfig) string {
+		cfg.Jobs = append([]TraceJob(nil), cfg.Jobs...)
+		b, err := NewReplayBackend(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b.Fingerprint()
+	}
+	base := fp(ReplayConfig{Jobs: jobs})
+	if base != fp(ReplayConfig{Jobs: jobs}) {
+		t.Fatal("identical configs fingerprint differently")
+	}
+	mutated := append([]TraceJob(nil), jobs...)
+	mutated[0].InputBytes++
+	for name, other := range map[string]string{
+		"trace bytes": fp(ReplayConfig{Jobs: mutated}),
+		"timescale":   fp(ReplayConfig{Jobs: jobs, TimeScale: 2}),
+		"scheduler":   fp(ReplayConfig{Jobs: jobs, Scheduler: "hfsp"}),
+		"shards":      fp(ReplayConfig{Jobs: jobs, Shards: 2}),
+	} {
+		if other == base {
+			t.Fatalf("fingerprint ignores %s", name)
+		}
+	}
+}

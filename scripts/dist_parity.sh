@@ -1,0 +1,69 @@
+#!/usr/bin/env bash
+# Distributed-parity gate (mirrored by `make dist-check` and the CI
+# distributed-parity job): a coordinator plus two localhost workers
+# must produce output byte-identical to the single-process sweep, in
+# the happy path and through a worker kill + lease reissue.
+#
+# -cell-sleep makes cells artificially slow and uneven (cell i sleeps
+# (1 + i mod 3) x unit; results unchanged), so with single-digit lease
+# sizes the fast worker drains the queue and steals from the slow one,
+# and a killed worker is reliably mid-lease. The reference runs skip
+# the sleep — parity must hold anyway, because the sleep never touches
+# measurements.
+set -euo pipefail
+
+BIN=${1:-/tmp/hadoopsim-ci}
+PORT=${DIST_PARITY_PORT:-9471}
+tmp=$(mktemp -d)
+cleanup() {
+    kill $(jobs -p) 2>/dev/null || true
+    rm -rf "$tmp"
+}
+trap cleanup EXIT
+
+echo "== single-process reference"
+"$BIN" -sweep pressure -reps 2 -seed 1 -parallel 4 -format csv > "$tmp/single.csv"
+"$BIN" -sweep pressure -reps 2 -seed 1 -parallel 4 -format json > "$tmp/single.json"
+
+echo "== case 1: coordinator + 2 workers, small leases over uneven cells"
+"$BIN" -sweep pressure -reps 2 -seed 1 -serve 127.0.0.1:$PORT -lease 3 -format csv \
+    > "$tmp/dist.csv" 2> "$tmp/coord1.log" &
+coord=$!
+"$BIN" -sweep pressure -reps 2 -worker 127.0.0.1:$PORT -parallel 2 -cell-sleep 10ms 2> "$tmp/w1.log" &
+w1=$!
+"$BIN" -sweep pressure -reps 2 -worker 127.0.0.1:$PORT -parallel 2 -cell-sleep 1ms 2> "$tmp/w2.log" &
+w2=$!
+wait $w1
+wait $w2
+wait $coord
+cmp "$tmp/single.csv" "$tmp/dist.csv"
+echo "   byte-identical across $(grep -c 'lease .* done' "$tmp/coord1.log") leases on 2 workers"
+
+echo "== case 2: worker killed mid-lease, cells reissued after the TTL"
+PORT2=$((PORT + 1))
+"$BIN" -sweep pressure -reps 2 -seed 1 -serve 127.0.0.1:$PORT2 -lease 3 -lease-ttl 2s -format json \
+    > "$tmp/dist-kill.json" 2> "$tmp/coord2.log" &
+coord=$!
+# Worker A crawls (~2.4s per 3-cell lease serially), so killing it
+# after one second is reliably mid-lease. Worker B starts only after
+# A's lease has outlived its TTL, so recovery must go through the
+# expiry/reissue path rather than a steal.
+"$BIN" -sweep pressure -reps 2 -worker 127.0.0.1:$PORT2 -parallel 1 -cell-sleep 400ms 2> "$tmp/wa.log" &
+wa=$!
+disown $wa
+sleep 1
+kill -9 $wa 2>/dev/null || true
+sleep 2.5
+"$BIN" -sweep pressure -reps 2 -worker 127.0.0.1:$PORT2 -parallel 4 -cell-sleep 1ms 2> "$tmp/wb.log" &
+wb=$!
+wait $wb
+wait $coord
+cmp "$tmp/single.json" "$tmp/dist-kill.json"
+if ! grep -q "reissue" "$tmp/coord2.log"; then
+    echo "expected a lease reissue after killing worker A; coordinator log:" >&2
+    cat "$tmp/coord2.log" >&2
+    exit 1
+fi
+echo "   byte-identical through $(grep -c reissue "$tmp/coord2.log") lease reissue(s)"
+
+echo "distributed parity OK"

@@ -1,10 +1,12 @@
 package hadooppreempt
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
 
+	"hadooppreempt/internal/coord"
 	"hadooppreempt/internal/experiments"
 	"hadooppreempt/internal/metrics"
 	"hadooppreempt/internal/realexec"
@@ -71,11 +73,24 @@ func RunSweepCollapsed(g SweepGrid, run SweepCellFunc, opts SweepOptions, collap
 	return sweep.RunCollapsed(g, run, opts, collapse...)
 }
 
+// SweepDispatcher abstracts execution placement for a sweep: the
+// in-process worker pool, the static -shard slicer, and the
+// distributed coordinator are three implementations behind one
+// dispatch entry point (see DispatchSweepBackend), so local, sharded
+// and multi-machine runs share every determinism guarantee.
+type SweepDispatcher = sweep.Dispatcher
+
 // RunSweepBackend executes the backend's grid — or the shard of it
 // selected by opts.Shard — on the streaming path, collapsing the named
 // axes as cells complete.
 func RunSweepBackend(b SweepBackend, opts SweepOptions, collapse ...string) (*SweepCollapsed, error) {
 	return sweep.RunBackend(b, opts, collapse...)
+}
+
+// DispatchSweepBackend executes the backend's grid through an
+// arbitrary dispatcher, collapsing the named axes.
+func DispatchSweepBackend(b SweepBackend, d SweepDispatcher, seed uint64, collapse ...string) (*SweepCollapsed, error) {
+	return sweep.DispatchBackend(b, d, seed, collapse...)
 }
 
 // ParseSweepShard parses an "i/n" shard specification.
@@ -172,7 +187,48 @@ func ClusterSweep(jobs, reps int, evictionPolicies ...string) (SweepGrid, SweepC
 		sweep.Reps(reps),
 	)
 	g := sweep.NewGrid(axes...).Pair(paired...)
-	run := func(pt SweepPoint, rec *SweepRecorder) error {
+	run := clusterCell(jobs, func(pt SweepPoint, o *Options) {
+		if len(evictionPolicies) > 0 {
+			o.EvictionPolicy = pt.Label("evict")
+		}
+	})
+	return g, run
+}
+
+// ClusterPrimitiveSweep returns the cluster-scale grid with a
+// seed-paired preemption-primitive axis: scheduler (fair, hfsp) x
+// primitive (susp, kill) x node count x workload mix x repetition. Like
+// the eviction-policy axis, the primitive axis is restricted to the
+// preempting schedulers (FIFO never preempts, which would make the axis
+// inert) and seed-paired, so susp and kill face identical workload
+// draws and outcome differences are pure primitive effect — the
+// paper's paired comparison, scaled from the two-job scenario to
+// scheduler-driven preemption on a full cluster.
+func ClusterPrimitiveSweep(jobs, reps int) (SweepGrid, SweepCellFunc) {
+	if jobs <= 0 {
+		jobs = 12
+	}
+	g := sweep.NewGrid(
+		sweep.Strings("sched", "fair", "hfsp"),
+		sweep.Stringers("prim", Suspend, Kill),
+		sweep.Ints("nodes", 1, 2, 4),
+		sweep.Strings("mix", "interactive", "mixed", "batch"),
+		sweep.Reps(reps),
+	).Pair("sched", "prim")
+	run := clusterCell(jobs, func(pt SweepPoint, o *Options) {
+		o.Primitive = pt.Value("prim").(Primitive)
+	})
+	return g, run
+}
+
+// clusterCell returns the shared cluster-scale cell runner: boot an
+// isolated cluster from the cell's coordinates, install a deterministic
+// SWIM-style workload, run it to completion and record sojourn
+// statistics, preemption counts and swap traffic. configure applies
+// the grid-specific axes (eviction policy, preemption primitive) to
+// the cluster options.
+func clusterCell(jobs int, configure func(SweepPoint, *Options)) SweepCellFunc {
+	return func(pt SweepPoint, rec *SweepRecorder) error {
 		kinds := map[string]SchedulerKind{
 			"fifo": SchedulerFIFO, "fair": SchedulerFair, "hfsp": SchedulerHFSP,
 		}
@@ -182,8 +238,8 @@ func ClusterSweep(jobs, reps int, evictionPolicies ...string) (SweepGrid, SweepC
 			Scheduler:       kinds[pt.Label("sched")],
 			Seed:            pt.Seed,
 		}
-		if len(evictionPolicies) > 0 {
-			opts.EvictionPolicy = pt.Label("evict")
+		if configure != nil {
+			configure(pt, &opts)
 		}
 		c, err := New(opts)
 		if err != nil {
@@ -224,7 +280,6 @@ func ClusterSweep(jobs, reps int, evictionPolicies ...string) (SweepGrid, SweepC
 		rec.Observe("swap_in_mb", float64(swapIn)/float64(1<<20))
 		return nil
 	}
-	return g, run
 }
 
 // EvictionPolicyNames lists the victim-selection policies the evict
@@ -236,10 +291,11 @@ func EvictionPolicyNames() []string {
 // --- Execution backends -----------------------------------------------
 
 // SimSweep resolves a named simulator scenario to an execution backend:
-// "twojob", "pressure", "cluster", or "evict" (the cluster grid with
-// the eviction-policy axis). The sim backend is the pre-existing sweep
-// path behind the committed goldens; its output is byte-identical to
-// the direct grid runners at any parallelism level.
+// "twojob", "pressure", "cluster", "evict" (the cluster grid with the
+// eviction-policy axis) or "primitive" (the cluster grid with the
+// seed-paired susp-vs-kill axis). The sim backend is the pre-existing
+// sweep path behind the committed goldens; its output is byte-identical
+// to the direct grid runners at any parallelism level.
 func SimSweep(scenario string, jobs, reps int) (SweepBackend, error) {
 	switch scenario {
 	case "twojob", "pressure":
@@ -250,8 +306,11 @@ func SimSweep(scenario string, jobs, reps int) (SweepBackend, error) {
 	case "evict":
 		g, run := ClusterSweep(jobs, reps, EvictionPolicyNames()...)
 		return sweep.FuncBackend{Engine: experiments.SimBackendName, G: g, Run: run}, nil
+	case "primitive":
+		g, run := ClusterPrimitiveSweep(jobs, reps)
+		return sweep.FuncBackend{Engine: experiments.SimBackendName, G: g, Run: run}, nil
 	default:
-		return nil, fmt.Errorf("hadooppreempt: unknown sim scenario %q (want twojob, pressure, cluster or evict)", scenario)
+		return nil, fmt.Errorf("hadooppreempt: unknown sim scenario %q (want twojob, pressure, cluster, evict or primitive)", scenario)
 	}
 }
 
@@ -291,6 +350,105 @@ type RealExecConfig = realexec.SweepConfig
 // IsRealExecWorker / RealExecWorkerMain) before flag parsing.
 func RealExecSweep(cfg RealExecConfig) (SweepBackend, error) {
 	return realexec.NewBackend(cfg)
+}
+
+// slowBackend decorates a backend with artificial per-cell wall-clock
+// cost; see SlowSweep.
+type slowBackend struct {
+	SweepBackend
+	unit time.Duration
+}
+
+func (b slowBackend) Cell(pt SweepPoint, rec *SweepRecorder) error {
+	time.Sleep(time.Duration(1+pt.Index%3) * b.unit)
+	return b.SweepBackend.Cell(pt, rec)
+}
+
+// Fingerprint forwards the wrapped backend's content fingerprint (see
+// coord.Fingerprinter). The sleep itself is not part of it: it changes
+// wall-clock behavior only, never results, so coordinator and workers
+// may use different -cell-sleep values.
+func (b slowBackend) Fingerprint() string {
+	return coord.BackendFingerprint(b.SweepBackend)
+}
+
+// SlowSweep wraps a backend with artificial, deterministically uneven
+// per-cell cost: cell i sleeps (1 + i mod 3) x unit before running.
+// Measurements are untouched, so output stays byte-identical to the
+// unwrapped backend; only wall-clock behavior changes. It exists to
+// exercise the distributed scheduler — steals, lease expiry,
+// kill/reissue races — against grids whose cells are slow and uneven
+// no matter how fast the simulator is (the CI distributed-parity gate
+// uses it). A non-positive unit returns the backend unchanged.
+func SlowSweep(b SweepBackend, unit time.Duration) SweepBackend {
+	if unit <= 0 {
+		return b
+	}
+	return slowBackend{SweepBackend: b, unit: unit}
+}
+
+// --- Distributed execution --------------------------------------------
+
+// DistributedOptions configures the coordinator side of a distributed
+// sweep.
+type DistributedOptions struct {
+	// Addr is the TCP listen address, e.g. ":9090".
+	Addr string
+	// Seed is the sweep-level base seed; the coordinator hands it to
+	// every worker at join time.
+	Seed uint64
+	// LeaseCells is the number of grid cells per lease (default 8).
+	// Smaller leases balance uneven cell costs better.
+	LeaseCells int
+	// LeaseTTL bounds how long a lease may stay outstanding before a
+	// silent worker's cells are re-issued (default 30s).
+	LeaseTTL time.Duration
+	// OnListen, when set, receives the bound listen address once the
+	// coordinator is serving — the way to learn the port of an ":0"
+	// Addr.
+	OnListen func(addr string)
+	// Logf, when set, receives coordinator progress lines (joins,
+	// leases, steals, re-issues).
+	Logf func(format string, args ...any)
+}
+
+// DistributedSweep serves the backend's grid as lease-based work units
+// to DistributedSweepWorker processes and blocks until every cell has
+// a result, returning the merged sweep. Leases lost to dead workers
+// are re-issued after LeaseTTL, and outstanding leases are stolen
+// (speculatively duplicated) by workers that drain the queue early, so
+// uneven cell costs never leave capacity idle. Because cell seeds
+// derive from grid coordinates and merging combines raw sample
+// multisets, the result is byte-identical to RunSweepBackend at any
+// worker count, join order, steal or re-issue history — for every
+// output format. (The real-process backend's wall-clock measurements
+// remain the documented exception to determinism.)
+func DistributedSweep(ctx context.Context, b SweepBackend, opts DistributedOptions, collapse ...string) (*SweepCollapsed, error) {
+	c := coord.New(coord.Config{
+		Addr:        opts.Addr,
+		LeaseCells:  opts.LeaseCells,
+		LeaseTTL:    opts.LeaseTTL,
+		BackendName: b.Name(),
+		BackendFP:   coord.BackendFingerprint(b),
+		Context:     ctx,
+		OnListen:    opts.OnListen,
+		Logf:        opts.Logf,
+	})
+	return sweep.DispatchBackend(b, c, opts.Seed, collapse...)
+}
+
+// DistributedSweepWorker joins the coordinator at addr and executes
+// leased cell batches through a locally constructed backend until the
+// sweep completes. The backend must describe the same grid as the
+// coordinator's (verified via structure and content fingerprints at
+// join time); the coordinator's seed and collapse axes govern.
+func DistributedSweepWorker(ctx context.Context, addr string, b SweepBackend, parallel int, logf func(string, ...any)) error {
+	return coord.RunWorker(ctx, coord.WorkerConfig{
+		Addr:     addr,
+		Backend:  b,
+		Parallel: parallel,
+		Logf:     logf,
+	})
 }
 
 // IsRealExecWorker reports whether this process was re-executed as a
