@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet fmt fmt-check bench bench-golden sweep-check backend-check dist-check ci
+.PHONY: all build test vet fmt fmt-check lint bench bench-golden sweep-check backend-check dist-check ci
 
 all: build
 
@@ -22,6 +22,12 @@ fmt:
 fmt-check:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+# Mirrors the CI lint job; the version pin here and in ci.yml must move
+# together. Fetches the tool on first use (network required).
+STATICCHECK_VERSION ?= 2025.1.1
+lint:
+	$(GO) run honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION) ./...
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
@@ -72,11 +78,13 @@ backend-check:
 
 # Distributed parity (mirrors the CI distributed-parity job): a
 # coordinator plus two localhost workers — with artificially uneven
-# cell costs and a worker-kill/lease-reissue case — must reproduce the
-# single-process sweep byte for byte.
+# cell costs, a worker-kill/lease-reissue case, and a coordinator
+# SIGKILL + checkpoint-resume case — must reproduce the single-process
+# sweep byte for byte. `make dist-check CASES=coordkill` runs one case.
+CASES ?= all
 dist-check:
 	$(GO) build -o /tmp/hadoopsim-ci ./cmd/hadoopsim
-	bash scripts/dist_parity.sh /tmp/hadoopsim-ci
+	bash scripts/dist_parity.sh /tmp/hadoopsim-ci $(CASES)
 
 # Nightly full-grid gate: regenerate every sweep at the paper's 20
 # repetitions via 3 shards, merge, and diff against the committed

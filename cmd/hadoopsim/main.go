@@ -17,7 +17,9 @@
 //	hadoopsim [backend flags] -shard i/n > shard-i.json
 //	hadoopsim -merge [-format table|csv|json|series] shard-*.json
 //	hadoopsim [backend flags] -serve addr [-lease N] [-lease-ttl D] [-format F]
+//	          [-checkpoint state.ckpt [-resume]]
 //	hadoopsim [backend flags] -worker addr [-parallel W]
+//	hadoopsim -status addr
 //
 // Backends (-backend, default sim):
 //
@@ -60,6 +62,16 @@
 // single-process sweep at any worker count, join order, steal or
 // re-issue history.
 //
+// The coordinator is durable and observable: -checkpoint persists its
+// state (identity fingerprints, lease ledger, running aggregate) after
+// every accepted upload, and a coordinator killed mid-sweep restarts
+// with -resume from its last durable lease — live workers retry
+// through the outage and the final output is still byte-identical.
+// GET /v1/status (rendered by `hadoopsim -status addr`) reports cells
+// done, lease progress, per-worker throughput and an ETA. A
+// comma-separated -sweep list (sim backend) queues several grids on
+// one server, run in order as a long-lived grid service.
+//
 // Example configuration (the paper's two-job experiment at r=50%):
 //
 //	primitive susp
@@ -100,7 +112,7 @@ func main() {
 	deadline := flag.Duration("deadline", 2*time.Hour, "virtual-time budget")
 	width := flag.Int("width", 72, "gantt chart width")
 	backend := flag.String("backend", "sim", "execution backend: sim, replay or real")
-	sweepName := flag.String("sweep", "", "sim scenario grid to sweep: twojob, pressure, cluster, evict or primitive")
+	sweepName := flag.String("sweep", "", "sim scenario grid to sweep: twojob, pressure, cluster, evict or primitive (with -serve, a comma-separated list queues several)")
 	tracePath := flag.String("trace", "", "SWIM trace file for the replay backend")
 	traceShards := flag.Int("trace-shards", 4, "trace shards per repetition (replay cells)")
 	replaySched := flag.String("replay-sched", "fifo", "replay cluster scheduler: fifo, fair or hfsp")
@@ -117,6 +129,9 @@ func main() {
 	workerAddr := flag.String("worker", "", "join the distributed-sweep coordinator at this address and execute leased cells")
 	leaseCells := flag.Int("lease", 8, "distributed mode: grid cells per lease")
 	leaseTTL := flag.Duration("lease-ttl", 30*time.Second, "distributed mode: how long a lease may stay outstanding before a silent worker's cells are reissued")
+	checkpoint := flag.String("checkpoint", "", "coordinator mode: persist durable state to this file after every accepted upload, so a killed coordinator can -resume")
+	resume := flag.Bool("resume", false, "coordinator mode: restore state from -checkpoint instead of starting the sweep over; output stays byte-identical to an uninterrupted run")
+	statusAddr := flag.String("status", "", "query the coordinator at this address (GET /v1/status) and print sweep progress")
 	cellSleep := flag.Duration("cell-sleep", 0, "debug: sleep (1 + cell mod 3) x this per cell — artificially slow, uneven cells for exercising the distributed scheduler; results are unchanged")
 	flag.Parse()
 
@@ -146,6 +161,13 @@ func main() {
 		} else {
 			err = runMerge(flag.Args(), *format)
 		}
+	case *statusAddr != "":
+		if conflicting := append(configOnlyFlagsSet(), sweepOnlyFlagsSet()...); len(conflicting) > 0 {
+			err = fmt.Errorf("-status only queries a running coordinator; it cannot be combined with %s",
+				strings.Join(conflicting, ", "))
+		} else {
+			err = runStatus(*statusAddr)
+		}
 	case *serveAddr != "" && *workerAddr != "":
 		err = fmt.Errorf("-serve and -worker are different processes; pick one")
 	case *serveAddr != "":
@@ -153,8 +175,10 @@ func main() {
 			err = fmt.Errorf("-serve cannot be combined with %s (config-mode flags)", strings.Join(conflicting, ", "))
 		} else if *shard != "" {
 			err = fmt.Errorf("-serve schedules cells dynamically; it cannot be combined with -shard")
+		} else if *resume && *checkpoint == "" {
+			err = fmt.Errorf("-resume needs -checkpoint <file> to restore from")
 		} else {
-			err = runServe(f, *serveAddr, *leaseCells, *leaseTTL)
+			err = runServe(f, *serveAddr, *leaseCells, *leaseTTL, *checkpoint, *resume)
 		}
 	case *workerAddr != "":
 		switch {
@@ -165,8 +189,8 @@ func main() {
 			err = fmt.Errorf("-worker streams results to the coordinator; -shard and -format do not apply")
 		case flagSet("seed"):
 			err = fmt.Errorf("-worker takes the sweep seed from the coordinator; drop -seed")
-		case anyFlagSet("lease", "lease-ttl"):
-			err = fmt.Errorf("-lease and -lease-ttl are coordinator (-serve) flags")
+		case anyFlagSet("lease", "lease-ttl", "checkpoint", "resume"):
+			err = fmt.Errorf("-lease, -lease-ttl, -checkpoint and -resume are coordinator (-serve) flags")
 		default:
 			err = runWorker(f, *workerAddr)
 		}
@@ -237,7 +261,7 @@ func sweepOnlyFlagsSet() []string {
 		case "sweep", "parallel", "reps", "seed", "shard", "backend",
 			"trace", "trace-shards", "replay-sched", "replay-timescale",
 			"real-steps", "real-units", "real-mem",
-			"serve", "worker", "lease", "lease-ttl", "cell-sleep":
+			"serve", "worker", "lease", "lease-ttl", "checkpoint", "resume", "cell-sleep":
 			out = append(out, "-"+f.Name)
 		}
 	})
@@ -250,7 +274,7 @@ func distOnlyFlagsSet() []string {
 	var out []string
 	flag.Visit(func(f *flag.Flag) {
 		switch f.Name {
-		case "lease", "lease-ttl":
+		case "lease", "lease-ttl", "checkpoint", "resume":
 			out = append(out, "-"+f.Name)
 		}
 	})
@@ -358,28 +382,92 @@ func runSweep(f sweepFlags) error {
 	return col.Write(os.Stdout, f.format)
 }
 
-// runServe coordinates a distributed sweep: partition the grid into
-// leases, hand them to workers, merge their uploads and render the
-// result — byte-identical to runSweep at any worker count.
-func runServe(f sweepFlags, addr string, leaseCells int, ttl time.Duration) error {
-	b, err := buildBackend(f)
-	if err != nil {
-		return err
-	}
-	logf := func(format string, args ...any) {
-		fmt.Fprintf(os.Stderr, "coord: "+format+"\n", args...)
-	}
-	col, err := hp.DistributedSweep(context.Background(), b, hp.DistributedOptions{
+// runServe coordinates distributed sweeps: partition each grid into
+// leases, hand them to workers, fold their uploads into a running
+// aggregate and render the result — byte-identical to runSweep at any
+// worker count, steal, re-issue, or coordinator-crash-and-resume
+// history. With -checkpoint the coordinator state is durable; with a
+// comma-separated -sweep list the server queues several sim grids and
+// runs them in order (a long-lived grid service).
+func runServe(f sweepFlags, addr string, leaseCells int, ttl time.Duration, checkpoint string, resume bool) error {
+	opts := hp.DistributedOptions{
 		Addr:       addr,
 		Seed:       f.seed,
 		LeaseCells: leaseCells,
 		LeaseTTL:   ttl,
-		Logf:       logf,
-	}, "rep")
+		Checkpoint: checkpoint,
+		Resume:     resume,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "coord: "+format+"\n", args...)
+		},
+	}
+	scenarios := strings.Split(f.scenario, ",")
+	if len(scenarios) == 1 {
+		b, err := buildBackend(f)
+		if err != nil {
+			return err
+		}
+		col, err := hp.DistributedSweep(context.Background(), b, opts, "rep")
+		if err != nil {
+			return err
+		}
+		return col.Write(os.Stdout, f.format)
+	}
+	if f.backend != "sim" {
+		return fmt.Errorf("a -sweep queue (comma-separated scenarios) needs -backend sim")
+	}
+	backends := make([]hp.SweepBackend, len(scenarios))
+	for i, scenario := range scenarios {
+		fs := f
+		fs.scenario = strings.TrimSpace(scenario)
+		b, err := buildBackend(fs)
+		if err != nil {
+			return fmt.Errorf("sweep %d (%s): %w", i, scenario, err)
+		}
+		backends[i] = b
+	}
+	var werr error
+	_, err := hp.DistributedSweepQueue(context.Background(), backends, opts,
+		func(i int, col *hp.SweepCollapsed) {
+			fmt.Printf("# sweep %d: %s\n", i, strings.TrimSpace(scenarios[i]))
+			if err := col.Write(os.Stdout, f.format); err != nil && werr == nil {
+				werr = err
+			}
+		}, "rep")
 	if err != nil {
 		return err
 	}
-	return col.Write(os.Stdout, f.format)
+	return werr
+}
+
+// runStatus queries a running coordinator's GET /v1/status endpoint
+// and prints per-sweep and per-worker progress.
+func runStatus(addr string) error {
+	st, err := hp.SweepStatus(addr)
+	if err != nil {
+		return err
+	}
+	for _, s := range st.Sweeps {
+		line := fmt.Sprintf("sweep %d: %-7s %d/%d cells", s.Sweep, s.State, s.CellsDone, s.Cells)
+		if s.Cells > 0 {
+			line += fmt.Sprintf(" (%d%%)", 100*s.CellsDone/s.Cells)
+		}
+		line += fmt.Sprintf(", leases %d done / %d out / %d queued of %d",
+			s.LeasesDone, s.LeasesOutstanding, s.LeasesQueued, s.Leases)
+		if s.EtaMS >= 0 {
+			line += fmt.Sprintf(", eta %s", (time.Duration(s.EtaMS) * time.Millisecond).Round(time.Second))
+		}
+		if s.Error != "" {
+			line += ", error: " + s.Error
+		}
+		fmt.Println(line)
+	}
+	for _, w := range st.Workers {
+		fmt.Printf("worker %s: sweep %d, %d cells, %.1f cells/s, seen %s ago\n",
+			w.Worker, w.Sweep, w.CellsDone, w.CellsPerSec,
+			(time.Duration(w.LastSeenMS) * time.Millisecond).Round(100*time.Millisecond))
+	}
+	return nil
 }
 
 // runWorker joins a coordinator and executes leased cells with the

@@ -1,31 +1,46 @@
 // Package coord turns the sweep harness into an elastic multi-machine
-// grid engine. A coordinator serves lease-based work units — batches of
+// grid service. A coordinator serves lease-based work units — batches of
 // grid cell indices — over a small HTTP+JSON protocol, and workers run
 // any sweep.Backend locally, streaming shard-encoded group aggregates
 // back. Leases are re-issued when a worker goes silent past the lease
 // TTL, and speculatively duplicated — "stolen" — when a worker drains
 // the queue early, so uneven cell costs never leave capacity idle.
 //
-// The coordinator accepts the first result per lease and discards
-// duplicates. Because cell seeds derive from grid coordinates (see
-// sweep.Grid.Points), the accepted result for a lease is identical no
-// matter which worker ran it, and the final merge — sweep.MergeSubsets
-// over raw per-group sample multisets, in lease order — is
-// byte-identical to a single-process sweep regardless of worker count,
-// join order, steals or re-issues.
+// The coordinator accepts the first result per lease, discards
+// duplicates, and folds every accepted upload into one running
+// aggregate immediately (sweep.Accumulator), so its memory is bounded
+// by the sweep's group structure and sample volume, not by the lease
+// count. Because cell seeds derive from grid coordinates (see
+// sweep.Grid.Points) and aggregates retain raw sample multisets, the
+// merged result is byte-identical to a single-process sweep regardless
+// of worker count, join order, steals, re-issues — or the order uploads
+// were folded in.
 //
-// Protocol (all endpoints POST JSON, rooted at /v1):
+// A coordinator is durable and long-lived: it checkpoints its state
+// (sweep identity fingerprints, the lease ledger, the running
+// aggregate) to a file after every accepted upload, so a coordinator
+// killed mid-sweep restarts with Config.Resume and finishes from its
+// last durable lease, still byte-identical to the single-process run.
+// It also queues multiple sweeps on one listener, activating them in
+// order, and reports progress over GET /v1/status.
 //
-//	/v1/join    worker introduces itself; the coordinator verifies the
-//	            worker enumerates the same grid (structure fingerprint,
-//	            cell count, backend name and content fingerprint) and
-//	            replies with the sweep seed and collapse axes.
-//	/v1/lease   worker asks for work; the coordinator replies with a
-//	            lease (id + cell indices), wait (poll again shortly),
-//	            done (sweep complete) or abort (another worker failed).
+// Protocol (endpoints rooted at /v1; all POST JSON except status):
+//
+//	/v1/join    worker introduces itself; the coordinator matches the
+//	            worker's grid (structure fingerprint, cell count,
+//	            backend name and content fingerprint) against its sweep
+//	            queue and replies with the sweep index, seed and
+//	            collapse axes — or "queued" if the matching sweep has
+//	            not started yet (the worker polls until it has).
+//	/v1/lease   worker asks for work on its sweep; the coordinator
+//	            replies with a lease (id + cell indices), wait (poll
+//	            again shortly), done (sweep complete) or abort (another
+//	            worker failed).
 //	/v1/result  worker uploads a lease's result as a shard-encoded
 //	            Collapsed (sweep.WriteShard bytes), or reports the cell
 //	            error that stopped it.
+//	/v1/status  GET: queue-wide progress — per-sweep cells done/total
+//	            and lease ledger, per-worker throughput, ETA.
 package coord
 
 import (
@@ -35,8 +50,15 @@ import (
 )
 
 // protocolVersion guards against coordinator/worker skew; bump it when
-// the wire format changes.
-const protocolVersion = 1
+// the wire format changes. Version 2 added sweep queue indices to every
+// request and the queued join status.
+const protocolVersion = 2
+
+// Join-response statuses.
+const (
+	joinOK     = "ok"
+	joinQueued = "queued"
+)
 
 // Lease-response statuses.
 const (
@@ -64,16 +86,21 @@ type joinRequest struct {
 }
 
 // joinResponse hands the worker its identity and the sweep parameters
-// the coordinator governs.
+// the coordinator governs — or tells it the matching sweep is still
+// queued, in which case the worker polls join again after RetryMS.
 type joinResponse struct {
-	Worker   string   `json:"worker"`
+	Status   string   `json:"status"`
+	Worker   string   `json:"worker,omitempty"`
+	Sweep    int      `json:"sweep"`
 	Seed     uint64   `json:"seed"`
 	Collapse []string `json:"collapse,omitempty"`
+	RetryMS  int      `json:"retry_ms,omitempty"`
 }
 
-// leaseRequest asks for the next work unit.
+// leaseRequest asks for the next work unit of the worker's sweep.
 type leaseRequest struct {
 	Worker string `json:"worker"`
+	Sweep  int    `json:"sweep"`
 }
 
 // leaseResponse is one of: a lease, a wait hint, done, or abort.
@@ -89,6 +116,7 @@ type leaseResponse struct {
 // Collapsed bytes or the error that stopped the worker.
 type resultRequest struct {
 	Worker string          `json:"worker"`
+	Sweep  int             `json:"sweep"`
 	Lease  int             `json:"lease"`
 	Error  string          `json:"error,omitempty"`
 	Shard  json.RawMessage `json:"shard,omitempty"`
@@ -96,7 +124,7 @@ type resultRequest struct {
 
 // resultResponse acknowledges an upload. Accepted is false for
 // duplicates (a stolen lease's losing copy) — not an error. Done tells
-// the worker the whole sweep is complete so it need not poll again.
+// the worker its sweep is complete so it need not poll again.
 type resultResponse struct {
 	Accepted bool `json:"accepted"`
 	Done     bool `json:"done"`

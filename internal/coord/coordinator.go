@@ -20,7 +20,8 @@ type Config struct {
 	Addr string
 	// LeaseCells is the number of grid cells per lease (default 8).
 	// Smaller leases balance uneven cell costs better at the price of
-	// more round trips.
+	// more round trips. The value is part of the checkpoint identity: a
+	// resumed coordinator must partition leases identically.
 	LeaseCells int
 	// LeaseTTL bounds how long a lease may stay outstanding without a
 	// result before it is re-queued for another worker (default 30s).
@@ -28,29 +29,42 @@ type Config struct {
 	// MaxIssues caps how many workers may run one lease concurrently
 	// via stealing (default 2: the original holder plus one thief).
 	MaxIssues int
-	// DoneGrace bounds how long Drain waits for joined workers to hear
-	// the sweep is over before the server stops (default 2s).
+	// DoneGrace bounds how long Drain waits for workers to hear their
+	// sweep is over before the server stops (default 2s).
 	DoneGrace time.Duration
-	// BackendName, when set, must match joining workers' backend name.
+	// BackendName, when set, is the backend identity sweeps enqueued
+	// via Start must match at join time.
 	BackendName string
-	// BackendFP, when set, must match joining workers' backend content
-	// fingerprint (see Fingerprinter).
+	// BackendFP, when set, is the backend content fingerprint for
+	// sweeps enqueued via Start (see Fingerprinter).
 	BackendFP string
+	// Checkpoint, when set, is the path the coordinator persists its
+	// state to — sweep fingerprints, the lease ledger and the running
+	// aggregate — after every accepted upload, so a killed coordinator
+	// can resume. Writes are atomic (temp file + rename).
+	Checkpoint string
+	// Resume makes Start restore state from Checkpoint instead of
+	// beginning the sweep from scratch: leases the previous incarnation
+	// accepted stay done, and the final output is byte-identical to an
+	// uninterrupted run.
+	Resume bool
 	// Context, when set, cancels Dispatch (default context.Background).
 	Context context.Context
 	// OnListen, when set, receives the bound listen address once the
 	// server is up — the way to learn the port of an ":0" Addr.
 	OnListen func(addr string)
 	// Logf, when set, receives progress lines (joins, leases, steals,
-	// re-issues, completions).
+	// re-issues, completions, checkpoints).
 	Logf func(format string, args ...any)
 }
 
-// Stats counts scheduling events, for tests and operator logs.
+// Stats counts scheduling events, for tests and operator logs. With a
+// sweep queue, counters aggregate over every sweep.
 type Stats struct {
 	// Workers is the number of workers that joined.
 	Workers int
-	// Leases is the number of work units the grid was partitioned into.
+	// Leases is the number of work units the grids were partitioned
+	// into.
 	Leases int
 	// Reissues counts leases re-queued after their TTL expired with no
 	// result (worker loss).
@@ -63,7 +77,31 @@ type Stats struct {
 	Duplicates int
 }
 
-// lease is one work unit: a batch of grid cell indices.
+// Sweep declares one entry of the coordinator's queue: the grid to
+// serve, its base seed and collapse axes, and the backend identity
+// joining workers must prove.
+type Sweep struct {
+	Grid     sweep.Grid
+	Seed     uint64
+	Collapse []string
+	// BackendName, when set, must match joining workers' backend name.
+	BackendName string
+	// BackendFP, when set, must match joining workers' backend content
+	// fingerprint (see Fingerprinter).
+	BackendFP string
+}
+
+// Sweep-state machine values (also serialized into checkpoints).
+const (
+	sweepQueued = "queued"
+	sweepActive = "active"
+	sweepDone   = "done"
+	sweepFailed = "failed"
+)
+
+// lease is one work unit: a batch of grid cell indices. Accepted
+// results are folded into the sweep's running aggregate immediately —
+// a lease retains no result of its own.
 type lease struct {
 	id    int
 	cells []int
@@ -71,39 +109,80 @@ type lease struct {
 	// report, precomputed from the grid geometry.
 	expected map[int]int
 	done     bool
-	result   *sweep.Collapsed
 	// issues holds the expiry times of the active issues of this lease
 	// (one per worker currently running it).
 	issues []time.Time
 	queued bool
 }
 
-// Coordinator serves lease-based work units for one sweep and merges
-// the results. Create with New, then either call Dispatch (it
-// implements sweep.Dispatcher) or Start/Wait/Drain separately.
+// sweepState is one queue entry's runtime state.
+type sweepState struct {
+	index    int
+	fp       string
+	backend  string
+	backFP   string
+	seed     uint64
+	collapse []string
+	cells    int
+	skeleton *sweep.Collapsed
+	acc      *sweep.Accumulator
+	leases   []*lease
+	pending  []int
+	// remaining counts leases without an accepted result.
+	remaining int
+	cellsDone int
+	state     string
+	merged    *sweep.Collapsed
+	// aggBytes freezes the shard-encoded aggregate at completion time
+	// (Merged consumes the accumulator), so later checkpoints can still
+	// persist finished sweeps.
+	aggBytes []byte
+	failed   error
+	stats    Stats
+	started  time.Time
+	finish   sync.Once
+	done     chan struct{}
+}
+
+// terminal reports whether the sweep has finished, one way or another.
+func (s *sweepState) terminal() bool {
+	return s.state == sweepDone || s.state == sweepFailed
+}
+
+// workerInfo tracks one worker's progress for Drain and /v1/status.
+// Workers register at join; workers of a previous coordinator
+// incarnation (which joined before a crash) re-register lazily on
+// their first request after a resume.
+type workerInfo struct {
+	sweep    int
+	told     bool
+	cells    int
+	joinedAt time.Time
+	lastAt   time.Time
+}
+
+// Coordinator serves lease-based work units for a queue of sweeps and
+// folds the results as they arrive. Create with New, then either call
+// Dispatch (it implements sweep.Dispatcher) for a single sweep or
+// Enqueue/Serve/WaitSweep/Drain separately for a long-lived service.
 type Coordinator struct {
 	cfg Config
 
-	mu        sync.Mutex
-	started   bool
-	seed      uint64
-	collapse  []string
-	fp        string
-	cells     int
-	skeleton  *sweep.Collapsed
-	leases    []*lease
-	pending   []int
-	remaining int
-	workers   map[string]bool // worker id -> has been told the sweep is over
-	stats     Stats
-	failed    error
-	finish    sync.Once
-	done      chan struct{}
-	ln        net.Listener
-	srv       *http.Server
+	mu       sync.Mutex
+	serving  bool
+	restored bool
+	boot     int
+	sweeps   []*sweepState
+	active   int
+	workers  map[string]*workerInfo
+	joined   int
+	lastReq  time.Time
+	ln       net.Listener
+	srv      *http.Server
 }
 
-// New builds a coordinator; Start (or Dispatch) binds it to a grid.
+// New builds a coordinator; Enqueue and Serve (or Start, or Dispatch)
+// bind it to its sweeps.
 func New(cfg Config) *Coordinator {
 	if cfg.LeaseCells < 1 {
 		cfg.LeaseCells = 8
@@ -119,8 +198,7 @@ func New(cfg Config) *Coordinator {
 	}
 	return &Coordinator{
 		cfg:     cfg,
-		workers: make(map[string]bool),
-		done:    make(chan struct{}),
+		workers: make(map[string]*workerInfo),
 	}
 }
 
@@ -130,62 +208,123 @@ func (c *Coordinator) logf(format string, args ...any) {
 	}
 }
 
-// Start partitions the grid into leases and begins serving the
-// protocol. It returns once the listener is bound (see Addr), so
-// workers started afterwards cannot miss it.
-func (c *Coordinator) Start(g sweep.Grid, seed uint64, collapse ...string) error {
+// Enqueue appends a sweep to the queue, partitioning its grid into
+// leases, and returns its queue index. Sweeps activate in order; the
+// index is what WaitSweep takes and what workers are told at join.
+func (c *Coordinator) Enqueue(sw Sweep) (int, error) {
+	skel, err := sweep.Skeleton(sw.Grid, sw.Seed, sw.Collapse...)
+	if err != nil {
+		return 0, err
+	}
+	acc, err := sweep.NewAccumulator(sw.Grid, sw.Seed, sw.Collapse...)
+	if err != nil {
+		return 0, err
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if c.started {
-		return fmt.Errorf("coord: coordinator already started")
+	s := &sweepState{
+		index:    len(c.sweeps),
+		fp:       sw.Grid.Fingerprint(),
+		backend:  sw.BackendName,
+		backFP:   sw.BackendFP,
+		seed:     sw.Seed,
+		collapse: append([]string(nil), sw.Collapse...),
+		cells:    skel.Cells(),
+		skeleton: skel,
+		acc:      acc,
+		state:    sweepQueued,
+		done:     make(chan struct{}),
 	}
-	// Both fallible steps come before any state mutation, so a failed
-	// Start (bad grid, port in use) leaves the coordinator clean for a
-	// retry instead of with doubled lease state.
-	skel, err := sweep.Skeleton(g, seed, collapse...)
-	if err != nil {
-		return err
-	}
-	ln, err := net.Listen("tcp", c.cfg.Addr)
-	if err != nil {
-		return fmt.Errorf("coord: listen %s: %w", c.cfg.Addr, err)
-	}
-	c.skeleton = skel
-	c.seed = seed
-	c.collapse = append([]string(nil), collapse...)
-	c.fp = g.Fingerprint()
-	c.cells = skel.Cells()
-	for lo := 0; lo < c.cells; lo += c.cfg.LeaseCells {
-		hi := lo + c.cfg.LeaseCells
-		if hi > c.cells {
-			hi = c.cells
-		}
-		l := &lease{id: len(c.leases), expected: make(map[int]int)}
+	for lo := 0; lo < s.cells; lo += c.cfg.LeaseCells {
+		hi := min(lo+c.cfg.LeaseCells, s.cells)
+		l := &lease{id: len(s.leases), expected: make(map[int]int)}
 		for cell := lo; cell < hi; cell++ {
 			l.cells = append(l.cells, cell)
 			gi, _ := skel.GroupOfCell(cell)
 			l.expected[gi]++
 		}
 		l.queued = true
-		c.leases = append(c.leases, l)
-		c.pending = append(c.pending, l.id)
+		s.leases = append(s.leases, l)
+		s.pending = append(s.pending, l.id)
 	}
-	c.remaining = len(c.leases)
-	c.stats.Leases = len(c.leases)
+	s.remaining = len(s.leases)
+	s.stats.Leases = len(s.leases)
+	c.sweeps = append(c.sweeps, s)
+	if c.serving {
+		c.advance()
+	}
+	c.logf("sweep %d enqueued: %d cells as %d leases of <=%d",
+		s.index, s.cells, len(s.leases), c.cfg.LeaseCells)
+	return s.index, nil
+}
+
+// advance promotes the first non-terminal sweep to active. Callers
+// hold mu.
+func (c *Coordinator) advance() {
+	for c.active < len(c.sweeps) && c.sweeps[c.active].terminal() {
+		c.active++
+	}
+	if c.active < len(c.sweeps) && c.sweeps[c.active].state == sweepQueued {
+		s := c.sweeps[c.active]
+		s.state = sweepActive
+		s.started = time.Now()
+		c.logf("sweep %d active (%d cells, %d leases)", s.index, s.cells, len(s.leases))
+	}
+}
+
+// Serve binds the listener and begins answering the protocol. It
+// returns once the listener is bound (see Addr), so workers started
+// afterwards cannot miss it. At least one sweep must be enqueued.
+func (c *Coordinator) Serve() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.serving {
+		return fmt.Errorf("coord: coordinator already serving")
+	}
+	if len(c.sweeps) == 0 {
+		return fmt.Errorf("coord: no sweeps enqueued")
+	}
+	ln, err := net.Listen("tcp", c.cfg.Addr)
+	if err != nil {
+		return fmt.Errorf("coord: listen %s: %w", c.cfg.Addr, err)
+	}
 	c.ln = ln
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/join", c.handleJoin)
 	mux.HandleFunc("POST /v1/lease", c.handleLease)
 	mux.HandleFunc("POST /v1/result", c.handleResult)
+	mux.HandleFunc("GET /v1/status", c.handleStatus)
 	c.srv = &http.Server{Handler: mux}
 	go c.srv.Serve(ln)
-	c.started = true
-	c.logf("serving %d cells as %d leases of <=%d on %s",
-		c.cells, len(c.leases), c.cfg.LeaseCells, ln.Addr())
+	c.serving = true
+	c.lastReq = time.Now()
+	c.advance()
+	// An immediate checkpoint makes -resume valid from any kill point,
+	// even one before the first accepted upload.
+	c.saveCheckpoint()
+	c.logf("serving %d sweep(s) on %s", len(c.sweeps), ln.Addr())
 	if c.cfg.OnListen != nil {
 		c.cfg.OnListen(ln.Addr().String())
 	}
 	return nil
+}
+
+// Start is the single-sweep entry point: enqueue the grid (under the
+// Config's backend identity), restore from the checkpoint when
+// Config.Resume is set, and serve.
+func (c *Coordinator) Start(g sweep.Grid, seed uint64, collapse ...string) error {
+	if _, err := c.Enqueue(Sweep{
+		Grid: g, Seed: seed, Collapse: collapse,
+		BackendName: c.cfg.BackendName, BackendFP: c.cfg.BackendFP,
+	}); err != nil {
+		return err
+	}
+	if c.cfg.Resume {
+		if err := c.Restore(c.cfg.Checkpoint); err != nil {
+			return err
+		}
+	}
+	return c.Serve()
 }
 
 // Addr returns the bound listen address (useful with ":0").
@@ -198,51 +337,68 @@ func (c *Coordinator) Addr() string {
 	return c.ln.Addr().String()
 }
 
-// Stats returns a snapshot of the scheduling counters.
+// Stats returns a snapshot of the scheduling counters, aggregated over
+// the sweep queue.
 func (c *Coordinator) Stats() Stats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.stats
+	out := Stats{Workers: c.joined}
+	for _, s := range c.sweeps {
+		out.Leases += s.stats.Leases
+		out.Reissues += s.stats.Reissues
+		out.Steals += s.stats.Steals
+		out.Duplicates += s.stats.Duplicates
+	}
+	return out
 }
 
-// Wait blocks until every lease has a result (or a worker reported a
-// cell error, or ctx is cancelled) and returns the merged sweep,
-// byte-identical to a single-process run. The server keeps answering
-// "done" to stragglers until Drain or Close.
+// Wait blocks until the first sweep of the queue has a result and
+// returns its merged output; see WaitSweep.
 func (c *Coordinator) Wait(ctx context.Context) (*sweep.Collapsed, error) {
+	return c.WaitSweep(ctx, 0)
+}
+
+// WaitSweep blocks until the i-th enqueued sweep completes (or a
+// worker reported a cell error, or ctx is cancelled) and returns its
+// merged result, byte-identical to a single-process run. The server
+// keeps answering "done" to stragglers until Drain or Close.
+func (c *Coordinator) WaitSweep(ctx context.Context, i int) (*sweep.Collapsed, error) {
+	c.mu.Lock()
+	if i < 0 || i >= len(c.sweeps) {
+		n := len(c.sweeps)
+		c.mu.Unlock()
+		return nil, fmt.Errorf("coord: sweep %d of a %d-sweep queue", i, n)
+	}
+	s := c.sweeps[i]
+	c.mu.Unlock()
 	select {
-	case <-c.done:
+	case <-s.done:
 	case <-ctx.Done():
-		c.fail(fmt.Errorf("coord: %w", ctx.Err()))
+		c.failSweep(s, fmt.Errorf("coord: %w", ctx.Err()))
 		return nil, ctx.Err()
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if c.failed != nil {
-		return nil, c.failed
+	if s.failed != nil {
+		return nil, s.failed
 	}
-	parts := make([]*sweep.Collapsed, len(c.leases))
-	for i, l := range c.leases {
-		parts[i] = l.result
-	}
-	merged, err := sweep.MergeSubsets(parts...)
-	if err != nil {
-		return nil, fmt.Errorf("coord: merging %d lease results: %w", len(parts), err)
-	}
-	return merged, nil
+	return s.merged, nil
 }
 
-// Drain waits until every joined worker has been told the sweep is
-// over (capped by DoneGrace) and then stops the server, so short-lived
-// coordinator processes don't vanish mid-poll and turn clean worker
-// exits into connection errors.
+// Drain waits until every known worker has been told its sweep is over
+// and requests have gone quiet (capped by DoneGrace), then stops the
+// server — so short-lived coordinator processes don't vanish mid-poll
+// and turn clean worker exits into connection errors. The quiet window
+// covers workers of a pre-crash incarnation, which the resumed
+// coordinator only learns about when they poll.
 func (c *Coordinator) Drain() {
+	quiet := min(c.cfg.DoneGrace/4, 250*time.Millisecond)
 	deadline := time.Now().Add(c.cfg.DoneGrace)
 	for time.Now().Before(deadline) {
 		c.mu.Lock()
-		all := true
-		for _, told := range c.workers {
-			if !told {
+		all := time.Since(c.lastReq) >= quiet
+		for _, w := range c.workers {
+			if !w.told {
 				all = false
 			}
 		}
@@ -284,15 +440,67 @@ func (c *Coordinator) Dispatch(g sweep.Grid, run sweep.CellFunc, seed uint64, co
 	return col, err
 }
 
-// fail records the first fatal error and releases Wait; subsequent
-// lease requests answer abort.
+// fail stops every unfinished sweep with the given error.
 func (c *Coordinator) fail(err error) {
 	c.mu.Lock()
-	if c.failed == nil {
-		c.failed = err
+	states := append([]*sweepState(nil), c.sweeps...)
+	c.mu.Unlock()
+	for _, s := range states {
+		c.failSweep(s, err)
+	}
+}
+
+// failSweep records a sweep's first fatal error and releases its
+// waiters; subsequent lease requests for it answer abort.
+func (c *Coordinator) failSweep(s *sweepState, err error) {
+	c.mu.Lock()
+	if !s.terminal() {
+		s.failed = err
+		s.state = sweepFailed
+		c.advance()
+		c.saveCheckpoint()
 	}
 	c.mu.Unlock()
-	c.finish.Do(func() { close(c.done) })
+	s.finish.Do(func() { close(s.done) })
+}
+
+// completeSweep finalizes the active sweep's aggregate. Callers hold
+// mu; the done channel is closed by the caller after unlocking.
+func (c *Coordinator) completeSweep(s *sweepState) {
+	var frozen bytes.Buffer
+	if err := s.acc.WriteState(&frozen); err == nil {
+		s.aggBytes = frozen.Bytes()
+	}
+	merged, err := s.acc.Merged()
+	if err != nil {
+		// Unreachable when lease validation holds; surface it rather
+		// than trust a wrong merge.
+		s.failed = fmt.Errorf("coord: finalizing sweep %d: %w", s.index, err)
+		s.state = sweepFailed
+	} else {
+		s.merged = merged
+		s.state = sweepDone
+	}
+	c.advance()
+	c.saveCheckpoint()
+	c.logf("sweep %d %s", s.index, s.state)
+}
+
+// touch registers (or refreshes) a worker seen on the wire. Callers
+// hold mu.
+func (c *Coordinator) touch(worker string, sweepIdx int) *workerInfo {
+	c.lastReq = time.Now()
+	if worker == "" {
+		return nil
+	}
+	w, ok := c.workers[worker]
+	if !ok {
+		w = &workerInfo{sweep: sweepIdx, joinedAt: time.Now()}
+		c.workers[worker] = w
+	}
+	w.sweep = sweepIdx
+	w.lastAt = time.Now()
+	return w
 }
 
 func respond(w http.ResponseWriter, v any) {
@@ -306,6 +514,32 @@ func reject(w http.ResponseWriter, status int, format string, args ...any) {
 	json.NewEncoder(w).Encode(errorResponse{Error: fmt.Sprintf(format, args...)})
 }
 
+// matchSweep finds the queue entry a joining worker belongs to: the
+// first non-terminal sweep whose identity the worker proves, falling
+// back to a terminal match (so its workers hear done/abort through the
+// normal lease path). Callers hold mu.
+func (c *Coordinator) matchSweep(req joinRequest) *sweepState {
+	var fallback *sweepState
+	for _, s := range c.sweeps {
+		if req.Fingerprint != s.fp || req.Cells != s.cells {
+			continue
+		}
+		if s.backend != "" && req.Backend != s.backend {
+			continue
+		}
+		if req.BackendFP != s.backFP {
+			continue
+		}
+		if !s.terminal() {
+			return s
+		}
+		if fallback == nil {
+			fallback = s
+		}
+	}
+	return fallback
+}
+
 func (c *Coordinator) handleJoin(w http.ResponseWriter, r *http.Request) {
 	var req joinRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
@@ -314,30 +548,44 @@ func (c *Coordinator) handleJoin(w http.ResponseWriter, r *http.Request) {
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	switch {
-	case req.Proto != protocolVersion:
+	c.lastReq = time.Now()
+	if req.Proto != protocolVersion {
 		reject(w, http.StatusConflict, "coord: protocol %d, want %d", req.Proto, protocolVersion)
 		return
-	case req.Fingerprint != c.fp:
-		reject(w, http.StatusConflict,
-			"coord: grid fingerprint mismatch: the worker enumerates a different sweep (check backend flags)")
-		return
-	case req.Cells != c.cells:
-		reject(w, http.StatusConflict, "coord: worker grid has %d cells, coordinator %d", req.Cells, c.cells)
-		return
-	case c.cfg.BackendName != "" && req.Backend != c.cfg.BackendName:
-		reject(w, http.StatusConflict, "coord: worker backend %q, coordinator %q", req.Backend, c.cfg.BackendName)
-		return
-	case req.BackendFP != c.cfg.BackendFP:
-		reject(w, http.StatusConflict,
-			"coord: backend content fingerprint mismatch (e.g. a different trace file on the worker)")
+	}
+	s := c.matchSweep(req)
+	if s == nil {
+		// Diagnose against the sweep the worker most plausibly meant:
+		// the active one (or the first, if the queue is spent).
+		ref := c.sweeps[min(c.active, len(c.sweeps)-1)]
+		switch {
+		case req.Fingerprint != ref.fp:
+			reject(w, http.StatusConflict,
+				"coord: grid fingerprint matches no queued sweep: the worker enumerates a different sweep (check backend flags)")
+		case req.Cells != ref.cells:
+			reject(w, http.StatusConflict, "coord: worker grid has %d cells, coordinator %d", req.Cells, ref.cells)
+		case ref.backend != "" && req.Backend != ref.backend:
+			reject(w, http.StatusConflict, "coord: worker backend %q, coordinator %q", req.Backend, ref.backend)
+		default:
+			reject(w, http.StatusConflict,
+				"coord: backend content fingerprint mismatch (e.g. a different trace file on the worker)")
+		}
 		return
 	}
-	c.stats.Workers++
-	id := fmt.Sprintf("w%d", c.stats.Workers)
-	c.workers[id] = false
-	c.logf("worker %s joined", id)
-	respond(w, joinResponse{Worker: id, Seed: c.seed, Collapse: c.collapse})
+	if s.state == sweepQueued {
+		respond(w, joinResponse{Status: joinQueued, Sweep: s.index, RetryMS: 500})
+		return
+	}
+	c.joined++
+	id := fmt.Sprintf("w%d", c.joined)
+	if c.boot > 0 {
+		// Keep resumed-incarnation ids distinct from pre-crash ones
+		// still polling, so Drain and status never conflate them.
+		id = fmt.Sprintf("w%d.%d", c.boot, c.joined)
+	}
+	c.touch(id, s.index)
+	c.logf("worker %s joined sweep %d", id, s.index)
+	respond(w, joinResponse{Status: joinOK, Worker: id, Sweep: s.index, Seed: s.seed, Collapse: s.collapse})
 }
 
 func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
@@ -348,23 +596,37 @@ func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if c.failed != nil {
-		c.told(req.Worker)
-		respond(w, leaseResponse{Status: statusAbort, Error: c.failed.Error()})
+	if req.Sweep < 0 || req.Sweep >= len(c.sweeps) {
+		reject(w, http.StatusBadRequest, "coord: unknown sweep %d", req.Sweep)
 		return
 	}
-	c.reap(time.Now())
-	if c.remaining == 0 {
-		c.told(req.Worker)
+	s := c.sweeps[req.Sweep]
+	wi := c.touch(req.Worker, req.Sweep)
+	switch {
+	case s.state == sweepFailed:
+		c.told(wi)
+		respond(w, leaseResponse{Status: statusAbort, Error: s.failed.Error()})
+		return
+	case s.state == sweepDone:
+		c.told(wi)
 		respond(w, leaseResponse{Status: statusDone})
 		return
+	case s.state == sweepQueued:
+		respond(w, leaseResponse{Status: statusWait, RetryMS: 500})
+		return
 	}
-	if len(c.pending) > 0 {
-		l := c.leases[c.pending[0]]
-		c.pending = c.pending[1:]
+	c.reap(s, time.Now())
+	for len(s.pending) > 0 {
+		l := s.leases[s.pending[0]]
+		s.pending = s.pending[1:]
+		if l.done || !l.queued {
+			// Completed while waiting in the queue — e.g. a pre-crash
+			// worker's upload landed after a resume re-queued the lease.
+			continue
+		}
 		l.queued = false
 		l.issues = append(l.issues, time.Now().Add(c.cfg.LeaseTTL))
-		c.logf("lease %d (%d cells) -> %s", l.id, len(l.cells), req.Worker)
+		c.logf("sweep %d lease %d (%d cells) -> %s", s.index, l.id, len(l.cells), req.Worker)
 		respond(w, leaseResponse{Status: statusLease, Lease: l.id, Cells: l.cells})
 		return
 	}
@@ -373,7 +635,7 @@ func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
 	// incomplete lease. The first uploaded result wins; both copies
 	// compute identical bytes, so the race never affects output.
 	var victim *lease
-	for _, l := range c.leases {
+	for _, l := range s.leases {
 		if l.done || len(l.issues) >= c.cfg.MaxIssues {
 			continue
 		}
@@ -387,15 +649,16 @@ func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	victim.issues = append(victim.issues, time.Now().Add(c.cfg.LeaseTTL))
-	c.stats.Steals++
-	c.logf("lease %d stolen by %s (speculative duplicate %d)", victim.id, req.Worker, len(victim.issues))
+	s.stats.Steals++
+	c.logf("sweep %d lease %d stolen by %s (speculative duplicate %d)",
+		s.index, victim.id, req.Worker, len(victim.issues))
 	respond(w, leaseResponse{Status: statusLease, Lease: victim.id, Cells: victim.cells})
 }
 
 // reap drops expired issues and re-queues incomplete leases nobody is
 // running anymore (worker loss). Callers hold mu.
-func (c *Coordinator) reap(now time.Time) {
-	for _, l := range c.leases {
+func (c *Coordinator) reap(s *sweepState, now time.Time) {
+	for _, l := range s.leases {
 		if l.done {
 			continue
 		}
@@ -409,9 +672,9 @@ func (c *Coordinator) reap(now time.Time) {
 		l.issues = live
 		if expired > 0 && len(l.issues) == 0 && !l.queued {
 			l.queued = true
-			c.pending = append(c.pending, l.id)
-			c.stats.Reissues++
-			c.logf("lease %d expired with no result, reissue", l.id)
+			s.pending = append(s.pending, l.id)
+			s.stats.Reissues++
+			c.logf("sweep %d lease %d expired with no result, reissue", s.index, l.id)
 		}
 	}
 }
@@ -423,39 +686,46 @@ func (c *Coordinator) handleResult(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	c.mu.Lock()
-	if req.Lease < 0 || req.Lease >= len(c.leases) {
+	if req.Sweep < 0 || req.Sweep >= len(c.sweeps) {
+		c.mu.Unlock()
+		reject(w, http.StatusBadRequest, "coord: unknown sweep %d", req.Sweep)
+		return
+	}
+	s := c.sweeps[req.Sweep]
+	wi := c.touch(req.Worker, req.Sweep)
+	if req.Lease < 0 || req.Lease >= len(s.leases) {
 		c.mu.Unlock()
 		reject(w, http.StatusBadRequest, "coord: unknown lease %d", req.Lease)
 		return
 	}
-	l := c.leases[req.Lease]
+	l := s.leases[req.Lease]
 	if req.Error != "" {
-		if l.done {
+		if l.done || s.terminal() {
 			// Another worker already completed this lease (steal or
 			// reissue); a straggler's error for it is as irrelevant as
 			// a straggler's duplicate result.
-			c.logf("lease %d late error from %s discarded (lease already done)", l.id, req.Worker)
-			done := c.remaining == 0
-			if done {
-				c.told(req.Worker)
+			c.logf("sweep %d lease %d late error from %s discarded", s.index, l.id, req.Worker)
+			done := s.remaining == 0
+			if done || s.terminal() {
+				c.told(wi)
 			}
 			c.mu.Unlock()
 			respond(w, resultResponse{Accepted: false, Done: done})
 			return
 		}
 		c.mu.Unlock()
-		c.fail(fmt.Errorf("coord: worker %s, lease %d: %s", req.Worker, req.Lease, req.Error))
+		c.failSweep(s, fmt.Errorf("coord: worker %s, sweep %d lease %d: %s", req.Worker, s.index, req.Lease, req.Error))
 		respond(w, resultResponse{Accepted: false, Done: true})
 		return
 	}
-	if c.failed != nil || l.done {
+	if s.terminal() || l.done {
 		if l.done {
-			c.stats.Duplicates++
-			c.logf("lease %d duplicate from %s discarded", l.id, req.Worker)
+			s.stats.Duplicates++
+			c.logf("sweep %d lease %d duplicate from %s discarded", s.index, l.id, req.Worker)
 		}
-		done := c.remaining == 0
-		if done || c.failed != nil {
-			c.told(req.Worker)
+		done := s.remaining == 0
+		if done || s.terminal() {
+			c.told(wi)
 		}
 		c.mu.Unlock()
 		respond(w, resultResponse{Accepted: false, Done: done})
@@ -463,44 +733,57 @@ func (c *Coordinator) handleResult(w http.ResponseWriter, r *http.Request) {
 	}
 	col, err := sweep.ReadShard(bytes.NewReader(req.Shard))
 	if err == nil {
-		err = c.validateLeaseResult(l, col)
+		err = validateLeaseResult(s, l, col)
+	}
+	if err == nil {
+		// The fold is the incremental merge: the upload is absorbed
+		// into the running aggregate and never retained per lease, so
+		// coordinator memory tracks groups and samples, not leases.
+		err = s.acc.Absorb(col)
 	}
 	if err != nil {
 		c.mu.Unlock()
-		c.fail(fmt.Errorf("coord: worker %s, lease %d: %v", req.Worker, req.Lease, err))
+		c.failSweep(s, fmt.Errorf("coord: worker %s, sweep %d lease %d: %v", req.Worker, s.index, req.Lease, err))
 		respond(w, resultResponse{Accepted: false, Done: true})
 		return
 	}
 	l.done = true
-	l.result = col
 	l.issues = nil
 	l.queued = false
-	c.remaining--
-	done := c.remaining == 0
-	c.logf("lease %d done by %s (%d/%d)", l.id, req.Worker, len(c.leases)-c.remaining, len(c.leases))
+	s.remaining--
+	s.cellsDone += len(l.cells)
+	if wi != nil {
+		wi.cells += len(l.cells)
+	}
+	done := s.remaining == 0
+	c.logf("sweep %d lease %d done by %s (%d/%d)",
+		s.index, l.id, req.Worker, len(s.leases)-s.remaining, len(s.leases))
 	if done {
-		c.told(req.Worker)
+		c.completeSweep(s)
+		c.told(wi)
+	} else {
+		c.saveCheckpoint()
 	}
 	c.mu.Unlock()
 	if done {
-		c.finish.Do(func() { close(c.done) })
+		s.finish.Do(func() { close(s.done) })
 	}
 	respond(w, resultResponse{Accepted: true, Done: done})
 }
 
 // validateLeaseResult checks an uploaded Collapsed describes this sweep
 // and covers exactly the lease's cells. Callers hold mu.
-func (c *Coordinator) validateLeaseResult(l *lease, col *sweep.Collapsed) error {
-	if col.Seed != c.seed {
-		return fmt.Errorf("result for seed %d, want %d", col.Seed, c.seed)
+func validateLeaseResult(s *sweepState, l *lease, col *sweep.Collapsed) error {
+	if col.Seed != s.seed {
+		return fmt.Errorf("result for seed %d, want %d", col.Seed, s.seed)
 	}
 	if col.Shard != (sweep.Shard{}) {
 		return fmt.Errorf("result is a static shard slice %s, not a lease result", col.Shard)
 	}
-	if col.Cells() != c.cells {
-		return fmt.Errorf("result grid has %d cells, want %d", col.Cells(), c.cells)
+	if col.Cells() != s.cells {
+		return fmt.Errorf("result grid has %d cells, want %d", col.Cells(), s.cells)
 	}
-	skel := c.skeleton
+	skel := s.skeleton
 	if !slices.Equal(col.CollapsedAxes, skel.CollapsedAxes) || !slices.Equal(col.GroupAxes, skel.GroupAxes) {
 		return fmt.Errorf("result collapses different axes")
 	}
@@ -518,10 +801,10 @@ func (c *Coordinator) validateLeaseResult(l *lease, col *sweep.Collapsed) error 
 	return nil
 }
 
-// told marks a worker as having heard the sweep is over. Callers hold
+// told marks a worker as having heard its sweep is over. Callers hold
 // mu.
-func (c *Coordinator) told(worker string) {
-	if _, ok := c.workers[worker]; ok {
-		c.workers[worker] = true
+func (c *Coordinator) told(w *workerInfo) {
+	if w != nil {
+		w.told = true
 	}
 }

@@ -1,0 +1,142 @@
+package coord
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"time"
+)
+
+// Status is the GET /v1/status payload: queue-wide progress of a
+// running coordinator.
+type Status struct {
+	Sweeps  []StatusSweep  `json:"sweeps"`
+	Workers []StatusWorker `json:"workers,omitempty"`
+}
+
+// StatusSweep is one queue entry's progress.
+type StatusSweep struct {
+	Sweep     int    `json:"sweep"`
+	State     string `json:"state"`
+	Cells     int    `json:"cells"`
+	CellsDone int    `json:"cells_done"`
+	Leases    int    `json:"leases"`
+	// LeasesDone counts leases with an accepted result; Outstanding
+	// counts leases issued to workers and still awaited; Queued counts
+	// leases waiting to be issued.
+	LeasesDone        int `json:"leases_done"`
+	LeasesOutstanding int `json:"leases_outstanding"`
+	LeasesQueued      int `json:"leases_queued"`
+	// ElapsedMS is the active time so far; EtaMS estimates the time to
+	// completion from the observed cell throughput (-1 when unknown:
+	// the sweep has not started or no cell has finished yet).
+	ElapsedMS int64  `json:"elapsed_ms"`
+	EtaMS     int64  `json:"eta_ms"`
+	Error     string `json:"error,omitempty"`
+}
+
+// StatusWorker is one worker's contribution.
+type StatusWorker struct {
+	Worker string `json:"worker"`
+	Sweep  int    `json:"sweep"`
+	// CellsDone counts grid cells this worker completed (first-accepted
+	// results only).
+	CellsDone int `json:"cells_done"`
+	// CellsPerSec is the worker's observed throughput since it joined.
+	CellsPerSec float64 `json:"cells_per_sec"`
+	LastSeenMS  int64   `json:"last_seen_ms"`
+}
+
+func (c *Coordinator) handleStatus(w http.ResponseWriter, r *http.Request) {
+	c.mu.Lock()
+	st := c.statusLocked()
+	c.lastReq = time.Now()
+	c.mu.Unlock()
+	respond(w, st)
+}
+
+// Status snapshots the coordinator's progress, the same view GET
+// /v1/status serves.
+func (c *Coordinator) Status() Status {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.statusLocked()
+}
+
+// statusLocked builds the progress snapshot. Callers hold mu.
+func (c *Coordinator) statusLocked() Status {
+	now := time.Now()
+	st := Status{Sweeps: make([]StatusSweep, 0, len(c.sweeps))}
+	for _, s := range c.sweeps {
+		ss := StatusSweep{
+			Sweep:        s.index,
+			State:        s.state,
+			Cells:        s.cells,
+			CellsDone:    s.cellsDone,
+			Leases:       len(s.leases),
+			LeasesQueued: len(s.pending),
+			EtaMS:        -1,
+		}
+		for _, l := range s.leases {
+			switch {
+			case l.done:
+				ss.LeasesDone++
+			case len(l.issues) > 0:
+				ss.LeasesOutstanding++
+			}
+		}
+		if s.failed != nil {
+			ss.Error = s.failed.Error()
+		}
+		if !s.started.IsZero() {
+			elapsed := now.Sub(s.started)
+			ss.ElapsedMS = elapsed.Milliseconds()
+			if s.state == sweepActive && s.cellsDone > 0 && elapsed > 0 {
+				perCell := elapsed / time.Duration(s.cellsDone)
+				ss.EtaMS = (perCell * time.Duration(s.cells-s.cellsDone)).Milliseconds()
+			}
+			if s.state == sweepDone {
+				ss.EtaMS = 0
+			}
+		}
+		st.Sweeps = append(st.Sweeps, ss)
+	}
+	for id, w := range c.workers {
+		sw := StatusWorker{
+			Worker:     id,
+			Sweep:      w.sweep,
+			CellsDone:  w.cells,
+			LastSeenMS: now.Sub(w.lastAt).Milliseconds(),
+		}
+		if age := now.Sub(w.joinedAt).Seconds(); age > 0 {
+			sw.CellsPerSec = float64(w.cells) / age
+		}
+		st.Workers = append(st.Workers, sw)
+	}
+	sort.Slice(st.Workers, func(i, j int) bool { return st.Workers[i].Worker < st.Workers[j].Worker })
+	return st
+}
+
+// FetchStatus queries a running coordinator's GET /v1/status endpoint.
+// Addr is the coordinator's host:port (as given to workers).
+func FetchStatus(addr string) (*Status, error) {
+	resp, err := http.Get("http://" + addr + "/v1/status")
+	if err != nil {
+		return nil, fmt.Errorf("coord: status %s: %w", addr, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var e errorResponse
+		json.NewDecoder(resp.Body).Decode(&e)
+		if e.Error != "" {
+			return nil, fmt.Errorf("coord: status %s: %s", addr, e.Error)
+		}
+		return nil, fmt.Errorf("coord: status %s: HTTP %d", addr, resp.StatusCode)
+	}
+	var st Status
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return nil, fmt.Errorf("coord: status %s: %w", addr, err)
+	}
+	return &st, nil
+}

@@ -26,6 +26,11 @@ type WorkerConfig struct {
 	// JoinWindow bounds how long the worker retries the initial join
 	// while the coordinator is still coming up (default 10s).
 	JoinWindow time.Duration
+	// RetryWindow bounds how long the worker retries transient
+	// transport errors mid-sweep — connection refused while a crashed
+	// coordinator restarts with -resume — before giving up (default
+	// 15s). Backoff is bounded: 100ms doubling to a 2s cap.
+	RetryWindow time.Duration
 	// Client overrides the HTTP client (default: 30s timeout).
 	Client *http.Client
 	// Logf, when set, receives progress lines.
@@ -33,11 +38,10 @@ type WorkerConfig struct {
 }
 
 // protocolError is a rejection the coordinator chose to send (join
-// refused, unknown lease) as opposed to a transport failure; the join
-// retry loop fails fast on it.
+// refused, unknown lease) as opposed to a transport failure; retry
+// loops fail fast on it.
 type protocolError struct {
-	status int
-	msg    string
+	msg string
 }
 
 func (e *protocolError) Error() string { return e.msg }
@@ -46,13 +50,20 @@ func (e *protocolError) Error() string { return e.msg }
 // batches through the backend until the coordinator reports the sweep
 // is done. Lease results are uploaded as shard-encoded aggregates;
 // whether this worker's copy of a stolen lease wins or is discarded
-// never changes the merged output.
+// never changes the merged output. A coordinator that goes briefly
+// unreachable mid-sweep (killed and restarted with -resume) does not
+// strand the worker: requests retry with bounded backoff for
+// RetryWindow, and the restarted coordinator re-registers the worker
+// on its next request.
 func RunWorker(ctx context.Context, cfg WorkerConfig) error {
 	if cfg.Backend == nil {
 		return fmt.Errorf("coord: worker needs a backend")
 	}
 	if cfg.JoinWindow <= 0 {
 		cfg.JoinWindow = 10 * time.Second
+	}
+	if cfg.RetryWindow <= 0 {
+		cfg.RetryWindow = 15 * time.Second
 	}
 	client := cfg.Client
 	if client == nil {
@@ -66,7 +77,7 @@ func RunWorker(ctx context.Context, cfg WorkerConfig) error {
 	if err != nil {
 		return err
 	}
-	base := "http://" + cfg.Addr
+	w := &worker{ctx: ctx, cfg: cfg, client: client, logf: logf, base: "http://" + cfg.Addr}
 	join := joinRequest{
 		Proto:       protocolVersion,
 		Backend:     cfg.Backend.Name(),
@@ -77,7 +88,17 @@ func RunWorker(ctx context.Context, cfg WorkerConfig) error {
 	var id joinResponse
 	deadline := time.Now().Add(cfg.JoinWindow)
 	for {
-		err = post(ctx, client, base+"/v1/join", join, &id)
+		err = post(ctx, client, w.base+"/v1/join", join, &id)
+		if err == nil && id.Status == joinQueued {
+			// The matching sweep is enqueued but not active yet; poll.
+			logf("sweep %d queued, polling", id.Sweep)
+			deadline = time.Now().Add(cfg.JoinWindow)
+			err = fmt.Errorf("sweep %d queued", id.Sweep)
+			if serr := sleep(ctx, retryHint(id.RetryMS, 500*time.Millisecond)); serr != nil {
+				return serr
+			}
+			continue
+		}
 		if err == nil {
 			break
 		}
@@ -92,10 +113,10 @@ func RunWorker(ctx context.Context, cfg WorkerConfig) error {
 			return err
 		}
 	}
-	logf("joined %s as %s (seed %d)", cfg.Addr, id.Worker, id.Seed)
+	logf("joined %s as %s for sweep %d (seed %d)", cfg.Addr, id.Worker, id.Sweep, id.Seed)
 	for {
 		var lr leaseResponse
-		if err := post(ctx, client, base+"/v1/lease", leaseRequest{Worker: id.Worker}, &lr); err != nil {
+		if err := w.post("/v1/lease", leaseRequest{Worker: id.Worker, Sweep: id.Sweep}, &lr); err != nil {
 			return fmt.Errorf("coord: lease from %s: %w", cfg.Addr, err)
 		}
 		switch lr.Status {
@@ -105,21 +126,17 @@ func RunWorker(ctx context.Context, cfg WorkerConfig) error {
 		case statusAbort:
 			return fmt.Errorf("coord: sweep aborted: %s", lr.Error)
 		case statusWait:
-			retry := time.Duration(lr.RetryMS) * time.Millisecond
-			if retry <= 0 {
-				retry = 200 * time.Millisecond
-			}
-			if err := sleep(ctx, retry); err != nil {
+			if err := sleep(ctx, retryHint(lr.RetryMS, 200*time.Millisecond)); err != nil {
 				return err
 			}
 		case statusLease:
 			logf("lease %d: %d cells", lr.Lease, len(lr.Cells))
-			res := resultRequest{Worker: id.Worker, Lease: lr.Lease}
+			res := resultRequest{Worker: id.Worker, Sweep: id.Sweep, Lease: lr.Lease}
 			col, err := sweep.RunCells(g, cfg.Backend.Cell, id.Seed, cfg.Parallel, lr.Cells, id.Collapse...)
 			if err != nil {
 				res.Error = err.Error()
 				var rr resultResponse
-				post(ctx, client, base+"/v1/result", res, &rr) // best effort before bailing
+				w.post("/v1/result", res, &rr) // best effort before bailing
 				return err
 			}
 			var buf bytes.Buffer
@@ -128,7 +145,7 @@ func RunWorker(ctx context.Context, cfg WorkerConfig) error {
 			}
 			res.Shard = buf.Bytes()
 			var rr resultResponse
-			if err := post(ctx, client, base+"/v1/result", res, &rr); err != nil {
+			if err := w.post("/v1/result", res, &rr); err != nil {
 				return fmt.Errorf("coord: upload lease %d: %w", lr.Lease, err)
 			}
 			if !rr.Accepted {
@@ -142,6 +159,49 @@ func RunWorker(ctx context.Context, cfg WorkerConfig) error {
 			return fmt.Errorf("coord: unknown lease status %q", lr.Status)
 		}
 	}
+}
+
+// worker bundles the per-run transport state so mid-sweep requests
+// share one retry policy.
+type worker struct {
+	ctx    context.Context
+	cfg    WorkerConfig
+	client *http.Client
+	logf   func(string, ...any)
+	base   string
+}
+
+// post sends one mid-sweep request, retrying transient transport
+// failures with bounded backoff (100ms doubling to a 2s cap) for up to
+// cfg.RetryWindow — so a coordinator killed and restarted with -resume
+// does not strand live workers. Protocol-level rejections fail fast.
+func (w *worker) post(path string, in, out any) error {
+	deadline := time.Now().Add(w.cfg.RetryWindow)
+	backoff := 100 * time.Millisecond
+	for {
+		err := post(w.ctx, w.client, w.base+path, in, out)
+		if err == nil {
+			return nil
+		}
+		var pe *protocolError
+		if errors.As(err, &pe) || time.Now().After(deadline) {
+			return err
+		}
+		w.logf("coordinator unreachable (%v), retrying in %v", err, backoff)
+		if serr := sleep(w.ctx, backoff); serr != nil {
+			return serr
+		}
+		backoff = min(backoff*2, 2*time.Second)
+	}
+}
+
+// retryHint converts a server retry hint to a duration, with a default
+// for absent hints.
+func retryHint(ms int, def time.Duration) time.Duration {
+	if ms <= 0 {
+		return def
+	}
+	return time.Duration(ms) * time.Millisecond
 }
 
 // post sends one JSON request and decodes the JSON response. Non-200
@@ -167,7 +227,7 @@ func post(ctx context.Context, client *http.Client, url string, in, out any) err
 		if json.Unmarshal(data, &er) != nil || er.Error == "" {
 			er.Error = fmt.Sprintf("HTTP %d: %s", resp.StatusCode, bytes.TrimSpace(data))
 		}
-		return &protocolError{status: resp.StatusCode, msg: er.Error}
+		return &protocolError{msg: er.Error}
 	}
 	return json.NewDecoder(resp.Body).Decode(out)
 }

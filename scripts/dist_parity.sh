@@ -1,8 +1,13 @@
 #!/usr/bin/env bash
 # Distributed-parity gate (mirrored by `make dist-check` and the CI
-# distributed-parity job): a coordinator plus two localhost workers
-# must produce output byte-identical to the single-process sweep, in
-# the happy path and through a worker kill + lease reissue.
+# distributed-parity job): a coordinator plus localhost workers must
+# produce output byte-identical to the single-process sweep — in the
+# happy path, through a worker kill + lease reissue, and through a
+# coordinator SIGKILL + checkpoint resume.
+#
+# Usage: dist_parity.sh [BIN] [all|basic|coordkill]
+#   basic      cases 1-2 (worker-side scheduling and loss)
+#   coordkill  case 3 (coordinator loss + -resume)
 #
 # -cell-sleep makes cells artificially slow and uneven (cell i sleeps
 # (1 + i mod 3) x unit; results unchanged), so with single-digit lease
@@ -13,6 +18,7 @@
 set -euo pipefail
 
 BIN=${1:-/tmp/hadoopsim-ci}
+CASES=${2:-all}
 PORT=${DIST_PARITY_PORT:-9471}
 tmp=$(mktemp -d)
 cleanup() {
@@ -21,9 +27,17 @@ cleanup() {
 }
 trap cleanup EXIT
 
+want() { [ "$CASES" = all ] || [ "$CASES" = "$1" ]; }
+case "$CASES" in
+    all|basic|coordkill) ;;
+    *) echo "unknown case selection '$CASES' (want all, basic or coordkill)" >&2; exit 2 ;;
+esac
+
 echo "== single-process reference"
 "$BIN" -sweep pressure -reps 2 -seed 1 -parallel 4 -format csv > "$tmp/single.csv"
 "$BIN" -sweep pressure -reps 2 -seed 1 -parallel 4 -format json > "$tmp/single.json"
+
+if want basic; then
 
 echo "== case 1: coordinator + 2 workers, small leases over uneven cells"
 "$BIN" -sweep pressure -reps 2 -seed 1 -serve 127.0.0.1:$PORT -lease 3 -format csv \
@@ -65,5 +79,55 @@ if ! grep -q "reissue" "$tmp/coord2.log"; then
     exit 1
 fi
 echo "   byte-identical through $(grep -c reissue "$tmp/coord2.log") lease reissue(s)"
+
+fi # basic
+
+if want coordkill; then
+
+echo "== case 3: coordinator SIGKILLed mid-sweep, restarted with -resume"
+PORT3=$((PORT + 2))
+ckpt="$tmp/coord.ckpt"
+"$BIN" -sweep pressure -reps 2 -seed 1 -serve 127.0.0.1:$PORT3 -lease 3 -checkpoint "$ckpt" -format csv \
+    > "$tmp/dist-resume.csv" 2> "$tmp/coord3a.log" &
+coord=$!
+disown $coord
+# One worker crawls through the sweep so the coordinator dies with most
+# leases still open; the worker must survive the outage on its bounded
+# retry backoff alone.
+"$BIN" -sweep pressure -reps 2 -worker 127.0.0.1:$PORT3 -parallel 2 -cell-sleep 40ms 2> "$tmp/wc.log" &
+wc_pid=$!
+# Kill the coordinator cold as soon as at least one lease is durable in
+# the checkpoint (the ledger only appears once non-empty).
+for _ in $(seq 1 200); do
+    grep -q '"done_leases":\[' "$ckpt" 2>/dev/null && break
+    sleep 0.1
+done
+grep -q '"done_leases":\[' "$ckpt" || { echo "no lease became durable; coordinator log:" >&2; cat "$tmp/coord3a.log" >&2; exit 1; }
+kill -9 $coord 2>/dev/null || true
+echo "   coordinator killed with durable ledger $(grep -o '"done_leases":\[[0-9,]*\]' "$ckpt" | head -1)"
+# Hold the outage open long enough that the worker provably hits
+# connection-refused and survives on its retry backoff, then restart on
+# the same port from the checkpoint — well inside the worker's 15s
+# retry window.
+sleep 1
+"$BIN" -sweep pressure -reps 2 -seed 1 -serve 127.0.0.1:$PORT3 -lease 3 -checkpoint "$ckpt" -resume -format csv \
+    > "$tmp/dist-resume.csv" 2> "$tmp/coord3b.log" &
+coord=$!
+wait $wc_pid
+wait $coord
+cmp "$tmp/single.csv" "$tmp/dist-resume.csv"
+if ! grep -q "restored from" "$tmp/coord3b.log"; then
+    echo "expected the restarted coordinator to restore from the checkpoint; log:" >&2
+    cat "$tmp/coord3b.log" >&2
+    exit 1
+fi
+if ! grep -q "retrying" "$tmp/wc.log"; then
+    echo "expected the worker to retry through the coordinator outage; log:" >&2
+    cat "$tmp/wc.log" >&2
+    exit 1
+fi
+echo "   byte-identical after coordinator kill + resume ($(grep -o 'restored: [0-9/]* leases done' "$tmp/coord3b.log" | head -1))"
+
+fi # coordkill
 
 echo "distributed parity OK"

@@ -403,6 +403,15 @@ type DistributedOptions struct {
 	// LeaseTTL bounds how long a lease may stay outstanding before a
 	// silent worker's cells are re-issued (default 30s).
 	LeaseTTL time.Duration
+	// Checkpoint, when set, is the file the coordinator persists its
+	// state to — identity fingerprints, the lease ledger and the
+	// running aggregate — after every accepted upload, making the sweep
+	// durable against coordinator loss.
+	Checkpoint string
+	// Resume restarts a killed coordinator from Checkpoint: leases that
+	// were durable stay done, only the rest are re-issued, and the
+	// final output is byte-identical to an uninterrupted run.
+	Resume bool
 	// OnListen, when set, receives the bound listen address once the
 	// coordinator is serving — the way to learn the port of an ":0"
 	// Addr.
@@ -430,11 +439,83 @@ func DistributedSweep(ctx context.Context, b SweepBackend, opts DistributedOptio
 		LeaseTTL:    opts.LeaseTTL,
 		BackendName: b.Name(),
 		BackendFP:   coord.BackendFingerprint(b),
+		Checkpoint:  opts.Checkpoint,
+		Resume:      opts.Resume,
 		Context:     ctx,
 		OnListen:    opts.OnListen,
 		Logf:        opts.Logf,
 	})
 	return sweep.DispatchBackend(b, c, opts.Seed, collapse...)
+}
+
+// SweepStatus queries a running coordinator's GET /v1/status endpoint:
+// per-sweep cell and lease progress, per-worker throughput, ETA.
+func SweepStatus(addr string) (*coord.Status, error) {
+	return coord.FetchStatus(addr)
+}
+
+// DistributedSweepQueue serves several sweeps from one coordinator —
+// a long-lived grid service. Sweeps activate in enqueue order; workers
+// join the sweep whose grid and backend fingerprints they prove, and
+// workers for a not-yet-active sweep poll until it starts. OnResult,
+// when set, receives each sweep's merged output as it completes (the
+// returned slice holds the same values, nil for failed sweeps). The
+// returned error is the first sweep failure, if any; later sweeps
+// still run.
+func DistributedSweepQueue(ctx context.Context, backends []SweepBackend, opts DistributedOptions,
+	onResult func(i int, col *SweepCollapsed), collapse ...string) ([]*SweepCollapsed, error) {
+	if len(backends) == 0 {
+		return nil, fmt.Errorf("sweep queue needs at least one backend")
+	}
+	c := coord.New(coord.Config{
+		Addr:       opts.Addr,
+		LeaseCells: opts.LeaseCells,
+		LeaseTTL:   opts.LeaseTTL,
+		Checkpoint: opts.Checkpoint,
+		Context:    ctx,
+		OnListen:   opts.OnListen,
+		Logf:       opts.Logf,
+	})
+	for _, b := range backends {
+		g, err := b.Grid()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := c.Enqueue(coord.Sweep{
+			Grid: g, Seed: opts.Seed, Collapse: collapse,
+			BackendName: b.Name(), BackendFP: coord.BackendFingerprint(b),
+		}); err != nil {
+			return nil, err
+		}
+	}
+	if opts.Resume {
+		if err := c.Restore(opts.Checkpoint); err != nil {
+			return nil, err
+		}
+	}
+	if err := c.Serve(); err != nil {
+		return nil, err
+	}
+	defer c.Drain()
+	results := make([]*SweepCollapsed, len(backends))
+	var firstErr error
+	for i := range backends {
+		col, err := c.WaitSweep(ctx, i)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("sweep %d: %w", i, err)
+			}
+			if ctx.Err() != nil {
+				break
+			}
+			continue
+		}
+		results[i] = col
+		if onResult != nil {
+			onResult(i, col)
+		}
+	}
+	return results, firstErr
 }
 
 // DistributedSweepWorker joins the coordinator at addr and executes
