@@ -78,9 +78,10 @@ backend-check:
 
 # Distributed parity (mirrors the CI distributed-parity job): a
 # coordinator plus two localhost workers — with artificially uneven
-# cell costs, a worker-kill/lease-reissue case, and a coordinator
-# SIGKILL + checkpoint-resume case — must reproduce the single-process
-# sweep byte for byte. `make dist-check CASES=coordkill` runs one case.
+# cell costs, a worker-kill/lease-reissue case, a coordinator
+# SIGKILL + checkpoint-resume case, and a seeded -chaos fault-injection
+# case — must reproduce the single-process sweep byte for byte.
+# `make dist-check CASES=chaos` (or coordkill, basic) runs one case.
 CASES ?= all
 dist-check:
 	$(GO) build -o /tmp/hadoopsim-ci ./cmd/hadoopsim

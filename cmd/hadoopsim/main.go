@@ -17,8 +17,8 @@
 //	hadoopsim [backend flags] -shard i/n > shard-i.json
 //	hadoopsim -merge [-format table|csv|json|series] shard-*.json
 //	hadoopsim [backend flags] -serve addr [-lease N] [-lease-ttl D] [-format F]
-//	          [-checkpoint state.ckpt [-resume]]
-//	hadoopsim [backend flags] -worker addr [-parallel W]
+//	          [-checkpoint state.ckpt [-resume]] [-lease-retries N] [-chaos SPEC]
+//	hadoopsim [backend flags] -worker addr [-parallel W] [-chaos SPEC]
 //	hadoopsim -status addr
 //
 // Backends (-backend, default sim):
@@ -71,6 +71,18 @@
 // done, lease progress, per-worker throughput and an ETA. A
 // comma-separated -sweep list (sim backend) queues several grids on
 // one server, run in order as a long-lived grid service.
+//
+// -chaos injects a seeded, deterministic fault schedule for drills: on
+// a coordinator it corrupts the HTTP boundary (drop, duplicate,
+// truncate, delay) and the checkpoint writer; on a worker it corrupts
+// the HTTP client and makes chosen grid cells fail transiently. The
+// spec is comma-separated key=value pairs (seed, drop, drop-resp, dup,
+// trunc, delay, delay-max, ckpt, cell-err, cell-panic, cell-fails;
+// cell-fails=poison never lets a faulty cell succeed). Within the
+// coordinator's per-lease failure budget (-lease-retries, default 3)
+// output stays byte-identical to a faultless run; beyond it the sweep
+// aborts naming the poison cells. Give each process its own seed so
+// their fault schedules are independent and individually replayable.
 //
 // Example configuration (the paper's two-job experiment at r=50%):
 //
@@ -133,10 +145,13 @@ func main() {
 	resume := flag.Bool("resume", false, "coordinator mode: restore state from -checkpoint instead of starting the sweep over; output stays byte-identical to an uninterrupted run")
 	statusAddr := flag.String("status", "", "query the coordinator at this address (GET /v1/status) and print sweep progress")
 	cellSleep := flag.Duration("cell-sleep", 0, "debug: sleep (1 + cell mod 3) x this per cell — artificially slow, uneven cells for exercising the distributed scheduler; results are unchanged")
+	leaseRetries := flag.Int("lease-retries", 3, "coordinator mode: per-lease failure budget — reported cell errors tolerated per lease before the sweep aborts as poisoned")
+	chaosSpec := flag.String("chaos", "", "distributed mode: seeded deterministic fault injection, comma-separated key=value pairs (seed, drop, drop-resp, dup, trunc, delay, delay-max, ckpt, cell-err, cell-panic, cell-fails)")
 	flag.Parse()
 
 	f := sweepFlags{
 		cellSleep:       *cellSleep,
+		chaos:           *chaosSpec,
 		backend:         *backend,
 		scenario:        *sweepName,
 		trace:           *tracePath,
@@ -178,7 +193,7 @@ func main() {
 		} else if *resume && *checkpoint == "" {
 			err = fmt.Errorf("-resume needs -checkpoint <file> to restore from")
 		} else {
-			err = runServe(f, *serveAddr, *leaseCells, *leaseTTL, *checkpoint, *resume)
+			err = runServe(f, *serveAddr, *leaseCells, *leaseTTL, *checkpoint, *resume, *leaseRetries)
 		}
 	case *workerAddr != "":
 		switch {
@@ -189,8 +204,8 @@ func main() {
 			err = fmt.Errorf("-worker streams results to the coordinator; -shard and -format do not apply")
 		case flagSet("seed"):
 			err = fmt.Errorf("-worker takes the sweep seed from the coordinator; drop -seed")
-		case anyFlagSet("lease", "lease-ttl", "checkpoint", "resume"):
-			err = fmt.Errorf("-lease, -lease-ttl, -checkpoint and -resume are coordinator (-serve) flags")
+		case anyFlagSet("lease", "lease-ttl", "checkpoint", "resume", "lease-retries"):
+			err = fmt.Errorf("-lease, -lease-ttl, -lease-retries, -checkpoint and -resume are coordinator (-serve) flags")
 		default:
 			err = runWorker(f, *workerAddr)
 		}
@@ -261,7 +276,8 @@ func sweepOnlyFlagsSet() []string {
 		case "sweep", "parallel", "reps", "seed", "shard", "backend",
 			"trace", "trace-shards", "replay-sched", "replay-timescale",
 			"real-steps", "real-units", "real-mem",
-			"serve", "worker", "lease", "lease-ttl", "checkpoint", "resume", "cell-sleep":
+			"serve", "worker", "lease", "lease-ttl", "lease-retries",
+			"checkpoint", "resume", "cell-sleep", "chaos":
 			out = append(out, "-"+f.Name)
 		}
 	})
@@ -274,7 +290,7 @@ func distOnlyFlagsSet() []string {
 	var out []string
 	flag.Visit(func(f *flag.Flag) {
 		switch f.Name {
-		case "lease", "lease-ttl", "checkpoint", "resume":
+		case "lease", "lease-ttl", "lease-retries", "checkpoint", "resume", "chaos":
 			out = append(out, "-"+f.Name)
 		}
 	})
@@ -284,6 +300,7 @@ func distOnlyFlagsSet() []string {
 // sweepFlags carries the flag values of one sweep-mode invocation.
 type sweepFlags struct {
 	cellSleep       time.Duration
+	chaos           string
 	backend         string
 	scenario        string
 	trace           string
@@ -389,14 +406,20 @@ func runSweep(f sweepFlags) error {
 // history. With -checkpoint the coordinator state is durable; with a
 // comma-separated -sweep list the server queues several sim grids and
 // runs them in order (a long-lived grid service).
-func runServe(f sweepFlags, addr string, leaseCells int, ttl time.Duration, checkpoint string, resume bool) error {
+func runServe(f sweepFlags, addr string, leaseCells int, ttl time.Duration, checkpoint string, resume bool, leaseRetries int) error {
+	plan, err := chaosPlan(f, "coord")
+	if err != nil {
+		return err
+	}
 	opts := hp.DistributedOptions{
-		Addr:       addr,
-		Seed:       f.seed,
-		LeaseCells: leaseCells,
-		LeaseTTL:   ttl,
-		Checkpoint: checkpoint,
-		Resume:     resume,
+		Addr:             addr,
+		Seed:             f.seed,
+		LeaseCells:       leaseCells,
+		LeaseTTL:         ttl,
+		Checkpoint:       checkpoint,
+		Resume:           resume,
+		MaxLeaseFailures: leaseRetries,
+		Chaos:            plan,
 		Logf: func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, "coord: "+format+"\n", args...)
 		},
@@ -427,7 +450,7 @@ func runServe(f sweepFlags, addr string, leaseCells int, ttl time.Duration, chec
 		backends[i] = b
 	}
 	var werr error
-	_, err := hp.DistributedSweepQueue(context.Background(), backends, opts,
+	_, err = hp.DistributedSweepQueue(context.Background(), backends, opts,
 		func(i int, col *hp.SweepCollapsed) {
 			fmt.Printf("# sweep %d: %s\n", i, strings.TrimSpace(scenarios[i]))
 			if err := col.Write(os.Stdout, f.format); err != nil && werr == nil {
@@ -485,7 +508,34 @@ func runWorker(f sweepFlags, addr string) error {
 	logf := func(format string, args ...any) {
 		fmt.Fprintf(os.Stderr, "worker: "+format+"\n", args...)
 	}
-	return hp.DistributedSweepWorker(context.Background(), addr, b, f.parallel, logf)
+	plan, err := chaosPlan(f, "worker")
+	if err != nil {
+		return err
+	}
+	return hp.RunDistributedWorker(context.Background(), addr, b, hp.DistributedWorkerOptions{
+		Parallel: f.parallel,
+		Chaos:    plan,
+		Logf:     logf,
+	})
+}
+
+// chaosPlan builds the process's fault plan from -chaos, logging every
+// injected fault to stderr under the process role — the replayable
+// fault trace of a drill. Nil when -chaos is unset.
+func chaosPlan(f sweepFlags, role string) (*hp.ChaosPlan, error) {
+	if f.chaos == "" {
+		return nil, nil
+	}
+	cfg, err := hp.ParseChaosSpec(f.chaos)
+	if err != nil {
+		return nil, err
+	}
+	cfg.Logf = func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, role+": "+format+"\n", args...)
+	}
+	plan := hp.NewChaosPlan(cfg)
+	fmt.Fprintf(os.Stderr, "%s: chaos plan active (seed %d): %s\n", role, plan.Seed(), f.chaos)
+	return plan, nil
 }
 
 // runMerge combines the shard files of one sweep into the full result

@@ -1,0 +1,203 @@
+package chaos
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net/http"
+	"time"
+)
+
+// errDropped is what a chaos Transport returns for a dropped request
+// or response: indistinguishable from a network failure, so callers
+// exercise their real retry path.
+var errDropped = errors.New("chaos: injected network fault")
+
+// Transport wraps a client-side RoundTripper with the plan's transport
+// faults for the named site (one RNG stream per site, so two workers
+// with distinct site labels draw independent schedules):
+//
+//   - drop-request: the request never reaches base.
+//   - drop-response: base completes the round trip (the server processed
+//     it) but the caller sees a transport error — at-least-once delivery.
+//   - duplicate: the request is sent twice; the first response is
+//     discarded and the caller sees the second.
+//   - truncate-response: the caller receives only half the response body
+//     before an unexpected EOF.
+//   - delay: the request is held up to MaxDelay before sending.
+//
+// Requests must have replayable bodies (GetBody set, as all bodies built
+// from byte slices do) for duplication to work; without GetBody the
+// duplicate downgrades to a normal send.
+func (p *Plan) Transport(site string, base http.RoundTripper) http.RoundTripper {
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	return &transport{plan: p, site: site, base: base}
+}
+
+type transport struct {
+	plan *Plan
+	site string
+	base http.RoundTripper
+}
+
+func (t *transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	fault, delay := t.plan.drawTransport(t.site)
+	if delay > 0 {
+		t.plan.logf("chaos[%s]: delay %v %s %s", t.site, delay, req.Method, req.URL.Path)
+		timer := time.NewTimer(delay)
+		select {
+		case <-timer.C:
+		case <-req.Context().Done():
+			timer.Stop()
+			return nil, req.Context().Err()
+		}
+	}
+	if fault != faultNone {
+		t.plan.logf("chaos[%s]: %s %s %s", t.site, fault, req.Method, req.URL.Path)
+	}
+	switch fault {
+	case faultDropRequest:
+		return nil, errDropped
+	case faultDropResponse:
+		resp, err := t.base.RoundTrip(req)
+		if err != nil {
+			return nil, err
+		}
+		// The server saw and processed the request; the client must not.
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return nil, errDropped
+	case faultDuplicate:
+		if req.GetBody != nil {
+			clone := req.Clone(req.Context())
+			body, err := req.GetBody()
+			if err == nil {
+				clone.Body = body
+				if resp, err := t.base.RoundTrip(clone); err == nil {
+					io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+				}
+				if body, err := req.GetBody(); err == nil {
+					req.Body = body
+				}
+			}
+		}
+		return t.base.RoundTrip(req)
+	case faultTruncate:
+		resp, err := t.base.RoundTrip(req)
+		if err != nil {
+			return nil, err
+		}
+		data, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			return nil, err
+		}
+		cut := truncatedBody{bytes.NewReader(data[:len(data)/2])}
+		resp.Body = cut
+		resp.ContentLength = -1
+		resp.Header.Del("Content-Length")
+		return resp, nil
+	}
+	return t.base.RoundTrip(req)
+}
+
+// truncatedBody ends with io.ErrUnexpectedEOF rather than io.EOF, the
+// way a connection severed mid-body surfaces to a JSON decoder.
+type truncatedBody struct {
+	r io.Reader
+}
+
+func (b truncatedBody) Read(p []byte) (int, error) {
+	n, err := b.r.Read(p)
+	if err == io.EOF {
+		err = io.ErrUnexpectedEOF
+	}
+	return n, err
+}
+
+func (truncatedBody) Close() error { return nil }
+
+// Middleware wraps a server-side handler with the plan's transport
+// faults for the named site. Server-side drops sever the connection via
+// http.ErrAbortHandler so the client sees a transport error, not a
+// status code: drop-request severs before next runs, drop-response
+// after next ran (the request took effect but the ack is lost).
+// Duplicate runs next twice against the same replayed body — the
+// at-least-once case an idempotent handler must absorb. Truncate sends
+// half the response body and severs.
+func (p *Plan) Middleware(site string, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fault, delay := p.drawTransport(site)
+		if delay > 0 {
+			p.logf("chaos[%s]: delay %v %s %s", site, delay, r.Method, r.URL.Path)
+			timer := time.NewTimer(delay)
+			select {
+			case <-timer.C:
+			case <-r.Context().Done():
+				timer.Stop()
+				return
+			}
+		}
+		if fault != faultNone {
+			p.logf("chaos[%s]: %s %s %s", site, fault, r.Method, r.URL.Path)
+		}
+		switch fault {
+		case faultDropRequest:
+			panic(http.ErrAbortHandler)
+		case faultDropResponse:
+			rec := newResponseBuffer()
+			next.ServeHTTP(rec, r)
+			panic(http.ErrAbortHandler)
+		case faultDuplicate:
+			body, err := io.ReadAll(r.Body)
+			if err != nil {
+				panic(http.ErrAbortHandler)
+			}
+			first := r.Clone(r.Context())
+			first.Body = io.NopCloser(bytes.NewReader(body))
+			next.ServeHTTP(newResponseBuffer(), first)
+			r.Body = io.NopCloser(bytes.NewReader(body))
+			next.ServeHTTP(w, r)
+		case faultTruncate:
+			rec := newResponseBuffer()
+			next.ServeHTTP(rec, r)
+			for k, vs := range rec.header {
+				if k == "Content-Length" {
+					continue
+				}
+				for _, v := range vs {
+					w.Header().Add(k, v)
+				}
+			}
+			w.WriteHeader(rec.status)
+			data := rec.body.Bytes()
+			w.Write(data[:len(data)/2])
+			if f, ok := w.(http.Flusher); ok {
+				f.Flush()
+			}
+			panic(http.ErrAbortHandler)
+		default:
+			next.ServeHTTP(w, r)
+		}
+	})
+}
+
+// responseBuffer captures a handler's response so the middleware can
+// run the handler for effect (drop-response, the discarded half of a
+// duplicate) or replay a mutilated copy (truncate).
+type responseBuffer struct {
+	header http.Header
+	status int
+	body   bytes.Buffer
+}
+
+func newResponseBuffer() *responseBuffer {
+	return &responseBuffer{header: make(http.Header), status: http.StatusOK}
+}
+
+func (b *responseBuffer) Header() http.Header         { return b.header }
+func (b *responseBuffer) WriteHeader(status int)      { b.status = status }
+func (b *responseBuffer) Write(p []byte) (int, error) { return b.body.Write(p) }

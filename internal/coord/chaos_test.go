@@ -1,0 +1,207 @@
+package coord
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"hadooppreempt/internal/chaos"
+	"hadooppreempt/internal/sim"
+	"hadooppreempt/internal/sweep"
+)
+
+// TestChaosInBudgetParityProperty is the tentpole acceptance property:
+// for random grids, collapse sets and random seeded fault schedules
+// within the lease failure budget — dropped/duplicated/truncated/
+// delayed requests on both worker clients and the coordinator server,
+// checkpoint write failures, and cells that transiently error or panic
+// — the distributed output is byte-identical to a faultless
+// single-process run. Every fault is drawn from per-site RNG streams,
+// so any failing trial is replayable from the seeds logged below.
+func TestChaosInBudgetParityProperty(t *testing.T) {
+	rng := sim.NewRNG(20260807)
+	for trial := 0; trial < 6; trial++ {
+		g := randomGrid(rng)
+		collapse := randomCollapse(rng, g)
+		seed := rng.Uint64()
+		b := &testBackend{g: g}
+		want, err := sweep.RunBackend(b, sweep.Options{Parallel: 4, Seed: seed}, collapse...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		coordSeed, cellSeed := rng.Uint64(), rng.Uint64()
+		workerSeeds := []uint64{rng.Uint64(), rng.Uint64()}
+		t.Logf("trial %d: cells=%d seed=%d coordSeed=%d cellSeed=%d workerSeeds=%v",
+			trial, g.Size(), seed, coordSeed, cellSeed, workerSeeds)
+		transport := chaos.Config{
+			DropRequest:  0.06,
+			DropResponse: 0.06,
+			Duplicate:    0.08,
+			Truncate:     0.06,
+			Delay:        0.15,
+			MaxDelay:     2 * time.Millisecond,
+		}
+		coordCfg := transport
+		coordCfg.Seed = coordSeed
+		coordCfg.CheckpointFail = 0.3
+		coordPlan := chaos.New(coordCfg)
+		// Cell faults live in one shared plan: the failure ledger is
+		// global across workers, so a faulty cell fails exactly once no
+		// matter which worker (or how many, via steals) runs it — an
+		// in-budget schedule by construction.
+		cellPlan := chaos.New(chaos.Config{Seed: cellSeed, CellError: 0.08, CellPanic: 0.04})
+
+		cfg := Config{
+			Addr:       "127.0.0.1:0",
+			LeaseCells: 1 + rng.Intn(3),
+			// Short TTL so issues lost to duplicated lease requests are
+			// reaped quickly once the steal allowance is exhausted.
+			LeaseTTL:        500 * time.Millisecond,
+			DoneGrace:       200 * time.Millisecond,
+			BackendName:     "test",
+			Checkpoint:      filepath.Join(t.TempDir(), "coord.ckpt"),
+			Middleware:      func(next http.Handler) http.Handler { return coordPlan.Middleware("coord", next) },
+			WriteCheckpoint: coordPlan.CheckpointWriter(WriteFileDurable),
+		}
+		c := New(cfg)
+		if err := c.Start(g, seed, collapse...); err != nil {
+			t.Fatal(err)
+		}
+		var wg sync.WaitGroup
+		errs := make([]error, len(workerSeeds))
+		for w, wseed := range workerSeeds {
+			wg.Add(1)
+			wcfg := transport
+			wcfg.Seed = wseed
+			plan := chaos.New(wcfg)
+			go func(w int, plan *chaos.Plan) {
+				defer wg.Done()
+				errs[w] = RunWorker(context.Background(), WorkerConfig{
+					Addr:     c.Addr(),
+					Backend:  cellPlan.WrapBackend(&testBackend{g: g}),
+					Parallel: 2,
+					Client: &http.Client{
+						Timeout:   10 * time.Second,
+						Transport: plan.Transport(fmt.Sprintf("worker%d", w), nil),
+					},
+					RetryBase:   2 * time.Millisecond,
+					RetryWindow: 30 * time.Second,
+				})
+			}(w, plan)
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+		got, err := c.Wait(ctx)
+		if err != nil {
+			t.Fatalf("trial %d: sweep failed under in-budget chaos: %v", trial, err)
+		}
+		wg.Wait()
+		cancel()
+		c.Drain()
+		for w, err := range errs {
+			if err != nil {
+				t.Fatalf("trial %d: worker %d: %v", trial, w, err)
+			}
+		}
+		if encodeAll(t, got) != encodeAll(t, want) {
+			t.Fatalf("trial %d: chaotic distributed output differs from faultless single-process run", trial)
+		}
+	}
+}
+
+// TestChaosPoisonCellAbortsWithDiagnostics: an over-budget schedule — a
+// cell that fails on every attempt — aborts the sweep cleanly, naming
+// the lease's cells, the budget and the injected cell error; it does
+// not re-issue forever and does not hang workers.
+func TestChaosPoisonCellAbortsWithDiagnostics(t *testing.T) {
+	g := sweep.NewGrid(sweep.Strings("a", "x", "y"), sweep.Reps(8))
+	// Find a chaos seed that marks at least one cell of this grid
+	// faulty; deterministic given the RNG seed below.
+	rng := sim.NewRNG(1)
+	var plan *chaos.Plan
+	for plan == nil {
+		p := chaos.New(chaos.Config{Seed: rng.Uint64(), CellError: 0.1, CellFailures: chaos.PoisonForever})
+		if len(p.FaultyCells(g.Size())) > 0 {
+			plan = p
+		}
+	}
+	poisoned := plan.FaultyCells(g.Size())[0]
+	c := startCoordinator(t, Config{LeaseCells: 2, LeaseTTL: time.Minute, MaxLeaseFailures: 2}, g, 21, "rep")
+	werr := RunWorker(context.Background(), WorkerConfig{
+		Addr:     c.Addr(),
+		Backend:  plan.WrapBackend(&testBackend{g: g}),
+		Parallel: 1,
+	})
+	if werr == nil || !strings.Contains(werr.Error(), "chaos: injected error") {
+		t.Fatalf("worker error = %v, want the injected cell error", werr)
+	}
+	_, err := c.Wait(context.Background())
+	if err == nil {
+		t.Fatal("poison cell did not abort the sweep")
+	}
+	for _, frag := range []string{
+		"poison cell",
+		"budget 2",
+		fmt.Sprintf("chaos: injected error in cell %d", poisoned),
+	} {
+		if !strings.Contains(err.Error(), frag) {
+			t.Fatalf("abort diagnostics %q missing %q", err, frag)
+		}
+	}
+}
+
+// TestChaosCheckpointFaultsStayResumable: with every checkpoint write
+// failing at a random tear point, the sweep still completes correctly,
+// and whatever checkpoint file survives on disk is the previous intact
+// version — Restore never sees a torn file.
+func TestChaosCheckpointFaultsStayResumable(t *testing.T) {
+	g := sweep.NewGrid(sweep.Strings("a", "x", "y"), sweep.Reps(4))
+	want, err := sweep.RunBackend(&testBackend{g: g}, sweep.Options{Parallel: 2, Seed: 13}, "rep")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ckpt := filepath.Join(t.TempDir(), "coord.ckpt")
+	// Fail every write after the first, so a valid first checkpoint
+	// exists and every later one tears against it.
+	var writes int
+	var mu sync.Mutex
+	plan := chaos.New(chaos.Config{Seed: 77, CheckpointFail: 1})
+	faulty := plan.CheckpointWriter(WriteFileDurable)
+	writer := func(path string, data []byte) error {
+		mu.Lock()
+		writes++
+		first := writes == 1
+		mu.Unlock()
+		if first {
+			return WriteFileDurable(path, data)
+		}
+		return faulty(path, data)
+	}
+	c := startCoordinator(t, Config{
+		LeaseCells: 1, LeaseTTL: time.Minute,
+		Checkpoint: ckpt, WriteCheckpoint: writer,
+	}, g, 13, "rep")
+	if err := RunWorker(context.Background(), WorkerConfig{Addr: c.Addr(), Backend: &testBackend{g: g}, Parallel: 2}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Wait(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if encodeAll(t, got) != encodeAll(t, want) {
+		t.Fatal("output differs under checkpoint write failures")
+	}
+	// The surviving file is the first (pre-fault) checkpoint, still
+	// valid: a fresh coordinator must restore it without error.
+	c2 := New(Config{LeaseCells: 1, LeaseTTL: time.Minute})
+	if _, err := c2.Enqueue(Sweep{Grid: g, Seed: 13, Collapse: []string{"rep"}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c2.Restore(ckpt); err != nil {
+		t.Fatalf("surviving checkpoint is not restorable: %v", err)
+	}
+}

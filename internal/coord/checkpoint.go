@@ -112,16 +112,55 @@ func (c *Coordinator) saveCheckpoint() {
 		c.logf("checkpoint: encode: %v", err)
 		return
 	}
-	tmp := c.cfg.Checkpoint + ".tmp"
-	if err := os.WriteFile(tmp, append(env, '\n'), 0o644); err != nil {
-		c.logf("checkpoint: write %s: %v", tmp, err)
-		return
+	write := c.cfg.WriteCheckpoint
+	if write == nil {
+		write = WriteFileDurable
 	}
-	if err := os.Rename(tmp, c.cfg.Checkpoint); err != nil {
-		c.logf("checkpoint: rename: %v", err)
+	if err := write(c.cfg.Checkpoint, append(env, '\n')); err != nil {
+		// Non-fatal by design: the atomic writer guarantees the previous
+		// checkpoint file is still intact, so the coordinator runs on
+		// with a stale-but-valid ledger (a resume replays a little more
+		// work, never wrong work).
+		c.logf("checkpoint: %v", err)
 		return
 	}
 	c.logf("checkpoint saved to %s", filepath.Base(c.cfg.Checkpoint))
+}
+
+// WriteFileDurable atomically replaces path with data: write a temp
+// file, fsync it, rename it over path, then fsync the parent directory
+// so the rename itself is durable. Without the syncs a crash right
+// after the coordinator acked an upload could lose the checkpoint that
+// justified the ack — the rename would exist only in the page cache.
+// It is the default checkpoint writer (see Config.WriteCheckpoint) and
+// the inner writer a chaos wrapper should delegate to.
+func WriteFileDurable(path string, data []byte) error {
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("write %s: %w", tmp, err)
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return fmt.Errorf("write %s: %w", tmp, err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("sync %s: %w", tmp, err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("close %s: %w", tmp, err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("rename: %w", err)
+	}
+	if dir, err := os.Open(filepath.Dir(path)); err == nil {
+		// Directory fsync can fail on exotic filesystems; the rename is
+		// already visible, so degrade to pre-sync durability silently.
+		dir.Sync()
+		dir.Close()
+	}
+	return nil
 }
 
 // Restore loads a checkpoint written by a previous incarnation of this

@@ -51,8 +51,10 @@ import (
 
 // protocolVersion guards against coordinator/worker skew; bump it when
 // the wire format changes. Version 2 added sweep queue indices to every
-// request and the queued join status.
-const protocolVersion = 2
+// request and the queued join status. Version 3 added the retry verdict
+// on result acks (per-lease failure budget) and idempotent replay
+// acknowledgement of duplicated uploads.
+const protocolVersion = 3
 
 // Join-response statuses.
 const (
@@ -115,19 +117,29 @@ type leaseResponse struct {
 // resultRequest uploads a lease's outcome: either the shard-encoded
 // Collapsed bytes or the error that stopped the worker.
 type resultRequest struct {
-	Worker string          `json:"worker"`
-	Sweep  int             `json:"sweep"`
-	Lease  int             `json:"lease"`
-	Error  string          `json:"error,omitempty"`
-	Shard  json.RawMessage `json:"shard,omitempty"`
+	Worker string `json:"worker"`
+	Sweep  int    `json:"sweep"`
+	Lease  int    `json:"lease"`
+	// Attempt identifies one lease execution, so a report re-delivered
+	// by retries or duplication (at-least-once transport) is charged
+	// against the lease failure budget exactly once.
+	Attempt string          `json:"attempt,omitempty"`
+	Error   string          `json:"error,omitempty"`
+	Shard   json.RawMessage `json:"shard,omitempty"`
 }
 
 // resultResponse acknowledges an upload. Accepted is false for
-// duplicates (a stolen lease's losing copy) — not an error. Done tells
-// the worker its sweep is complete so it need not poll again.
+// duplicates (a stolen lease's losing copy) — not an error; a replayed
+// upload from the worker whose copy already won is re-acknowledged with
+// Accepted true (at-least-once delivery must converge on the same ack).
+// Done tells the worker its sweep is complete so it need not poll
+// again. Retry acknowledges a reported cell error that stayed within
+// the lease failure budget: the lease is re-queued and the worker
+// should keep serving rather than bail.
 type resultResponse struct {
 	Accepted bool `json:"accepted"`
 	Done     bool `json:"done"`
+	Retry    bool `json:"retry,omitempty"`
 }
 
 // errorResponse carries a protocol-level rejection (join refused,

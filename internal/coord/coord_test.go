@@ -208,9 +208,36 @@ func (rc *rawClient) upload(g sweep.Grid, lr leaseResponse, parallel int) result
 	return rr
 }
 
-// TestLeaseExpiryReissue: a worker takes a lease and vanishes; after
-// the TTL the coordinator re-queues it, a healthy worker finishes the
-// sweep, and the output is still byte-identical to single-process.
+// fakeClock is an injectable scheduling clock: tests advance it past
+// lease TTLs instead of sleeping through them.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (f *fakeClock) Now() time.Time {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.t
+}
+
+func (f *fakeClock) Advance(d time.Duration) {
+	f.mu.Lock()
+	f.t = f.t.Add(d)
+	f.mu.Unlock()
+}
+
+// setClock swaps the coordinator's scheduling clock.
+func setClock(c *Coordinator, clk *fakeClock) {
+	c.mu.Lock()
+	c.now = clk.Now
+	c.mu.Unlock()
+}
+
+// TestLeaseExpiryReissue: a worker takes a lease and vanishes; once the
+// TTL passes (on the injected clock — no real sleep) the coordinator
+// re-queues it, a healthy worker finishes the sweep, and the output is
+// still byte-identical to single-process.
 func TestLeaseExpiryReissue(t *testing.T) {
 	g := sweep.NewGrid(sweep.Strings("a", "x", "y"), sweep.Reps(4))
 	want, err := sweep.RunBackend(&testBackend{g: g}, sweep.Options{Parallel: 2, Seed: 9}, "rep")
@@ -218,13 +245,15 @@ func TestLeaseExpiryReissue(t *testing.T) {
 		t.Fatal(err)
 	}
 	c := startCoordinator(t, Config{LeaseCells: 2, LeaseTTL: 100 * time.Millisecond}, g, 9, "rep")
+	clk := &fakeClock{t: time.Now()}
+	setClock(c, clk)
 	dead := newRawClient(t, c, g)
 	if lr := dead.lease(); lr.Status != statusLease {
 		t.Fatalf("dead worker got %q, want a lease", lr.Status)
 	}
 	// The dead worker never reports. A healthy worker joins after the
 	// TTL has expired the lease.
-	time.Sleep(150 * time.Millisecond)
+	clk.Advance(150 * time.Millisecond)
 	if err := RunWorker(context.Background(), WorkerConfig{Addr: c.Addr(), Backend: &testBackend{g: g}, Parallel: 2}); err != nil {
 		t.Fatal(err)
 	}
@@ -347,7 +376,12 @@ func TestDispatchBackendViaCoordinator(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	c := New(Config{Addr: "127.0.0.1:0", LeaseCells: 2, LeaseTTL: time.Minute, DoneGrace: 200 * time.Millisecond})
+	listening := make(chan string, 1)
+	c := New(Config{
+		Addr: "127.0.0.1:0", LeaseCells: 2, LeaseTTL: time.Minute,
+		DoneGrace: 200 * time.Millisecond,
+		OnListen:  func(addr string) { listening <- addr },
+	})
 	var got *sweep.Collapsed
 	var dispatchErr error
 	donec := make(chan struct{})
@@ -355,13 +389,11 @@ func TestDispatchBackendViaCoordinator(t *testing.T) {
 		defer close(donec)
 		got, dispatchErr = sweep.DispatchBackend(b, c, 3, "rep")
 	}()
-	// Wait for the listener, then serve the sweep with one worker.
+	// OnListen delivers the bound address; no polling needed.
 	var addr string
-	for i := 0; i < 100 && addr == ""; i++ {
-		time.Sleep(10 * time.Millisecond)
-		addr = c.Addr()
-	}
-	if addr == "" {
+	select {
+	case addr = <-listening:
+	case <-time.After(5 * time.Second):
 		t.Fatal("coordinator never bound")
 	}
 	if err := RunWorker(context.Background(), WorkerConfig{Addr: addr, Backend: &testBackend{g: g}, Parallel: 2}); err != nil {
@@ -373,5 +405,118 @@ func TestDispatchBackendViaCoordinator(t *testing.T) {
 	}
 	if encodeAll(t, got) != encodeAll(t, want) {
 		t.Fatal("DispatchBackend output differs from RunBackend")
+	}
+}
+
+// TestResultIdempotentReplay: at-least-once delivery of /v1/result. The
+// winner's own re-delivered upload is re-acknowledged as accepted
+// without double-absorbing into the aggregate; another worker's copy of
+// the same lease stays a discarded duplicate.
+func TestResultIdempotentReplay(t *testing.T) {
+	g := sweep.NewGrid(sweep.Strings("a", "x", "y"), sweep.Reps(2))
+	want, err := sweep.RunBackend(&testBackend{g: g}, sweep.Options{Parallel: 2, Seed: 7}, "rep")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := startCoordinator(t, Config{LeaseCells: 4, LeaseTTL: time.Minute}, g, 7, "rep")
+	winner := newRawClient(t, c, g)
+	lr := winner.lease()
+	if lr.Status != statusLease {
+		t.Fatalf("got %q, want a lease", lr.Status)
+	}
+	if rr := winner.upload(g, lr, 2); !rr.Accepted {
+		t.Fatal("first upload rejected")
+	}
+	// Re-delivered upload from the winner (dropped ack, duplicated
+	// request): same verdict, absorbed exactly once.
+	if rr := winner.upload(g, lr, 2); !rr.Accepted {
+		t.Fatal("winner's replayed upload not re-acknowledged as accepted")
+	}
+	// The same bytes from a different worker are a duplicate, not a
+	// replay.
+	other := newRawClient(t, c, g)
+	if rr := other.upload(g, lr, 2); rr.Accepted {
+		t.Fatal("another worker's duplicate upload was accepted")
+	}
+	got, err := c.Wait(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := c.Stats()
+	if st.Replays != 1 || st.Duplicates != 1 {
+		t.Fatalf("stats = %+v, want exactly 1 replay and 1 duplicate", st)
+	}
+	if encodeAll(t, got) != encodeAll(t, want) {
+		t.Fatal("output differs after replayed upload (double-absorbed?)")
+	}
+}
+
+// flakyBackend fails chosen cells a fixed number of times, then runs
+// them clean — the shape of a transient infrastructure fault.
+type flakyBackend struct {
+	g     sweep.Grid
+	fails int // failures per flaky cell before success
+
+	mu       sync.Mutex
+	attempts map[int]int
+}
+
+func (b *flakyBackend) Name() string              { return "test" }
+func (b *flakyBackend) Grid() (sweep.Grid, error) { return b.g, nil }
+func (b *flakyBackend) Cell(pt sweep.Point, rec *sweep.Recorder) error {
+	if pt.Index%3 == 1 {
+		b.mu.Lock()
+		n := b.attempts[pt.Index]
+		b.attempts[pt.Index] = n + 1
+		b.mu.Unlock()
+		if n < b.fails {
+			return fmt.Errorf("transient failure %d of cell %d", n+1, pt.Index)
+		}
+	}
+	return (&testBackend{g: b.g}).Cell(pt, rec)
+}
+
+// TestLeaseFailureBudget: cell errors within the per-lease budget
+// re-queue the lease and the sweep completes byte-identically; a
+// deterministic poison cell exhausts the budget and aborts the sweep
+// with the lease's cells and the worker error in the diagnostics.
+func TestLeaseFailureBudget(t *testing.T) {
+	g := sweep.NewGrid(sweep.Strings("a", "x", "y"), sweep.Reps(3))
+	want, err := sweep.RunBackend(&testBackend{g: g}, sweep.Options{Parallel: 2, Seed: 11}, "rep")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := startCoordinator(t, Config{LeaseCells: 2, LeaseTTL: time.Minute}, g, 11, "rep")
+	flaky := &flakyBackend{g: g, fails: 1, attempts: make(map[int]int)}
+	if err := RunWorker(context.Background(), WorkerConfig{Addr: c.Addr(), Backend: flaky, Parallel: 2}); err != nil {
+		t.Fatalf("worker with in-budget flaky cells failed: %v", err)
+	}
+	got, err := c.Wait(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := c.Stats(); st.Failures < 1 {
+		t.Fatalf("stats = %+v, want absorbed failures", st)
+	}
+	if encodeAll(t, got) != encodeAll(t, want) {
+		t.Fatal("output differs after in-budget cell failures")
+	}
+
+	// Poison: the same cell fails every attempt; the budget (2) is
+	// exhausted and the sweep aborts with diagnostics instead of
+	// re-issuing forever.
+	c2 := startCoordinator(t, Config{LeaseCells: 4, LeaseTTL: time.Minute, MaxLeaseFailures: 2}, g, 11, "rep")
+	err = RunWorker(context.Background(), WorkerConfig{Addr: c2.Addr(), Backend: &failBackend{g: g}, Parallel: 1})
+	if err == nil || !strings.Contains(err.Error(), "synthetic cell failure") {
+		t.Fatalf("worker error = %v, want the cell failure", err)
+	}
+	_, err = c2.Wait(context.Background())
+	if err == nil {
+		t.Fatal("poison cell did not abort the sweep")
+	}
+	for _, frag := range []string{"poison cell", "budget 2", "cells [", "synthetic cell failure", `cell "`} {
+		if !strings.Contains(err.Error(), frag) {
+			t.Fatalf("abort diagnostics %q missing %q", err, frag)
+		}
 	}
 }

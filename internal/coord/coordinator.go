@@ -29,6 +29,12 @@ type Config struct {
 	// MaxIssues caps how many workers may run one lease concurrently
 	// via stealing (default 2: the original holder plus one thief).
 	MaxIssues int
+	// MaxLeaseFailures is the per-lease failure budget: how many worker
+	// cell-error reports a lease absorbs (each one re-queues the lease
+	// for another attempt) before the coordinator declares the lease
+	// poisoned and aborts the sweep with the offending cell coordinates
+	// and the worker's error (default 3).
+	MaxLeaseFailures int
 	// DoneGrace bounds how long Drain waits for workers to hear their
 	// sweep is over before the server stops (default 2s).
 	DoneGrace time.Duration
@@ -50,6 +56,15 @@ type Config struct {
 	Resume bool
 	// Context, when set, cancels Dispatch (default context.Background).
 	Context context.Context
+	// Middleware, when set, wraps the coordinator's HTTP handler —
+	// the hook the chaos harness uses to drop, duplicate, truncate or
+	// delay requests at the server boundary.
+	Middleware func(http.Handler) http.Handler
+	// WriteCheckpoint, when set, replaces the atomic checkpoint writer
+	// (temp file + fsync + rename). The chaos harness injects write
+	// failures here; the coordinator treats a failed write as a
+	// stale-but-valid checkpoint, never as a fatal error.
+	WriteCheckpoint func(path string, data []byte) error
 	// OnListen, when set, receives the bound listen address once the
 	// server is up — the way to learn the port of an ":0" Addr.
 	OnListen func(addr string)
@@ -75,6 +90,12 @@ type Stats struct {
 	// Duplicates counts uploaded results discarded because another
 	// worker completed the lease first.
 	Duplicates int
+	// Failures counts worker cell-error reports absorbed within the
+	// lease failure budget (each one re-queued the lease).
+	Failures int
+	// Replays counts duplicated uploads re-acknowledged idempotently
+	// because they came from the worker whose copy already won.
+	Replays int
 }
 
 // Sweep declares one entry of the coordinator's queue: the grid to
@@ -113,6 +134,17 @@ type lease struct {
 	// (one per worker currently running it).
 	issues []time.Time
 	queued bool
+	// failures counts worker cell-error reports against this lease; the
+	// sweep aborts when it exceeds Config.MaxLeaseFailures. reported
+	// remembers which execution attempts already charged the budget, so
+	// an error report re-delivered by at-least-once transport (retry
+	// after a lost ack, duplication) counts once.
+	failures int
+	reported map[string]bool
+	// winner is the worker whose upload completed the lease, the
+	// idempotency key: a re-delivered upload from the winner is
+	// re-acknowledged as accepted, anyone else's copy is a duplicate.
+	winner string
 }
 
 // sweepState is one queue entry's runtime state.
@@ -167,6 +199,9 @@ type workerInfo struct {
 // Enqueue/Serve/WaitSweep/Drain separately for a long-lived service.
 type Coordinator struct {
 	cfg Config
+	// now is the scheduling clock (lease TTLs, worker liveness); tests
+	// inject a fake to exercise expiry without real sleeps.
+	now func() time.Time
 
 	mu       sync.Mutex
 	serving  bool
@@ -196,8 +231,12 @@ func New(cfg Config) *Coordinator {
 	if cfg.DoneGrace <= 0 {
 		cfg.DoneGrace = 2 * time.Second
 	}
+	if cfg.MaxLeaseFailures < 1 {
+		cfg.MaxLeaseFailures = 3
+	}
 	return &Coordinator{
 		cfg:     cfg,
+		now:     time.Now,
 		workers: make(map[string]*workerInfo),
 	}
 }
@@ -267,7 +306,7 @@ func (c *Coordinator) advance() {
 	if c.active < len(c.sweeps) && c.sweeps[c.active].state == sweepQueued {
 		s := c.sweeps[c.active]
 		s.state = sweepActive
-		s.started = time.Now()
+		s.started = c.now()
 		c.logf("sweep %d active (%d cells, %d leases)", s.index, s.cells, len(s.leases))
 	}
 }
@@ -294,10 +333,24 @@ func (c *Coordinator) Serve() error {
 	mux.HandleFunc("POST /v1/lease", c.handleLease)
 	mux.HandleFunc("POST /v1/result", c.handleResult)
 	mux.HandleFunc("GET /v1/status", c.handleStatus)
-	c.srv = &http.Server{Handler: mux}
+	var handler http.Handler = mux
+	if c.cfg.Middleware != nil {
+		handler = c.cfg.Middleware(handler)
+	}
+	// All protocol bodies are small JSON documents (the largest, a shard
+	// upload, is bounded by the sweep's group structure), so slow or
+	// stalled clients get firm deadlines rather than a goroutine each:
+	// headers within 5s, whole request within 2m, idle keep-alives
+	// recycled after 2m.
+	c.srv = &http.Server{
+		Handler:           handler,
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       2 * time.Minute,
+		IdleTimeout:       2 * time.Minute,
+	}
 	go c.srv.Serve(ln)
 	c.serving = true
-	c.lastReq = time.Now()
+	c.lastReq = c.now()
 	c.advance()
 	// An immediate checkpoint makes -resume valid from any kill point,
 	// even one before the first accepted upload.
@@ -348,6 +401,8 @@ func (c *Coordinator) Stats() Stats {
 		out.Reissues += s.stats.Reissues
 		out.Steals += s.stats.Steals
 		out.Duplicates += s.stats.Duplicates
+		out.Failures += s.stats.Failures
+		out.Replays += s.stats.Replays
 	}
 	return out
 }
@@ -489,17 +544,17 @@ func (c *Coordinator) completeSweep(s *sweepState) {
 // touch registers (or refreshes) a worker seen on the wire. Callers
 // hold mu.
 func (c *Coordinator) touch(worker string, sweepIdx int) *workerInfo {
-	c.lastReq = time.Now()
+	c.lastReq = c.now()
 	if worker == "" {
 		return nil
 	}
 	w, ok := c.workers[worker]
 	if !ok {
-		w = &workerInfo{sweep: sweepIdx, joinedAt: time.Now()}
+		w = &workerInfo{sweep: sweepIdx, joinedAt: c.now()}
 		c.workers[worker] = w
 	}
 	w.sweep = sweepIdx
-	w.lastAt = time.Now()
+	w.lastAt = c.now()
 	return w
 }
 
@@ -548,7 +603,7 @@ func (c *Coordinator) handleJoin(w http.ResponseWriter, r *http.Request) {
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.lastReq = time.Now()
+	c.lastReq = c.now()
 	if req.Proto != protocolVersion {
 		reject(w, http.StatusConflict, "coord: protocol %d, want %d", req.Proto, protocolVersion)
 		return
@@ -615,7 +670,7 @@ func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
 		respond(w, leaseResponse{Status: statusWait, RetryMS: 500})
 		return
 	}
-	c.reap(s, time.Now())
+	c.reap(s, c.now())
 	for len(s.pending) > 0 {
 		l := s.leases[s.pending[0]]
 		s.pending = s.pending[1:]
@@ -625,7 +680,7 @@ func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
 			continue
 		}
 		l.queued = false
-		l.issues = append(l.issues, time.Now().Add(c.cfg.LeaseTTL))
+		l.issues = append(l.issues, c.now().Add(c.cfg.LeaseTTL))
 		c.logf("sweep %d lease %d (%d cells) -> %s", s.index, l.id, len(l.cells), req.Worker)
 		respond(w, leaseResponse{Status: statusLease, Lease: l.id, Cells: l.cells})
 		return
@@ -648,7 +703,7 @@ func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
 		respond(w, leaseResponse{Status: statusWait, RetryMS: 200})
 		return
 	}
-	victim.issues = append(victim.issues, time.Now().Add(c.cfg.LeaseTTL))
+	victim.issues = append(victim.issues, c.now().Add(c.cfg.LeaseTTL))
 	s.stats.Steals++
 	c.logf("sweep %d lease %d stolen by %s (speculative duplicate %d)",
 		s.index, victim.id, req.Worker, len(victim.issues))
@@ -713,13 +768,60 @@ func (c *Coordinator) handleResult(w http.ResponseWriter, r *http.Request) {
 			respond(w, resultResponse{Accepted: false, Done: done})
 			return
 		}
+		if req.Attempt != "" {
+			if l.reported[req.Attempt] {
+				// Re-delivered report of an attempt already charged:
+				// repeat the in-budget verdict (had it exhausted the
+				// budget, the sweep would be terminal and handled above).
+				c.logf("sweep %d lease %d failure report %s re-delivered, same verdict", s.index, l.id, req.Attempt)
+				c.mu.Unlock()
+				respond(w, resultResponse{Accepted: false, Retry: true})
+				return
+			}
+			if l.reported == nil {
+				l.reported = make(map[string]bool)
+			}
+			l.reported[req.Attempt] = true
+		}
+		l.failures++
+		if l.failures > c.cfg.MaxLeaseFailures {
+			cells := append([]int(nil), l.cells...)
+			c.mu.Unlock()
+			c.failSweep(s, fmt.Errorf(
+				"coord: sweep %d lease %d (cells %v) failed %d times, budget %d — poison cell; last worker %s: %s",
+				s.index, req.Lease, cells, l.failures, c.cfg.MaxLeaseFailures, req.Worker, req.Error))
+			respond(w, resultResponse{Accepted: false, Done: true})
+			return
+		}
+		// Within budget: charge the failure, retire the reporting
+		// worker's issue, and re-queue the lease for another attempt.
+		// Which issue slot was the reporter's is unknowable (expiries
+		// carry no worker identity), so retire the earliest — at worst a
+		// thief's issue expires via TTL instead.
+		s.stats.Failures++
+		if len(l.issues) > 0 {
+			l.issues = l.issues[1:]
+		}
+		if len(l.issues) == 0 && !l.queued {
+			l.queued = true
+			s.pending = append(s.pending, l.id)
+		}
+		c.logf("sweep %d lease %d failure %d/%d from %s, reissue: %s",
+			s.index, l.id, l.failures, c.cfg.MaxLeaseFailures, req.Worker, req.Error)
 		c.mu.Unlock()
-		c.failSweep(s, fmt.Errorf("coord: worker %s, sweep %d lease %d: %s", req.Worker, s.index, req.Lease, req.Error))
-		respond(w, resultResponse{Accepted: false, Done: true})
+		respond(w, resultResponse{Accepted: false, Retry: true})
 		return
 	}
 	if s.terminal() || l.done {
-		if l.done {
+		replay := l.done && req.Worker != "" && req.Worker == l.winner
+		if replay {
+			// At-least-once delivery: the winner's own upload arrived
+			// again (dropped ack, duplicated request). It was already
+			// absorbed exactly once; re-acknowledge it as accepted so
+			// retries converge on the first verdict.
+			s.stats.Replays++
+			c.logf("sweep %d lease %d replay from winner %s re-acknowledged", s.index, l.id, req.Worker)
+		} else if l.done {
 			s.stats.Duplicates++
 			c.logf("sweep %d lease %d duplicate from %s discarded", s.index, l.id, req.Worker)
 		}
@@ -728,7 +830,7 @@ func (c *Coordinator) handleResult(w http.ResponseWriter, r *http.Request) {
 			c.told(wi)
 		}
 		c.mu.Unlock()
-		respond(w, resultResponse{Accepted: false, Done: done})
+		respond(w, resultResponse{Accepted: replay, Done: done})
 		return
 	}
 	col, err := sweep.ReadShard(bytes.NewReader(req.Shard))
@@ -748,6 +850,7 @@ func (c *Coordinator) handleResult(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	l.done = true
+	l.winner = req.Worker
 	l.issues = nil
 	l.queued = false
 	s.remaining--

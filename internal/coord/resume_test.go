@@ -7,6 +7,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -445,6 +446,11 @@ func TestWorkerSurvivesCoordinatorRestart(t *testing.T) {
 		t.Fatal(err)
 	}
 	addr := c1.Addr()
+	// retrying fires once the worker has actually hit the outage and
+	// entered its backoff loop — the signal the restart should wait for
+	// instead of sleeping a guessed duration.
+	retrying := make(chan struct{})
+	var once sync.Once
 	wdone := make(chan error, 1)
 	go func() {
 		wdone <- RunWorker(context.Background(), WorkerConfig{
@@ -454,6 +460,11 @@ func TestWorkerSurvivesCoordinatorRestart(t *testing.T) {
 			// long enough to observe the outage.
 			Parallel:    1,
 			RetryWindow: 30 * time.Second,
+			Logf: func(format string, args ...any) {
+				if strings.Contains(format, "retrying") {
+					once.Do(func() { close(retrying) })
+				}
+			},
 		})
 	}()
 	// Kill the coordinator once at least one lease is durable but the
@@ -469,9 +480,15 @@ func TestWorkerSurvivesCoordinatorRestart(t *testing.T) {
 		time.Sleep(2 * time.Millisecond)
 	}
 	c1.Close()
-	// Leave the worker facing connection-refused for a few backoff
-	// rounds before the same address comes back.
-	time.Sleep(300 * time.Millisecond)
+	// Restart only after the worker has observed the outage and begun
+	// backing off.
+	select {
+	case <-retrying:
+	case err := <-wdone:
+		t.Fatalf("worker exited before observing the outage: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("worker never reported the outage")
+	}
 	cfg.Addr = addr
 	cfg.Resume = true
 	c2 := New(cfg)

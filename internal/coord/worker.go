@@ -10,6 +10,7 @@ import (
 	"net/http"
 	"time"
 
+	"hadooppreempt/internal/sim"
 	"hadooppreempt/internal/sweep"
 )
 
@@ -29,8 +30,13 @@ type WorkerConfig struct {
 	// RetryWindow bounds how long the worker retries transient
 	// transport errors mid-sweep — connection refused while a crashed
 	// coordinator restarts with -resume — before giving up (default
-	// 15s). Backoff is bounded: 100ms doubling to a 2s cap.
+	// 15s). Backoff is bounded: RetryBase doubling to a 2s cap, with
+	// deterministic per-worker jitter so a restarted coordinator is not
+	// hit by every worker in lockstep.
 	RetryWindow time.Duration
+	// RetryBase is the initial retry backoff (default 100ms); tests and
+	// chaos runs shrink it to keep fault-heavy schedules fast.
+	RetryBase time.Duration
 	// Client overrides the HTTP client (default: 30s timeout).
 	Client *http.Client
 	// Logf, when set, receives progress lines.
@@ -64,6 +70,9 @@ func RunWorker(ctx context.Context, cfg WorkerConfig) error {
 	}
 	if cfg.RetryWindow <= 0 {
 		cfg.RetryWindow = 15 * time.Second
+	}
+	if cfg.RetryBase <= 0 {
+		cfg.RetryBase = 100 * time.Millisecond
 	}
 	client := cfg.Client
 	if client == nil {
@@ -109,11 +118,16 @@ func RunWorker(ctx context.Context, cfg WorkerConfig) error {
 		if time.Now().After(deadline) {
 			return fmt.Errorf("coord: join %s: %w", cfg.Addr, err)
 		}
-		if err := sleep(ctx, 100*time.Millisecond); err != nil {
+		if err := sleep(ctx, cfg.RetryBase); err != nil {
 			return err
 		}
 	}
 	logf("joined %s as %s for sweep %d (seed %d)", cfg.Addr, id.Worker, id.Sweep, id.Seed)
+	// Jitter stream: deterministic per (sweep seed, worker id), so two
+	// workers never back off in lockstep yet a re-run of the same
+	// schedule replays the same waits.
+	w.jitter = sim.NewRNG(id.Seed).Stream("backoff/" + id.Worker)
+	attempts := 0
 	for {
 		var lr leaseResponse
 		if err := w.post("/v1/lease", leaseRequest{Worker: id.Worker, Sweep: id.Sweep}, &lr); err != nil {
@@ -131,12 +145,31 @@ func RunWorker(ctx context.Context, cfg WorkerConfig) error {
 			}
 		case statusLease:
 			logf("lease %d: %d cells", lr.Lease, len(lr.Cells))
-			res := resultRequest{Worker: id.Worker, Sweep: id.Sweep, Lease: lr.Lease}
+			// One attempt id per lease execution: re-sent copies of this
+			// result (lost ack, duplicated request) are idempotent at
+			// the coordinator, while a genuine re-execution is not.
+			attempts++
+			res := resultRequest{
+				Worker: id.Worker, Sweep: id.Sweep, Lease: lr.Lease,
+				Attempt: fmt.Sprintf("%s/%d/%d", id.Worker, lr.Lease, attempts),
+			}
 			col, err := sweep.RunCells(g, cfg.Backend.Cell, id.Seed, cfg.Parallel, lr.Cells, id.Collapse...)
 			if err != nil {
 				res.Error = err.Error()
 				var rr resultResponse
-				w.post("/v1/result", res, &rr) // best effort before bailing
+				if perr := w.post("/v1/result", res, &rr); perr != nil {
+					// Best effort before bailing — but say so: a silent
+					// discard here would leave the coordinator to learn of
+					// the loss only via the lease TTL.
+					logf("lease %d: error report undelivered (%v), coordinator will reap via TTL", lr.Lease, perr)
+					return err
+				}
+				if rr.Retry {
+					// The coordinator absorbed the failure into the
+					// lease's budget and re-queued it; keep serving.
+					logf("lease %d failed within budget, reissued: %v", lr.Lease, err)
+					continue
+				}
 				return err
 			}
 			var buf bytes.Buffer
@@ -169,15 +202,19 @@ type worker struct {
 	client *http.Client
 	logf   func(string, ...any)
 	base   string
+	jitter *sim.RNG
 }
 
 // post sends one mid-sweep request, retrying transient transport
-// failures with bounded backoff (100ms doubling to a 2s cap) for up to
-// cfg.RetryWindow — so a coordinator killed and restarted with -resume
-// does not strand live workers. Protocol-level rejections fail fast.
+// failures with bounded backoff (RetryBase doubling to a 2s cap) for up
+// to cfg.RetryWindow — so a coordinator killed and restarted with
+// -resume does not strand live workers. Each wait is jittered into
+// [backoff/2, backoff] from the worker's deterministic stream, so a
+// fleet that lost its coordinator simultaneously does not reconnect
+// simultaneously. Protocol-level rejections fail fast.
 func (w *worker) post(path string, in, out any) error {
 	deadline := time.Now().Add(w.cfg.RetryWindow)
-	backoff := 100 * time.Millisecond
+	backoff := w.cfg.RetryBase
 	for {
 		err := post(w.ctx, w.client, w.base+path, in, out)
 		if err == nil {
@@ -187,8 +224,12 @@ func (w *worker) post(path string, in, out any) error {
 		if errors.As(err, &pe) || time.Now().After(deadline) {
 			return err
 		}
-		w.logf("coordinator unreachable (%v), retrying in %v", err, backoff)
-		if serr := sleep(w.ctx, backoff); serr != nil {
+		wait := backoff
+		if w.jitter != nil && backoff > 1 {
+			wait = backoff/2 + time.Duration(w.jitter.Int63n(int64(backoff/2)+1))
+		}
+		w.logf("coordinator unreachable (%v), retrying in %v", err, wait)
+		if serr := sleep(w.ctx, wait); serr != nil {
 			return serr
 		}
 		backoff = min(backoff*2, 2*time.Second)

@@ -2,6 +2,7 @@ package sweep
 
 import (
 	"fmt"
+	"runtime/debug"
 	"sync"
 )
 
@@ -151,7 +152,7 @@ func runPool(points []Point, cells []int, parallel int, newWorker func() func(in
 			defer wg.Done()
 			fn := newWorker()
 			for i := range next {
-				if err := fn(i); err != nil {
+				if err := runCell(fn, i); err != nil {
 					errs[i] = fmt.Errorf("sweep: cell %q: %w", points[i].Key(), err)
 				}
 			}
@@ -168,6 +169,20 @@ func runPool(points []Point, cells []int, parallel int, newWorker func() func(in
 		}
 	}
 	return nil
+}
+
+// runCell executes one cell, converting a panic in the cell function
+// into a structured error. Backends run arbitrary engine code (replay
+// parsers, process supervisors — or injected chaos), and a panicking
+// cell must surface as that cell's failure, not kill the whole worker
+// process mid-lease.
+func runCell(fn func(int) error, i int) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("panic: %v\n%s", r, debug.Stack())
+		}
+	}()
+	return fn(i)
 }
 
 // Skeleton returns the empty collapsed-result skeleton of the grid —

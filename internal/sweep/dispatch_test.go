@@ -7,6 +7,34 @@ import (
 	"hadooppreempt/internal/sim"
 )
 
+// TestRunCellsRecoversPanic: a panicking cell function becomes that
+// cell's structured error — named by its coordinates, carrying the
+// panic value — instead of killing the process. Backends run arbitrary
+// engine code (and injected chaos), so a worker must survive any cell.
+func TestRunCellsRecoversPanic(t *testing.T) {
+	g := NewGrid(Strings("a", "x", "y"), Reps(3))
+	run := func(pt Point, rec *Recorder) error {
+		if pt.Index == 2 {
+			panic("synthetic cell panic")
+		}
+		rec.Observe("m0", float64(pt.Index))
+		return nil
+	}
+	_, err := RunCells(g, run, 1, 4, nil)
+	if err == nil {
+		t.Fatal("panicking cell did not surface an error")
+	}
+	for _, frag := range []string{`sweep: cell "`, "panic: synthetic cell panic"} {
+		if !strings.Contains(err.Error(), frag) {
+			t.Fatalf("error %q missing %q", err, frag)
+		}
+	}
+	// The panic error carries a stack trace for diagnosis.
+	if !strings.Contains(err.Error(), "goroutine") {
+		t.Fatalf("error %q missing the stack trace", err)
+	}
+}
+
 // TestDispatchersMatchRunCollapsed checks, over random grids, that the
 // pool and shard dispatchers used directly produce output byte-identical
 // to the Options-driven entry points they back.

@@ -2,12 +2,14 @@
 # Distributed-parity gate (mirrored by `make dist-check` and the CI
 # distributed-parity job): a coordinator plus localhost workers must
 # produce output byte-identical to the single-process sweep — in the
-# happy path, through a worker kill + lease reissue, and through a
-# coordinator SIGKILL + checkpoint resume.
+# happy path, through a worker kill + lease reissue, through a
+# coordinator SIGKILL + checkpoint resume, and through a seeded chaos
+# schedule corrupting every trust boundary at once.
 #
-# Usage: dist_parity.sh [BIN] [all|basic|coordkill]
+# Usage: dist_parity.sh [BIN] [all|basic|coordkill|chaos]
 #   basic      cases 1-2 (worker-side scheduling and loss)
 #   coordkill  case 3 (coordinator loss + -resume)
+#   chaos      case 4 (-chaos fault injection on every process)
 #
 # -cell-sleep makes cells artificially slow and uneven (cell i sleeps
 # (1 + i mod 3) x unit; results unchanged), so with single-digit lease
@@ -29,8 +31,8 @@ trap cleanup EXIT
 
 want() { [ "$CASES" = all ] || [ "$CASES" = "$1" ]; }
 case "$CASES" in
-    all|basic|coordkill) ;;
-    *) echo "unknown case selection '$CASES' (want all, basic or coordkill)" >&2; exit 2 ;;
+    all|basic|coordkill|chaos) ;;
+    *) echo "unknown case selection '$CASES' (want all, basic, coordkill or chaos)" >&2; exit 2 ;;
 esac
 
 echo "== single-process reference"
@@ -129,5 +131,42 @@ fi
 echo "   byte-identical after coordinator kill + resume ($(grep -o 'restored: [0-9/]* leases done' "$tmp/coord3b.log" | head -1))"
 
 fi # coordkill
+
+if want chaos; then
+
+echo "== case 4: seeded chaos on every process, in-budget faults"
+# The coordinator's chaos plan corrupts its HTTP boundary and its
+# checkpoint writer; each worker's plan corrupts its HTTP client and
+# makes deterministically chosen cells error once before succeeding.
+# Distinct seeds per process keep the three schedules independent and
+# individually replayable. Within the lease failure budget the merged
+# output must still be byte-identical to the faultless single-process
+# reference.
+PORT4=$((PORT + 3))
+ckpt4="$tmp/chaos.ckpt"
+transport="drop=0.04,drop-resp=0.04,dup=0.06,trunc=0.04,delay=0.15,delay-max=2ms"
+"$BIN" -sweep pressure -reps 2 -seed 1 -serve 127.0.0.1:$PORT4 -lease 2 -lease-ttl 2s \
+    -checkpoint "$ckpt4" -chaos "seed=1009,$transport,ckpt=0.4" -format csv \
+    > "$tmp/dist-chaos.csv" 2> "$tmp/coord4.log" &
+coord=$!
+"$BIN" -sweep pressure -reps 2 -worker 127.0.0.1:$PORT4 -parallel 2 \
+    -chaos "seed=2003,$transport,cell-err=0.08" 2> "$tmp/cw1.log" &
+w1=$!
+"$BIN" -sweep pressure -reps 2 -worker 127.0.0.1:$PORT4 -parallel 2 \
+    -chaos "seed=3001,$transport,cell-err=0.08" 2> "$tmp/cw2.log" &
+w2=$!
+wait $w1
+wait $w2
+wait $coord
+cmp "$tmp/single.csv" "$tmp/dist-chaos.csv"
+injected=$(cat "$tmp/coord4.log" "$tmp/cw1.log" "$tmp/cw2.log" | grep -c 'chaos\[')
+if [ "$injected" -lt 10 ]; then
+    echo "expected a fault-heavy schedule; only $injected faults injected" >&2
+    cat "$tmp/coord4.log" >&2
+    exit 1
+fi
+echo "   byte-identical through $injected injected faults"
+
+fi # chaos
 
 echo "distributed parity OK"

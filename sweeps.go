@@ -4,8 +4,10 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"net/http"
 	"time"
 
+	"hadooppreempt/internal/chaos"
 	"hadooppreempt/internal/coord"
 	"hadooppreempt/internal/experiments"
 	"hadooppreempt/internal/metrics"
@@ -419,6 +421,43 @@ type DistributedOptions struct {
 	// Logf, when set, receives coordinator progress lines (joins,
 	// leases, steals, re-issues).
 	Logf func(format string, args ...any)
+	// MaxLeaseFailures is the per-lease failure budget before the sweep
+	// aborts as poisoned (default 3); see coord.Config.
+	MaxLeaseFailures int
+	// Chaos, when set, injects the plan's faults on the coordinator
+	// side: its transport faults at the server boundary and its
+	// checkpoint faults into the checkpoint writer.
+	Chaos *ChaosPlan
+}
+
+// --- Chaos (deterministic fault injection) ----------------------------
+
+// ChaosConfig declares a seeded fault schedule for the distributed
+// path; see the internal/chaos package documentation for the fault
+// matrix and determinism contract.
+type ChaosConfig = chaos.Config
+
+// ChaosPlan is an active fault schedule (per-site RNG streams derived
+// from one seed). One plan serves one process.
+type ChaosPlan = chaos.Plan
+
+// NewChaosPlan builds a fault plan from the schedule.
+func NewChaosPlan(cfg ChaosConfig) *ChaosPlan { return chaos.New(cfg) }
+
+// ParseChaosSpec parses a -chaos flag value (comma-separated key=value
+// pairs: seed, drop, drop-resp, dup, trunc, delay, delay-max, ckpt,
+// cell-err, cell-panic, cell-fails) into a ChaosConfig.
+func ParseChaosSpec(spec string) (ChaosConfig, error) { return chaos.ParseSpec(spec) }
+
+// chaosCoordConfig wires a plan's coordinator-side hooks into a coord
+// config: HTTP middleware at the "coord" site and the checkpoint-writer
+// wrapper.
+func chaosCoordConfig(cfg *coord.Config, p *ChaosPlan) {
+	if p == nil {
+		return
+	}
+	cfg.Middleware = func(next http.Handler) http.Handler { return p.Middleware("coord", next) }
+	cfg.WriteCheckpoint = p.CheckpointWriter(coord.WriteFileDurable)
 }
 
 // DistributedSweep serves the backend's grid as lease-based work units
@@ -433,19 +472,21 @@ type DistributedOptions struct {
 // output format. (The real-process backend's wall-clock measurements
 // remain the documented exception to determinism.)
 func DistributedSweep(ctx context.Context, b SweepBackend, opts DistributedOptions, collapse ...string) (*SweepCollapsed, error) {
-	c := coord.New(coord.Config{
-		Addr:        opts.Addr,
-		LeaseCells:  opts.LeaseCells,
-		LeaseTTL:    opts.LeaseTTL,
-		BackendName: b.Name(),
-		BackendFP:   coord.BackendFingerprint(b),
-		Checkpoint:  opts.Checkpoint,
-		Resume:      opts.Resume,
-		Context:     ctx,
-		OnListen:    opts.OnListen,
-		Logf:        opts.Logf,
-	})
-	return sweep.DispatchBackend(b, c, opts.Seed, collapse...)
+	cfg := coord.Config{
+		Addr:             opts.Addr,
+		LeaseCells:       opts.LeaseCells,
+		LeaseTTL:         opts.LeaseTTL,
+		MaxLeaseFailures: opts.MaxLeaseFailures,
+		BackendName:      b.Name(),
+		BackendFP:        coord.BackendFingerprint(b),
+		Checkpoint:       opts.Checkpoint,
+		Resume:           opts.Resume,
+		Context:          ctx,
+		OnListen:         opts.OnListen,
+		Logf:             opts.Logf,
+	}
+	chaosCoordConfig(&cfg, opts.Chaos)
+	return sweep.DispatchBackend(b, coord.New(cfg), opts.Seed, collapse...)
 }
 
 // SweepStatus queries a running coordinator's GET /v1/status endpoint:
@@ -467,15 +508,18 @@ func DistributedSweepQueue(ctx context.Context, backends []SweepBackend, opts Di
 	if len(backends) == 0 {
 		return nil, fmt.Errorf("sweep queue needs at least one backend")
 	}
-	c := coord.New(coord.Config{
-		Addr:       opts.Addr,
-		LeaseCells: opts.LeaseCells,
-		LeaseTTL:   opts.LeaseTTL,
-		Checkpoint: opts.Checkpoint,
-		Context:    ctx,
-		OnListen:   opts.OnListen,
-		Logf:       opts.Logf,
-	})
+	cfg := coord.Config{
+		Addr:             opts.Addr,
+		LeaseCells:       opts.LeaseCells,
+		LeaseTTL:         opts.LeaseTTL,
+		MaxLeaseFailures: opts.MaxLeaseFailures,
+		Checkpoint:       opts.Checkpoint,
+		Context:          ctx,
+		OnListen:         opts.OnListen,
+		Logf:             opts.Logf,
+	}
+	chaosCoordConfig(&cfg, opts.Chaos)
+	c := coord.New(cfg)
 	for _, b := range backends {
 		g, err := b.Grid()
 		if err != nil {
@@ -524,12 +568,40 @@ func DistributedSweepQueue(ctx context.Context, backends []SweepBackend, opts Di
 // coordinator's (verified via structure and content fingerprints at
 // join time); the coordinator's seed and collapse axes govern.
 func DistributedSweepWorker(ctx context.Context, addr string, b SweepBackend, parallel int, logf func(string, ...any)) error {
-	return coord.RunWorker(ctx, coord.WorkerConfig{
+	return RunDistributedWorker(ctx, addr, b, DistributedWorkerOptions{Parallel: parallel, Logf: logf})
+}
+
+// DistributedWorkerOptions configures one worker process beyond the
+// basics DistributedSweepWorker covers.
+type DistributedWorkerOptions struct {
+	// Parallel bounds the worker's in-process pool per lease.
+	Parallel int
+	// Chaos, when set, injects the plan's faults on this worker's side:
+	// transport faults on its HTTP client and cell faults around its
+	// backend. Give each worker its own plan (distinct seeds) so their
+	// transport schedules are independent.
+	Chaos *ChaosPlan
+	// Logf, when set, receives worker progress lines.
+	Logf func(format string, args ...any)
+}
+
+// RunDistributedWorker is DistributedSweepWorker with options — in
+// particular a worker-side chaos plan for deterministic fault drills.
+func RunDistributedWorker(ctx context.Context, addr string, b SweepBackend, opts DistributedWorkerOptions) error {
+	cfg := coord.WorkerConfig{
 		Addr:     addr,
 		Backend:  b,
-		Parallel: parallel,
-		Logf:     logf,
-	})
+		Parallel: opts.Parallel,
+		Logf:     opts.Logf,
+	}
+	if opts.Chaos != nil {
+		cfg.Backend = opts.Chaos.WrapBackend(b)
+		cfg.Client = &http.Client{
+			Timeout:   30 * time.Second,
+			Transport: opts.Chaos.Transport("worker", nil),
+		}
+	}
+	return coord.RunWorker(ctx, cfg)
 }
 
 // IsRealExecWorker reports whether this process was re-executed as a
