@@ -37,10 +37,10 @@ bench:
 # the goldens). BenchmarkSweepCollapse's allocs/cell is reported but not
 # gated: allocator behavior may move with the toolchain.
 bench-golden:
-	$(GO) test -run '^$$' -bench 'BenchmarkFigure|BenchmarkFullGrid20Reps|BenchmarkSweepCollapse' \
+	$(GO) test -run '^$$' -bench 'BenchmarkFigure|BenchmarkFullGrid20Reps|BenchmarkSweepCollapse|BenchmarkCellCache' \
 			-benchtime 3x -count 3 . \
 		| $(GO) run ./internal/tools/benchjson \
-			-golden goldens/bench_metrics.json -volatile BenchmarkSweepCollapse \
+			-golden goldens/bench_metrics.json -volatile 'BenchmarkSweepCollapse|BenchmarkCellCache' \
 			$(if $(UPDATE),-update) \
 			> BENCH_sweep.json
 
@@ -79,9 +79,10 @@ backend-check:
 # Distributed parity (mirrors the CI distributed-parity job): a
 # coordinator plus two localhost workers — with artificially uneven
 # cell costs, a worker-kill/lease-reissue case, a coordinator
-# SIGKILL + checkpoint-resume case, and a seeded -chaos fault-injection
-# case — must reproduce the single-process sweep byte for byte.
-# `make dist-check CASES=chaos` (or coordkill, basic) runs one case.
+# SIGKILL + checkpoint-resume case, a seeded -chaos fault-injection
+# case, and a -cache cold-fill/warm-replay case — must reproduce the
+# single-process sweep byte for byte. `make dist-check CASES=cache`
+# (or chaos, coordkill, basic) runs one case.
 CASES ?= all
 dist-check:
 	$(GO) build -o /tmp/hadoopsim-ci ./cmd/hadoopsim

@@ -401,3 +401,59 @@ func benchName(key string, v int, unit string) string {
 
 // durSeconds converts whole seconds to a duration.
 func durSeconds(s int) time.Duration { return time.Duration(s) * time.Second }
+
+// BenchmarkCellCache measures the cell-result cache on a synthetic grid
+// whose cells are nearly free, so what is timed is cache overhead — the
+// cold path (execute + verify-write every entry) and the warm path
+// (verified replay of every entry). Timing lands in BENCH_sweep.json
+// but is exempt from golden gating, like BenchmarkSweepCollapse.
+func BenchmarkCellCache(b *testing.B) {
+	grid := sweep.NewGrid(
+		sweep.Strings("prim", "wait", "kill", "susp"),
+		sweep.Floats("r", 10, 50, 90),
+		sweep.Reps(50),
+	).Pair("prim")
+	cell := func(pt sweep.Point, rec *sweep.Recorder) error {
+		rec.Observe("m0", float64(pt.Seed>>12))
+		rec.Observe("m1", float64(pt.Index))
+		return nil
+	}
+	cells := float64(grid.Size())
+	run := func(b *testing.B, cache *hp.CellCache) {
+		col, err := hp.RunSweepCollapsed(grid, cell,
+			hp.SweepOptions{Parallel: runtime.GOMAXPROCS(0), Seed: benchSeed, Cache: cache}, "rep")
+		if err != nil || len(col.Groups) == 0 {
+			b.Fatalf("sweep failed: %v", err)
+		}
+	}
+	b.Run("miss", func(b *testing.B) {
+		// Every iteration fills a fresh cache: miss + store per cell.
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			cache, err := hp.NewCellCache(b.TempDir())
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+			run(b, cache)
+		}
+		b.ReportMetric(float64(b.Elapsed().Microseconds())/float64(b.N)/cells, "us/cell")
+	})
+	b.Run("hit", func(b *testing.B) {
+		cache, err := hp.NewCellCache(b.TempDir())
+		if err != nil {
+			b.Fatal(err)
+		}
+		run(b, cache) // cold fill outside the timed loop
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			run(b, cache)
+		}
+		b.ReportMetric(float64(b.Elapsed().Microseconds())/float64(b.N)/cells, "us/cell")
+		b.StopTimer()
+		cc := cache.Counters()
+		if cc.Hits == 0 || cc.Misses != int64(cells) {
+			b.Fatalf("warm loop did not replay: %+v", cc)
+		}
+	})
+}

@@ -9,6 +9,7 @@
 //	hadoopsim -config experiment.conf [-nodes N] [-slots S] [-seed X]
 //	hadoopsim -sweep twojob|pressure|cluster|evict|primitive [-parallel W]
 //	          [-reps N] [-seed X] [-format table|csv|json|series]
+//	          [-cache DIR] [-cpuprofile file] [-memprofile file]
 //	hadoopsim -backend replay -trace trace.tsv [-trace-shards K]
 //	          [-replay-sched fifo|fair|hfsp] [-replay-timescale F]
 //	          [-reps N] [-format F]
@@ -72,6 +73,16 @@
 // comma-separated -sweep list (sim backend) queues several grids on
 // one server, run in order as a long-lived grid service.
 //
+// -cache DIR memoizes cell results on disk, keyed by the content of the
+// computation (grid fingerprint, backend identity, base seed, cell):
+// a warm rerun replays cached cells instead of executing them and emits
+// byte-identical output. The same directory serves single-process runs,
+// the coordinator (which retires whole leases from cache before issuing
+// them) and workers (which skip leased cells they find cached). Corrupt
+// or stale entries are silent misses, never errors; the real backend
+// measures wall-clock time and always bypasses. Counters are printed to
+// stderr and served in /v1/status.
+//
 // -chaos injects a seeded, deterministic fault schedule for drills: on
 // a coordinator it corrupts the HTTP boundary (drop, duplicate,
 // truncate, delay) and the checkpoint writer; on a worker it corrupts
@@ -103,6 +114,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strings"
 	"time"
@@ -147,11 +159,29 @@ func main() {
 	cellSleep := flag.Duration("cell-sleep", 0, "debug: sleep (1 + cell mod 3) x this per cell — artificially slow, uneven cells for exercising the distributed scheduler; results are unchanged")
 	leaseRetries := flag.Int("lease-retries", 3, "coordinator mode: per-lease failure budget — reported cell errors tolerated per lease before the sweep aborts as poisoned")
 	chaosSpec := flag.String("chaos", "", "distributed mode: seeded deterministic fault injection, comma-separated key=value pairs (seed, drop, drop-resp, dup, trunc, delay, delay-max, ckpt, cell-err, cell-panic, cell-fails)")
+	cacheDir := flag.String("cache", "", "sweep mode: memoize cell results in this directory; warm reruns replay cached cells and stay byte-identical (real backend bypasses: wall-clock cells)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	flag.Parse()
+
+	var cpuFile *os.File
+	if *cpuprofile != "" {
+		cf, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hadoopsim: cpuprofile:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(cf); err != nil {
+			fmt.Fprintln(os.Stderr, "hadoopsim: cpuprofile:", err)
+			os.Exit(1)
+		}
+		cpuFile = cf
+	}
 
 	f := sweepFlags{
 		cellSleep:       *cellSleep,
 		chaos:           *chaosSpec,
+		cache:           *cacheDir,
 		backend:         *backend,
 		scenario:        *sweepName,
 		trace:           *tracePath,
@@ -226,6 +256,24 @@ func main() {
 	default:
 		err = run(*path, *nodes, *slots, *seed, *deadline, *width)
 	}
+	// Flush profiles before any exit path so they are always valid.
+	if cpuFile != nil {
+		pprof.StopCPUProfile()
+		cpuFile.Close()
+	}
+	if *memprofile != "" {
+		mf, merr := os.Create(*memprofile)
+		if merr != nil {
+			fmt.Fprintln(os.Stderr, "hadoopsim: memprofile:", merr)
+			os.Exit(1)
+		}
+		runtime.GC()
+		if merr := pprof.WriteHeapProfile(mf); merr != nil {
+			fmt.Fprintln(os.Stderr, "hadoopsim: memprofile:", merr)
+			os.Exit(1)
+		}
+		mf.Close()
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "hadoopsim:", err)
 		os.Exit(1)
@@ -277,7 +325,7 @@ func sweepOnlyFlagsSet() []string {
 			"trace", "trace-shards", "replay-sched", "replay-timescale",
 			"real-steps", "real-units", "real-mem",
 			"serve", "worker", "lease", "lease-ttl", "lease-retries",
-			"checkpoint", "resume", "cell-sleep", "chaos":
+			"checkpoint", "resume", "cell-sleep", "chaos", "cache":
 			out = append(out, "-"+f.Name)
 		}
 	})
@@ -301,6 +349,7 @@ func distOnlyFlagsSet() []string {
 type sweepFlags struct {
 	cellSleep       time.Duration
 	chaos           string
+	cache           string
 	backend         string
 	scenario        string
 	trace           string
@@ -389,14 +438,40 @@ func runSweep(f sweepFlags) error {
 			return err
 		}
 	}
+	cache, err := openCache(f)
+	if err != nil {
+		return err
+	}
+	opts.Cache = cache
 	col, err := hp.RunSweepBackend(b, opts, "rep")
 	if err != nil {
 		return err
 	}
+	reportCache(cache, "sweep")
 	if f.shard != "" {
 		return col.WriteShard(os.Stdout)
 	}
 	return col.Write(os.Stdout, f.format)
+}
+
+// openCache opens the -cache cell-result cache, or returns nil when
+// the flag is unset (a nil cache caches nothing).
+func openCache(f sweepFlags) (*hp.CellCache, error) {
+	if f.cache == "" {
+		return nil, nil
+	}
+	return hp.NewCellCache(f.cache)
+}
+
+// reportCache prints this process's cache counters to stderr — the
+// warm-vs-cold summary of a -cache run.
+func reportCache(c *hp.CellCache, role string) {
+	if c == nil {
+		return
+	}
+	cc := c.Counters()
+	fmt.Fprintf(os.Stderr, "%s: cache: %d hits, %d misses, %d bypassed, %d writes\n",
+		role, cc.Hits, cc.Misses, cc.Bypassed, cc.Writes)
 }
 
 // runServe coordinates distributed sweeps: partition each grid into
@@ -411,6 +486,10 @@ func runServe(f sweepFlags, addr string, leaseCells int, ttl time.Duration, chec
 	if err != nil {
 		return err
 	}
+	cache, err := openCache(f)
+	if err != nil {
+		return err
+	}
 	opts := hp.DistributedOptions{
 		Addr:             addr,
 		Seed:             f.seed,
@@ -420,6 +499,7 @@ func runServe(f sweepFlags, addr string, leaseCells int, ttl time.Duration, chec
 		Resume:           resume,
 		MaxLeaseFailures: leaseRetries,
 		Chaos:            plan,
+		Cache:            cache,
 		Logf: func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, "coord: "+format+"\n", args...)
 		},
@@ -434,6 +514,7 @@ func runServe(f sweepFlags, addr string, leaseCells int, ttl time.Duration, chec
 		if err != nil {
 			return err
 		}
+		reportCache(cache, "coord")
 		return col.Write(os.Stdout, f.format)
 	}
 	if f.backend != "sim" {
@@ -460,6 +541,7 @@ func runServe(f sweepFlags, addr string, leaseCells int, ttl time.Duration, chec
 	if err != nil {
 		return err
 	}
+	reportCache(cache, "coord")
 	return werr
 }
 
@@ -490,6 +572,10 @@ func runStatus(addr string) error {
 			w.Worker, w.Sweep, w.CellsDone, w.CellsPerSec,
 			(time.Duration(w.LastSeenMS) * time.Millisecond).Round(100*time.Millisecond))
 	}
+	if st.Cache != nil {
+		fmt.Printf("cache: %d hits, %d misses, %d bypassed, %d writes\n",
+			st.Cache.Hits, st.Cache.Misses, st.Cache.Bypassed, st.Cache.Writes)
+	}
 	return nil
 }
 
@@ -512,11 +598,18 @@ func runWorker(f sweepFlags, addr string) error {
 	if err != nil {
 		return err
 	}
-	return hp.RunDistributedWorker(context.Background(), addr, b, hp.DistributedWorkerOptions{
+	cache, err := openCache(f)
+	if err != nil {
+		return err
+	}
+	werr := hp.RunDistributedWorker(context.Background(), addr, b, hp.DistributedWorkerOptions{
 		Parallel: f.parallel,
 		Chaos:    plan,
+		Cache:    cache,
 		Logf:     logf,
 	})
+	reportCache(cache, "worker")
+	return werr
 }
 
 // chaosPlan builds the process's fault plan from -chaos, logging every

@@ -429,7 +429,7 @@ type facadeTraceListener struct {
 }
 
 func (l *facadeTraceListener) TaskStateChanged(t *mapreduce.Task, from, to mapreduce.TaskState, at time.Duration) {
-	row := t.Job().Conf().Name
+	row := t.Job().Name()
 	if len(t.Job().MapTasks()) > 1 {
 		row = t.ID().String()
 	}

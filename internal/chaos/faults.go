@@ -37,6 +37,11 @@ func (b *faultyBackend) Fingerprint() string {
 	return ""
 }
 
+// CacheVolatile forwards the inner backend's volatility (see
+// sweep.Volatile): injected faults never change what a successful cell
+// reports, so wrapping must not change whether results are cacheable.
+func (b *faultyBackend) CacheVolatile() bool { return sweep.IsVolatile(b.inner) }
+
 func (b *faultyBackend) Cell(pt sweep.Point, rec *sweep.Recorder) error {
 	mode := b.plan.cellFault(pt.Index)
 	if mode != cellClean && b.plan.takeCellFailure(pt.Index) {

@@ -156,7 +156,7 @@ type ganttListener struct {
 }
 
 func (l *ganttListener) TaskStateChanged(t *mapreduce.Task, from, to mapreduce.TaskState, at time.Duration) {
-	row := t.Job().Conf().Name
+	row := t.Job().Name()
 	switch to {
 	case mapreduce.TaskRunning:
 		l.rec.Begin(row, trace.SpanRunning, at)

@@ -10,6 +10,7 @@ import (
 	"path/filepath"
 	"slices"
 
+	"hadooppreempt/internal/atomicio"
 	"hadooppreempt/internal/sweep"
 )
 
@@ -127,40 +128,15 @@ func (c *Coordinator) saveCheckpoint() {
 	c.logf("checkpoint saved to %s", filepath.Base(c.cfg.Checkpoint))
 }
 
-// WriteFileDurable atomically replaces path with data: write a temp
-// file, fsync it, rename it over path, then fsync the parent directory
-// so the rename itself is durable. Without the syncs a crash right
-// after the coordinator acked an upload could lose the checkpoint that
-// justified the ack — the rename would exist only in the page cache.
-// It is the default checkpoint writer (see Config.WriteCheckpoint) and
-// the inner writer a chaos wrapper should delegate to.
+// WriteFileDurable atomically replaces path with data (temp file +
+// fsync + rename + directory fsync; see atomicio.WriteFileDurable).
+// Without the syncs a crash right after the coordinator acked an upload
+// could lose the checkpoint that justified the ack — the rename would
+// exist only in the page cache. It is the default checkpoint writer
+// (see Config.WriteCheckpoint) and the inner writer a chaos wrapper
+// should delegate to.
 func WriteFileDurable(path string, data []byte) error {
-	tmp := path + ".tmp"
-	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
-	if err != nil {
-		return fmt.Errorf("write %s: %w", tmp, err)
-	}
-	if _, err := f.Write(data); err != nil {
-		f.Close()
-		return fmt.Errorf("write %s: %w", tmp, err)
-	}
-	if err := f.Sync(); err != nil {
-		f.Close()
-		return fmt.Errorf("sync %s: %w", tmp, err)
-	}
-	if err := f.Close(); err != nil {
-		return fmt.Errorf("close %s: %w", tmp, err)
-	}
-	if err := os.Rename(tmp, path); err != nil {
-		return fmt.Errorf("rename: %w", err)
-	}
-	if dir, err := os.Open(filepath.Dir(path)); err == nil {
-		// Directory fsync can fail on exotic filesystems; the rename is
-		// already visible, so degrade to pre-sync durability silently.
-		dir.Sync()
-		dir.Close()
-	}
-	return nil
+	return atomicio.WriteFileDurable(path, data)
 }
 
 // Restore loads a checkpoint written by a previous incarnation of this

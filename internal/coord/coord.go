@@ -159,10 +159,9 @@ type Fingerprinter interface {
 }
 
 // BackendFingerprint returns the backend's content fingerprint, or ""
-// when the backend does not implement Fingerprinter.
+// when the backend does not implement Fingerprinter. It delegates to
+// the sweep package's reflection of the same contract, so join checks
+// and cell-cache keys always agree on a backend's content identity.
 func BackendFingerprint(b sweep.Backend) string {
-	if f, ok := b.(Fingerprinter); ok {
-		return f.Fingerprint()
-	}
-	return ""
+	return sweep.BackendFingerprint(b)
 }

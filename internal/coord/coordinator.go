@@ -49,6 +49,12 @@ type Config struct {
 	// aggregate — after every accepted upload, so a killed coordinator
 	// can resume. Writes are atomic (temp file + rename).
 	Checkpoint string
+	// Cache, when set, is the persistent cell-result cache the
+	// coordinator consults before issuing leases: a lease whose every
+	// cell has a verified entry is absorbed directly (winner "cache")
+	// and never reaches a worker. Consultation happens at Serve time,
+	// after any Restore, so a resumed ledger is never double-absorbed.
+	Cache *sweep.Cache
 	// Resume makes Start restore state from Checkpoint instead of
 	// beginning the sweep from scratch: leases the previous incarnation
 	// accepted stay done, and the final output is byte-identical to an
@@ -156,6 +162,9 @@ type sweepState struct {
 	seed     uint64
 	collapse []string
 	cells    int
+	// grid is retained for cache replay: rebuilding a lease's cells
+	// from cache entries needs the cells' coordinate-derived seeds.
+	grid     sweep.Grid
 	skeleton *sweep.Collapsed
 	acc      *sweep.Accumulator
 	leases   []*lease
@@ -269,6 +278,7 @@ func (c *Coordinator) Enqueue(sw Sweep) (int, error) {
 		seed:     sw.Seed,
 		collapse: append([]string(nil), sw.Collapse...),
 		cells:    skel.Cells(),
+		grid:     sw.Grid,
 		skeleton: skel,
 		acc:      acc,
 		state:    sweepQueued,
@@ -290,6 +300,7 @@ func (c *Coordinator) Enqueue(sw Sweep) (int, error) {
 	s.stats.Leases = len(s.leases)
 	c.sweeps = append(c.sweeps, s)
 	if c.serving {
+		c.applyCache(s)
 		c.advance()
 	}
 	c.logf("sweep %d enqueued: %d cells as %d leases of <=%d",
@@ -351,9 +362,19 @@ func (c *Coordinator) Serve() error {
 	go c.srv.Serve(ln)
 	c.serving = true
 	c.lastReq = c.now()
+	// Consult the cell cache before the first lease can be issued —
+	// and after any Restore, which runs before Serve, so a lease the
+	// ledger already absorbed is skipped rather than absorbed twice.
+	// Handlers block on mu until Serve returns, so no worker can slip
+	// in between restore, cache replay and the first checkpoint.
+	for _, s := range c.sweeps {
+		c.applyCache(s)
+	}
 	c.advance()
 	// An immediate checkpoint makes -resume valid from any kill point,
-	// even one before the first accepted upload.
+	// even one before the first accepted upload. It also covers leases
+	// just retired from cache, so a resumed coordinator need not
+	// re-consult them.
 	c.saveCheckpoint()
 	c.logf("serving %d sweep(s) on %s", len(c.sweeps), ln.Addr())
 	if c.cfg.OnListen != nil {
@@ -539,6 +560,65 @@ func (c *Coordinator) completeSweep(s *sweepState) {
 	c.advance()
 	c.saveCheckpoint()
 	c.logf("sweep %d %s", s.index, s.state)
+}
+
+// applyCache retires every lease of the sweep whose cells all have
+// verified cell-cache entries: the replayed result is validated and
+// absorbed exactly like a worker upload, with "cache" as the winner.
+// Replay is all-or-nothing per lease — a single missing or corrupt
+// entry leaves the whole lease for workers — and any validation or
+// absorb anomaly demotes the replay to a miss rather than failing the
+// sweep: the cache is an accelerator, never a correctness dependency.
+// Callers hold mu.
+func (c *Coordinator) applyCache(s *sweepState) {
+	if c.cfg.Cache == nil || s.terminal() || s.remaining == 0 {
+		return
+	}
+	sc := c.cfg.Cache.Sweep(s.backend, s.backFP, s.grid, s.seed)
+	if sc == nil {
+		return
+	}
+	retired := 0
+	for _, l := range s.leases {
+		if l.done {
+			continue
+		}
+		col, ok := sc.Replay(s.grid, l.cells, s.collapse...)
+		if !ok {
+			continue
+		}
+		if err := validateLeaseResult(s, l, col); err != nil {
+			c.logf("sweep %d lease %d cached result rejected: %v", s.index, l.id, err)
+			continue
+		}
+		if err := s.acc.Absorb(col); err != nil {
+			c.logf("sweep %d lease %d cached result rejected: %v", s.index, l.id, err)
+			continue
+		}
+		l.done = true
+		l.winner = "cache"
+		l.issues = nil
+		l.queued = false
+		s.remaining--
+		s.cellsDone += len(l.cells)
+		retired++
+	}
+	if retired == 0 {
+		return
+	}
+	pending := s.pending[:0]
+	for _, id := range s.pending {
+		if !s.leases[id].done {
+			pending = append(pending, id)
+		}
+	}
+	s.pending = pending
+	c.logf("sweep %d: %d/%d leases retired from cache (%d/%d cells)",
+		s.index, len(s.leases)-s.remaining, len(s.leases), s.cellsDone, s.cells)
+	if s.remaining == 0 {
+		c.completeSweep(s)
+		s.finish.Do(func() { close(s.done) })
+	}
 }
 
 // touch registers (or refreshes) a worker seen on the wire. Callers
@@ -758,14 +838,18 @@ func (c *Coordinator) handleResult(w http.ResponseWriter, r *http.Request) {
 		if l.done || s.terminal() {
 			// Another worker already completed this lease (steal or
 			// reissue); a straggler's error for it is as irrelevant as
-			// a straggler's duplicate result.
+			// a straggler's duplicate result. Unless the sweep itself
+			// has failed, the straggler should keep serving — its next
+			// lease request will learn the sweep's real status — so a
+			// benign discard must not read as a fatal verdict.
 			c.logf("sweep %d lease %d late error from %s discarded", s.index, l.id, req.Worker)
 			done := s.remaining == 0
 			if done || s.terminal() {
 				c.told(wi)
 			}
+			retry := s.failed == nil
 			c.mu.Unlock()
-			respond(w, resultResponse{Accepted: false, Done: done})
+			respond(w, resultResponse{Accepted: false, Done: done, Retry: retry})
 			return
 		}
 		if req.Attempt != "" {

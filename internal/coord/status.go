@@ -6,6 +6,8 @@ import (
 	"net/http"
 	"sort"
 	"time"
+
+	"hadooppreempt/internal/sweep"
 )
 
 // Status is the GET /v1/status payload: queue-wide progress of a
@@ -13,6 +15,10 @@ import (
 type Status struct {
 	Sweeps  []StatusSweep  `json:"sweeps"`
 	Workers []StatusWorker `json:"workers,omitempty"`
+	// Cache reports the coordinator-side cell-cache counters when a
+	// cache is configured (workers keep their own counters; they are
+	// not aggregated here).
+	Cache *sweep.CacheCounters `json:"cache,omitempty"`
 }
 
 // StatusSweep is one queue entry's progress.
@@ -115,6 +121,10 @@ func (c *Coordinator) statusLocked() Status {
 		st.Workers = append(st.Workers, sw)
 	}
 	sort.Slice(st.Workers, func(i, j int) bool { return st.Workers[i].Worker < st.Workers[j].Worker })
+	if c.cfg.Cache != nil {
+		cc := c.cfg.Cache.Counters()
+		st.Cache = &cc
+	}
 	return st
 }
 

@@ -24,6 +24,12 @@ type WorkerConfig struct {
 	Backend sweep.Backend
 	// Parallel bounds the worker's in-process pool per lease.
 	Parallel int
+	// Cache, when set, memoizes leased cell results persistently: a
+	// verified entry answers the cell without executing it, misses are
+	// stored. Keys include the backend identity the worker proves at
+	// join time, so a warm worker produces byte-identical uploads.
+	// Volatile backends (see sweep.Volatile) bypass it.
+	Cache *sweep.Cache
 	// JoinWindow bounds how long the worker retries the initial join
 	// while the coordinator is still coming up (default 10s).
 	JoinWindow time.Duration
@@ -127,6 +133,19 @@ func RunWorker(ctx context.Context, cfg WorkerConfig) error {
 	// workers never back off in lockstep yet a re-run of the same
 	// schedule replays the same waits.
 	w.jitter = sim.NewRNG(id.Seed).Stream("backoff/" + id.Worker)
+	// Bind the cell cache to the identity just proven at join — the
+	// same fingerprints the coordinator verified, so a cached entry can
+	// only ever answer the exact sweep it was recorded under. The seed
+	// comes from the coordinator, so the binding waits until here.
+	var sc *sweep.SweepCache
+	if cfg.Cache != nil {
+		if sweep.IsVolatile(cfg.Backend) {
+			sc = cfg.Cache.BypassSweep()
+		} else {
+			sc = cfg.Cache.Sweep(join.Backend, join.BackendFP, g, id.Seed)
+		}
+	}
+	runCell := sc.WrapCell(cfg.Backend.Cell)
 	attempts := 0
 	for {
 		var lr leaseResponse
@@ -153,7 +172,7 @@ func RunWorker(ctx context.Context, cfg WorkerConfig) error {
 				Worker: id.Worker, Sweep: id.Sweep, Lease: lr.Lease,
 				Attempt: fmt.Sprintf("%s/%d/%d", id.Worker, lr.Lease, attempts),
 			}
-			col, err := sweep.RunCells(g, cfg.Backend.Cell, id.Seed, cfg.Parallel, lr.Cells, id.Collapse...)
+			col, err := sweep.RunCells(g, runCell, id.Seed, cfg.Parallel, lr.Cells, id.Collapse...)
 			if err != nil {
 				res.Error = err.Error()
 				var rr resultResponse

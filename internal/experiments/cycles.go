@@ -76,6 +76,7 @@ func RunCycles(p CycleParams) (*CycleResult, error) {
 	eng := cluster.Engine()
 	jt := cluster.JobTracker()
 	dummy := scheduler.NewDummy(jt)
+	defer dummy.Release()
 	jt.SetScheduler(dummy)
 	deviceFor := func(tracker string) *disk.Device {
 		for _, n := range cluster.Nodes() {

@@ -48,6 +48,7 @@ func RunEvictionComparison(policyName string, seed uint64) (*EvictionResult, err
 	eng := cluster.Engine()
 	jt := cluster.JobTracker()
 	dummy := scheduler.NewDummy(jt)
+	defer dummy.Release()
 	jt.SetScheduler(dummy)
 	deviceFor := func(tracker string) *disk.Device {
 		for _, n := range cluster.Nodes() {

@@ -100,16 +100,15 @@ func RunTwoJob(p TwoJobParams) (*TwoJobResult, error) {
 	eng := cluster.Engine()
 	jt := cluster.JobTracker()
 	dummy := scheduler.NewDummy(jt)
+	defer dummy.Release()
 	jt.SetScheduler(dummy)
 
-	deviceFor := func(tracker string) *disk.Device {
-		for _, n := range cluster.Nodes() {
-			if n.Tracker.Name() == tracker {
-				return n.Device
-			}
-		}
-		return nil
+	devices := make(map[string]*disk.Device, cluster.NumNodes())
+	for i := 0; i < cluster.NumNodes(); i++ {
+		n := cluster.Node(i)
+		devices[n.Tracker.Name()] = n.Device
 	}
+	deviceFor := func(tracker string) *disk.Device { return devices[tracker] }
 	preemptor, err := core.NewPreemptor(eng, jt, p.Primitive, deviceFor, core.CheckpointConfig{})
 	if err != nil {
 		return nil, err
@@ -144,7 +143,7 @@ func RunTwoJob(p TwoJobParams) (*TwoJobResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	tlTask := tlJob.MapTasks()[0].ID()
+	tlTask := tlJob.TaskAt(0).ID() // maps come first
 
 	var thJob *mapreduce.Job
 	var thSubmitted time.Duration
@@ -185,7 +184,7 @@ func RunTwoJob(p TwoJobParams) (*TwoJobResult, error) {
 	rec.CloseAll(eng.Now())
 
 	tl, _ := jt.Task(tlTask)
-	thTask := thJob.MapTasks()[0]
+	thTask := thJob.TaskAt(0)
 	res := &TwoJobResult{
 		SojournTH:     thJob.CompletedAt() - thJob.SubmittedAt(),
 		THSubmittedAt: thSubmitted,
@@ -214,7 +213,7 @@ type traceListener struct {
 }
 
 func (l *traceListener) TaskStateChanged(t *mapreduce.Task, from, to mapreduce.TaskState, at time.Duration) {
-	row := t.Job().Conf().Name
+	row := t.Job().Name()
 	switch to {
 	case mapreduce.TaskRunning:
 		l.rec.Begin(row, trace.SpanRunning, at)

@@ -11,7 +11,9 @@ package hdfs
 
 import (
 	"fmt"
+	"slices"
 	"sort"
+	"sync"
 	"time"
 
 	"hadooppreempt/internal/disk"
@@ -113,6 +115,22 @@ type FileSystem struct {
 	files     map[string][]BlockID
 	blocks    map[BlockID]*blockMeta
 	nextBlock BlockID
+	// lastBlock/lastMeta memoise the most recent lookup: a mapper streams
+	// one block in many chunked reads, so consecutive Read calls hit the
+	// same entry and skip the map.
+	lastBlock BlockID
+	lastMeta  *blockMeta
+	// lastServe/lastRead memoise the node records of the most recent Read:
+	// chunked streaming hits the same server and reader every call, so the
+	// string-keyed node lookups collapse to an ID comparison. Nodes are
+	// never removed individually, so release is the only invalidation
+	// point.
+	lastServeID NodeID
+	lastServeDN *DataNode
+	lastReadID  NodeID
+	lastReadDN  *DataNode
+	// candScratch is reused across placeReplicas calls.
+	candScratch []NodeID
 }
 
 type blockMeta struct {
@@ -131,15 +149,42 @@ func New(eng *sim.Engine, rng *sim.RNG, cfg Config) (*FileSystem, error) {
 	if cfg.RackLocalBandwidth <= 0 || cfg.OffRackBandwidth <= 0 {
 		return nil, fmt.Errorf("hdfs: bandwidths must be positive")
 	}
-	return &FileSystem{
-		eng:       eng,
-		cfg:       cfg,
-		rng:       rng,
-		nodes:     make(map[NodeID]*DataNode),
-		files:     make(map[string][]BlockID),
-		blocks:    make(map[BlockID]*blockMeta),
-		nextBlock: 1,
-	}, nil
+	fs := fsPool.Get().(*FileSystem)
+	fs.eng, fs.cfg, fs.rng = eng, cfg, rng
+	fs.nextBlock = 1
+	if fs.nodes == nil {
+		fs.nodes = make(map[NodeID]*DataNode)
+		fs.files = make(map[string][]BlockID)
+		fs.blocks = make(map[BlockID]*blockMeta)
+	}
+	return fs, nil
+}
+
+// fsPool and dataNodePool recycle shells released with Release, keeping
+// their map storage warm across the cluster rebuilds of a sweep cell.
+var (
+	fsPool       = sync.Pool{New: func() any { return &FileSystem{} }}
+	dataNodePool = sync.Pool{New: func() any { return &DataNode{} }}
+)
+
+// Release returns the filesystem's internal storage (and its DataNodes') to
+// a shared arena for reuse by a future New. The filesystem must not be used
+// afterwards.
+func (fs *FileSystem) Release() {
+	for _, dn := range fs.nodes {
+		dn.device, dn.mem = nil, nil
+		clear(dn.blocks)
+		dataNodePool.Put(dn)
+	}
+	clear(fs.nodes)
+	clear(fs.files)
+	clear(fs.blocks)
+	fs.nodeOrder = fs.nodeOrder[:0]
+	fs.lastBlock, fs.lastMeta = 0, nil
+	fs.lastServeID, fs.lastServeDN = "", nil
+	fs.lastReadID, fs.lastReadDN = "", nil
+	fs.eng, fs.rng = nil, nil
+	fsPool.Put(fs)
 }
 
 // Config returns the filesystem parameters.
@@ -151,7 +196,11 @@ func (fs *FileSystem) AddDataNode(id NodeID, rack string, device *disk.Device, m
 	if _, ok := fs.nodes[id]; ok {
 		return nil, fmt.Errorf("hdfs: datanode %q already registered", id)
 	}
-	dn := &DataNode{id: id, rack: rack, device: device, mem: mem, blocks: make(map[BlockID]int64)}
+	dn := dataNodePool.Get().(*DataNode)
+	dn.id, dn.rack, dn.device, dn.mem = id, rack, device, mem
+	if dn.blocks == nil {
+		dn.blocks = make(map[BlockID]int64)
+	}
 	fs.nodes[id] = dn
 	fs.nodeOrder = append(fs.nodeOrder, id)
 	sort.Slice(fs.nodeOrder, func(i, j int) bool { return fs.nodeOrder[i] < fs.nodeOrder[j] })
@@ -205,29 +254,28 @@ func (fs *FileSystem) placeReplicas(writerHint NodeID) []NodeID {
 	if want > len(fs.nodeOrder) {
 		want = len(fs.nodeOrder)
 	}
+	// chosen escapes into the block metadata, so it is freshly allocated;
+	// it doubles as the "already used" set (membership is a short scan).
 	chosen := make([]NodeID, 0, want)
-	used := make(map[NodeID]bool)
 	pick := func(pred func(*DataNode) bool) bool {
 		// Collect candidates deterministically, then pick one at random.
-		var cands []NodeID
+		cands := fs.candScratch[:0]
 		for _, id := range fs.nodeOrder {
-			if !used[id] && (pred == nil || pred(fs.nodes[id])) {
+			if !slices.Contains(chosen, id) && (pred == nil || pred(fs.nodes[id])) {
 				cands = append(cands, id)
 			}
 		}
+		fs.candScratch = cands
 		if len(cands) == 0 {
 			return false
 		}
-		id := cands[fs.rng.Intn(len(cands))]
-		chosen = append(chosen, id)
-		used[id] = true
+		chosen = append(chosen, cands[fs.rng.Intn(len(cands))])
 		return true
 	}
 	// First replica: the writer if known, else random.
 	if writerHint != "" {
-		if _, ok := fs.nodes[writerHint]; ok && !used[writerHint] {
+		if _, ok := fs.nodes[writerHint]; ok {
 			chosen = append(chosen, writerHint)
-			used[writerHint] = true
 		}
 	}
 	if len(chosen) == 0 {
@@ -273,6 +321,25 @@ func (fs *FileSystem) Blocks(path string) ([]BlockLocation, error) {
 	return locs, nil
 }
 
+// BlocksInto appends the block locations of a file to dst and returns the
+// extended slice. Unlike Blocks, the Replicas slices alias the filesystem's
+// internal replica lists and must be treated as read-only.
+func (fs *FileSystem) BlocksInto(path string, dst []BlockLocation) ([]BlockLocation, error) {
+	ids, ok := fs.files[path]
+	if !ok {
+		return nil, fmt.Errorf("hdfs: no such file %q", path)
+	}
+	for _, id := range ids {
+		meta := fs.blocks[id]
+		dst = append(dst, BlockLocation{
+			Block:    id,
+			Size:     meta.size,
+			Replicas: meta.replicas,
+		})
+	}
+	return dst, nil
+}
+
 // Locality reports the best locality level a reader on the given node can
 // achieve for the block.
 func (fs *FileSystem) Locality(reader NodeID, block BlockID) (Locality, error) {
@@ -302,15 +369,24 @@ func (fs *FileSystem) Locality(reader NodeID, block BlockID) (Locality, error) {
 // occupied for the transfer; non-local reads are additionally bounded by
 // network bandwidth. The reading node's page cache absorbs the data.
 func (fs *FileSystem) Read(reader NodeID, block BlockID, offset, length int64, stream disk.StreamID) (time.Duration, Locality, error) {
-	meta, ok := fs.blocks[block]
-	if !ok {
-		return 0, 0, fmt.Errorf("hdfs: no such block %d", block)
+	meta := fs.lastMeta
+	if block != fs.lastBlock || meta == nil {
+		var ok bool
+		meta, ok = fs.blocks[block]
+		if !ok {
+			return 0, 0, fmt.Errorf("hdfs: no such block %d", block)
+		}
+		fs.lastBlock, fs.lastMeta = block, meta
 	}
 	if offset < 0 || length < 0 || offset+length > meta.size {
 		return 0, 0, fmt.Errorf("hdfs: read [%d,%d) outside block of %d bytes", offset, offset+length, meta.size)
 	}
 	server, loc := fs.chooseReplica(reader, meta)
-	dn := fs.nodes[server]
+	dn := fs.lastServeDN
+	if server != fs.lastServeID || dn == nil {
+		dn = fs.nodes[server]
+		fs.lastServeID, fs.lastServeDN = server, dn
+	}
 	done := dn.device.Submit(disk.Read, length, stream)
 	// Non-local reads stream over the network; the slower of disk and
 	// network dominates, so extend the completion time if the network is
@@ -333,7 +409,11 @@ func (fs *FileSystem) Read(reader NodeID, block BlockID, offset, length int64, s
 	// reuse the server's record instead of a second map lookup.
 	rdn := dn
 	if server != reader {
-		rdn = fs.nodes[reader]
+		rdn = fs.lastReadDN
+		if reader != fs.lastReadID || rdn == nil {
+			rdn = fs.nodes[reader]
+			fs.lastReadID, fs.lastReadDN = reader, rdn
+		}
 	}
 	if rdn != nil && rdn.mem != nil {
 		rdn.mem.CacheFill(length)
@@ -383,6 +463,9 @@ func (fs *FileSystem) Delete(path string) error {
 			delete(fs.nodes[nid].blocks, id)
 		}
 		delete(fs.blocks, id)
+		if id == fs.lastBlock {
+			fs.lastBlock, fs.lastMeta = 0, nil
+		}
 	}
 	delete(fs.files, path)
 	return nil

@@ -139,8 +139,12 @@ func (c *Cluster) FileSystem() *hdfs.FileSystem { return c.fs }
 // JobTracker returns the JobTracker.
 func (c *Cluster) JobTracker() *JobTracker { return c.jt }
 
-// Nodes returns the worker nodes.
+// Nodes returns a copy of the worker node list. Hot-path callers should
+// use NumNodes and Node instead, which do not allocate.
 func (c *Cluster) Nodes() []*Node { return append([]*Node(nil), c.nodes...) }
+
+// NumNodes returns the worker count.
+func (c *Cluster) NumNodes() int { return len(c.nodes) }
 
 // Node returns a worker by index.
 func (c *Cluster) Node(i int) *Node { return c.nodes[i] }
@@ -185,14 +189,25 @@ func (c *Cluster) RunUntilPlannedJobsDone(planned int, deadline time.Duration) b
 	return done()
 }
 
-// Close releases per-node resources back to their arenas (today: the
-// memory managers' extent tables and stacks). Call it once a run's results
-// have been extracted; the cluster, its kernels and its memory managers
-// must not be used afterwards. Sweep cells call it between repetitions so
-// a worker reuses one set of buffers instead of reallocating per cell.
+// Close releases the cluster's resources back to their arenas: the memory
+// managers' extent tables and stacks, the trackers' and kernels' tables,
+// the filesystem's block maps and the engine's event storage. Call it once
+// a run's results have been extracted; the cluster and everything reached
+// through it must not be used afterwards. Sweep cells call it between
+// repetitions so a worker reuses one set of buffers instead of
+// reallocating per cell.
 func (c *Cluster) Close() {
+	if c.eng == nil {
+		return // already closed
+	}
 	for _, n := range c.nodes {
+		n.Tracker.release()
+		n.Kernel.Release()
 		n.Memory.Release()
 	}
+	c.jt.release()
+	c.fs.Release()
+	c.eng.Release()
 	c.nodes = nil
+	c.jt, c.fs, c.eng, c.rng = nil, nil, nil, nil
 }

@@ -3,6 +3,7 @@ package mapreduce
 import (
 	"fmt"
 	"slices"
+	"sync"
 	"time"
 
 	"hadooppreempt/internal/hdfs"
@@ -27,6 +28,13 @@ func (j *Job) ID() JobID { return j.id }
 // Conf returns the job configuration.
 func (j *Job) Conf() JobConf { return j.conf }
 
+// Name returns the job's configured name without copying the whole conf;
+// schedulers match triggers against it on every progress event.
+func (j *Job) Name() string { return j.conf.Name }
+
+// Priority returns the job's configured priority.
+func (j *Job) Priority() int { return j.conf.Priority }
+
 // State returns the job state.
 func (j *Job) State() JobState { return j.state }
 
@@ -38,6 +46,13 @@ func (j *Job) CompletedAt() time.Duration { return j.completedAt }
 
 // Tasks returns the job's tasks (maps first, then reduces).
 func (j *Job) Tasks() []*Task { return append([]*Task(nil), j.tasks...) }
+
+// NumTasks returns the task count without copying the task slice.
+func (j *Job) NumTasks() int { return len(j.tasks) }
+
+// TaskAt returns the i-th task (maps first, then reduces) without
+// copying; schedulers use it on the assignment hot path.
+func (j *Job) TaskAt(i int) *Task { return j.tasks[i] }
 
 // MapTasks returns only the map tasks.
 func (j *Job) MapTasks() []*Task {
@@ -149,12 +164,24 @@ type JobTracker struct {
 
 	jobs     map[JobID]*Job
 	jobOrder []JobID
+	// jobList mirrors jobOrder with resolved pointers so per-heartbeat
+	// walks skip the map lookups.
+	jobList  []*Job
 	tasks    map[TaskID]*Task
 	trackers map[string]*TaskTracker
 	nextJob  int
 	// liveJobs counts submitted jobs not yet terminal, so the per-event
 	// termination check is a comparison instead of a map walk.
 	liveJobs int
+
+	// Scratch buffers reused across heartbeats; their contents are only
+	// valid until the next Heartbeat call.
+	onScratch     []*Task
+	suspScratch   []TaskID
+	actionScratch []Action
+	// blockScratch backs the block-location lookup in Submit; tasks copy
+	// the locations by value, so the slice is reusable per submission.
+	blockScratch []hdfs.BlockLocation
 }
 
 // NewJobTracker creates a JobTracker. The scheduler may be set later with
@@ -163,14 +190,41 @@ func NewJobTracker(eng *sim.Engine, cfg EngineConfig, fs *hdfs.FileSystem) (*Job
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	return &JobTracker{
-		eng:      eng,
-		cfg:      &cfg,
-		fs:       fs,
-		jobs:     make(map[JobID]*Job),
-		tasks:    make(map[TaskID]*Task),
-		trackers: make(map[string]*TaskTracker),
-	}, nil
+	jt := jtPool.Get().(*JobTracker)
+	jt.eng, jt.cfg, jt.fs = eng, &cfg, fs
+	if jt.jobs == nil {
+		jt.jobs = make(map[JobID]*Job)
+		jt.tasks = make(map[TaskID]*Task)
+		jt.trackers = make(map[string]*TaskTracker)
+	}
+	return jt, nil
+}
+
+// jtPool recycles JobTracker shells released with release, keeping the job
+// and task tables and the heartbeat scratch buffers warm across the cluster
+// rebuilds of a sweep cell.
+var jtPool = sync.Pool{New: func() any { return &JobTracker{} }}
+
+// release returns the tracker's internal storage to a shared arena for
+// reuse by a future NewJobTracker. Called by Cluster.Close.
+func (jt *JobTracker) release() {
+	clear(jt.jobs)
+	clear(jt.tasks)
+	clear(jt.trackers)
+	clear(jt.jobOrder)
+	jt.jobOrder = jt.jobOrder[:0]
+	clear(jt.jobList)
+	jt.jobList = jt.jobList[:0]
+	jt.listeners = nil
+	jt.scheduler = nil
+	jt.eng, jt.cfg, jt.fs = nil, nil, nil
+	jt.nextJob, jt.liveJobs = 0, 0
+	clear(jt.onScratch)
+	clear(jt.suspScratch)
+	clear(jt.actionScratch)
+	clear(jt.blockScratch)
+	jt.blockScratch = jt.blockScratch[:0]
+	jtPool.Put(jt)
 }
 
 // SetScheduler installs the job/task scheduler.
@@ -200,12 +254,18 @@ func (jt *JobTracker) Submit(conf JobConf) (*Job, error) {
 	if err := conf.Validate(); err != nil {
 		return nil, err
 	}
-	blocks, err := jt.fs.Blocks(conf.InputPath)
+	blocks, err := jt.fs.BlocksInto(conf.InputPath, jt.blockScratch[:0])
 	if err != nil {
 		return nil, fmt.Errorf("mapreduce: submit %s: %w", conf.Name, err)
 	}
+	jt.blockScratch = blocks
 	jt.nextJob++
-	id := JobID(fmt.Sprintf("job_%s_%04d", conf.Name, jt.nextJob))
+	buf := make([]byte, 0, len("job_")+len(conf.Name)+8)
+	buf = append(buf, "job_"...)
+	buf = append(buf, conf.Name...)
+	buf = append(buf, '_')
+	buf = appendPadded(buf, jt.nextJob, 4)
+	id := JobID(buf)
 	job := &Job{
 		id:          id,
 		conf:        conf,
@@ -233,6 +293,7 @@ func (jt *JobTracker) Submit(conf JobConf) (*Job, error) {
 	}
 	jt.jobs[id] = job
 	jt.jobOrder = append(jt.jobOrder, id)
+	jt.jobList = append(jt.jobList, job)
 	jt.liveJobs++
 	if jt.scheduler != nil {
 		jt.scheduler.JobSubmitted(job)
@@ -248,11 +309,7 @@ func (jt *JobTracker) Job(id JobID) (*Job, bool) {
 
 // Jobs returns all jobs in submission order.
 func (jt *JobTracker) Jobs() []*Job {
-	out := make([]*Job, 0, len(jt.jobOrder))
-	for _, id := range jt.jobOrder {
-		out = append(out, jt.jobs[id])
-	}
-	return out
+	return append([]*Job(nil), jt.jobList...)
 }
 
 // Task returns a task record.
@@ -264,15 +321,20 @@ func (jt *JobTracker) Task(id TaskID) (*Task, bool) {
 // PendingTasks returns tasks awaiting a slot, in (job submission, index)
 // order.
 func (jt *JobTracker) PendingTasks() []*Task {
-	var out []*Task
-	for _, jid := range jt.jobOrder {
-		for _, t := range jt.jobs[jid].tasks {
+	return jt.PendingTasksInto(nil)
+}
+
+// PendingTasksInto appends the pending tasks to dst and returns it,
+// letting schedulers reuse one buffer across assignment rounds.
+func (jt *JobTracker) PendingTasksInto(dst []*Task) []*Task {
+	for _, j := range jt.jobList {
+		for _, t := range j.tasks {
 			if t.state == TaskPending {
-				out = append(out, t)
+				dst = append(dst, t)
 			}
 		}
 	}
-	return out
+	return dst
 }
 
 // setTaskState transitions a task and notifies listeners.
@@ -412,8 +474,14 @@ func (jt *JobTracker) Heartbeat(status HeartbeatStatus) []Action {
 
 	// 2. Progress and suspension acknowledgements.
 	for _, rep := range status.Attempts {
-		t, ok := jt.tasks[rep.Attempt.Task]
-		if !ok || t.attempt != rep.Attempt {
+		t := rep.task
+		if t == nil {
+			var ok bool
+			if t, ok = jt.tasks[rep.Attempt.Task]; !ok {
+				continue
+			}
+		}
+		if t.attempt != rep.Attempt {
 			continue // stale report of a superseded attempt
 		}
 		if rep.Progress > t.progress {
@@ -432,26 +500,29 @@ func (jt *JobTracker) Heartbeat(status HeartbeatStatus) []Action {
 		}
 	}
 
-	// 3. Pending commands for this tracker.
-	var actions []Action
+	// 3. Pending commands for this tracker. tasksOn is computed once per
+	// heartbeat; step 4 re-filters it by current state rather than walking
+	// the jobs again.
+	on := jt.tasksOn(status.TaskTracker)
+	actions := jt.actionScratch[:0]
 	resumes := 0
-	for _, t := range jt.tasksOn(status.TaskTracker) {
+	for _, t := range on {
 		switch t.state {
 		case TaskMustSuspend:
 			if !t.signalled {
 				t.signalled = true
-				actions = append(actions, SuspendAction{Attempt: t.attempt})
+				actions = append(actions, Action{Kind: ActionSuspend, Attempt: t.attempt})
 			}
 		case TaskMustResume:
 			if !t.signalled {
 				t.signalled = true
 				resumes++
-				actions = append(actions, ResumeAction{Attempt: t.attempt})
+				actions = append(actions, Action{Kind: ActionResume, Attempt: t.attempt})
 			}
 		case TaskKilled:
 			if !t.signalled {
 				t.signalled = true
-				actions = append(actions, KillAction{Attempt: t.attempt, Cleanup: true})
+				actions = append(actions, Action{Kind: ActionKill, Attempt: t.attempt, Cleanup: true})
 				if t.killRequeue {
 					// Rescheduled from scratch after the preempting task:
 					// back to the pending queue with progress lost.
@@ -474,7 +545,16 @@ func (jt *JobTracker) Heartbeat(status HeartbeatStatus) []Action {
 	}
 	if tt != nil {
 		info.Node = string(tt.node)
-		info.SuspendedTasks = jt.suspendedOn(status.TaskTracker)
+		// Requeues in step 3 moved tasks to TaskPending, which the state
+		// filter below excludes — same result as recomputing tasksOn.
+		susp := jt.suspScratch[:0]
+		for _, t := range on {
+			if t.state == TaskSuspended || t.state == TaskMustResume {
+				susp = append(susp, t.id)
+			}
+		}
+		jt.suspScratch = susp
+		info.SuspendedTasks = susp
 	}
 	for _, a := range jt.scheduler.Assign(info) {
 		t, ok := jt.tasks[a.Task]
@@ -492,27 +572,32 @@ func (jt *JobTracker) Heartbeat(status HeartbeatStatus) []Action {
 		if t.attempts == 1 {
 			t.firstLaunchAt = now
 		}
-		actions = append(actions, LaunchAction{Attempt: t.attempt})
+		actions = append(actions, Action{Kind: ActionLaunch, Attempt: t.attempt})
 		jt.setTaskState(t, TaskRunning)
 		if t.job.state == JobPending {
 			jt.setJobState(t.job, JobRunning)
 		}
 	}
+	jt.actionScratch = actions
 	return actions
 }
 
 // tasksOn returns live tasks whose current attempt is on the tracker, in
-// deterministic order.
+// deterministic order. The returned slice is scratch, valid until the
+// next call.
 func (jt *JobTracker) tasksOn(tracker string) []*Task {
-	var out []*Task
-	for _, jid := range jt.jobOrder {
-		for _, t := range jt.jobs[jid].tasks {
+	out := jt.onScratch[:0]
+	for _, j := range jt.jobList {
+		for _, t := range j.tasks {
 			if t.tracker == tracker && (t.state.Live() || t.state == TaskKilled) {
 				out = append(out, t)
 			}
 		}
 	}
-	slices.SortFunc(out, func(a, b *Task) int { return compareTaskIDs(a.id, b.id) })
+	if len(out) > 1 {
+		slices.SortFunc(out, func(a, b *Task) int { return compareTaskIDs(a.id, b.id) })
+	}
+	jt.onScratch = out
 	return out
 }
 
@@ -522,14 +607,20 @@ func (jt *JobTracker) allJobsTerminal() bool {
 	return jt.liveJobs == 0
 }
 
-// suspendedOn lists tasks suspended on the tracker.
-func (jt *JobTracker) suspendedOn(tracker string) []TaskID {
+// SuspendedOn lists tasks suspended on the tracker (resume locality).
+func (jt *JobTracker) SuspendedOn(tracker string) []TaskID {
 	var out []TaskID
-	for _, t := range jt.tasksOn(tracker) {
-		if t.state == TaskSuspended || t.state == TaskMustResume {
-			out = append(out, t.id)
+	for _, j := range jt.jobList {
+		for _, t := range j.tasks {
+			if t.tracker != tracker {
+				continue
+			}
+			if t.state == TaskSuspended || t.state == TaskMustResume {
+				out = append(out, t.id)
+			}
 		}
 	}
+	slices.SortFunc(out, compareTaskIDs)
 	return out
 }
 

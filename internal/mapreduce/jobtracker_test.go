@@ -75,9 +75,9 @@ func TestProtocolLaunchViaHeartbeat(t *testing.T) {
 	if len(actions) != 1 {
 		t.Fatalf("actions = %v, want one launch", actions)
 	}
-	la, ok := actions[0].(LaunchAction)
-	if !ok {
-		t.Fatalf("action = %T, want LaunchAction", actions[0])
+	la := actions[0]
+	if la.Kind != ActionLaunch {
+		t.Fatalf("action = %v, want a launch", la)
 	}
 	if la.Attempt.Attempt != 1 {
 		t.Fatalf("attempt number = %d, want 1", la.Attempt.Attempt)
@@ -112,8 +112,8 @@ func TestProtocolSuspendPiggybackedOnce(t *testing.T) {
 	if len(actions) != 1 {
 		t.Fatalf("actions = %v, want one suspend", actions)
 	}
-	if _, ok := actions[0].(SuspendAction); !ok {
-		t.Fatalf("action = %T, want SuspendAction", actions[0])
+	if actions[0].Kind != ActionSuspend {
+		t.Fatalf("action = %v, want a suspend", actions[0])
 	}
 	// Second heartbeat (not yet acknowledging) must NOT repeat it.
 	actions = h.hb(HeartbeatStatus{
@@ -196,10 +196,10 @@ func TestProtocolResumeConsumesSlotBudget(t *testing.T) {
 	})
 	resumes, launches := 0, 0
 	for _, a := range actions {
-		switch a.(type) {
-		case ResumeAction:
+		switch a.Kind {
+		case ActionResume:
 			resumes++
-		case LaunchAction:
+		case ActionLaunch:
 			launches++
 		}
 	}
@@ -243,7 +243,7 @@ func TestProtocolKillSuspendedTask(t *testing.T) {
 	actions := h.hb(HeartbeatStatus{})
 	foundKill := false
 	for _, a := range actions {
-		if _, ok := a.(KillAction); ok {
+		if a.Kind == ActionKill {
 			foundKill = true
 		}
 	}
@@ -267,12 +267,10 @@ func TestJobProgressAggregates(t *testing.T) {
 
 func TestActionStrings(t *testing.T) {
 	aid := AttemptID{Task: TaskID{Job: "j", Type: MapTask, Index: 0}, Attempt: 1}
-	for _, a := range []Action{
-		LaunchAction{Attempt: aid}, SuspendAction{Attempt: aid},
-		ResumeAction{Attempt: aid}, KillAction{Attempt: aid},
-	} {
+	for _, k := range []ActionKind{ActionLaunch, ActionSuspend, ActionResume, ActionKill} {
+		a := Action{Kind: k, Attempt: aid}
 		if a.String() == "" {
-			t.Fatalf("%T has empty String()", a)
+			t.Fatalf("kind %d has empty String()", k)
 		}
 	}
 }

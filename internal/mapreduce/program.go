@@ -59,6 +59,12 @@ type mapProgram struct {
 	// allocation per chunk on the hottest loop of the simulation.
 	memOp ossim.MemOp
 	ioOp  ossim.IOOp
+
+	// chunkParse/chunkTouch cache the compute cost of one full ChunkBytes
+	// chunk at the job's parse rate and the engine's memory-touch rate;
+	// only the final partial chunk of a stage recomputes the division.
+	chunkParse time.Duration
+	chunkTouch time.Duration
 }
 
 // Program stages.
@@ -73,10 +79,21 @@ const (
 
 func newMapProgram(eng *sim.Engine, cfg *EngineConfig, conf *JobConf, fs *hdfs.FileSystem,
 	node hdfs.NodeID, dev *disk.Device, block hdfs.BlockLocation, rt *taskRuntime, stream disk.StreamID) *mapProgram {
+	mp := &mapProgram{}
+	initMapProgram(mp, eng, cfg, conf, fs, node, dev, block, rt, stream)
+	return mp
+}
+
+// initMapProgram resets mp (which may be a recycled shell) for a fresh
+// attempt.
+func initMapProgram(mp *mapProgram, eng *sim.Engine, cfg *EngineConfig, conf *JobConf, fs *hdfs.FileSystem,
+	node hdfs.NodeID, dev *disk.Device, block hdfs.BlockLocation, rt *taskRuntime, stream disk.StreamID) {
 	rt.inputBytes = block.Size
-	return &mapProgram{
+	*mp = mapProgram{
 		eng: eng, cfg: cfg, conf: conf, fs: fs, node: node, nodeDV: dev,
 		block: block, rt: rt, stream: stream,
+		chunkParse: time.Duration(float64(cfg.ChunkBytes) / conf.MapParseRate * float64(time.Second)),
+		chunkTouch: time.Duration(float64(cfg.ChunkBytes) / cfg.MemTouchRate * float64(time.Second)),
 	}
 }
 
@@ -108,11 +125,15 @@ func (mp *mapProgram) Next(p *ossim.Process, op *ossim.Op) {
 			if mp.allocDone+chunk > total {
 				chunk = total - mp.allocDone
 			}
+			touch := mp.chunkTouch
+			if chunk != mp.cfg.ChunkBytes {
+				touch = time.Duration(float64(chunk) / mp.cfg.MemTouchRate * float64(time.Second))
+			}
 			mp.memOp = ossim.MemOp{Offset: mp.allocDone, Length: chunk, Write: true}
 			*op = ossim.Op{
 				Label:   "alloc",
 				Mem:     &mp.memOp,
-				Compute: time.Duration(float64(chunk) / mp.cfg.MemTouchRate * float64(time.Second)),
+				Compute: touch,
 			}
 			mp.allocDone += chunk
 			return
@@ -163,12 +184,16 @@ func (mp *mapProgram) Next(p *ossim.Process, op *ossim.Op) {
 				mem = &mp.memOp
 				mp.bufCursor += length
 			}
+			parse := mp.chunkParse
+			if chunk != mp.cfg.ChunkBytes {
+				parse = time.Duration(float64(chunk) / mp.conf.MapParseRate * float64(time.Second))
+			}
 			mp.pendingChunk = chunk
 			*op = ossim.Op{
 				Label:   "map-chunk",
 				Sleep:   ioWait,
 				Mem:     mem,
-				Compute: time.Duration(float64(chunk) / mp.conf.MapParseRate * float64(time.Second)),
+				Compute: parse,
 			}
 			return
 		}
@@ -184,11 +209,15 @@ func (mp *mapProgram) Next(p *ossim.Process, op *ossim.Op) {
 			if mp.finalDone+chunk > mp.conf.ExtraMemoryBytes {
 				chunk = mp.conf.ExtraMemoryBytes - mp.finalDone
 			}
+			touch := mp.chunkTouch
+			if chunk != mp.cfg.ChunkBytes {
+				touch = time.Duration(float64(chunk) / mp.cfg.MemTouchRate * float64(time.Second))
+			}
 			mp.memOp = ossim.MemOp{Offset: mp.conf.JVMBaseBytes + mp.finalDone, Length: chunk, Write: false}
 			*op = ossim.Op{
 				Label:   "finalize",
 				Mem:     &mp.memOp,
-				Compute: time.Duration(float64(chunk) / mp.cfg.MemTouchRate * float64(time.Second)),
+				Compute: touch,
 			}
 			mp.finalDone += chunk
 			return
@@ -236,10 +265,19 @@ type reduceProgram struct {
 
 func newReduceProgram(eng *sim.Engine, cfg *EngineConfig, conf *JobConf, dev *disk.Device,
 	rt *taskRuntime, stream disk.StreamID, shuffleBytes int64, netBandwidth float64) *reduceProgram {
+	rp := &reduceProgram{}
+	initReduceProgram(rp, eng, cfg, conf, dev, rt, stream, shuffleBytes, netBandwidth)
+	return rp
+}
+
+// initReduceProgram resets rp (which may be a recycled shell) for a fresh
+// attempt.
+func initReduceProgram(rp *reduceProgram, eng *sim.Engine, cfg *EngineConfig, conf *JobConf, dev *disk.Device,
+	rt *taskRuntime, stream disk.StreamID, shuffleBytes int64, netBandwidth float64) {
 	// Progress of a reduce: shuffle+sort is 2/3, reduce 1/3 (Hadoop uses
 	// thirds); we expose bytes so approximate with total work volume.
 	rt.inputBytes = 2 * shuffleBytes
-	return &reduceProgram{
+	*rp = reduceProgram{
 		eng: eng, cfg: cfg, conf: conf, nodeDV: dev, rt: rt, stream: stream,
 		shuffleBytes: shuffleBytes, netBandwidth: netBandwidth,
 	}

@@ -2,6 +2,7 @@ package mapreduce
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"hadooppreempt/internal/disk"
@@ -28,7 +29,11 @@ type TaskTracker struct {
 	mapSlots  int
 	slotsUsed int
 
-	attempts  map[AttemptID]*liveAttempt
+	// attempts holds live attempts sorted by attempt id. A tracker runs at
+	// most a few attempts (slots + suspended), so a sorted slice beats a
+	// map: heartbeats iterate it in order directly and lookups are a short
+	// linear scan instead of hashing an AttemptID.
+	attempts  []*liveAttempt
 	completed []AttemptID
 	failed    []AttemptID
 
@@ -36,18 +41,33 @@ type TaskTracker struct {
 	started    bool
 	nextStream disk.StreamID
 	heartbeats int
+	// heartbeatFn is tt.heartbeat bound once; passing a method value to
+	// Schedule allocates a fresh closure per call, and heartbeats are the
+	// engine's hottest event.
+	heartbeatFn func()
 
-	// attScratch and reports are reused across heartbeats (the JobTracker
-	// does not retain either).
-	attScratch []*liveAttempt
-	reports    []AttemptReport
+	// reports is reused across heartbeats (the JobTracker does not retain
+	// it).
+	reports []AttemptReport
+
+	// Program shells recycled across attempts. A program dies with its
+	// process and never escapes the tracker, so the state machines can be
+	// reused instead of allocated per attempt.
+	mapProgFree     []*mapProgram
+	redProgFree     []*reduceProgram
+	cleanupProgFree []*cleanupProgram
 }
 
 // liveAttempt is a task attempt with a live process on this tracker.
 type liveAttempt struct {
-	id        AttemptID
-	proc      *ossim.Process
+	id   AttemptID
+	task *Task // JobTracker-side record, resolved once at launch
+	proc *ossim.Process
+	// rt points at rtVal; embedding the runtime saves an allocation per
+	// attempt.
 	rt        *taskRuntime
+	rtVal     taskRuntime
+	prog      ossim.Program
 	suspended bool
 	// killed marks a TT-initiated SIGKILL whose exit must not be reported
 	// as a failure.
@@ -64,23 +84,44 @@ func NewTaskTracker(jt *JobTracker, name string, node hdfs.NodeID, kernel *ossim
 	if mapSlots <= 0 {
 		return nil, fmt.Errorf("mapreduce: tracker %s needs at least one slot", name)
 	}
-	tt := &TaskTracker{
-		eng:        jt.eng,
-		jt:         jt,
-		cfg:        jt.cfg,
-		name:       name,
-		node:       node,
-		kernel:     kernel,
-		device:     device,
-		fs:         fs,
-		mapSlots:   mapSlots,
-		attempts:   make(map[AttemptID]*liveAttempt),
-		nextStream: disk.StreamID(1),
+	tt := ttPool.Get().(*TaskTracker)
+	tt.eng, tt.jt, tt.cfg = jt.eng, jt, jt.cfg
+	tt.name, tt.node = name, node
+	tt.kernel, tt.device, tt.fs = kernel, device, fs
+	tt.mapSlots = mapSlots
+	tt.nextStream = disk.StreamID(1)
+	if tt.heartbeatFn == nil {
+		tt.heartbeatFn = tt.heartbeat
 	}
 	if err := jt.registerTracker(tt); err != nil {
 		return nil, err
 	}
 	return tt, nil
+}
+
+// ttPool recycles TaskTracker shells released with release, keeping the
+// attempt and report buffers warm across the cluster rebuilds of a sweep
+// cell.
+var ttPool = sync.Pool{New: func() any { return &TaskTracker{} }}
+
+// release returns the tracker's buffers to a shared arena for reuse by a
+// future NewTaskTracker. Called by Cluster.Close.
+func (tt *TaskTracker) release() {
+	tt.eng, tt.jt, tt.cfg = nil, nil, nil
+	tt.kernel, tt.device, tt.fs = nil, nil, nil
+	tt.slotsUsed = 0
+	clear(tt.attempts)
+	tt.attempts = tt.attempts[:0]
+	clear(tt.completed)
+	tt.completed = tt.completed[:0]
+	clear(tt.failed)
+	tt.failed = tt.failed[:0]
+	clear(tt.reports)
+	tt.reports = tt.reports[:0]
+	tt.hbTimer = sim.Timer{}
+	tt.started = false
+	tt.heartbeats = 0
+	ttPool.Put(tt)
 }
 
 // Name returns the tracker name.
@@ -105,7 +146,7 @@ func (tt *TaskTracker) Start(phase time.Duration) {
 	if phase < 0 {
 		phase = 0
 	}
-	tt.hbTimer = tt.eng.Schedule(phase, tt.heartbeat)
+	tt.hbTimer = tt.eng.Schedule(phase, tt.heartbeatFn)
 }
 
 // requestOOBHeartbeat schedules an immediate out-of-band heartbeat, used
@@ -115,7 +156,7 @@ func (tt *TaskTracker) requestOOBHeartbeat() {
 		return
 	}
 	tt.hbTimer.Cancel()
-	tt.hbTimer = tt.eng.Schedule(rpcDelay, tt.heartbeat)
+	tt.hbTimer = tt.eng.Schedule(rpcDelay, tt.heartbeatFn)
 }
 
 // heartbeat performs one status/response exchange with the JobTracker and
@@ -128,16 +169,19 @@ func (tt *TaskTracker) heartbeat() {
 		Completed:    tt.completed,
 		Failed:       tt.failed,
 	}
-	tt.completed = nil
-	tt.failed = nil
+	// The JobTracker consumes the completed/failed lists synchronously in
+	// jt.Heartbeat below, so the backing arrays can be reused immediately.
+	tt.completed = tt.completed[:0]
+	tt.failed = tt.failed[:0]
 	tt.reports = tt.reports[:0]
-	for _, att := range tt.attemptList() {
+	for _, att := range tt.attempts {
 		tt.reports = append(tt.reports, AttemptReport{
 			Attempt:   att.id,
 			Suspended: att.suspended,
 			Progress:  att.rt.progress(),
+			task:      att.task,
 		})
-		tt.jt.noteResident(att.id.Task, tt.kernel.Memory().ResidentBytes(att.proc.PID()))
+		att.task.residentBytes = tt.kernel.Memory().ResidentBytes(att.proc.PID())
 	}
 	status.Attempts = tt.reports
 	actions := tt.jt.Heartbeat(status)
@@ -145,41 +189,51 @@ func (tt *TaskTracker) heartbeat() {
 	// action that frees a slot (suspend) can replace it with an immediate
 	// out-of-band heartbeat.
 	tt.hbTimer.Cancel()
-	tt.hbTimer = tt.eng.Schedule(tt.cfg.HeartbeatInterval, tt.heartbeat)
+	tt.hbTimer = tt.eng.Schedule(tt.cfg.HeartbeatInterval, tt.heartbeatFn)
 	for _, a := range actions {
 		tt.execute(a)
 	}
 }
 
-// attemptList returns live attempts in deterministic order.
-func (tt *TaskTracker) attemptList() []*liveAttempt {
-	out := tt.attScratch[:0]
-	for _, att := range tt.attempts {
-		out = append(out, att)
-	}
-	// Sort by attempt id string order for determinism.
-	for i := 1; i < len(out); i++ {
-		for j := i; j > 0 && compareAttemptIDs(out[j].id, out[j-1].id) < 0; j-- {
-			out[j], out[j-1] = out[j-1], out[j]
+// findAttempt returns the slice index of aid, or -1 if it is not live.
+func (tt *TaskTracker) findAttempt(aid AttemptID) int {
+	for i, att := range tt.attempts {
+		if att.id == aid {
+			return i
 		}
 	}
-	tt.attScratch = out
-	return out
+	return -1
+}
+
+// insertAttempt places att at its sorted (attempt id order) position.
+func (tt *TaskTracker) insertAttempt(att *liveAttempt) {
+	i := len(tt.attempts)
+	tt.attempts = append(tt.attempts, att)
+	for i > 0 && compareAttemptIDs(att.id, tt.attempts[i-1].id) < 0 {
+		tt.attempts[i] = tt.attempts[i-1]
+		i--
+	}
+	tt.attempts[i] = att
+}
+
+// removeAttempt deletes the attempt at index i, preserving order.
+func (tt *TaskTracker) removeAttempt(i int) {
+	tt.attempts = append(tt.attempts[:i], tt.attempts[i+1:]...)
 }
 
 // execute runs one piggybacked action.
 func (tt *TaskTracker) execute(a Action) {
-	switch act := a.(type) {
-	case LaunchAction:
-		tt.launch(act.Attempt)
-	case SuspendAction:
-		tt.suspend(act.Attempt)
-	case ResumeAction:
-		tt.resume(act.Attempt)
-	case KillAction:
-		tt.kill(act.Attempt, act.Cleanup)
+	switch a.Kind {
+	case ActionLaunch:
+		tt.launch(a.Attempt)
+	case ActionSuspend:
+		tt.suspend(a.Attempt)
+	case ActionResume:
+		tt.resume(a.Attempt)
+	case ActionKill:
+		tt.kill(a.Attempt, a.Cleanup)
 	default:
-		panic(fmt.Sprintf("mapreduce: unknown action %T", a))
+		panic(fmt.Sprintf("mapreduce: unknown action kind %d", a.Kind))
 	}
 }
 
@@ -189,27 +243,32 @@ func (tt *TaskTracker) launch(aid AttemptID) {
 	if !ok {
 		return
 	}
-	conf := task.job.conf
-	rt := &taskRuntime{}
+	conf := &task.job.conf // read-only after submit; no defensive copy
+	att := &liveAttempt{id: aid, task: task}
+	att.rt = &att.rtVal
 	stream := tt.nextStream
 	tt.nextStream++
-	var prog ossim.Program
 	switch aid.Task.Type {
 	case MapTask:
-		prog = newMapProgram(tt.eng, tt.cfg, &conf, tt.fs, tt.node, tt.device, task.block, rt, stream)
+		mp := tt.getMapProg()
+		initMapProgram(mp, tt.eng, tt.cfg, conf, tt.fs, tt.node, tt.device, task.block, att.rt, stream)
+		att.prog = mp
 	case ReduceTask:
 		shuffle := tt.shuffleBytes(task.job)
-		prog = newReduceProgram(tt.eng, tt.cfg, &conf, tt.device, rt, stream, shuffle,
+		rp := tt.getRedProg()
+		initReduceProgram(rp, tt.eng, tt.cfg, conf, tt.device, att.rt, stream, shuffle,
 			tt.fs.Config().RackLocalBandwidth)
+		att.prog = rp
 	default:
 		return
 	}
 	memBytes := conf.JVMBaseBytes + conf.ExtraMemoryBytes
-	att := &liveAttempt{id: aid, rt: rt}
-	proc, err := tt.kernel.Spawn(aid.String(), memBytes, prog, func(p *ossim.Process, code int) {
+	proc, err := tt.kernel.Spawn(aid.String(), memBytes, att.prog, func(p *ossim.Process, code int) {
 		tt.attemptExited(att, code)
 	})
 	if err != nil {
+		tt.recycleProg(att.prog)
+		att.prog = nil
 		tt.failed = append(tt.failed, aid)
 		return
 	}
@@ -225,7 +284,7 @@ func (tt *TaskTracker) launch(aid AttemptID) {
 		att.suspendAckDelay = teardown
 	}
 	att.proc = proc
-	tt.attempts[aid] = att
+	tt.insertAttempt(att)
 	tt.slotsUsed++
 }
 
@@ -244,12 +303,51 @@ func (tt *TaskTracker) shuffleBytes(job *Job) int64 {
 	return total / int64(job.conf.NumReduces)
 }
 
+// getMapProg pops a recycled map-program shell or allocates a fresh one.
+func (tt *TaskTracker) getMapProg() *mapProgram {
+	if n := len(tt.mapProgFree); n > 0 {
+		mp := tt.mapProgFree[n-1]
+		tt.mapProgFree = tt.mapProgFree[:n-1]
+		return mp
+	}
+	return &mapProgram{}
+}
+
+// getRedProg pops a recycled reduce-program shell or allocates a fresh one.
+func (tt *TaskTracker) getRedProg() *reduceProgram {
+	if n := len(tt.redProgFree); n > 0 {
+		rp := tt.redProgFree[n-1]
+		tt.redProgFree = tt.redProgFree[:n-1]
+		return rp
+	}
+	return &reduceProgram{}
+}
+
+// recycleProg returns an attempt's program shell to the tracker freelist.
+// Safe once the owning process has exited: the kernel never calls Next on
+// an exited process, so nothing reads the shell again.
+func (tt *TaskTracker) recycleProg(prog ossim.Program) {
+	switch p := prog.(type) {
+	case *mapProgram:
+		*p = mapProgram{} // drop engine/fs references while parked
+		tt.mapProgFree = append(tt.mapProgFree, p)
+	case *reduceProgram:
+		*p = reduceProgram{}
+		tt.redProgFree = append(tt.redProgFree, p)
+	}
+}
+
 // attemptExited handles child process termination.
 func (tt *TaskTracker) attemptExited(att *liveAttempt, code int) {
-	if _, ok := tt.attempts[att.id]; !ok {
+	if att.prog != nil {
+		tt.recycleProg(att.prog)
+		att.prog = nil
+	}
+	i := tt.findAttempt(att.id)
+	if i < 0 {
 		return // already handled (e.g. kill path removed it)
 	}
-	delete(tt.attempts, att.id)
+	tt.removeAttempt(i)
 	ms := att.proc.MemoryStats()
 	tt.jt.noteSwap(att.id.Task, ms.PagedOutBytes, ms.PagedInBytes)
 	if att.killed {
@@ -273,15 +371,16 @@ func (tt *TaskTracker) attemptExited(att *liveAttempt, code int) {
 // visible quickly). Tasks with external connections delay the slot
 // release until their SIGTSTP handler has closed them.
 func (tt *TaskTracker) suspend(aid AttemptID) {
-	att, ok := tt.attempts[aid]
-	if !ok || att.suspended {
+	i := tt.findAttempt(aid)
+	if i < 0 || tt.attempts[i].suspended {
 		return
 	}
+	att := tt.attempts[i]
 	if err := tt.kernel.Signal(att.proc.PID(), ossim.SIGTSTP); err != nil {
 		return
 	}
 	finish := func() {
-		if _, live := tt.attempts[aid]; !live || att.killed || att.suspended {
+		if tt.findAttempt(aid) < 0 || att.killed || att.suspended {
 			return
 		}
 		att.suspended = true
@@ -297,10 +396,11 @@ func (tt *TaskTracker) suspend(aid AttemptID) {
 
 // resume delivers SIGCONT, taking a slot again.
 func (tt *TaskTracker) resume(aid AttemptID) {
-	att, ok := tt.attempts[aid]
-	if !ok || !att.suspended {
+	i := tt.findAttempt(aid)
+	if i < 0 || !tt.attempts[i].suspended {
 		return
 	}
+	att := tt.attempts[i]
 	if err := tt.kernel.Signal(att.proc.PID(), ossim.SIGCONT); err != nil {
 		return
 	}
@@ -312,16 +412,17 @@ func (tt *TaskTracker) resume(aid AttemptID) {
 // kill delivers SIGKILL and runs the cleanup attempt that removes the
 // killed task's temporary output, occupying the slot for CleanupCost.
 func (tt *TaskTracker) kill(aid AttemptID, cleanup bool) {
-	att, ok := tt.attempts[aid]
-	if !ok {
+	i := tt.findAttempt(aid)
+	if i < 0 {
 		return
 	}
+	att := tt.attempts[i]
 	att.killed = true
 	tt.jt.noteWasted(aid.Task, att.proc.CPUTime())
 	ms := att.proc.MemoryStats()
 	tt.jt.noteSwap(aid.Task, ms.PagedOutBytes, ms.PagedInBytes)
 	wasSuspended := att.suspended
-	delete(tt.attempts, att.id)
+	tt.removeAttempt(i)
 	if err := tt.kernel.Signal(att.proc.PID(), ossim.SIGKILL); err != nil {
 		return
 	}
@@ -338,13 +439,24 @@ func (tt *TaskTracker) kill(aid AttemptID, cleanup bool) {
 		tt.slotsUsed++
 	}
 	start := tt.eng.Now()
-	prog := &cleanupProgram{cfg: tt.cfg}
+	var prog *cleanupProgram
+	if n := len(tt.cleanupProgFree); n > 0 {
+		prog = tt.cleanupProgFree[n-1]
+		tt.cleanupProgFree = tt.cleanupProgFree[:n-1]
+		*prog = cleanupProgram{cfg: tt.cfg}
+	} else {
+		prog = &cleanupProgram{cfg: tt.cfg}
+	}
 	_, err := tt.kernel.Spawn("cleanup_"+aid.String(), 16<<20, prog, func(p *ossim.Process, code int) {
+		prog.cfg = nil
+		tt.cleanupProgFree = append(tt.cleanupProgFree, prog)
 		tt.slotsUsed--
 		tt.jt.noteCleanup(aid.Task, tt.name, start, tt.eng.Now())
 		tt.requestOOBHeartbeat()
 	})
 	if err != nil {
+		prog.cfg = nil
+		tt.cleanupProgFree = append(tt.cleanupProgFree, prog)
 		tt.slotsUsed--
 		tt.requestOOBHeartbeat()
 	}

@@ -56,7 +56,8 @@ type TaskID struct {
 
 // String renders the Hadoop-style task id, e.g. "job1_m_000000".
 func (id TaskID) String() string {
-	return fmt.Sprintf("%s_%s_%06d", id.Job, id.Type, id.Index)
+	var buf [48]byte
+	return string(appendTaskID(buf[:0], id))
 }
 
 // AttemptID identifies one execution attempt of a task.
@@ -67,7 +68,12 @@ type AttemptID struct {
 
 // String renders the Hadoop-style attempt id.
 func (id AttemptID) String() string {
-	return fmt.Sprintf("attempt_%s_%d", id.Task, id.Attempt)
+	var buf [64]byte
+	b := append(buf[:0], "attempt_"...)
+	b = appendTaskID(b, id.Task)
+	b = append(b, '_')
+	b = strconv.AppendInt(b, int64(id.Attempt), 10)
+	return string(b)
 }
 
 // appendTaskID renders id exactly as String does, into buf.
@@ -76,12 +82,18 @@ func appendTaskID(buf []byte, id TaskID) []byte {
 	buf = append(buf, '_')
 	buf = append(buf, id.Type.String()...)
 	buf = append(buf, '_')
+	return appendPadded(buf, id.Index, 6)
+}
+
+// appendPadded renders n zero-padded to at least width digits, like
+// strconv.AppendInt with a %0*d format but without fmt.
+func appendPadded(buf []byte, n, width int) []byte {
 	var tmp [20]byte
-	idx := strconv.AppendInt(tmp[:0], int64(id.Index), 10)
-	for pad := 6 - len(idx); pad > 0; pad-- {
+	digits := strconv.AppendInt(tmp[:0], int64(n), 10)
+	for pad := width - len(digits); pad > 0; pad-- {
 		buf = append(buf, '0')
 	}
-	return append(buf, idx...)
+	return append(buf, digits...)
 }
 
 // compareTaskIDs orders task ids exactly like comparing their String
@@ -209,6 +221,11 @@ type AttemptReport struct {
 	Attempt   AttemptID
 	Suspended bool
 	Progress  float64
+	// task is the JobTracker-side record, resolved by the tracker at
+	// launch so per-heartbeat processing skips the TaskID map lookup. It
+	// is a cache only: when nil (reports built outside a TaskTracker) the
+	// JobTracker falls back to the map.
+	task *Task
 }
 
 // HeartbeatStatus is what a TaskTracker sends the JobTracker.
@@ -223,55 +240,52 @@ type HeartbeatStatus struct {
 	Failed    []AttemptID
 }
 
-// Action is a command piggybacked on a heartbeat response.
-type Action interface {
-	isAction()
-	String() string
+// ActionKind selects the command carried by an Action.
+type ActionKind uint8
+
+// Action kinds.
+const (
+	// ActionLaunch starts a new attempt of a task.
+	ActionLaunch ActionKind = iota + 1
+	// ActionSuspend stops a running attempt with SIGTSTP.
+	ActionSuspend
+	// ActionResume resumes a suspended attempt with SIGCONT; it consumes
+	// a slot on the TaskTracker.
+	ActionResume
+	// ActionKill kills an attempt with SIGKILL.
+	ActionKill
+)
+
+// verb names the command for String.
+func (k ActionKind) verb() string {
+	switch k {
+	case ActionLaunch:
+		return "launch "
+	case ActionSuspend:
+		return "suspend "
+	case ActionResume:
+		return "resume "
+	case ActionKill:
+		return "kill "
+	default:
+		return fmt.Sprintf("ActionKind(%d) ", int(k))
+	}
 }
 
-// LaunchAction starts a new attempt of a task.
-type LaunchAction struct {
+// Action is a command piggybacked on a heartbeat response. It is a plain
+// value rather than an interface so building the per-heartbeat action list
+// never boxes (boxing was a measurable allocation on the sweep hot path).
+type Action struct {
+	Kind    ActionKind
 	Attempt AttemptID
-}
-
-func (LaunchAction) isAction() {}
-
-// String describes the action.
-func (a LaunchAction) String() string { return "launch " + a.Attempt.String() }
-
-// SuspendAction stops a running attempt with SIGTSTP.
-type SuspendAction struct {
-	Attempt AttemptID
-}
-
-func (SuspendAction) isAction() {}
-
-// String describes the action.
-func (a SuspendAction) String() string { return "suspend " + a.Attempt.String() }
-
-// ResumeAction resumes a suspended attempt with SIGCONT; it consumes a
-// slot on the TaskTracker.
-type ResumeAction struct {
-	Attempt AttemptID
-}
-
-func (ResumeAction) isAction() {}
-
-// String describes the action.
-func (a ResumeAction) String() string { return "resume " + a.Attempt.String() }
-
-// KillAction kills an attempt with SIGKILL. When Cleanup is set the
-// TaskTracker runs a cleanup attempt that occupies the slot briefly to
-// remove temporary outputs, as Hadoop does for killed tasks.
-type KillAction struct {
-	Attempt AttemptID
+	// Cleanup applies to ActionKill: the TaskTracker runs a cleanup
+	// attempt that occupies the slot briefly to remove temporary outputs,
+	// as Hadoop does for killed tasks.
 	Cleanup bool
 }
 
-func (KillAction) isAction() {}
-
 // String describes the action.
-func (a KillAction) String() string { return "kill " + a.Attempt.String() }
+func (a Action) String() string { return a.Kind.verb() + a.Attempt.String() }
 
 // TaskTrackerInfo is the scheduler's view of one TaskTracker during an
 // assignment round.

@@ -40,6 +40,12 @@ func (m *Manager) Release() {
 	m.eng = nil
 	m.swap = nil
 	m.onOOM = nil
+	// Harvest still-registered spaces into the shell freelist; only their
+	// slice capacity is reused, so map iteration order is immaterial.
+	for _, s := range m.spaces {
+		s.runs = s.runs[:0]
+		m.spaceFree = append(m.spaceFree, s)
+	}
 	clear(m.spaces)
 	managerPool.Put(m)
 }

@@ -238,9 +238,12 @@ type Manager struct {
 	// dense is a slice fast path over spaces for small non-negative pids
 	// (the OS hands them out sequentially); eviction resolves extent
 	// owners through it instead of hashing.
-	dense    []*Space
-	swapUsed int64 // bytes of swap occupied by valid slots
-	stats    Stats
+	dense []*Space
+	// spaceFree recycles Space shells across Register/Unregister so the
+	// run list capacity survives process churn within a cell.
+	spaceFree []*Space
+	swapUsed  int64 // bytes of swap occupied by valid slots
+	stats     Stats
 
 	swapOutStream disk.StreamID
 	swapInStream  disk.StreamID
@@ -343,11 +346,17 @@ func (m *Manager) Register(pid PID, bytes int64) (*Space, error) {
 	if npages > 1<<31-1 {
 		return nil, fmt.Errorf("memory: space of %d pages exceeds the supported maximum", npages)
 	}
-	s := &Space{
-		pid:      pid,
-		npages:   npages,
-		pageSize: m.cfg.PageSize,
+	var s *Space
+	if n := len(m.spaceFree); n > 0 {
+		s = m.spaceFree[n-1]
+		m.spaceFree = m.spaceFree[:n-1]
+		*s = Space{runs: s.runs[:0]}
+	} else {
+		s = &Space{}
 	}
+	s.pid = pid
+	s.npages = npages
+	s.pageSize = m.cfg.PageSize
 	if npages > 0 {
 		s.runs = append(s.runs, pageRun{start: 0, n: int32(npages), state: pageUntouched})
 	}
@@ -383,10 +392,8 @@ func (m *Manager) Unregister(pid PID) {
 		}
 	}
 	s.runs = s.runs[:0]
-	if s.npages > 0 {
-		s.runs = append(s.runs, pageRun{start: 0, n: int32(s.npages), state: pageUntouched})
-	}
 	s.resident, s.swapped = 0, 0
+	m.spaceFree = append(m.spaceFree, s)
 	delete(m.spaces, pid)
 }
 

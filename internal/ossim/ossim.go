@@ -20,6 +20,7 @@ package ossim
 import (
 	"errors"
 	"fmt"
+	"sync"
 	"time"
 
 	"hadooppreempt/internal/disk"
@@ -226,8 +227,22 @@ func (p *Process) State() State { return p.state }
 // ExitCode returns the exit status (valid once exited).
 func (p *Process) ExitCode() int { return p.exitCode }
 
-// CPUTime returns the accumulated CPU time consumed.
-func (p *Process) CPUTime() time.Duration { return p.cpuTime }
+// CPUTime returns the accumulated CPU time consumed. Work since the last
+// settle is accounted lazily: the kernel's rebalance fast path defers
+// banking for processes running at an unchanged full-speed share.
+func (p *Process) CPUTime() time.Duration {
+	t := p.cpuTime
+	if p.phase == phaseCompute {
+		if elapsed := p.kernel.eng.Now() - p.speedSetAt; elapsed > 0 {
+			done := time.Duration(float64(elapsed) * p.speed)
+			if done > p.computeRemaining {
+				done = p.computeRemaining
+			}
+			t += done
+		}
+	}
+	return t
+}
 
 // StoppedTime returns total time spent in StateStopped (including the
 // current stop, if stopped now).
@@ -272,6 +287,15 @@ type Kernel struct {
 	// active lists processes in phaseCompute in insertion order; a slice
 	// keeps rebalance iteration deterministic and allocation-free.
 	active []*Process
+	// fullSpeed is true while every active process runs at speed 1 with a
+	// pending completion timer — the common un-contended regime, where
+	// membership changes need no rebalance walk: a leaver cannot raise
+	// anyone's share and an entrant (while n stays within the cores) only
+	// needs its own timer.
+	fullSpeed bool
+	// oomFn is the oomKill method value, bound once per kernel shell so
+	// re-installing the OOM handler on reuse does not allocate.
+	oomFn func()
 }
 
 // NewKernel creates a node OS with the given core count and memory
@@ -281,16 +305,33 @@ func NewKernel(eng *sim.Engine, name string, cores int, mem *memory.Manager) *Ke
 	if cores <= 0 {
 		panic("ossim: cores must be positive")
 	}
-	k := &Kernel{
-		eng:     eng,
-		name:    name,
-		cores:   cores,
-		mem:     mem,
-		procs:   make(map[memory.PID]*Process),
-		nextPID: 1,
+	k := kernelPool.Get().(*Kernel)
+	k.eng, k.name, k.cores, k.mem = eng, name, cores, mem
+	k.nextPID = 1
+	k.fullSpeed = true
+	if k.procs == nil {
+		k.procs = make(map[memory.PID]*Process)
 	}
-	mem.SetOOMHandler(k.oomKill)
+	if k.oomFn == nil {
+		k.oomFn = k.oomKill
+	}
+	mem.SetOOMHandler(k.oomFn)
 	return k
+}
+
+// kernelPool recycles Kernel shells released with Release, keeping the
+// process table warm across the cluster rebuilds of a sweep cell.
+var kernelPool = sync.Pool{New: func() any { return &Kernel{} }}
+
+// Release returns the kernel's internal storage to a shared arena for reuse
+// by a future NewKernel. The kernel and its processes must not be used
+// afterwards.
+func (k *Kernel) Release() {
+	clear(k.procs)
+	clear(k.active)
+	k.active = k.active[:0]
+	k.eng, k.mem = nil, nil
+	kernelPool.Put(k)
 }
 
 // Name returns the node name.
@@ -577,6 +618,13 @@ func (k *Kernel) startCompute(p *Process, d time.Duration) {
 	p.computeRemaining = d
 	p.speedSetAt = k.eng.Now()
 	k.active = append(k.active, p)
+	if k.fullSpeed && len(k.active) <= k.cores {
+		// The share regime stays full-speed: only the entrant needs a
+		// timer; nobody else's speed changes.
+		p.speed = 1
+		p.timer = k.eng.Schedule(d, p.computeDoneFn)
+		return
+	}
 	k.rebalance()
 }
 
@@ -584,6 +632,11 @@ func (k *Kernel) startCompute(p *Process, d time.Duration) {
 func (k *Kernel) leaveCompute(p *Process) {
 	k.settle(p)
 	k.removeActive(p)
+	if k.fullSpeed {
+		// Everyone left behind already runs at speed 1; a departure
+		// cannot raise shares any further.
+		return
+	}
 	k.rebalance()
 }
 
@@ -630,6 +683,15 @@ func (k *Kernel) rebalance() {
 	}
 	now := k.eng.Now()
 	for _, p := range k.active {
+		if p.speed == speed && speed == 1 && p.timer.Pending() {
+			// Full-speed share unchanged: settling is deferred — at speed
+			// 1 banking is float-exact over any interval, so the eventual
+			// settle (leaveCompute, computeDone, or a share change) banks
+			// the same values, and CPUTime accounts the open interval
+			// lazily. The existing timer already fires at the right time,
+			// so the cancel+reschedule round is skipped too.
+			continue
+		}
 		k.settle(p)
 		p.speed = speed
 		p.speedSetAt = now
@@ -637,6 +699,7 @@ func (k *Kernel) rebalance() {
 		remainingWall := time.Duration(float64(p.computeRemaining) / speed)
 		p.timer = k.eng.Schedule(remainingWall, p.computeDoneFn)
 	}
+	k.fullSpeed = speed == 1
 }
 
 // computeDone fires when a process finishes its compute phase.
@@ -649,6 +712,8 @@ func (k *Kernel) computeDone(p *Process) {
 	p.computeRemaining = 0
 	k.removeActive(p)
 	p.phase = phaseIdle
-	k.rebalance()
+	if !k.fullSpeed {
+		k.rebalance()
+	}
 	k.runNextOp(p)
 }

@@ -93,3 +93,9 @@ func (b *Backend) Grid() (sweep.Grid, error) {
 func (b *Backend) Cell(pt sweep.Point, rec *sweep.Recorder) error {
 	return b.runCell(pt, rec)
 }
+
+// CacheVolatile implements sweep.Volatile: real-process cells measure
+// wall-clock time of live OS processes, so their results are not pure
+// functions of the cell seed and must never be replayed from a cell
+// cache — a warm rerun would report stale measurements as fresh.
+func (b *Backend) CacheVolatile() bool { return true }

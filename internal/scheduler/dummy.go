@@ -7,7 +7,8 @@ package scheduler
 
 import (
 	"fmt"
-	"sort"
+	"slices"
+	"sync"
 
 	"hadooppreempt/internal/mapreduce"
 )
@@ -56,42 +57,82 @@ type Trigger struct {
 // which lets the high-priority task th claim a slot the moment the
 // preempted tl releases it.
 type Dummy struct {
-	jt       *mapreduce.JobTracker
-	triggers []*Trigger
+	jt *mapreduce.JobTracker
+	// triggers holds the rules by value; fire flips the fired flag by
+	// index, so registering a rule never heap-allocates a Trigger.
+	triggers []Trigger
+	// unfired counts triggers that have not fired yet, so the
+	// per-progress-event dispatch is a single comparison once every rule
+	// has run.
+	unfired int
+
+	// Scratch buffers reused across Assign rounds (the JobTracker consumes
+	// the returned assignments before the next round).
+	pending []*mapreduce.Task
+	assigns []mapreduce.Assignment
 }
 
 var _ mapreduce.Scheduler = (*Dummy)(nil)
 
+// dummyPool recycles Dummy shells (trigger and scratch capacity) across the
+// per-cell teardown/rebuild churn of a sweep.
+var dummyPool = sync.Pool{New: func() any { return &Dummy{} }}
+
 // NewDummy creates the trigger scheduler. Install it with SetScheduler
-// before submitting jobs.
+// before submitting jobs. Call Release when the cell is torn down to
+// recycle the scheduler's buffers.
 func NewDummy(jt *mapreduce.JobTracker) *Dummy {
-	return &Dummy{jt: jt}
+	d := dummyPool.Get().(*Dummy)
+	d.jt = jt
+	return d
+}
+
+// Release returns the scheduler's buffers to a shared arena for reuse by a
+// future NewDummy. The scheduler must not be used afterwards.
+func (d *Dummy) Release() {
+	d.jt = nil
+	clear(d.triggers) // drop the Do closures
+	d.triggers = d.triggers[:0]
+	d.unfired = 0
+	clear(d.pending)
+	d.pending = d.pending[:0]
+	d.assigns = d.assigns[:0]
+	dummyPool.Put(d)
 }
 
 // AddTrigger registers a rule.
 func (d *Dummy) AddTrigger(t Trigger) {
-	tt := t
-	d.triggers = append(d.triggers, &tt)
+	d.triggers = append(d.triggers, t)
+	if !t.fired {
+		d.unfired++
+	}
 }
 
 // JobSubmitted implements mapreduce.Scheduler.
 func (d *Dummy) JobSubmitted(job *mapreduce.Job) {
-	d.fire(OnSubmit, job.Conf().Name, 1)
+	d.fire(OnSubmit, job.Name(), 1)
 }
 
 // JobCompleted implements mapreduce.Scheduler.
 func (d *Dummy) JobCompleted(job *mapreduce.Job) {
-	d.fire(OnComplete, job.Conf().Name, 1)
+	d.fire(OnComplete, job.Name(), 1)
 }
 
 // TaskProgressed implements mapreduce.Scheduler.
 func (d *Dummy) TaskProgressed(task *mapreduce.Task, progress float64) {
-	d.fire(OnProgress, task.Job().Conf().Name, task.Job().Progress())
+	if d.unfired == 0 {
+		return
+	}
+	d.fire(OnProgress, task.Job().Name(), task.Job().Progress())
 }
 
 // fire runs matching triggers once.
 func (d *Dummy) fire(ev TriggerEvent, job string, value float64) {
-	for _, t := range d.triggers {
+	if d.unfired == 0 {
+		return
+	}
+	for i := range d.triggers {
+		t := &d.triggers[i]
 		if t.fired || t.Event != ev || t.Job != job {
 			continue
 		}
@@ -99,6 +140,7 @@ func (d *Dummy) fire(ev TriggerEvent, job string, value float64) {
 			continue
 		}
 		t.fired = true
+		d.unfired--
 		if t.Do != nil {
 			t.Do()
 		}
@@ -108,13 +150,12 @@ func (d *Dummy) fire(ev TriggerEvent, job string, value float64) {
 // Assign implements mapreduce.Scheduler: pending tasks ordered by job
 // priority (descending), then submission order.
 func (d *Dummy) Assign(tt mapreduce.TaskTrackerInfo) []mapreduce.Assignment {
-	pending := d.jt.PendingTasks()
-	sort.SliceStable(pending, func(i, j int) bool {
-		pi := pending[i].Job().Conf().Priority
-		pj := pending[j].Job().Conf().Priority
-		return pi > pj
+	pending := d.jt.PendingTasksInto(d.pending[:0])
+	d.pending = pending
+	slices.SortStableFunc(pending, func(a, b *mapreduce.Task) int {
+		return b.Job().Priority() - a.Job().Priority()
 	})
-	var out []mapreduce.Assignment
+	out := d.assigns[:0]
 	free := tt.FreeMapSlots
 	for _, t := range pending {
 		if free <= 0 {
@@ -126,13 +167,15 @@ func (d *Dummy) Assign(tt mapreduce.TaskTrackerInfo) []mapreduce.Assignment {
 		out = append(out, mapreduce.Assignment{Task: t.ID()})
 		free--
 	}
+	d.assigns = out
 	return out
 }
 
 // mapsDone reports whether all map tasks of a job succeeded.
 func mapsDone(j *mapreduce.Job) bool {
-	for _, t := range j.MapTasks() {
-		if t.State() != mapreduce.TaskSucceeded {
+	for i, n := 0, j.NumTasks(); i < n; i++ {
+		t := j.TaskAt(i)
+		if t.ID().Type == mapreduce.MapTask && t.State() != mapreduce.TaskSucceeded {
 			return false
 		}
 	}

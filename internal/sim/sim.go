@@ -15,6 +15,7 @@ package sim
 
 import (
 	"fmt"
+	"sync"
 	"time"
 )
 
@@ -57,9 +58,37 @@ type Engine struct {
 	fired uint64
 }
 
+// enginePool recycles Engine shells released with Release, so a sweep cell
+// that tears down and rebuilds its cluster per repetition reuses the slot
+// arena and heap storage instead of regrowing them.
+var enginePool = sync.Pool{New: func() any { return &Engine{} }}
+
 // New returns an empty simulation engine positioned at virtual time zero.
 func New() *Engine {
-	return &Engine{}
+	e := enginePool.Get().(*Engine)
+	// Hand out recycled slots in ascending index order, exactly as a fresh
+	// engine would grow its arena.
+	for i := len(e.slots) - 1; i >= 0; i-- {
+		e.freeSlots = append(e.freeSlots, int32(i))
+	}
+	return e
+}
+
+// Release returns the engine's event storage to a shared arena for reuse by
+// a future New. Outstanding Timers become inert; the caller must drop every
+// reference to the engine (and anything scheduled on it) afterwards.
+func (e *Engine) Release() {
+	for i := range e.slots {
+		s := &e.slots[i]
+		s.fn = nil
+		s.state = slotFree
+		s.gen++
+	}
+	e.heap = e.heap[:0]
+	e.freeSlots = e.freeSlots[:0]
+	e.now, e.seq = 0, 0
+	e.live, e.fired = 0, 0
+	enginePool.Put(e)
 }
 
 // Now reports the current virtual time.

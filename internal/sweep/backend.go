@@ -42,9 +42,43 @@ func (b FuncBackend) Cell(p Point, rec *Recorder) error { return b.Run(p, rec) }
 // axes. Because seeds derive from grid coordinates, every Backend
 // inherits the harness guarantees: results are identical at any
 // opts.Parallel, and shard results merge (see Merge) into output
-// byte-identical to an unsharded run.
+// byte-identical to an unsharded run. When opts.Cache is set, cell
+// lookups are keyed under the backend's name and content fingerprint
+// (see BackendFingerprint) — and skipped entirely for volatile
+// backends (see Volatile), whose measurements are not reproducible.
 func RunBackend(b Backend, opts Options, collapse ...string) (*Collapsed, error) {
-	return DispatchBackend(b, opts.dispatcher(), opts.Seed, collapse...)
+	d := opts.dispatcher()
+	if opts.Cache != nil {
+		cb := CacheBinding{
+			Cache:   opts.Cache,
+			Backend: b.Name(),
+			FP:      BackendFingerprint(b),
+			Bypass:  IsVolatile(b),
+		}
+		switch dd := d.(type) {
+		case PoolDispatcher:
+			dd.Cache = cb
+			d = dd
+		case ShardDispatcher:
+			dd.Cache = cb
+			d = dd
+		}
+	}
+	return DispatchBackend(b, d, opts.Seed, collapse...)
+}
+
+// BackendFingerprint returns the backend's content fingerprint — the
+// signature of data the grid structure cannot cover, e.g. a replay
+// backend's trace file — or "" when the backend does not provide one.
+// It is the same `Fingerprint() string` contract the distributed
+// coordinator verifies at join time (coord.Fingerprinter), reflected
+// here so cache keys and join checks can never disagree about what
+// identifies a backend's content.
+func BackendFingerprint(b Backend) string {
+	if f, ok := b.(interface{ Fingerprint() string }); ok {
+		return f.Fingerprint()
+	}
+	return ""
 }
 
 // DispatchBackend executes the backend's grid through an arbitrary

@@ -24,15 +24,45 @@ type Dispatcher interface {
 	Dispatch(g Grid, run CellFunc, seed uint64, collapse ...string) (*Collapsed, error)
 }
 
+// CacheBinding names the backend identity a dispatcher keys cell-result
+// cache lookups under. The grid and seed complete the key at dispatch
+// time — binding there rather than at construction means a dispatcher
+// can never consult entries of a different grid than the one it was
+// handed. The zero value disables caching.
+type CacheBinding struct {
+	// Cache is the store; nil disables caching.
+	Cache *Cache
+	// Backend and FP are the backend's name and content fingerprint.
+	Backend string
+	FP      string
+	// Bypass runs every cell and counts it as bypassed (volatile
+	// backends; see Volatile).
+	Bypass bool
+}
+
+// bind resolves the binding against the dispatched grid and seed.
+func (cb CacheBinding) bind(g Grid, seed uint64) *SweepCache {
+	if cb.Cache == nil {
+		return nil
+	}
+	if cb.Bypass {
+		return cb.Cache.BypassSweep()
+	}
+	return cb.Cache.Sweep(cb.Backend, cb.FP, g, seed)
+}
+
 // PoolDispatcher runs every cell of the grid through an in-process
-// worker pool of Parallel goroutines (values below 1 run serially).
+// worker pool of Parallel goroutines (values below 1 run serially),
+// consulting the bound cell-result cache — when one is configured —
+// before executing each cell.
 type PoolDispatcher struct {
 	Parallel int
+	Cache    CacheBinding
 }
 
 // Dispatch implements Dispatcher.
 func (d PoolDispatcher) Dispatch(g Grid, run CellFunc, seed uint64, collapse ...string) (*Collapsed, error) {
-	return RunCells(g, run, seed, d.Parallel, nil, collapse...)
+	return RunCells(g, d.Cache.bind(g, seed).WrapCell(run), seed, d.Parallel, nil, collapse...)
 }
 
 // ShardDispatcher runs the seed-stable slice of the grid selected by
@@ -42,6 +72,7 @@ func (d PoolDispatcher) Dispatch(g Grid, run CellFunc, seed uint64, collapse ...
 type ShardDispatcher struct {
 	Shard    Shard
 	Parallel int
+	Cache    CacheBinding
 }
 
 // Dispatch implements Dispatcher.
@@ -59,7 +90,7 @@ func (d ShardDispatcher) Dispatch(g Grid, run CellFunc, seed uint64, collapse ..
 			cells = append(cells, i)
 		}
 	}
-	c, err := RunCells(g, run, seed, d.Parallel, cells, collapse...)
+	c, err := RunCells(g, d.Cache.bind(g, seed).WrapCell(run), seed, d.Parallel, cells, collapse...)
 	if err != nil {
 		return nil, err
 	}
@@ -69,12 +100,15 @@ func (d ShardDispatcher) Dispatch(g Grid, run CellFunc, seed uint64, collapse ..
 
 // dispatcher resolves the options to the in-process dispatcher they
 // describe: the static shard slicer when a shard is set, the plain
-// worker pool otherwise.
+// worker pool otherwise. The cache binding carries the store only; the
+// backend identity is filled in by RunBackend, which knows the backend
+// (grid-level entry points cache under an empty backend name).
 func (o Options) dispatcher() Dispatcher {
+	cb := CacheBinding{Cache: o.Cache}
 	if o.Shard != (Shard{}) {
-		return ShardDispatcher{Shard: o.Shard, Parallel: o.Parallel}
+		return ShardDispatcher{Shard: o.Shard, Parallel: o.Parallel, Cache: cb}
 	}
-	return PoolDispatcher{Parallel: o.Parallel}
+	return PoolDispatcher{Parallel: o.Parallel, Cache: cb}
 }
 
 // RunCells executes the given grid cell indices through a worker pool

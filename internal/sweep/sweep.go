@@ -41,6 +41,13 @@ type Options struct {
 	// Shard restricts a RunCollapsed execution to one seed-stable slice
 	// of the grid (the zero value runs every cell). Run ignores it.
 	Shard Shard
+	// Cache, when set, memoizes cell results persistently: cells whose
+	// verified entry exists replay it instead of executing, and misses
+	// are stored for future runs. Keys cover the grid fingerprint, the
+	// backend identity (via RunBackend), the base seed and the cell
+	// index, so warm reruns are byte-identical to cold ones. Run
+	// ignores it; RunCollapsed caches under an empty backend identity.
+	Cache *Cache
 }
 
 // PointResult pairs a cell with its outcome.

@@ -6,10 +6,11 @@
 # coordinator SIGKILL + checkpoint resume, and through a seeded chaos
 # schedule corrupting every trust boundary at once.
 #
-# Usage: dist_parity.sh [BIN] [all|basic|coordkill|chaos]
+# Usage: dist_parity.sh [BIN] [all|basic|coordkill|chaos|cache]
 #   basic      cases 1-2 (worker-side scheduling and loss)
 #   coordkill  case 3 (coordinator loss + -resume)
 #   chaos      case 4 (-chaos fault injection on every process)
+#   cache      case 5 (-cache cold fill, warm byte-identical replays)
 #
 # -cell-sleep makes cells artificially slow and uneven (cell i sleeps
 # (1 + i mod 3) x unit; results unchanged), so with single-digit lease
@@ -31,8 +32,8 @@ trap cleanup EXIT
 
 want() { [ "$CASES" = all ] || [ "$CASES" = "$1" ]; }
 case "$CASES" in
-    all|basic|coordkill|chaos) ;;
-    *) echo "unknown case selection '$CASES' (want all, basic, coordkill or chaos)" >&2; exit 2 ;;
+    all|basic|coordkill|chaos|cache) ;;
+    *) echo "unknown case selection '$CASES' (want all, basic, coordkill, chaos or cache)" >&2; exit 2 ;;
 esac
 
 echo "== single-process reference"
@@ -168,5 +169,54 @@ fi
 echo "   byte-identical through $injected injected faults"
 
 fi # chaos
+
+if want cache; then
+
+echo "== case 5: cell cache — cold distributed fill, warm replays"
+# Cold: coordinator and both workers share one -cache directory, so
+# the workers persist every cell they execute. The cold run itself must
+# already be byte-identical to the uncached reference.
+PORT5=$((PORT + 4))
+cdir="$tmp/cellcache"
+"$BIN" -sweep pressure -reps 2 -seed 1 -serve 127.0.0.1:$PORT5 -lease 3 -cache "$cdir" -format csv \
+    > "$tmp/dist-cache-cold.csv" 2> "$tmp/coord5.log" &
+coord=$!
+"$BIN" -sweep pressure -reps 2 -worker 127.0.0.1:$PORT5 -parallel 2 -cache "$cdir" -cell-sleep 5ms 2> "$tmp/ccw1.log" &
+w1=$!
+"$BIN" -sweep pressure -reps 2 -worker 127.0.0.1:$PORT5 -parallel 2 -cache "$cdir" -cell-sleep 1ms 2> "$tmp/ccw2.log" &
+w2=$!
+wait $w1
+wait $w2
+wait $coord
+cmp "$tmp/single.csv" "$tmp/dist-cache-cold.csv"
+
+# Warm single-process rerun: byte-identical with >=95% cache hits.
+"$BIN" -sweep pressure -reps 2 -seed 1 -parallel 4 -cache "$cdir" -format csv \
+    > "$tmp/warm-single.csv" 2> "$tmp/warm-single.log"
+cmp "$tmp/single.csv" "$tmp/warm-single.csv"
+counters=$(grep -o 'cache: [0-9]* hits, [0-9]* misses' "$tmp/warm-single.log" | tail -1)
+hits=$(echo "$counters" | awk '{print $2}')
+misses=$(echo "$counters" | awk '{print $4}')
+if [ $((hits * 100)) -lt $(( (hits + misses) * 95 )) ]; then
+    echo "warm rerun hit rate below 95%: $counters" >&2
+    cat "$tmp/warm-single.log" >&2
+    exit 1
+fi
+echo "   warm single-process rerun byte-identical ($counters)"
+
+# Warm coordinator: every lease retires from cache at startup, so the
+# sweep completes byte-identically with no worker ever joining.
+PORT6=$((PORT + 5))
+"$BIN" -sweep pressure -reps 2 -seed 1 -serve 127.0.0.1:$PORT6 -lease 3 -cache "$cdir" -format csv \
+    > "$tmp/warm-dist.csv" 2> "$tmp/coord6.log"
+cmp "$tmp/single.csv" "$tmp/warm-dist.csv"
+if ! grep -q "retired from cache" "$tmp/coord6.log"; then
+    echo "expected the warm coordinator to retire leases from cache; log:" >&2
+    cat "$tmp/coord6.log" >&2
+    exit 1
+fi
+echo "   warm coordinator byte-identical with zero workers ($(grep -o '[0-9/]* leases retired from cache' "$tmp/coord6.log" | head -1))"
+
+fi # cache
 
 echo "distributed parity OK"

@@ -56,6 +56,24 @@ type SweepCollapsed = sweep.Collapsed
 // SweepShard selects one of n seed-stable grid slices (see RunSweepCollapsed).
 type SweepShard = sweep.Shard
 
+// CellCache is a persistent content-addressed store of sweep cell
+// results rooted at one directory. Cells whose verified entry exists
+// replay it instead of executing; keys cover the grid fingerprint, the
+// backend identity, the base seed and the cell index, so warm reruns
+// are byte-identical to cold ones at any parallelism, shard split or
+// worker count. Corrupt, truncated or mismatched entries are silent
+// misses, never errors. A nil *CellCache caches nothing.
+type CellCache = sweep.Cache
+
+// CellCacheCounters snapshots a cache's hit/miss/bypass/write counters.
+type CellCacheCounters = sweep.CacheCounters
+
+// NewCellCache opens (creating if needed) the cell-result cache rooted
+// at dir. One cache may serve many sweeps and many processes at once.
+func NewCellCache(dir string) (*CellCache, error) {
+	return sweep.NewCache(dir)
+}
+
 // SweepBackend binds a scenario grid to an execution engine: the
 // simulator, the SWIM trace replayer, or real OS processes. All three
 // run through the same harness, so parallelism, sharding and merge
@@ -374,6 +392,11 @@ func (b slowBackend) Fingerprint() string {
 	return coord.BackendFingerprint(b.SweepBackend)
 }
 
+// CacheVolatile forwards the wrapped backend's volatility (see
+// sweep.Volatile): the sleep changes wall-clock behavior only, never
+// results, so it must not change whether results are cacheable either.
+func (b slowBackend) CacheVolatile() bool { return sweep.IsVolatile(b.SweepBackend) }
+
 // SlowSweep wraps a backend with artificial, deterministically uneven
 // per-cell cost: cell i sleeps (1 + i mod 3) x unit before running.
 // Measurements are untouched, so output stays byte-identical to the
@@ -424,6 +447,11 @@ type DistributedOptions struct {
 	// MaxLeaseFailures is the per-lease failure budget before the sweep
 	// aborts as poisoned (default 3); see coord.Config.
 	MaxLeaseFailures int
+	// Cache, when set, is the persistent cell-result cache the
+	// coordinator consults before issuing leases: leases whose every
+	// cell has a verified entry are absorbed directly and never reach a
+	// worker. Volatile backends (the real-process backend) skip it.
+	Cache *CellCache
 	// Chaos, when set, injects the plan's faults on the coordinator
 	// side: its transport faults at the server boundary and its
 	// checkpoint faults into the checkpoint writer.
@@ -485,6 +513,9 @@ func DistributedSweep(ctx context.Context, b SweepBackend, opts DistributedOptio
 		OnListen:         opts.OnListen,
 		Logf:             opts.Logf,
 	}
+	if !sweep.IsVolatile(b) {
+		cfg.Cache = opts.Cache
+	}
 	chaosCoordConfig(&cfg, opts.Chaos)
 	return sweep.DispatchBackend(b, coord.New(cfg), opts.Seed, collapse...)
 }
@@ -514,9 +545,13 @@ func DistributedSweepQueue(ctx context.Context, backends []SweepBackend, opts Di
 		LeaseTTL:         opts.LeaseTTL,
 		MaxLeaseFailures: opts.MaxLeaseFailures,
 		Checkpoint:       opts.Checkpoint,
-		Context:          ctx,
-		OnListen:         opts.OnListen,
-		Logf:             opts.Logf,
+		// Volatile backends are safe under a shared cache: their workers
+		// bypass it, so no entry ever exists for the coordinator to
+		// replay — every consult is a miss that falls through to leasing.
+		Cache:    opts.Cache,
+		Context:  ctx,
+		OnListen: opts.OnListen,
+		Logf:     opts.Logf,
 	}
 	chaosCoordConfig(&cfg, opts.Chaos)
 	c := coord.New(cfg)
@@ -576,6 +611,9 @@ func DistributedSweepWorker(ctx context.Context, addr string, b SweepBackend, pa
 type DistributedWorkerOptions struct {
 	// Parallel bounds the worker's in-process pool per lease.
 	Parallel int
+	// Cache, when set, memoizes this worker's leased cell results
+	// persistently (see CellCache). Volatile backends bypass it.
+	Cache *CellCache
 	// Chaos, when set, injects the plan's faults on this worker's side:
 	// transport faults on its HTTP client and cell faults around its
 	// backend. Give each worker its own plan (distinct seeds) so their
@@ -592,6 +630,7 @@ func RunDistributedWorker(ctx context.Context, addr string, b SweepBackend, opts
 		Addr:     addr,
 		Backend:  b,
 		Parallel: opts.Parallel,
+		Cache:    opts.Cache,
 		Logf:     opts.Logf,
 	}
 	if opts.Chaos != nil {
