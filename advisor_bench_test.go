@@ -1,0 +1,87 @@
+package hadooppreempt_test
+
+// Serving-path benchmarks for the §V-A decision library. Unlike the
+// figure benchmarks, these measure the advisor itself — the ns/decision
+// and allocation profile a JobTracker would see calling Decide on every
+// heartbeat — so their metrics are wall-clock and land in
+// BENCH_sweep.json as volatile (reported, not golden-gated). The
+// zero-allocation guarantee itself is gated deterministically by
+// TestDecideZeroAlloc in internal/advisor.
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+
+	"hadooppreempt/internal/advisor"
+	"hadooppreempt/internal/core"
+)
+
+// benchAdvisorCandidates fills a candidate set shaped like a busy
+// TaskTracker's slot table: mixed progress, memory, and ages, with the
+// ID collisions that exercise the tie-break comparison.
+func benchAdvisorCandidates(n int) []advisor.Candidate {
+	cs := make([]advisor.Candidate, n)
+	for i := range cs {
+		cs[i] = advisor.Candidate{
+			ID:            fmt.Sprintf("job%d_m_%06d", i%3, i%7),
+			Progress:      float64(i%10) / 10,
+			ResidentBytes: int64(i%5) << 27,
+			StartedAt:     durSeconds(i % 9),
+		}
+	}
+	return cs
+}
+
+// BenchmarkAdvisorDecide is the single-thread serving-path headline:
+// one decision over a 16-candidate slot table, zero heap allocations.
+func BenchmarkAdvisorDecide(b *testing.B) {
+	adv, err := advisor.New(advisor.Config{
+		Policy: advisor.MostProgress, KillBelow: 0.05, WaitAbove: 0.95,
+		PressureKillBelow: 0.30,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	req := advisor.Request{Candidates: benchAdvisorCandidates(16), FreeBytes: 1 << 28}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sink advisor.Decision
+	for i := 0; i < b.N; i++ {
+		sink = adv.Decide(req)
+	}
+	if sink.Victim == advisor.NoVictim {
+		b.Fatal("no victim selected")
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "decisions/s")
+}
+
+// BenchmarkAdvisorDecideParallel shares one Advisor value across
+// goroutines, as concurrent scheduler shards would. The candidate slice
+// is read-only to Decide, so the goroutines share it too; nothing is
+// allocated inside the measured region.
+func BenchmarkAdvisorDecideParallel(b *testing.B) {
+	adv, err := advisor.New(advisor.Config{
+		Policy: advisor.SmallestMemory, Primitive: core.Suspend,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cs := benchAdvisorCandidates(16)
+	for _, g := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("goroutines=%d", g), func(b *testing.B) {
+			defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(g))
+			b.ReportAllocs()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				req := advisor.Request{Candidates: cs}
+				var sink advisor.Decision
+				for pb.Next() {
+					sink = adv.Decide(req)
+				}
+				_ = sink
+			})
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "decisions/s")
+		})
+	}
+}

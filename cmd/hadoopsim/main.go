@@ -7,7 +7,8 @@
 // Usage:
 //
 //	hadoopsim -config experiment.conf [-nodes N] [-slots S] [-seed X]
-//	hadoopsim -sweep twojob|pressure|cluster|evict|primitive [-parallel W]
+//	hadoopsim -sweep twojob|pressure|cluster|evict|primitive|scenarios
+//	          [-parallel W]
 //	          [-reps N] [-seed X] [-format table|csv|json|series]
 //	          [-cache DIR] [-cpuprofile file] [-memprofile file]
 //	hadoopsim -backend replay -trace trace.tsv [-trace-shards K]
@@ -42,6 +43,8 @@
 //	cluster    scheduler x nodes x workload mix    (cluster scale-out)
 //	evict      fair/hfsp x eviction policy x nodes x mix
 //	primitive  fair/hfsp x susp/kill x nodes x mix (seed-paired)
+//	scenarios  fair/hfsp x arrival shape x memory skew (generated
+//	           preemption scenarios; all scenario axes seed-paired)
 //
 // Cell seeds derive from grid coordinates, not execution order, so for
 // the sim and replay backends -parallel 8 produces byte-identical
@@ -136,7 +139,7 @@ func main() {
 	deadline := flag.Duration("deadline", 2*time.Hour, "virtual-time budget")
 	width := flag.Int("width", 72, "gantt chart width")
 	backend := flag.String("backend", "sim", "execution backend: sim, replay or real")
-	sweepName := flag.String("sweep", "", "sim scenario grid to sweep: twojob, pressure, cluster, evict or primitive (with -serve, a comma-separated list queues several)")
+	sweepName := flag.String("sweep", "", "sim scenario grid to sweep: twojob, pressure, cluster, evict, primitive or scenarios (with -serve, a comma-separated list queues several)")
 	tracePath := flag.String("trace", "", "SWIM trace file for the replay backend")
 	traceShards := flag.Int("trace-shards", 4, "trace shards per repetition (replay cells)")
 	replaySched := flag.String("replay-sched", "fifo", "replay cluster scheduler: fifo, fair or hfsp")

@@ -28,6 +28,7 @@ import (
 	"math"
 	"time"
 
+	"hadooppreempt/internal/advisor"
 	"hadooppreempt/internal/core"
 	"hadooppreempt/internal/disk"
 	"hadooppreempt/internal/experiments"
@@ -101,6 +102,10 @@ type Options struct {
 	// ("most-progress", "least-progress", "smallest-memory",
 	// "largest-memory", "oldest", "youngest"; default "most-progress").
 	EvictionPolicy string
+	// PreemptionTimeout overrides how long Fair lets a pool starve before
+	// preempting (and HFSP's preemption delay). Zero keeps the scheduler
+	// defaults.
+	PreemptionTimeout time.Duration
 	// Seed drives all randomness; equal seeds give identical runs.
 	Seed uint64
 	// HeartbeatInterval overrides the TaskTracker heartbeat period.
@@ -176,7 +181,11 @@ func New(opts Options) (*Cluster, error) {
 	if err != nil {
 		return nil, err
 	}
-	policy, err := core.PolicyByName(opts.EvictionPolicy)
+	policy, err := advisor.PolicyByName(opts.EvictionPolicy)
+	if err != nil {
+		return nil, err
+	}
+	adv, err := advisor.New(advisor.Config{Policy: policy, Primitive: opts.Primitive})
 	if err != nil {
 		return nil, err
 	}
@@ -195,7 +204,10 @@ func New(opts Options) (*Cluster, error) {
 	case SchedulerFair:
 		fcfg := scheduler.DefaultFairConfig(opts.Nodes * opts.MapSlotsPerNode)
 		fcfg.Resident = resident
-		c.fair, err = scheduler.NewFair(inner.Engine(), jt, c.preemptor, policy, fcfg)
+		if opts.PreemptionTimeout > 0 {
+			fcfg.PreemptionTimeout = opts.PreemptionTimeout
+		}
+		c.fair, err = scheduler.NewFair(inner.Engine(), jt, c.preemptor, adv, fcfg)
 		if err != nil {
 			return nil, err
 		}
@@ -203,7 +215,10 @@ func New(opts Options) (*Cluster, error) {
 	case SchedulerHFSP:
 		hcfg := scheduler.DefaultHFSPConfig()
 		hcfg.Resident = resident
-		c.hfsp, err = scheduler.NewHFSP(inner.Engine(), jt, c.preemptor, policy, hcfg)
+		if opts.PreemptionTimeout > 0 {
+			hcfg.PreemptionDelay = opts.PreemptionTimeout
+		}
+		c.hfsp, err = scheduler.NewHFSP(inner.Engine(), jt, c.preemptor, adv, hcfg)
 		if err != nil {
 			return nil, err
 		}
@@ -386,6 +401,30 @@ func (c *Cluster) OnJobComplete(job string, fn func()) error {
 
 // Gantt renders the execution schedule recorded so far (Figure 1 style).
 func (c *Cluster) Gantt(width int) string { return c.rec.Gantt(width) }
+
+// Preemptions reports how many preemptions the scheduler issued (Fair
+// and HFSP; zero for the others).
+func (c *Cluster) Preemptions() int {
+	switch {
+	case c.fair != nil:
+		return c.fair.Preemptions()
+	case c.hfsp != nil:
+		return c.hfsp.Preemptions()
+	}
+	return 0
+}
+
+// Resumes reports how many suspended-task restores the scheduler issued
+// (Fair and HFSP; zero for the others).
+func (c *Cluster) Resumes() int {
+	switch {
+	case c.fair != nil:
+		return c.fair.Resumes()
+	case c.hfsp != nil:
+		return c.hfsp.Resumes()
+	}
+	return 0
+}
 
 // JobStats summarizes one job's outcome.
 type JobStats struct {

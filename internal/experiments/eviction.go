@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"hadooppreempt/internal/advisor"
 	"hadooppreempt/internal/core"
 	"hadooppreempt/internal/disk"
 	"hadooppreempt/internal/mapreduce"
@@ -33,7 +34,13 @@ type EvictionResult struct {
 // footprint should minimize paging overhead (the paper's reading of its
 // Figure 4).
 func RunEvictionComparison(policyName string, seed uint64) (*EvictionResult, error) {
-	policy, err := core.PolicyByName(policyName)
+	policy, err := advisor.PolicyByName(policyName)
+	if err != nil {
+		return nil, err
+	}
+	// The scenario always suspends, so the advisor's primitive is forced;
+	// only its victim choice varies with the policy under test.
+	adv, err := advisor.New(advisor.Config{Policy: policy, Primitive: core.Suspend})
 	if err != nil {
 		return nil, err
 	}
@@ -98,28 +105,27 @@ func RunEvictionComparison(policyName string, seed uint64) (*EvictionResult, err
 			thJob = j
 			// Build the candidate set from the running low-priority
 			// tasks, as a scheduler would.
-			var candidates []core.Candidate
-			byID := make(map[string]*mapreduce.Task)
+			var candidates []advisor.Candidate
+			var tasks []*mapreduce.Task
 			for _, job := range []*mapreduce.Job{light, heavy} {
 				for _, task := range job.MapTasks() {
 					if task.State() != mapreduce.TaskRunning {
 						continue
 					}
-					c := core.Candidate{
-						ID:            task.ID().String(),
+					candidates = append(candidates, advisor.Candidate{
+						ID:            task.IDString(),
 						Progress:      task.Progress(),
 						ResidentBytes: task.ResidentBytes(),
 						StartedAt:     task.FirstLaunchAt(),
-					}
-					candidates = append(candidates, c)
-					byID[c.ID] = task
+					})
+					tasks = append(tasks, task)
 				}
 			}
-			chosen, ok := policy.SelectVictim(candidates)
-			if !ok {
+			d := adv.Decide(advisor.Request{Candidates: candidates})
+			if d.Victim == advisor.NoVictim {
 				panic("experiments: no eviction candidate")
 			}
-			victim = byID[chosen.ID]
+			victim = tasks[d.Victim]
 			if _, err := preemptor.Preempt(victim.ID()); err != nil {
 				panic(fmt.Sprintf("experiments: preempt victim: %v", err))
 			}
@@ -218,7 +224,10 @@ func RunAdvisorSweep(rs []float64, cfg Config) ([]*AdvisorResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	advisor := core.DefaultAdvisor()
+	adv, err := advisor.New(advisor.DefaultConfig())
+	if err != nil {
+		return nil, err
+	}
 	byR := make(map[float64]*AdvisorResult)
 	var out []*AdvisorResult
 	for _, pr := range res.Points {
@@ -232,8 +241,10 @@ func RunAdvisorSweep(rs []float64, cfg Config) ([]*AdvisorResult, error) {
 		mk := time.Duration(pr.Outcome.Values["makespan_s"] * float64(time.Second))
 		ar.Makespans[pr.Point.Label("prim")] = mk
 	}
+	victim := make([]advisor.Candidate, 1)
 	for _, ar := range out {
-		ar.Chosen = advisor.Choose(ar.R)
+		victim[0] = advisor.Candidate{ID: "tl", Progress: ar.R}
+		ar.Chosen = adv.Decide(advisor.Request{Candidates: victim}).Primitive
 		ar.Makespans["advisor"] = ar.Makespans[ar.Chosen.String()]
 	}
 	return out, nil

@@ -83,7 +83,10 @@ func (j *Job) Progress() float64 {
 
 // Task is the JobTracker's record of one task.
 type Task struct {
-	id    TaskID
+	id TaskID
+	// idStr caches id.String() so per-decision consumers (the scheduler
+	// preemption paths) never re-render it.
+	idStr string
 	job   *Job
 	state TaskState
 
@@ -112,6 +115,10 @@ type Task struct {
 
 // ID returns the task id.
 func (t *Task) ID() TaskID { return t.id }
+
+// IDString returns the cached String rendering of the task id, for
+// hot paths that would otherwise allocate one per call.
+func (t *Task) IDString() string { return t.idStr }
 
 // Job returns the owning job.
 func (t *Task) Job() *Job { return t.job }
@@ -279,6 +286,7 @@ func (jt *JobTracker) Submit(conf JobConf) (*Job, error) {
 			state: TaskPending,
 			block: b,
 		}
+		t.idStr = t.id.String()
 		job.tasks = append(job.tasks, t)
 		jt.tasks[t.id] = t
 	}
@@ -288,6 +296,7 @@ func (jt *JobTracker) Submit(conf JobConf) (*Job, error) {
 			job:   job,
 			state: TaskPending,
 		}
+		t.idStr = t.id.String()
 		job.tasks = append(job.tasks, t)
 		jt.tasks[t.id] = t
 	}

@@ -5,6 +5,7 @@ import (
 	"sort"
 	"time"
 
+	"hadooppreempt/internal/advisor"
 	"hadooppreempt/internal/core"
 	"hadooppreempt/internal/mapreduce"
 	"hadooppreempt/internal/sim"
@@ -60,7 +61,7 @@ type Fair struct {
 	jt        *mapreduce.JobTracker
 	cfg       FairConfig
 	preemptor *core.Preemptor
-	policy    core.EvictionPolicy
+	adv       advisor.Advisor
 
 	pools map[string]*fairPool
 	// suspended tracks preempted-but-restorable tasks.
@@ -68,6 +69,12 @@ type Fair struct {
 	// skips counts declined non-local offers per task (delay
 	// scheduling).
 	skips map[mapreduce.TaskID]int
+
+	// Scratch for preemptFor, reused across checks so a preemption
+	// decision allocates nothing; candTasks/candPools parallel cands.
+	cands     []advisor.Candidate
+	candTasks []*mapreduce.Task
+	candPools []*fairPool
 
 	preemptions int
 	resumes     int
@@ -90,29 +97,53 @@ type suspendedTask struct {
 var _ mapreduce.Scheduler = (*Fair)(nil)
 
 // NewFair creates the scheduler and starts its periodic preemption check.
+// The advisor decides victims on the preemption path; the zero Advisor
+// selects the default (most-progress, forced to the preemptor's
+// primitive — the paper's Natjam-style configuration).
 func NewFair(eng *sim.Engine, jt *mapreduce.JobTracker, preemptor *core.Preemptor,
-	policy core.EvictionPolicy, cfg FairConfig) (*Fair, error) {
+	adv advisor.Advisor, cfg FairConfig) (*Fair, error) {
 	if cfg.TotalSlots <= 0 {
 		return nil, fmt.Errorf("scheduler: fair needs positive TotalSlots")
 	}
 	if cfg.CheckInterval <= 0 {
 		cfg.CheckInterval = time.Second
 	}
-	if policy == nil {
-		policy = core.MostProgress()
+	adv, err := schedulerAdvisor(adv, advisor.MostProgress, preemptor)
+	if err != nil {
+		return nil, err
 	}
 	f := &Fair{
 		eng:       eng,
 		jt:        jt,
 		cfg:       cfg,
 		preemptor: preemptor,
-		policy:    policy,
+		adv:       adv,
 		pools:     make(map[string]*fairPool),
 		suspended: make(map[mapreduce.TaskID]*suspendedTask),
 		skips:     make(map[mapreduce.TaskID]int),
 	}
 	eng.Schedule(cfg.CheckInterval, f.check)
 	return f, nil
+}
+
+// schedulerAdvisor resolves the advisor a scheduler preempts with: the
+// zero value becomes defaultPolicy forced to the preemptor's primitive,
+// and a caller-supplied advisor must agree with the wired preemptor —
+// the scheduler can only apply that one primitive.
+func schedulerAdvisor(adv advisor.Advisor, defaultPolicy advisor.Policy,
+	preemptor *core.Preemptor) (advisor.Advisor, error) {
+	if !adv.Valid() {
+		return advisor.New(advisor.Config{
+			Policy:    defaultPolicy,
+			Primitive: preemptor.Primitive(),
+		})
+	}
+	if got := adv.Config().Primitive; got != preemptor.Primitive() {
+		return advisor.Advisor{}, fmt.Errorf(
+			"scheduler: advisor primitive %v does not match the preemptor's %v",
+			got, preemptor.Primitive())
+	}
+	return adv, nil
 }
 
 // Preemptions reports how many preemptions the scheduler issued.
@@ -382,10 +413,12 @@ func (f *Fair) check() {
 	}
 }
 
-// preemptFor finds a victim in over-share pools and preempts it.
+// preemptFor finds a victim in over-share pools and preempts it. The
+// candidate slices are reused scratch: one decision allocates nothing.
 func (f *Fair) preemptFor(starved *fairPool, active []*fairPool, share float64) {
-	var candidates []core.Candidate
-	owner := make(map[string]*fairPool)
+	f.cands = f.cands[:0]
+	f.candTasks = f.candTasks[:0]
+	f.candPools = f.candPools[:0]
 	for _, p := range active {
 		if p == starved {
 			continue
@@ -403,25 +436,22 @@ func (f *Fair) preemptFor(starved *fairPool, active []*fairPool, share float64) 
 				if f.cfg.Resident != nil {
 					resident = f.cfg.Resident(t.ID())
 				}
-				c := core.Candidate{
-					ID:            t.ID().String(),
+				f.cands = append(f.cands, advisor.Candidate{
+					ID:            t.IDString(),
 					Progress:      t.Progress(),
 					ResidentBytes: resident,
 					StartedAt:     t.FirstLaunchAt(),
-				}
-				candidates = append(candidates, c)
-				owner[c.ID] = p
+				})
+				f.candTasks = append(f.candTasks, t)
+				f.candPools = append(f.candPools, p)
 			}
 		}
 	}
-	victim, ok := f.policy.SelectVictim(candidates)
-	if !ok {
+	d := f.adv.Decide(advisor.Request{Candidates: f.cands})
+	if d.Victim == advisor.NoVictim {
 		return
 	}
-	vt := f.findTaskByString(victim.ID)
-	if vt == nil {
-		return
-	}
+	vt := f.candTasks[d.Victim]
 	if _, err := f.preemptor.Preempt(vt.ID()); err != nil {
 		return
 	}
@@ -429,22 +459,8 @@ func (f *Fair) preemptFor(starved *fairPool, active []*fairPool, share float64) 
 	if f.preemptor.Primitive() == core.Suspend || f.preemptor.Primitive() == core.Checkpoint {
 		f.suspended[vt.ID()] = &suspendedTask{
 			id:          vt.ID(),
-			pool:        owner[victim.ID].name,
+			pool:        f.candPools[d.Victim].name,
 			suspendedAt: f.eng.Now(),
 		}
 	}
-}
-
-// findTaskByString resolves a stringified task id back to the record.
-func (f *Fair) findTaskByString(s string) *mapreduce.Task {
-	for _, p := range f.pools {
-		for _, job := range p.jobs {
-			for _, t := range job.Tasks() {
-				if t.ID().String() == s {
-					return t
-				}
-			}
-		}
-	}
-	return nil
 }

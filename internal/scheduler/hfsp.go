@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"hadooppreempt/internal/advisor"
 	"hadooppreempt/internal/core"
 	"hadooppreempt/internal/mapreduce"
 	"hadooppreempt/internal/sim"
@@ -40,12 +41,17 @@ type HFSP struct {
 	jt        *mapreduce.JobTracker
 	cfg       HFSPConfig
 	preemptor *core.Preemptor
-	policy    core.EvictionPolicy
+	adv       advisor.Advisor
 
 	jobs []*mapreduce.Job
 	// starvedSince tracks when the currently smallest job started waiting.
 	starvedSince map[mapreduce.JobID]time.Duration
 	suspended    map[mapreduce.TaskID]mapreduce.JobID
+
+	// Scratch for check's victim selection, reused so a preemption
+	// decision allocates nothing; candTasks parallels cands.
+	cands     []advisor.Candidate
+	candTasks []*mapreduce.Task
 
 	preemptions int
 	resumes     int
@@ -53,21 +59,25 @@ type HFSP struct {
 
 var _ mapreduce.Scheduler = (*HFSP)(nil)
 
-// NewHFSP creates the scheduler and starts its check loop.
+// NewHFSP creates the scheduler and starts its check loop. The advisor
+// decides victims on the preemption path; the zero Advisor selects the
+// default (smallest-memory, forced to the preemptor's primitive —
+// §V-A's minimal-paging strategy).
 func NewHFSP(eng *sim.Engine, jt *mapreduce.JobTracker, preemptor *core.Preemptor,
-	policy core.EvictionPolicy, cfg HFSPConfig) (*HFSP, error) {
+	adv advisor.Advisor, cfg HFSPConfig) (*HFSP, error) {
 	if cfg.CheckInterval <= 0 {
 		return nil, fmt.Errorf("scheduler: hfsp needs positive CheckInterval")
 	}
-	if policy == nil {
-		policy = core.SmallestMemory()
+	adv, err := schedulerAdvisor(adv, advisor.SmallestMemory, preemptor)
+	if err != nil {
+		return nil, err
 	}
 	h := &HFSP{
 		eng:          eng,
 		jt:           jt,
 		cfg:          cfg,
 		preemptor:    preemptor,
-		policy:       policy,
+		adv:          adv,
 		starvedSince: make(map[mapreduce.JobID]time.Duration),
 		suspended:    make(map[mapreduce.TaskID]mapreduce.JobID),
 	}
@@ -225,9 +235,11 @@ func (h *HFSP) check() {
 	if now-since < h.cfg.PreemptionDelay {
 		return
 	}
-	// Victims: running tasks of jobs ranked below the starved job.
-	var candidates []core.Candidate
-	byID := make(map[string]*mapreduce.Task)
+	// Victims: running tasks of jobs ranked below the starved job. The
+	// candidate slices are reused scratch: one decision allocates
+	// nothing.
+	h.cands = h.cands[:0]
+	h.candTasks = h.candTasks[:0]
 	for i := starvedRank + 1; i < len(ordered); i++ {
 		for _, t := range ordered[i].Tasks() {
 			if t.State() != mapreduce.TaskRunning {
@@ -237,21 +249,20 @@ func (h *HFSP) check() {
 			if h.cfg.Resident != nil {
 				resident = h.cfg.Resident(t.ID())
 			}
-			c := core.Candidate{
-				ID:            t.ID().String(),
+			h.cands = append(h.cands, advisor.Candidate{
+				ID:            t.IDString(),
 				Progress:      t.Progress(),
 				ResidentBytes: resident,
 				StartedAt:     t.FirstLaunchAt(),
-			}
-			candidates = append(candidates, c)
-			byID[c.ID] = t
+			})
+			h.candTasks = append(h.candTasks, t)
 		}
 	}
-	victim, ok := h.policy.SelectVictim(candidates)
-	if !ok {
+	d := h.adv.Decide(advisor.Request{Candidates: h.cands})
+	if d.Victim == advisor.NoVictim {
 		return
 	}
-	vt := byID[victim.ID]
+	vt := h.candTasks[d.Victim]
 	if _, err := h.preemptor.Preempt(vt.ID()); err != nil {
 		return
 	}

@@ -4,6 +4,7 @@ import (
 	"testing"
 	"time"
 
+	"hadooppreempt/internal/advisor"
 	"hadooppreempt/internal/core"
 	"hadooppreempt/internal/hdfs"
 	"hadooppreempt/internal/mapreduce"
@@ -27,7 +28,7 @@ func TestFairDelaySchedulingPrefersLocalSlot(t *testing.T) {
 	pre := preemptorFor(t, c, core.Suspend)
 	fcfg := scheduler.DefaultFairConfig(2)
 	fcfg.LocalityWaitSkips = 3
-	fair, err := scheduler.NewFair(c.Engine(), jt, pre, nil, fcfg)
+	fair, err := scheduler.NewFair(c.Engine(), jt, pre, advisor.Advisor{}, fcfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -68,7 +69,7 @@ func TestFairDelaySchedulingEventuallyGoesRemote(t *testing.T) {
 	fcfg := scheduler.DefaultFairConfig(2)
 	fcfg.LocalityWaitSkips = 2
 	fcfg.PreemptionTimeout = time.Hour // no preemption in this test
-	fair, err := scheduler.NewFair(c.Engine(), jt, pre, nil, fcfg)
+	fair, err := scheduler.NewFair(c.Engine(), jt, pre, advisor.Advisor{}, fcfg)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -4,6 +4,7 @@ import (
 	"testing"
 	"time"
 
+	"hadooppreempt/internal/advisor"
 	"hadooppreempt/internal/core"
 	"hadooppreempt/internal/disk"
 	"hadooppreempt/internal/mapreduce"
@@ -126,7 +127,11 @@ func TestFairPreemptsForStarvedPool(t *testing.T) {
 	fcfg := scheduler.DefaultFairConfig(2)
 	fcfg.PreemptionTimeout = 5 * time.Second
 	fcfg.ResumeLocalityTimeout = 0 // keep suspended tasks in place
-	fair, err := scheduler.NewFair(c.Engine(), jt, pre, core.MostProgress(), fcfg)
+	adv, err := advisor.New(advisor.Config{Policy: advisor.MostProgress, Primitive: core.Suspend})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fair, err := scheduler.NewFair(c.Engine(), jt, pre, adv, fcfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -174,7 +179,7 @@ func TestFairNoPreemptionWhenSharesMet(t *testing.T) {
 	c := testClusterWith(t, 1, 2)
 	jt := c.JobTracker()
 	pre := preemptorFor(t, c, core.Suspend)
-	fair, err := scheduler.NewFair(c.Engine(), jt, pre, nil, scheduler.DefaultFairConfig(2))
+	fair, err := scheduler.NewFair(c.Engine(), jt, pre, advisor.Advisor{}, scheduler.DefaultFairConfig(2))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -202,7 +207,7 @@ func TestFairResumeLocalityDelayedKill(t *testing.T) {
 	fcfg := scheduler.DefaultFairConfig(1)
 	fcfg.PreemptionTimeout = 3 * time.Second
 	fcfg.ResumeLocalityTimeout = 10 * time.Second
-	fair, err := scheduler.NewFair(c.Engine(), jt, pre, nil, fcfg)
+	fair, err := scheduler.NewFair(c.Engine(), jt, pre, advisor.Advisor{}, fcfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -240,7 +245,7 @@ func TestHFSPSmallJobPreemptsBig(t *testing.T) {
 	pre := preemptorFor(t, c, core.Suspend)
 	hcfg := scheduler.DefaultHFSPConfig()
 	hcfg.PreemptionDelay = 3 * time.Second
-	h, err := scheduler.NewHFSP(c.Engine(), jt, pre, nil, hcfg)
+	h, err := scheduler.NewHFSP(c.Engine(), jt, pre, advisor.Advisor{}, hcfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -275,7 +280,7 @@ func TestHFSPNoPreemptionForSingleJob(t *testing.T) {
 	c := testClusterWith(t, 1, 1)
 	jt := c.JobTracker()
 	pre := preemptorFor(t, c, core.Suspend)
-	h, err := scheduler.NewHFSP(c.Engine(), jt, pre, nil, scheduler.DefaultHFSPConfig())
+	h, err := scheduler.NewHFSP(c.Engine(), jt, pre, advisor.Advisor{}, scheduler.DefaultHFSPConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -291,13 +296,13 @@ func TestHFSPNoPreemptionForSingleJob(t *testing.T) {
 }
 
 func TestFairConfigValidation(t *testing.T) {
-	if _, err := scheduler.NewFair(nil, nil, nil, nil, scheduler.FairConfig{TotalSlots: 0}); err == nil {
+	if _, err := scheduler.NewFair(nil, nil, nil, advisor.Advisor{}, scheduler.FairConfig{TotalSlots: 0}); err == nil {
 		t.Fatal("zero slots should fail")
 	}
 }
 
 func TestHFSPConfigValidation(t *testing.T) {
-	if _, err := scheduler.NewHFSP(nil, nil, nil, nil, scheduler.HFSPConfig{CheckInterval: 0}); err == nil {
+	if _, err := scheduler.NewHFSP(nil, nil, nil, advisor.Advisor{}, scheduler.HFSPConfig{CheckInterval: 0}); err == nil {
 		t.Fatal("zero check interval should fail")
 	}
 }

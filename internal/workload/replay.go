@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"time"
 
+	"hadooppreempt/internal/advisor"
 	"hadooppreempt/internal/core"
 	"hadooppreempt/internal/mapreduce"
 	"hadooppreempt/internal/metrics"
@@ -247,7 +248,9 @@ func (b *ReplayBackend) installScheduler(cluster *mapreduce.Cluster) error {
 	if err != nil {
 		return err
 	}
-	policy, err := core.PolicyByName("most-progress")
+	adv, err := advisor.New(advisor.Config{
+		Policy: advisor.MostProgress, Primitive: core.Suspend,
+	})
 	if err != nil {
 		return err
 	}
@@ -261,7 +264,7 @@ func (b *ReplayBackend) installScheduler(cluster *mapreduce.Cluster) error {
 	case "fair":
 		fcfg := scheduler.DefaultFairConfig(b.cfg.Nodes * b.cfg.SlotsPerNode)
 		fcfg.Resident = resident
-		fair, err := scheduler.NewFair(cluster.Engine(), jt, preemptor, policy, fcfg)
+		fair, err := scheduler.NewFair(cluster.Engine(), jt, preemptor, adv, fcfg)
 		if err != nil {
 			return err
 		}
@@ -269,7 +272,7 @@ func (b *ReplayBackend) installScheduler(cluster *mapreduce.Cluster) error {
 	case "hfsp":
 		hcfg := scheduler.DefaultHFSPConfig()
 		hcfg.Resident = resident
-		hfsp, err := scheduler.NewHFSP(cluster.Engine(), jt, preemptor, policy, hcfg)
+		hfsp, err := scheduler.NewHFSP(cluster.Engine(), jt, preemptor, adv, hcfg)
 		if err != nil {
 			return err
 		}

@@ -10,6 +10,7 @@ import (
 	"hadooppreempt/internal/chaos"
 	"hadooppreempt/internal/coord"
 	"hadooppreempt/internal/experiments"
+	"hadooppreempt/internal/genload"
 	"hadooppreempt/internal/metrics"
 	"hadooppreempt/internal/realexec"
 	"hadooppreempt/internal/sweep"
@@ -302,6 +303,97 @@ func clusterCell(jobs int, configure func(SweepPoint, *Options)) SweepCellFunc {
 	}
 }
 
+// GenScenario re-exports the seeded scenario generator's configuration
+// (see internal/genload): burst arrivals, pool spread, size and
+// memory-skew distributions, and the starvation timeout the scenario is
+// tuned for.
+type GenScenario = genload.Scenario
+
+// DefaultGenScenario returns the tuned default scenario: pool-
+// alternating bursts sized so the fair scheduler demonstrably preempts
+// on the scenario sweep's 2x2-slot cluster.
+func DefaultGenScenario() GenScenario { return genload.Default() }
+
+// ScenarioSweep returns the generated-scenario grid and runner:
+// scheduler (fair, hfsp) x arrival shape (burst, steady) x memory skew
+// (uniform, skewed) x repetition, every cell a 2-node x 2-slot cluster
+// running a genload trace with the scenario's starvation timeout wired
+// into the scheduler. All three scenario axes are seed-paired, so every
+// cell of a repetition faces the same base seed — and because the
+// generator draws each randomness axis from its own substream, the
+// skewed cell sees the identical arrival times and input sizes as its
+// uniform twin, making outcome differences pure axis effect. The burst
+// cells are the preemption showcase: the fair scheduler's preemption
+// counter, inert in the SWIM-style cluster sweeps (single pool), is
+// nonzero here by construction (a regression test pins this).
+func ScenarioSweep(reps int) (SweepGrid, SweepCellFunc) {
+	g := sweep.NewGrid(
+		sweep.Strings("sched", "fair", "hfsp"),
+		sweep.Strings("arrival", "burst", "steady"),
+		sweep.Strings("mem", "uniform", "skewed"),
+		sweep.Reps(reps),
+	).Pair("sched", "arrival", "mem")
+	run := func(pt SweepPoint, rec *SweepRecorder) error {
+		sc := DefaultGenScenario()
+		if pt.Label("arrival") == "steady" {
+			// One job per "burst": a steady trickle at the jitter cadence,
+			// pools still alternating job to job.
+			sc.BurstSize = 1
+			sc.BurstGap = 15 * time.Second
+		}
+		if pt.Label("mem") == "skewed" {
+			sc.HeavyFrac = 0.5
+		}
+		kinds := map[string]SchedulerKind{"fair": SchedulerFair, "hfsp": SchedulerHFSP}
+		c, err := New(Options{
+			Nodes:             2,
+			MapSlotsPerNode:   2,
+			Scheduler:         kinds[pt.Label("sched")],
+			Seed:              pt.Seed,
+			PreemptionTimeout: sc.StarvationTimeout,
+		})
+		if err != nil {
+			return err
+		}
+		specs, err := sc.Generate(pt.Seed)
+		if err != nil {
+			return err
+		}
+		if err := c.InstallWorkload(specs); err != nil {
+			return err
+		}
+		if !c.RunUntilJobsDone(24 * time.Hour) {
+			return fmt.Errorf("generated scenario did not converge")
+		}
+		var sojourns []float64
+		var suspensions, attempts int
+		var swapOut, swapIn int64
+		for _, spec := range specs {
+			st, err := c.Stats(spec.Conf.Name)
+			if err != nil {
+				return err
+			}
+			sojourns = append(sojourns, st.Sojourn.Seconds())
+			suspensions += st.Suspensions
+			attempts += st.Attempts
+			swapOut += st.SwapOut
+			swapIn += st.SwapIn
+		}
+		s := metrics.Summarize(sojourns)
+		rec.Observe("sojourn_mean_s", s.Mean)
+		rec.Observe("sojourn_p95_s", s.P95)
+		rec.Observe("makespan_s", c.Now().Seconds())
+		rec.Observe("preemptions", float64(c.Preemptions()))
+		rec.Observe("resumes", float64(c.Resumes()))
+		rec.Observe("suspensions", float64(suspensions))
+		rec.Observe("attempts", float64(attempts))
+		rec.Observe("swap_out_mb", float64(swapOut)/float64(1<<20))
+		rec.Observe("swap_in_mb", float64(swapIn)/float64(1<<20))
+		return nil
+	}
+	return g, run
+}
+
 // EvictionPolicyNames lists the victim-selection policies the evict
 // sweep covers by default.
 func EvictionPolicyNames() []string {
@@ -312,10 +404,11 @@ func EvictionPolicyNames() []string {
 
 // SimSweep resolves a named simulator scenario to an execution backend:
 // "twojob", "pressure", "cluster", "evict" (the cluster grid with the
-// eviction-policy axis) or "primitive" (the cluster grid with the
-// seed-paired susp-vs-kill axis). The sim backend is the pre-existing
-// sweep path behind the committed goldens; its output is byte-identical
-// to the direct grid runners at any parallelism level.
+// eviction-policy axis), "primitive" (the cluster grid with the
+// seed-paired susp-vs-kill axis) or "scenarios" (the generated
+// preemption-scenario grid; see ScenarioSweep). The sim backend is the
+// pre-existing sweep path behind the committed goldens; its output is
+// byte-identical to the direct grid runners at any parallelism level.
 func SimSweep(scenario string, jobs, reps int) (SweepBackend, error) {
 	switch scenario {
 	case "twojob", "pressure":
@@ -329,8 +422,11 @@ func SimSweep(scenario string, jobs, reps int) (SweepBackend, error) {
 	case "primitive":
 		g, run := ClusterPrimitiveSweep(jobs, reps)
 		return sweep.FuncBackend{Engine: experiments.SimBackendName, G: g, Run: run}, nil
+	case "scenarios":
+		g, run := ScenarioSweep(reps)
+		return sweep.FuncBackend{Engine: experiments.SimBackendName, G: g, Run: run}, nil
 	default:
-		return nil, fmt.Errorf("hadooppreempt: unknown sim scenario %q (want twojob, pressure, cluster, evict or primitive)", scenario)
+		return nil, fmt.Errorf("hadooppreempt: unknown sim scenario %q (want twojob, pressure, cluster, evict, primitive or scenarios)", scenario)
 	}
 }
 
