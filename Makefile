@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet fmt fmt-check lint bench bench-golden sweep-check backend-check dist-check ci
+.PHONY: all build test vet fmt fmt-check lint bench bench-diff bench-golden sweep-check backend-check replay-check dist-check ci
 
 all: build
 
@@ -32,6 +32,14 @@ lint:
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
 
+# Interleaved old-vs-new benchmark comparison per the EXPERIMENTS.md
+# methodology (min-of-N per binary). BASE picks the git ref to compare
+# the working tree against; BENCH narrows the benchmark regex.
+BASE ?= HEAD
+BENCH ?= ^BenchmarkFullGrid20Reps$$
+bench-diff:
+	scripts/benchdiff.sh -b '$(BENCH)' $(BASE)
+
 # Regenerate BENCH_sweep.json and fail if figure or grid metrics
 # drifted from goldens/bench_metrics.json (run with UPDATE=1 to rewrite
 # the goldens). BenchmarkSweepCollapse's allocs/cell and the advisor
@@ -39,7 +47,7 @@ bench:
 # allocator behavior and wall-clock throughput may move with the
 # toolchain and hardware.
 bench-golden:
-	$(GO) test -run '^$$' -bench 'BenchmarkFigure|BenchmarkFullGrid20Reps|BenchmarkSweepCollapse|BenchmarkCellCache|BenchmarkAdvisorDecide' \
+	$(GO) test -run '^$$' -bench 'BenchmarkFigure|BenchmarkFullGrid20Reps|BenchmarkLargeTraceReplay|BenchmarkSweepCollapse|BenchmarkCellCache|BenchmarkAdvisorDecide' \
 			-benchtime 3x -count 3 . \
 		| $(GO) run ./internal/tools/benchjson \
 			-golden goldens/bench_metrics.json -volatile 'BenchmarkSweepCollapse|BenchmarkCellCache|BenchmarkAdvisorDecide' \
@@ -78,6 +86,28 @@ backend-check:
 	/tmp/hadoopsim-ci -backend real -reps 1 -real-steps 10 -real-units 5000000 \
 		-format table | grep -q susp
 
+# Large-trace streaming-replay smoke (mirrors the CI replay-smoke
+# job): a synthesized 1200-job SWIM trace runs through the full cluster
+# engine behind a 64-job streaming input window, split over 3 cells,
+# and the output must hash to the committed golden — and be
+# byte-identical to the same run with the window disabled, so the
+# streaming replayer can't silently diverge from the materialize-
+# everything path. Run with UPDATE=1 to rewrite the hash golden.
+replay-check:
+	$(GO) build -o /tmp/hadoopsim-ci ./cmd/hadoopsim
+	/tmp/hadoopsim-ci -backend replay -trace-gen 1200 -trace-shards 3 \
+		-replay-timescale 10 -replay-window 64 -reps 1 -seed 1 -format csv \
+		> /tmp/replay-trace-gen.csv
+	/tmp/hadoopsim-ci -backend replay -trace-gen 1200 -trace-shards 3 \
+		-replay-timescale 10 -reps 1 -seed 1 -format csv \
+		| cmp /tmp/replay-trace-gen.csv -
+	$(if $(UPDATE),sha256sum /tmp/replay-trace-gen.csv | cut -d' ' -f1 > goldens/replay_trace1200.sha256,)
+	@obs=$$(sha256sum /tmp/replay-trace-gen.csv | cut -d' ' -f1); \
+	want=$$(cat goldens/replay_trace1200.sha256); \
+	if [ "$$obs" != "$$want" ]; then \
+		echo "large-trace replay hash $$obs != golden $$want"; exit 1; fi; \
+	echo "large-trace replay output matches golden hash ($$obs)"
+
 # Distributed parity (mirrors the CI distributed-parity job): a
 # coordinator plus two localhost workers — with artificially uneven
 # cell costs, a worker-kill/lease-reissue case, a coordinator
@@ -109,4 +139,4 @@ nightly-grid:
 	$(if $(UPDATE),cp /tmp/figures-reps20.json goldens/figures_reps20.json,)
 	cmp goldens/figures_reps20.json /tmp/figures-reps20.json
 
-ci: build vet fmt-check test bench bench-golden sweep-check backend-check dist-check
+ci: build vet fmt-check test bench bench-golden sweep-check backend-check replay-check dist-check

@@ -329,6 +329,54 @@ func BenchmarkFullGrid20Reps(b *testing.B) {
 	}
 }
 
+// BenchmarkLargeTraceReplay drives a synthesized 1200-job Facebook-like
+// SWIM trace (hp.SynthesizeSWIMTrace, deterministic in the job count)
+// through the full cluster engine as one replay cell, streaming inputs
+// through a 64-job window instead of materializing all 1200 up front.
+// -replay-timescale 10 compresses the trace's day of arrivals so the
+// simulated cluster runs saturated — the heavy-traffic regime the
+// quiescent heartbeat path exists for. The virtual-time throughput and
+// mean sojourn are deterministic physics and golden-gated; wall-clock
+// throughput is jobs / (ns/op), tracked via ns/op but never gated.
+func BenchmarkLargeTraceReplay(b *testing.B) {
+	const jobs = 1200
+	trace, err := hp.SynthesizeSWIMTrace(jobs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	backend, err := hp.ReplaySweep(hp.ReplayConfig{
+		Jobs:      trace,
+		Shards:    1,
+		Reps:      1,
+		TimeScale: 10,
+		Window:    64,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	grid, err := backend.Grid()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var col *hp.SweepCollapsed
+	for i := 0; i < b.N; i++ {
+		col, err = hp.RunSweepCollapsed(grid, backend.Cell,
+			hp.SweepOptions{Parallel: 1, Seed: benchSeed}, "rep")
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, g := range col.Groups {
+		makespan := g.Metrics["makespan_s"].Mean
+		if done := g.Metrics["jobs"].Mean; done != jobs {
+			b.Fatalf("replayed %v jobs, want %d", done, jobs)
+		}
+		b.ReportMetric(jobs/makespan, "virt_jobs_per_s")
+		b.ReportMetric(g.Metrics["sojourn_mean_s"].Mean, "sojourn_mean_s")
+	}
+}
+
 // BenchmarkSweepCollapse contrasts per-cell allocations of the legacy
 // materialize-then-collapse path against the streaming-collapse path on
 // a synthetic grid, so harness overhead — not simulation cost — is what

@@ -11,9 +11,9 @@
 //	          [-parallel W]
 //	          [-reps N] [-seed X] [-format table|csv|json|series]
 //	          [-cache DIR] [-cpuprofile file] [-memprofile file]
-//	hadoopsim -backend replay -trace trace.tsv [-trace-shards K]
+//	hadoopsim -backend replay {-trace trace.tsv | -trace-gen N} [-trace-shards K]
 //	          [-replay-sched fifo|fair|hfsp] [-replay-timescale F]
-//	          [-reps N] [-format F]
+//	          [-replay-window W] [-reps N] [-format F]
 //	hadoopsim -backend real [-reps N] [-real-steps N] [-real-units U]
 //	          [-real-mem BYTES] [-format F]
 //	hadoopsim [backend flags] -shard i/n > shard-i.json
@@ -26,10 +26,12 @@
 // Backends (-backend, default sim):
 //
 //	sim     the discrete-event simulator; -sweep picks the grid
-//	replay  SWIM trace replay: -trace splits into -trace-shards cells
-//	        per repetition, each replayed through an isolated cluster
-//	        (-replay-timescale F divides trace submission times, so
-//	        day-long traces run in bounded cells)
+//	replay  SWIM trace replay: -trace (or a synthesized -trace-gen N
+//	        trace) splits into -trace-shards cells per repetition, each
+//	        replayed through an isolated cluster (-replay-timescale F
+//	        divides trace submission times, so day-long traces run in
+//	        bounded cells; -replay-window W streams inputs instead of
+//	        materializing every job up front)
 //	real    the two-job scenario on real OS processes, preempted with
 //	        actual SIGTSTP/SIGCONT/SIGKILL (unix only; wall-clock, so
 //	        output is measured, not deterministic; cells run serially
@@ -141,9 +143,11 @@ func main() {
 	backend := flag.String("backend", "sim", "execution backend: sim, replay or real")
 	sweepName := flag.String("sweep", "", "sim scenario grid to sweep: twojob, pressure, cluster, evict, primitive or scenarios (with -serve, a comma-separated list queues several)")
 	tracePath := flag.String("trace", "", "SWIM trace file for the replay backend")
+	traceGen := flag.Int("trace-gen", 0, "replay backend: synthesize a deterministic N-job Facebook-like SWIM trace instead of reading -trace (a pure function of N, so every process regenerates the same trace)")
 	traceShards := flag.Int("trace-shards", 4, "trace shards per repetition (replay cells)")
 	replaySched := flag.String("replay-sched", "fifo", "replay cluster scheduler: fifo, fair or hfsp")
 	replayTimescale := flag.Float64("replay-timescale", 1, "replay backend: divide trace submission times by this factor")
+	replayWindow := flag.Int("replay-window", 0, "replay backend: materialize at most this many jobs' inputs ahead of the submission frontier (0 = all up front; output is identical either way)")
 	realSteps := flag.Int("real-steps", 20, "real backend: progress steps per worker")
 	realUnits := flag.Int64("real-units", 2_000_000, "real backend: busy-loop iterations per step")
 	realMem := flag.Int64("real-mem", 0, "real backend: bytes of state each worker dirties")
@@ -188,9 +192,11 @@ func main() {
 		backend:         *backend,
 		scenario:        *sweepName,
 		trace:           *tracePath,
+		traceGen:        *traceGen,
 		traceShards:     *traceShards,
 		replaySched:     *replaySched,
 		replayTimescale: *replayTimescale,
+		replayWindow:    *replayWindow,
 		realSteps:       *realSteps,
 		realUnits:       *realUnits,
 		realMem:         *realMem,
@@ -242,8 +248,9 @@ func main() {
 		default:
 			err = runWorker(f, *workerAddr)
 		}
-	case *sweepName != "" || anyFlagSet("backend", "trace", "trace-shards",
-		"replay-sched", "replay-timescale", "real-steps", "real-units", "real-mem", "cell-sleep"):
+	case *sweepName != "" || anyFlagSet("backend", "trace", "trace-gen", "trace-shards",
+		"replay-sched", "replay-timescale", "replay-window",
+		"real-steps", "real-units", "real-mem", "cell-sleep"):
 		if conflicting := configOnlyFlagsSet(); len(conflicting) > 0 {
 			err = fmt.Errorf("sweep mode cannot be combined with %s (config-mode flags)",
 				strings.Join(conflicting, ", "))
@@ -325,7 +332,8 @@ func sweepOnlyFlagsSet() []string {
 	flag.Visit(func(f *flag.Flag) {
 		switch f.Name {
 		case "sweep", "parallel", "reps", "seed", "shard", "backend",
-			"trace", "trace-shards", "replay-sched", "replay-timescale",
+			"trace", "trace-gen", "trace-shards",
+			"replay-sched", "replay-timescale", "replay-window",
 			"real-steps", "real-units", "real-mem",
 			"serve", "worker", "lease", "lease-ttl", "lease-retries",
 			"checkpoint", "resume", "cell-sleep", "chaos", "cache":
@@ -356,9 +364,11 @@ type sweepFlags struct {
 	backend         string
 	scenario        string
 	trace           string
+	traceGen        int
 	traceShards     int
 	replaySched     string
 	replayTimescale float64
+	replayWindow    int
 	realSteps       int
 	realUnits       int64
 	realMem         int64
@@ -383,8 +393,8 @@ func buildBackend(f sweepFlags) (hp.SweepBackend, error) {
 func buildBareBackend(f sweepFlags) (hp.SweepBackend, error) {
 	switch f.backend {
 	case "sim":
-		if f.trace != "" {
-			return nil, fmt.Errorf("-trace needs -backend replay")
+		if f.trace != "" || f.traceGen != 0 {
+			return nil, fmt.Errorf("-trace and -trace-gen need -backend replay")
 		}
 		scenario := f.scenario
 		if scenario == "" {
@@ -395,10 +405,18 @@ func buildBareBackend(f sweepFlags) (hp.SweepBackend, error) {
 		if f.scenario != "" {
 			return nil, fmt.Errorf("-sweep names a sim scenario; the replay backend takes -trace")
 		}
-		if f.trace == "" {
-			return nil, fmt.Errorf("-backend replay needs -trace <file>")
+		var jobs []hp.SWIMTraceJob
+		var err error
+		switch {
+		case f.trace != "" && f.traceGen != 0:
+			return nil, fmt.Errorf("-trace and -trace-gen are alternatives; pick one")
+		case f.trace != "":
+			jobs, err = hp.ReadSWIMTraceFile(f.trace)
+		case f.traceGen != 0:
+			jobs, err = hp.SynthesizeSWIMTrace(f.traceGen)
+		default:
+			return nil, fmt.Errorf("-backend replay needs -trace <file> or -trace-gen <n>")
 		}
-		jobs, err := hp.ReadSWIMTraceFile(f.trace)
 		if err != nil {
 			return nil, err
 		}
@@ -408,6 +426,7 @@ func buildBareBackend(f sweepFlags) (hp.SweepBackend, error) {
 			Reps:      f.reps,
 			Scheduler: f.replaySched,
 			TimeScale: f.replayTimescale,
+			Window:    f.replayWindow,
 		})
 	case "real":
 		if f.scenario != "" || f.trace != "" {

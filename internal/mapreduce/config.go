@@ -2,6 +2,7 @@ package mapreduce
 
 import (
 	"fmt"
+	"sync/atomic"
 	"time"
 )
 
@@ -119,7 +120,24 @@ type EngineConfig struct {
 	// ConnectionSetupCost is the SIGCONT handler's latency per external
 	// connection (re-establishing it).
 	ConnectionSetupCost time.Duration
+	// DisableQuiescentHeartbeats turns off the JobTracker's heartbeat
+	// fast path (see JobTracker.Heartbeat). The fast path skips command
+	// scanning and scheduler consultation when both are provably no-ops,
+	// so disabling it changes nothing but speed; the zero value keeps it
+	// on. The knob exists so determinism tests can compare both paths.
+	DisableQuiescentHeartbeats bool
 }
+
+// quiescentHeartbeatsOff is the process-wide default that
+// DefaultEngineConfig copies into DisableQuiescentHeartbeats. Sweep
+// cells build their cluster configs internally, so the determinism
+// tests flip this to run whole sweeps down the slow path.
+var quiescentHeartbeatsOff atomic.Bool
+
+// SetQuiescentHeartbeats sets the process-wide default for the
+// heartbeat fast path picked up by DefaultEngineConfig. It exists for
+// determinism tests; both settings produce identical results.
+func SetQuiescentHeartbeats(on bool) { quiescentHeartbeatsOff.Store(!on) }
 
 // DefaultEngineConfig mirrors a 2014 Hadoop 1 deployment with out-of-band
 // heartbeats on.
@@ -136,6 +154,8 @@ func DefaultEngineConfig() EngineConfig {
 		MaxTaskAttempts:        4,
 		ConnectionTeardownCost: 30 * time.Millisecond,
 		ConnectionSetupCost:    60 * time.Millisecond,
+
+		DisableQuiescentHeartbeats: quiescentHeartbeatsOff.Load(),
 	}
 }
 

@@ -180,6 +180,10 @@ type JobTracker struct {
 	// liveJobs counts submitted jobs not yet terminal, so the per-event
 	// termination check is a comparison instead of a map walk.
 	liveJobs int
+	// pendingTasks counts tasks in TaskPending across all jobs. Together
+	// with the per-tracker quiescence flags it lets a heartbeat prove the
+	// scheduler has nothing to do without consulting it.
+	pendingTasks int
 
 	// Scratch buffers reused across heartbeats; their contents are only
 	// valid until the next Heartbeat call.
@@ -225,7 +229,7 @@ func (jt *JobTracker) release() {
 	jt.listeners = nil
 	jt.scheduler = nil
 	jt.eng, jt.cfg, jt.fs = nil, nil, nil
-	jt.nextJob, jt.liveJobs = 0, 0
+	jt.nextJob, jt.liveJobs, jt.pendingTasks = 0, 0, 0
 	clear(jt.onScratch)
 	clear(jt.suspScratch)
 	clear(jt.actionScratch)
@@ -304,6 +308,7 @@ func (jt *JobTracker) Submit(conf JobConf) (*Job, error) {
 	jt.jobOrder = append(jt.jobOrder, id)
 	jt.jobList = append(jt.jobList, job)
 	jt.liveJobs++
+	jt.pendingTasks += len(job.tasks)
 	if jt.scheduler != nil {
 		jt.scheduler.JobSubmitted(job)
 	}
@@ -353,9 +358,44 @@ func (jt *JobTracker) setTaskState(t *Task, to TaskState) {
 		return
 	}
 	t.state = to
+	jt.noteTaskTransition(t, from, to)
 	now := jt.eng.Now()
 	for _, l := range jt.listeners {
 		l.TaskStateChanged(t, from, to, now)
+	}
+}
+
+// noteTaskTransition maintains the quiescence bookkeeping on every task
+// state change: the global pending count, and — for tasks bound to a
+// registered tracker — the tracker's command-dirty flag, suspended
+// count and tasksOn cache validity.
+func (jt *JobTracker) noteTaskTransition(t *Task, from, to TaskState) {
+	if from == TaskPending {
+		jt.pendingTasks--
+	}
+	if to == TaskPending {
+		jt.pendingTasks++
+	}
+	if t.tracker == "" {
+		return
+	}
+	tt, ok := jt.trackers[t.tracker]
+	if !ok {
+		return
+	}
+	tt.jtOnValid = false
+	switch to {
+	case TaskMustSuspend, TaskMustResume, TaskKilled:
+		tt.jtCmdDirty = true
+	}
+	fromSusp := from == TaskSuspended || from == TaskMustResume
+	toSusp := to == TaskSuspended || to == TaskMustResume
+	if fromSusp != toSusp {
+		if toSusp {
+			tt.jtSuspended++
+		} else {
+			tt.jtSuspended--
+		}
 	}
 }
 
@@ -509,6 +549,21 @@ func (jt *JobTracker) Heartbeat(status HeartbeatStatus) []Action {
 		}
 	}
 
+	// Quiescent fast path: skip the command scan (step 3) and scheduler
+	// consultation (step 4) when both are provably no-ops — no task on
+	// this tracker has an undelivered command, and either no slot is free
+	// or there is neither a pending task anywhere nor a suspended task
+	// here to resume. Every scheduler's Assign is side-effect-free and
+	// empty under those conditions, so skipping it is invisible: the
+	// heartbeat timer, progress reports and acknowledgements above are
+	// untouched, and output stays byte-identical with the path disabled.
+	tt := jt.trackers[status.TaskTracker]
+	if tt != nil && !jt.cfg.DisableQuiescentHeartbeats && !tt.jtCmdDirty &&
+		(status.FreeMapSlots == 0 || (jt.pendingTasks == 0 && tt.jtSuspended == 0)) {
+		jt.actionScratch = jt.actionScratch[:0]
+		return jt.actionScratch
+	}
+
 	// 3. Pending commands for this tracker. tasksOn is computed once per
 	// heartbeat; step 4 re-filters it by current state rather than walking
 	// the jobs again.
@@ -541,13 +596,19 @@ func (jt *JobTracker) Heartbeat(status HeartbeatStatus) []Action {
 		}
 	}
 
+	// The command scan above signalled every outstanding command for this
+	// tracker, so its dirty flag can drop. Cleared before step 4: Assign
+	// may issue new commands (ResumeTask) that must re-dirty it.
+	if tt != nil {
+		tt.jtCmdDirty = false
+	}
+
 	// 4. New assignments from the scheduler. Resumes issued above consume
 	// slots on execution, so they reduce what the scheduler may fill.
 	free := status.FreeMapSlots - resumes
 	if free < 0 {
 		free = 0
 	}
-	tt := jt.trackers[status.TaskTracker]
 	info := TaskTrackerInfo{
 		Name:         status.TaskTracker,
 		FreeMapSlots: free,
@@ -592,9 +653,16 @@ func (jt *JobTracker) Heartbeat(status HeartbeatStatus) []Action {
 }
 
 // tasksOn returns live tasks whose current attempt is on the tracker, in
-// deterministic order. The returned slice is scratch, valid until the
-// next call.
+// deterministic order. For registered trackers the sorted list is cached
+// and invalidated incrementally on task state changes (noteTaskTransition),
+// so back-to-back heartbeats with unchanged task state skip the job walk
+// and the sort. The returned slice is valid until the next call or state
+// change.
 func (jt *JobTracker) tasksOn(tracker string) []*Task {
+	tt := jt.trackers[tracker]
+	if tt != nil && tt.jtOnValid {
+		return tt.jtOn
+	}
 	out := jt.onScratch[:0]
 	for _, j := range jt.jobList {
 		for _, t := range j.tasks {
@@ -607,6 +675,11 @@ func (jt *JobTracker) tasksOn(tracker string) []*Task {
 		slices.SortFunc(out, func(a, b *Task) int { return compareTaskIDs(a.id, b.id) })
 	}
 	jt.onScratch = out
+	if tt != nil {
+		tt.jtOn = append(tt.jtOn[:0], out...)
+		tt.jtOnValid = true
+		return tt.jtOn
+	}
 	return out
 }
 

@@ -56,6 +56,19 @@ type TaskTracker struct {
 	mapProgFree     []*mapProgram
 	redProgFree     []*reduceProgram
 	cleanupProgFree []*cleanupProgram
+
+	// Quiescence bookkeeping, owned by the JobTracker (stored here to
+	// avoid a parallel per-tracker table). jtCmdDirty is set when a task
+	// on this tracker enters a command state (MUST_SUSPEND, MUST_RESUME,
+	// KILLED) and cleared once a heartbeat's command scan has drained it.
+	// jtSuspended counts tasks in {SUSPENDED, MUST_RESUME} whose attempt
+	// lives here (resume locality makes these tracker-bound). jtOn caches
+	// the sorted tasksOn list; jtOnValid is dropped on any state change
+	// of a task bound to this tracker.
+	jtCmdDirty  bool
+	jtSuspended int
+	jtOn        []*Task
+	jtOnValid   bool
 }
 
 // liveAttempt is a task attempt with a live process on this tracker.
@@ -121,6 +134,11 @@ func (tt *TaskTracker) release() {
 	tt.hbTimer = sim.Timer{}
 	tt.started = false
 	tt.heartbeats = 0
+	tt.jtCmdDirty = false
+	tt.jtSuspended = 0
+	clear(tt.jtOn)
+	tt.jtOn = tt.jtOn[:0]
+	tt.jtOnValid = false
 	ttPool.Put(tt)
 }
 

@@ -57,6 +57,14 @@ type ReplayConfig struct {
 	TimeScale float64
 	// Deadline bounds each cell's virtual time (default 24h).
 	Deadline time.Duration
+	// Window bounds in-flight input materialization per cell: at most
+	// this many jobs' HDFS inputs exist ahead of the submission
+	// frontier (see InstallWindowed), so multi-thousand-job shards
+	// stream instead of allocating every input up front. 0 means
+	// unbounded. Output is byte-identical for any window, so it is
+	// deliberately absent from Fingerprint: coordinator and workers
+	// may disagree on it freely.
+	Window int
 }
 
 // ReplayBackend replays a SWIM trace through simulated clusters: each
@@ -108,6 +116,9 @@ func NewReplayBackend(cfg ReplayConfig) (*ReplayBackend, error) {
 	}
 	if cfg.Deadline <= 0 {
 		cfg.Deadline = 24 * time.Hour
+	}
+	if cfg.Window < 0 {
+		return nil, fmt.Errorf("workload: negative replay window %d", cfg.Window)
 	}
 	return &ReplayBackend{cfg: cfg}, nil
 }
@@ -196,7 +207,7 @@ func (b *ReplayBackend) Cell(pt sweep.Point, rec *sweep.Recorder) error {
 	if err := b.installScheduler(cluster); err != nil {
 		return err
 	}
-	if _, err := Install(cluster, specs); err != nil {
+	if _, err := InstallWindowed(cluster, specs, b.cfg.Window); err != nil {
 		return err
 	}
 	if !cluster.RunUntilPlannedJobsDone(len(specs), b.cfg.Deadline) {

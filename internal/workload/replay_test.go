@@ -108,3 +108,107 @@ func TestReplayFingerprintCoversContent(t *testing.T) {
 		}
 	}
 }
+
+// TestReplayWindowByteIdentical: the streaming input window is pure
+// execution strategy — any window (including a degenerate 1-job one)
+// must replay a synthesized trace byte-identically to the unbounded
+// materialize-everything install, and must not enter the fingerprint
+// (coordinator and workers may disagree on it freely).
+func TestReplayWindowByteIdentical(t *testing.T) {
+	jobs, err := SynthesizeTrace(120, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	render := func(window int) string {
+		b, err := NewReplayBackend(ReplayConfig{
+			Jobs:      append([]TraceJob(nil), jobs...),
+			Shards:    2,
+			TimeScale: 8,
+			Scheduler: "fair",
+			Window:    window,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		col, err := sweep.RunBackend(b, sweep.Options{Parallel: 2, Seed: 5}, sweep.RepAxis)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out bytes.Buffer
+		if err := col.WriteCSV(&out); err != nil {
+			t.Fatal(err)
+		}
+		if err := col.WriteJSON(&out); err != nil {
+			t.Fatal(err)
+		}
+		return out.String()
+	}
+	unbounded := render(0)
+	if len(unbounded) == 0 {
+		t.Fatal("empty replay output")
+	}
+	for _, w := range []int{1, 7, 64} {
+		if render(w) != unbounded {
+			t.Fatalf("window %d diverges from the unbounded install", w)
+		}
+	}
+	fp := func(window int) string {
+		b, err := NewReplayBackend(ReplayConfig{Jobs: append([]TraceJob(nil), jobs...), Window: window})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b.Fingerprint()
+	}
+	if fp(0) != fp(16) {
+		t.Fatal("window leaked into the fingerprint")
+	}
+	if _, err := NewReplayBackend(ReplayConfig{Jobs: jobs, Window: -1}); err == nil {
+		t.Fatal("negative window accepted")
+	}
+}
+
+// TestSynthesizeTraceShape: the synthesized SWIM trace is deterministic
+// in (n, seed), sorted by submission time with consistent inter-arrival
+// gaps, and carries unique IDs — everything the replay backend and the
+// distributed fingerprint check rely on.
+func TestSynthesizeTraceShape(t *testing.T) {
+	a, err := SynthesizeTrace(300, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SynthesizeTrace(300, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != 300 {
+		t.Fatalf("got %d jobs, want 300", len(a))
+	}
+	seen := make(map[string]bool)
+	var prev time.Duration
+	for i, j := range a {
+		if j != b[i] {
+			t.Fatalf("job %d differs between identical calls", i)
+		}
+		if seen[j.ID] {
+			t.Fatalf("duplicate job id %q", j.ID)
+		}
+		seen[j.ID] = true
+		if j.SubmitAt < prev {
+			t.Fatalf("job %d submits at %v before predecessor %v", i, j.SubmitAt, prev)
+		}
+		if j.SubmitAt-prev != j.Interarrival {
+			t.Fatalf("job %d interarrival %v, want %v", i, j.Interarrival, j.SubmitAt-prev)
+		}
+		if j.InputBytes <= 0 {
+			t.Fatalf("job %d has input %d", i, j.InputBytes)
+		}
+		prev = j.SubmitAt
+	}
+	other, err := SynthesizeTrace(300, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if other[0] == a[0] && other[1] == a[1] {
+		t.Fatal("seed does not vary the trace")
+	}
+}

@@ -8,6 +8,8 @@ import (
 	"strconv"
 	"strings"
 	"time"
+
+	"hadooppreempt/internal/sim"
 )
 
 // SWIM trace files (the Facebook workload samples published with Chen et
@@ -104,6 +106,35 @@ func ReadTraceFile(path string) ([]TraceJob, error) {
 	jobs, err := ParseTrace(f)
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return jobs, nil
+}
+
+// SynthesizeTrace generates an n-job SWIM-style trace from the
+// Facebook-like default mix (DefaultConfig's classes and skew),
+// deterministic for a given seed. It exists so benchmarks and smoke
+// tests can exercise trace-scale replay without shipping a real trace
+// file: the result round-trips through the replay backend exactly like
+// a parsed trace, and two processes calling it with the same arguments
+// hold byte-identical traces (so distributed workers pass the
+// fingerprint check).
+func SynthesizeTrace(n int, seed uint64) ([]TraceJob, error) {
+	cfg := DefaultConfig()
+	cfg.Count = n
+	specs, err := Generate(cfg, sim.NewRNG(seed))
+	if err != nil {
+		return nil, err
+	}
+	jobs := make([]TraceJob, len(specs))
+	var prev time.Duration
+	for i, s := range specs {
+		jobs[i] = TraceJob{
+			ID:           s.Conf.Name,
+			SubmitAt:     s.SubmitAt,
+			Interarrival: s.SubmitAt - prev,
+			InputBytes:   s.InputBytes,
+		}
+		prev = s.SubmitAt
 	}
 	return jobs, nil
 }

@@ -170,3 +170,65 @@ func Install(cluster *mapreduce.Cluster, specs []JobSpec) ([]string, error) {
 	}
 	return names, nil
 }
+
+// InstallWindowed is Install with bounded input materialization: at most
+// window inputs exist ahead of the submission frontier, so a
+// multi-thousand-job trace no longer allocates every HDFS file up
+// front. Submissions are still all scheduled at install time — engine
+// event ordering is exactly Install's — and inputs are created in spec
+// order (HDFS placement draws from a private RNG consumed only at
+// creation, so deferring creation to any point before the first read
+// leaves block IDs and replica placement unchanged). Output is
+// therefore byte-identical to Install for any window.
+//
+// Windowing requires specs sorted by SubmitAt (the submission frontier
+// is what pulls the next input into existence); unsorted specs fall
+// back to the unbounded path. window <= 0 also means unbounded.
+func InstallWindowed(cluster *mapreduce.Cluster, specs []JobSpec, window int) ([]string, error) {
+	if window <= 0 || window >= len(specs) || !sortedBySubmit(specs) {
+		return Install(cluster, specs)
+	}
+	create := func(i int) error {
+		if err := cluster.CreateInput(specs[i].Conf.InputPath, specs[i].InputBytes); err != nil {
+			return fmt.Errorf("workload: input for %s: %w", specs[i].Conf.Name, err)
+		}
+		return nil
+	}
+	for i := 0; i < window; i++ {
+		if err := create(i); err != nil {
+			return nil, err
+		}
+	}
+	names := make([]string, 0, len(specs))
+	for i := range specs {
+		i := i
+		spec := specs[i]
+		cluster.Engine().At(spec.SubmitAt, func() {
+			// Submissions fire in spec order (nondecreasing times, FIFO
+			// at ties), so creating spec i+window here keeps global
+			// creation order and guarantees every input exists before
+			// its own submission.
+			if i+window < len(specs) {
+				if err := create(i + window); err != nil {
+					panic(err.Error())
+				}
+			}
+			if _, err := cluster.JobTracker().Submit(spec.Conf); err != nil {
+				panic(fmt.Sprintf("workload: submit %s: %v", spec.Conf.Name, err))
+			}
+		})
+		names = append(names, spec.Conf.Name)
+	}
+	return names, nil
+}
+
+// sortedBySubmit reports whether specs are in nondecreasing submission
+// order.
+func sortedBySubmit(specs []JobSpec) bool {
+	for i := 1; i < len(specs); i++ {
+		if specs[i].SubmitAt < specs[i-1].SubmitAt {
+			return false
+		}
+	}
+	return true
+}

@@ -444,6 +444,14 @@ func ReadSWIMTraceFile(path string) ([]SWIMTraceJob, error) {
 	return workload.ReadTraceFile(path)
 }
 
+// SynthesizeSWIMTrace generates an n-job Facebook-like SWIM trace,
+// deterministic in n alone (fixed generator seed), so independent
+// processes — benchmark harnesses, CI smoke jobs, distributed workers —
+// regenerate byte-identical traces without shipping a trace file.
+func SynthesizeSWIMTrace(n int) ([]SWIMTraceJob, error) {
+	return workload.SynthesizeTrace(n, 1)
+}
+
 // ReplayConfig configures the trace-replay backend.
 type ReplayConfig = workload.ReplayConfig
 
